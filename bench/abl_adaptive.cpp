@@ -1,0 +1,122 @@
+// Ablation: sensitivity to failure-model misestimation, and online recovery.
+//
+// Part 1 (sensitivity): Shiraz solves k against a *nominal* MTBF; how much of
+// the gain survives when the machine's true MTBF differs? (The design choice
+// DESIGN.md calls out: the model's inputs come from operator estimates.)
+//
+// Part 2 (adaptive): the AdaptiveShirazScheduler learns (MTBF, beta) from
+// observed gaps and re-solves k online — including on an *aging* machine
+// whose MTBF degrades mid-campaign, where any static k must be wrong at one
+// end.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "adaptive/adaptive_scheduler.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+
+using namespace shiraz;
+
+namespace {
+
+double min_gain(const sim::SimResult& r, const sim::SimResult& base) {
+  return std::min(r.apps[0].useful - base.apps[0].useful,
+                  r.apps[1].useful - base.apps[1].useful);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 16));
+  const std::uint64_t seed = flags.get_seed("seed", 20182525);
+  const core::AppSpec lw{"lw", 18.0, 1};
+  const core::AppSpec hw{"hw", 1800.0, 1};
+
+  bench::banner("Ablation — misestimated failure model & adaptive Shiraz",
+                "True system: Weibull beta 0.6, MTBF 5 h; campaign 4000 h; "
+                "reps=" + std::to_string(reps));
+
+  sim::EngineConfig ecfg;
+  ecfg.t_total = hours(4000.0);
+  const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, hours(5.0)), ecfg);
+  const std::vector<sim::SimJob> jobs{sim::SimJob::at_oci("lw", 18.0, hours(5.0)),
+                                      sim::SimJob::at_oci("hw", 1800.0, hours(5.0))};
+  const sim::SimResult base =
+      engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed);
+
+  // --- Part 1: static Shiraz with a wrong nominal MTBF ---
+  Table sens({"assumed MTBF (h)", "k solved", "total gain (h)", "min app gain (h)"});
+  for (const double assumed : {2.5, 5.0, 10.0, 20.0, 40.0}) {
+    core::ModelConfig cfg;
+    cfg.mtbf = hours(assumed);
+    cfg.t_total = hours(4000.0);
+    core::SolverOptions opts;
+    opts.keep_sweep = false;
+    const core::SwitchSolution sol =
+        solve_switch_point(core::ShirazModel(cfg), lw, hw, opts);
+    if (!sol.beneficial()) {
+      sens.add_row({fmt(assumed, 1), "inf", "-", "-"});
+      continue;
+    }
+    const sim::ShirazPairScheduler policy(*sol.k);
+    const sim::SimResult r = engine.run_many(jobs, policy, reps, seed);
+    sens.add_row({fmt(assumed, 1), std::to_string(*sol.k),
+                  fmt(as_hours(r.total_useful() - base.total_useful()), 1),
+                  fmt(as_hours(min_gain(r, base)), 1)});
+  }
+  bench::print_table(sens, flags);
+  bench::note("Reading: overestimating the MTBF inflates k — the total can "
+              "even rise (the light app is over-served) but the *fairness* "
+              "metric (min app gain) collapses; underestimating shrinks both.");
+
+  // --- Part 2: adaptive controller, stationary and aging machine ---
+  adaptive::AdaptiveConfig acfg;
+  acfg.estimator.prior_mtbf = hours(20.0);  // badly wrong prior
+  acfg.estimator.window = 256;
+  acfg.estimator.min_samples = 16;
+  const adaptive::AdaptiveShirazScheduler adaptive_policy(lw, hw, acfg);
+  const sim::SimResult r_adapt = engine.run_many(jobs, adaptive_policy, reps, seed);
+  std::printf("\nAdaptive (prior MTBF 20 h, true 5 h): total gain %.1f h, "
+              "min app gain %.1f h, final k = %d after %zu re-solves.\n",
+              as_hours(r_adapt.total_useful() - base.total_useful()),
+              as_hours(min_gain(r_adapt, base)), adaptive_policy.current_k(),
+              adaptive_policy.resolves());
+
+  // Aging machine: MTBF decays linearly from 10 h to 3 h over the campaign.
+  const double beta = 0.6;
+  sim::GapSampler aging = [beta](Rng& rng, Seconds now) {
+    const double frac = std::min(now / hours(4000.0), 1.0);
+    const Seconds mtbf = hours(10.0) * (1.0 - frac) + hours(3.0) * frac;
+    return reliability::Weibull::from_mtbf(beta, mtbf).sample(rng);
+  };
+  const sim::Engine aging_engine(aging, ecfg);
+  const sim::SimResult a_base =
+      aging_engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed);
+
+  Table aging_table({"policy", "total gain (h)", "min app gain (h)"});
+  core::ModelConfig mid;
+  mid.mtbf = hours(6.5);  // the best single nominal value: lifetime average
+  mid.t_total = hours(4000.0);
+  core::SolverOptions opts;
+  opts.keep_sweep = false;
+  const core::SwitchSolution static_sol =
+      solve_switch_point(core::ShirazModel(mid), lw, hw, opts);
+  const sim::ShirazPairScheduler static_policy(static_sol.k.value_or(1));
+  const sim::SimResult a_static =
+      aging_engine.run_many(jobs, static_policy, reps, seed);
+  const sim::SimResult a_adapt =
+      aging_engine.run_many(jobs, adaptive_policy, reps, seed);
+  aging_table.add_row({"static k (lifetime-average MTBF)",
+                       fmt(as_hours(a_static.total_useful() - a_base.total_useful()), 1),
+                       fmt(as_hours(min_gain(a_static, a_base)), 1)});
+  aging_table.add_row({"adaptive (sliding-window MLE)",
+                       fmt(as_hours(a_adapt.total_useful() - a_base.total_useful()), 1),
+                       fmt(as_hours(min_gain(a_adapt, a_base)), 1)});
+  std::printf("\nAging machine (MTBF 10 h -> 3 h over the campaign):\n");
+  bench::print_table(aging_table, flags);
+  bench::note("\nTakeaway: Shiraz's gain is robust to ~2x MTBF error but not to "
+              "4x+; the online controller recovers the fair split without any "
+              "operator-provided failure model.");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: composing Shiraz with incremental checkpointing (related work
+// [20, 29] in the paper). Increments shrink the *average* checkpoint cost;
+// feeding that effective delta to the Shiraz model shifts the switch point
+// and changes the pair's gain — another axis on which the paper's "can be
+// used in conjunction" claim is made concrete.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "checkpoint/incremental.h"
+#include "core/switch_solver.h"
+
+using namespace shiraz;
+using namespace shiraz::checkpoint;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const double mtbf_hours = flags.get_double("mtbf", 5.0);
+  bench::banner("Ablation — Shiraz x incremental checkpointing",
+                "Dirty-fraction model; every n-th checkpoint full; MTBF " +
+                    fmt(mtbf_hours, 0) + " h.");
+
+  const Seconds mtbf = hours(mtbf_hours);
+  struct App {
+    const char* name;
+    Seconds delta_full;
+    Seconds dirty_halflife;
+  };
+  // The heavy app's state churns slowly (big meshes, localized updates); the
+  // light app re-dirties quickly (particles move everywhere).
+  const App lw{"light (MD-like)", 90.0, 120.0};
+  const App hw{"heavy (mesh-like)", 1800.0, 7200.0};
+
+  Table plan_table({"app", "full delta (s)", "full every", "interval (min)",
+                    "effective delta (s)", "waste at plan", "waste full-only"});
+  Seconds eff_lw = 0.0;
+  Seconds eff_hw = 0.0;
+  for (const App& app : {lw, hw}) {
+    IncrementalSpec spec;
+    spec.delta_full = app.delta_full;
+    spec.delta_meta = app.delta_full * 0.02;
+    spec.dirty_halflife = app.dirty_halflife;
+    spec.replay_cost_per_increment = app.delta_full * 0.05;
+    const IncrementalPlan plan = optimize_incremental(spec, mtbf);
+    IncrementalSpec full_only = spec;
+    full_only.full_every = 1;
+    const Seconds tau_full = optimal_interval(mtbf, spec.delta_full);
+    (std::string(app.name).rfind("light", 0) == 0 ? eff_lw : eff_hw) =
+        plan.effective_delta;
+    plan_table.add_row(
+        {app.name, fmt(app.delta_full, 0), std::to_string(plan.full_every),
+         fmt(as_minutes(plan.interval), 1), fmt(plan.effective_delta, 1),
+         fmt_percent(plan.waste_rate),
+         fmt_percent(incremental_waste_rate(full_only, tau_full, mtbf))});
+  }
+  bench::print_table(plan_table, flags);
+
+  core::ModelConfig cfg;
+  cfg.mtbf = mtbf;
+  cfg.t_total = hours(1000.0);
+  const core::ShirazModel model(cfg);
+  core::SolverOptions opts;
+  opts.keep_sweep = false;
+  Table shiraz_table({"checkpoint scheme", "delta LW (s)", "delta HW (s)", "k*",
+                      "total gain (h)"});
+  auto row = [&](const std::string& scheme, Seconds dlw, Seconds dhw) {
+    const core::SwitchSolution sol = core::solve_switch_point(
+        model, core::AppSpec{"lw", dlw, 1}, core::AppSpec{"hw", dhw, 1}, opts);
+    shiraz_table.add_row({scheme, fmt(dlw, 1), fmt(dhw, 1),
+                          sol.k ? std::to_string(*sol.k) : "inf",
+                          sol.k ? fmt(as_hours(sol.delta_total), 1) : "-"});
+  };
+  row("full checkpoints", lw.delta_full, hw.delta_full);
+  row("incremental (optimized)", eff_lw, eff_hw);
+  std::printf("\nShiraz on top:\n");
+  bench::print_table(shiraz_table, flags);
+  bench::note("\nTakeaway: increments help exactly where checkpoints hurt most "
+              "(the slowly-dirtying heavy app), cutting its waste rate outright. "
+              "That *narrows* the pair's delta-factor, so Shiraz's remaining "
+              "gain on top shrinks — but the combined system (incremental I/O "
+              "savings + residual Shiraz gain) still beats either alone, the "
+              "concrete form of the paper's 'can be used in conjunction' claim.");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation: Shiraz/Shiraz+ versus Lazy Checkpointing (Tiwari et al., DSN'14)
+// — the comparison the paper's Section 6 argues qualitatively: Lazy also cuts
+// checkpoint I/O by exploiting the decaying hazard, but produces
+// *non-equidistant* checkpoints (bad for progress monitoring) and works per
+// application; Shiraz+ reduces I/O with equidistant checkpoints while also
+// raising system throughput.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "checkpoint/schedule.h"
+#include "core/switch_solver.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+
+using namespace shiraz;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 24));
+  const std::uint64_t seed = flags.get_seed("seed", 20184747);
+  const double mtbf_hours = flags.get_double("mtbf", 5.0);
+
+  bench::banner("Ablation — Shiraz+ vs Lazy Checkpointing (DSN'14)",
+                "Pair delta 18 s / 1800 s, MTBF " + fmt(mtbf_hours, 0) +
+                    " h, campaign 1000 h, reps=" + std::to_string(reps));
+
+  const Seconds mtbf = hours(mtbf_hours);
+  core::ModelConfig cfg;
+  cfg.mtbf = mtbf;
+  cfg.t_total = hours(1000.0);
+  const core::ShirazModel model(cfg);
+  core::SolverOptions opts;
+  opts.keep_sweep = false;
+  const core::SwitchSolution sol = solve_switch_point(
+      model, core::AppSpec{"lw", 18.0, 1}, core::AppSpec{"hw", 1800.0, 1}, opts);
+  const int k = sol.k.value_or(0);
+
+  sim::EngineConfig ecfg;
+  ecfg.t_total = hours(1000.0);
+  const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
+
+  const std::vector<sim::SimJob> oci_jobs{sim::SimJob::at_oci("lw", 18.0, mtbf),
+                                          sim::SimJob::at_oci("hw", 1800.0, mtbf)};
+  const std::vector<sim::SimJob> lazy_jobs{sim::SimJob::lazy("lw", 18.0, mtbf, 0.6),
+                                           sim::SimJob::lazy("hw", 1800.0, mtbf, 0.6)};
+  const std::vector<sim::SimJob> plus_jobs{
+      sim::SimJob::at_oci("lw", 18.0, mtbf),
+      sim::SimJob::at_oci("hw", 1800.0, mtbf, /*stretch=*/3)};
+
+  const sim::AlternateAtFailure alternate;
+  const sim::ShirazPairScheduler shiraz(k);
+
+  const sim::SimResult base = engine.run_many(oci_jobs, alternate, reps, seed);
+  const sim::SimResult lazy = engine.run_many(lazy_jobs, alternate, reps, seed);
+  const sim::SimResult sz = engine.run_many(oci_jobs, shiraz, reps, seed);
+  const sim::SimResult plus = engine.run_many(plus_jobs, shiraz, reps, seed);
+
+  Table table({"policy", "useful (h)", "ckpt ovhd (h)", "useful vs base",
+               "ckpt reduction", "equidistant ckpts"});
+  auto row = [&](const std::string& name, const sim::SimResult& r, bool equidistant) {
+    table.add_row({name, fmt(as_hours(r.total_useful()), 1),
+                   fmt(as_hours(r.total_io()), 1),
+                   fmt_percent((r.total_useful() - base.total_useful()) /
+                               base.total_useful()),
+                   fmt_percent((base.total_io() - r.total_io()) / base.total_io()),
+                   equidistant ? "yes" : "no"});
+  };
+  row("baseline (OCI, switch at failure)", base, true);
+  row("Lazy checkpointing (per-app)", lazy, false);
+  row("Shiraz (k=" + std::to_string(k) + ")", sz, true);
+  row("Shiraz+ (3x stretch)", plus, true);
+  bench::print_table(table, flags);
+
+  bench::note("\nPaper Section 6's argument, quantified: Lazy cuts checkpoint "
+              "I/O but cannot raise system throughput (it only re-times one "
+              "app's checkpoints) and gives up equidistance; Shiraz+ reaches a "
+              "comparable I/O cut with equidistant checkpoints *and* keeps "
+              "Shiraz's throughput gain.");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: the optimal OCI-stretch factor (the optimization problem the
+// paper explicitly leaves open — "Determining the new checkpointing interval
+// for heavy-weight application is a new optimization problem that Shiraz and
+// Shiraz+ open up"). For each scenario we report the largest stretch that
+// keeps system throughput at or above the baseline, against the paper's fixed
+// 2x-4x choices.
+#include "bench_util.h"
+#include "common/error.h"
+#include "core/shiraz_plus.h"
+
+using namespace shiraz;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const double floor = flags.get_double("min-improvement", 0.0);
+
+  bench::banner("Ablation — optimal OCI-stretch factor (paper future work)",
+                "Largest stretch keeping useful-work improvement >= " +
+                    fmt_percent(floor) + " vs baseline.");
+
+  Table table({"MTBF (h)", "delta-factor", "k*", "optimal stretch",
+               "ckpt reduction", "useful change", "fixed-3x ckpt reduction",
+               "fixed-3x useful change"});
+  for (const double mtbf_hours : {5.0, 20.0}) {
+    for (const double factor : {5.0, 25.0, 100.0, 1000.0}) {
+      core::ModelConfig cfg;
+      cfg.mtbf = hours(mtbf_hours);
+      cfg.t_total = hours(1000.0);
+      const core::ShirazModel model(cfg);
+      const core::AppSpec lw{"LW", hours(0.5) / factor, 1};
+      const core::AppSpec hw{"HW", hours(0.5), 1};
+
+      core::StretchOptimizerOptions opts;
+      opts.min_useful_improvement = floor;
+      opts.max_stretch = 16;
+      try {
+        const core::StretchOutcome best = core::optimal_stretch(model, lw, hw, opts);
+        const auto fixed3 = evaluate_shiraz_plus(model, lw, hw, {3});
+        table.add_row({fmt(mtbf_hours, 0), fmt(factor, 0) + "x",
+                       std::to_string(best.k), std::to_string(best.stretch) + "x",
+                       fmt_percent(best.io_reduction),
+                       fmt_percent(best.useful_improvement),
+                       fmt_percent(fixed3[0].io_reduction),
+                       fmt_percent(fixed3[0].useful_improvement)});
+      } catch (const Error&) {
+        table.add_row({fmt(mtbf_hours, 0), fmt(factor, 0) + "x", "-", "-", "-", "-",
+                       "-", "-"});
+      }
+    }
+  }
+  bench::print_table(table, flags);
+  bench::note("\nTakeaway: the zero-degradation optimum usually sits at 2x-3x — "
+              "the paper's practical 2x choice captures most of the free I/O "
+              "reduction, and pushing past the optimum trades real throughput.");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared plumbing for the figure/table bench harnesses.
+//
+// Every bench prints: a banner naming the paper artifact it regenerates, the
+// parameters and seed in use (all overridable via --flags), the paper's
+// expected numbers where applicable, and the measured table — optionally as
+// CSV (--csv) for replotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "common/table.h"
+
+namespace shiraz::bench {
+
+inline void banner(const std::string& artifact, const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", artifact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_table(const Table& table, const Flags& flags) {
+  std::fputs(table.render().c_str(), stdout);
+  if (flags.get_bool("csv", false)) {
+    std::printf("\n--- CSV ---\n%s", table.render_csv().c_str());
+  }
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+}  // namespace shiraz::bench

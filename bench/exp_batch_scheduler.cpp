@@ -1,0 +1,66 @@
+// Batch workload-manager campaign (the Fig. 15 deployment view): finite jobs
+// with arrivals flow through the queue; the machine runs them with
+// checkpoint/restart under failures. Compares the conventional
+// switch-at-failure scheduler against Shiraz pairing and Shiraz+ on the
+// metrics a center reports: makespan, mean/max turnaround, lost work,
+// checkpoint I/O.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "reliability/weibull.h"
+#include "sched/manager.h"
+
+using namespace shiraz;
+using namespace shiraz::sched;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 12));
+  const std::uint64_t seed = flags.get_seed("seed", 20185858);
+  const double mtbf_hours = flags.get_double("mtbf", 5.0);
+
+  bench::banner("Batch scheduler campaign — baseline vs Shiraz vs Shiraz+",
+                "8 finite jobs (4 light / 4 heavy) with staggered arrivals, "
+                "MTBF " + fmt(mtbf_hours, 0) + " h, reps=" + std::to_string(reps));
+
+  std::vector<BatchJobSpec> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back({"light" + std::to_string(i), hours(300.0), 18.0,
+                    hours(50.0 * i)});
+    jobs.push_back({"heavy" + std::to_string(i), hours(300.0), 1800.0,
+                    hours(50.0 * i)});
+  }
+
+  ManagerConfig cfg;
+  cfg.horizon = hours(12'000.0);
+  cfg.nominal_mtbf = hours(mtbf_hours);
+  const auto failures = reliability::Weibull::from_mtbf(0.6, hours(mtbf_hours));
+
+  Table table({"policy", "completed", "makespan (h)", "mean turnaround (h)",
+               "max turnaround (h)", "lost (h)", "ckpt I/O (h)"});
+  auto run_policy = [&](const std::string& name, Policy policy, unsigned stretch) {
+    ManagerConfig c = cfg;
+    c.hw_stretch = stretch;
+    const WorkloadManager mgr(failures, c);
+    const CampaignStats stats = mgr.run_many(jobs, policy, reps, seed);
+    table.add_row({name,
+                   std::to_string(stats.completed_count()) + "/" +
+                       std::to_string(jobs.size()),
+                   fmt(as_hours(stats.makespan), 1),
+                   fmt(as_hours(stats.mean_turnaround()), 1),
+                   fmt(as_hours(stats.max_turnaround()), 1),
+                   fmt(as_hours(stats.total_lost()), 1),
+                   fmt(as_hours(stats.total_io()), 1)});
+  };
+  run_policy("baseline (switch at failure)", Policy::kBaselineAlternate, 1);
+  run_policy("Shiraz pairing", Policy::kShirazPairing, 1);
+  run_policy("Shiraz+ pairing (2x)", Policy::kShirazPairing, 2);
+  run_policy("Shiraz+ pairing (3x)", Policy::kShirazPairing, 3);
+  bench::print_table(table, flags);
+
+  bench::note("\nTakeaway: the paper's within-gap idea carries into a batch "
+              "setting — Shiraz pairing turns lost work into completed jobs "
+              "(lower lost hours at comparable-or-better makespan), and the "
+              "Shiraz+ stretch trades a slice of that for checkpoint I/O.");
+  return 0;
+}

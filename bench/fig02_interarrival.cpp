@@ -1,0 +1,64 @@
+// Figure 2: inter-arrival failure distribution (time between two failures)
+// for multiple HPC systems, reported as the empirical CDF at fractions of the
+// MTBF. The paper's point: a large fraction of failures occur much before the
+// MTBF — the temporal-recurrence property Shiraz exploits.
+#include "bench_util.h"
+#include "common/rng.h"
+#include "reliability/analytics.h"
+#include "reliability/exponential.h"
+#include "reliability/systems.h"
+#include "reliability/trace.h"
+
+using namespace shiraz;
+using namespace shiraz::reliability;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::uint64_t seed = flags.get_seed("seed", 20180202);
+  const double horizon_years = flags.get_double("years", 10.0);
+
+  bench::banner("Figure 2 — inter-arrival failure distribution",
+                "Empirical CDF of gaps at fractions of each system's MTBF. "
+                "Seed: " + std::to_string(seed));
+
+  const std::vector<double> fractions{0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0};
+  Table table({"system", "P<=0.1M", "P<=0.25M", "P<=0.5M", "P<=0.75M", "P<=1.0M",
+               "P<=1.5M", "P<=2.0M"});
+
+  Rng master(seed);
+  std::uint64_t stream = 0;
+  auto add_system = [&](const std::string& name, const Distribution& dist) {
+    Rng rng = master.fork(stream++);
+    const FailureTrace trace =
+        FailureTrace::generate(dist, years(horizon_years), rng);
+    const auto cdf = interarrival_cdf_at_mtbf_fractions(trace, fractions);
+    std::vector<std::string> row{name};
+    for (const double p : cdf) row.push_back(fmt(p, 3));
+    table.add_row(std::move(row));
+  };
+
+  for (const SystemSpec& spec : trace_systems()) {
+    const Weibull w = spec.failure_distribution();
+    add_system(spec.name, w);
+  }
+  // Exponential reference: the memoryless null hypothesis the paper's Weibull
+  // evidence rejects.
+  add_system("Exponential reference (MTBF 20h)", Exponential(hours(20.0)));
+
+  bench::print_table(table, flags);
+  bench::note("\nPaper-shape check: the Weibull systems put clearly more than the "
+              "exponential's 39% below 0.5*MTBF and 63% below 1*MTBF — most "
+              "failures arrive well before the MTBF.");
+
+  // Hazard-rate view of the same property (Fig 6's failure-rate curve).
+  const SystemSpec exa = exascale_system();
+  Rng rng = master.fork(stream++);
+  const FailureTrace trace =
+      FailureTrace::generate(exa.failure_distribution(), years(horizon_years), rng);
+  const auto hazard = empirical_hazard(trace, hours(10.0), 10);
+  std::printf("\nEmpirical hazard rate, %s (per hour, 1h bins):\n", exa.name.c_str());
+  for (std::size_t b = 0; b < hazard.size(); ++b) {
+    std::printf("  [%2zu-%2zu h): %.4f\n", b, b + 1, hazard[b] * kSecondsPerHour);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 11: Shiraz improvements across scenarios — Delta useful-work curves
+// (LW, HW, total) versus the switching point k, for MTBF {5, 20} h and
+// delta-factor {5, 25, 100, 1000}, campaign 1000 h, heavy checkpoint 0.5 h.
+//
+// Paper observations reproduced here:
+//  (1) Shiraz improves throughput and both individual apps at k*;
+//  (2) the total gain grows with the delta-factor and as the MTBF shrinks;
+//  (3) k* grows with the delta-factor and with the MTBF.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/switch_solver.h"
+
+using namespace shiraz;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  bench::banner("Figure 11 — improvement curves across MTBF and delta-factor",
+                "Model Delta-useful curves vs k; '*' marks the fair optimum.");
+
+  Table summary({"MTBF (h)", "delta-factor", "k*", "switch@ (h)", "dLW (h)",
+                 "dHW (h)", "dTotal (h)"});
+  for (const double mtbf_hours : {5.0, 20.0}) {
+    for (const double factor : {5.0, 25.0, 100.0, 1000.0}) {
+      core::ModelConfig cfg;
+      cfg.mtbf = hours(mtbf_hours);
+      cfg.t_total = hours(1000.0);
+      const core::ShirazModel model(cfg);
+      const core::AppSpec lw{"LW", hours(0.5) / factor, 1};
+      const core::AppSpec hw{"HW", hours(0.5), 1};
+      const core::SwitchSolution sol = solve_switch_point(model, lw, hw);
+
+      std::printf("\n--- MTBF %.0f h, delta-factor %.0fx ---\n", mtbf_hours, factor);
+      Table curve({"k", "dLW (h)", "dHW (h)", "dTotal (h)"});
+      const int stride = std::max<std::size_t>(sol.sweep.size() / 12, 1);
+      for (std::size_t i = 0; i < sol.sweep.size(); i += stride) {
+        const auto& c = sol.sweep[i];
+        curve.add_row({std::to_string(c.k) + (sol.k && c.k == *sol.k ? " *" : ""),
+                       fmt(as_hours(c.delta_lw), 1), fmt(as_hours(c.delta_hw), 1),
+                       fmt(as_hours(c.delta_total), 1)});
+      }
+      bench::print_table(curve, flags);
+
+      if (sol.beneficial()) {
+        summary.add_row({fmt(mtbf_hours, 0), fmt(factor, 0) + "x",
+                         std::to_string(*sol.k),
+                         fmt(as_hours(model.switch_time(lw, *sol.k)), 1),
+                         fmt(as_hours(sol.delta_lw), 1), fmt(as_hours(sol.delta_hw), 1),
+                         fmt(as_hours(sol.delta_total), 1)});
+      } else {
+        summary.add_row({fmt(mtbf_hours, 0), fmt(factor, 0) + "x", "inf", "-", "-",
+                         "-", "-"});
+      }
+    }
+  }
+
+  std::printf("\n=== Summary at the fair optimum ===\n");
+  bench::print_table(summary, flags);
+  bench::note("\nPaper-shape checks: gain grows with delta-factor; exascale "
+              "(MTBF 5h) gains exceed petascale at equal factor (paper: 33h vs "
+              "19h at factor 100); k* grows from ~6 to ~81+ across factors and "
+              "with MTBF (6 -> 12 at factor 5). The switch time exceeds the "
+              "MTBF (6.6h / 25.2h at factor 5) — a naive MTBF/2 switch is far "
+              "too early.");
+  return 0;
+}

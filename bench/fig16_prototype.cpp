@@ -1,0 +1,152 @@
+// Figure 16 + Section 5's prototype evaluation: Shiraz and Shiraz+ on "real"
+// executions of CoMD (light-weight) and miniFE (heavy-weight) under
+// system-level checkpointing with injected failures.
+//
+// The paper runs MPI proxies under DMTCP on a cluster for an emulated 200 h
+// campaign; our in-process equivalent executes the proxy-app kernels and
+// serializes their state to real files (RealBackend), with failures injected
+// from a Weibull trace at an accelerated frequency — the same
+// scale-down-the-inputs, scale-up-the-failure-rate methodology the paper
+// describes. Paper numbers: Shiraz +10.2% useful work; Shiraz+ 2x/3x/4x cuts
+// checkpoint overhead 35.8% / 69.6% / 77.6% with <= 3% degradation.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "apps/proxy_app.h"
+#include "checkpoint/oci.h"
+#include "core/switch_solver.h"
+#include "proto/backend.h"
+#include "proto/checkpoint_store.h"
+#include "proto/runtime.h"
+#include "reliability/trace.h"
+#include "reliability/weibull.h"
+
+using namespace shiraz;
+using namespace shiraz::proto;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::uint64_t seed = flags.get_seed("seed", 20181616);
+  // Failure frequency is accelerated: the virtual MTBF is mtbf-factor times
+  // the measured heavy checkpoint cost (the paper's petascale ratio
+  // M/delta_HW = 40 by default).
+  const double mtbf_factor = flags.get_double("mtbf-factor", 40.0);
+  // Campaign length in MTBFs per policy run. The default keeps the whole
+  // five-policy bench around two minutes of real execution; raise it for
+  // tighter statistics (the paper's campaign was an emulated 200 h).
+  const double horizon_mtbfs = flags.get_double("horizon-mtbfs", 30.0);
+  const bool synthetic = flags.get_bool("synthetic", false);
+
+  bench::banner("Figure 16 — prototype: CoMD + miniFE under system-level "
+                "checkpointing",
+                "Backend: " + std::string(synthetic ? "synthetic" : "real I/O") +
+                    ", M = " + fmt(mtbf_factor, 0) + " x delta_HW, horizon " +
+                    fmt(horizon_mtbfs, 0) + " MTBFs, seed " + std::to_string(seed));
+
+  RealBackend real_backend;
+  SyntheticBackend synthetic_backend(SyntheticBackend::Rates{
+      .step_duration = 0.0005,
+      .write_bandwidth_bps = 2.0e9,
+      .fixed_latency = 0.0002,
+      .read_bandwidth_bps = 4.0e9,
+  });
+  ExecutionBackend& backend =
+      synthetic ? static_cast<ExecutionBackend&>(synthetic_backend)
+                : static_cast<ExecutionBackend&>(real_backend);
+  CheckpointStore store = CheckpointStore::make_temporary("fig16");
+
+  // --- Calibration (the scheduler plug-in's bookkeeping step) ---
+  const apps::ProxyApp comd(apps::ProxyKind::kCoMD, 1);
+  const apps::ProxyApp minife(apps::ProxyKind::kMiniFE, 1);
+  const Seconds delta_lw = measure_checkpoint_cost(backend, comd, store, 5);
+  const Seconds delta_hw = measure_checkpoint_cost(backend, minife, store, 5);
+  std::printf("Measured checkpoint costs: CoMD %.2f ms, miniFE %.2f ms "
+              "(ratio %.1fx; paper's DMTCP measurement: 30x).\n", delta_lw * 1e3,
+              delta_hw * 1e3, delta_hw / delta_lw);
+
+  const Seconds mtbf = mtbf_factor * delta_hw;
+  const Seconds horizon = horizon_mtbfs * mtbf;
+  const Seconds oci_lw = checkpoint::optimal_interval(mtbf, delta_lw);
+  const Seconds oci_hw = checkpoint::optimal_interval(mtbf, delta_hw);
+
+  // --- Offline switch point from the Shiraz model (as in the paper) ---
+  core::ModelConfig mcfg;
+  mcfg.mtbf = mtbf;
+  mcfg.t_total = horizon;
+  const core::ShirazModel model(mcfg);
+  const core::SwitchSolution sol = solve_switch_point(
+      model, core::AppSpec{"CoMD", delta_lw, 1}, core::AppSpec{"miniFE", delta_hw, 1});
+  if (!sol.beneficial()) {
+    bench::note("Model found no beneficial switch point at this scale; rerun "
+                "with a larger --mtbf-factor.");
+    return 1;
+  }
+  const int k = *sol.k;
+  std::printf("Virtual MTBF %.2f s; OCI(CoMD) %.3f s, OCI(miniFE) %.3f s; model "
+              "fair switch point k = %d.\n\n", mtbf, oci_lw, oci_hw, k);
+
+  // --- Shared failure trace (common random numbers across policies) ---
+  Rng rng(seed);
+  const reliability::FailureTrace trace = reliability::FailureTrace::generate(
+      reliability::Weibull::from_mtbf(0.6, mtbf), horizon, rng);
+  std::printf("Injected %zu failures over %.1f s of virtual time.\n\n",
+              trace.size(), horizon);
+
+  auto make_jobs = [&](unsigned stretch) {
+    std::vector<ProtoJob> jobs;
+    jobs.emplace_back("CoMD", apps::ProxyApp(apps::ProxyKind::kCoMD, 1), oci_lw);
+    jobs.emplace_back("miniFE", apps::ProxyApp(apps::ProxyKind::kMiniFE, 1),
+                      oci_hw * static_cast<double>(stretch));
+    return jobs;
+  };
+
+  Runtime runtime(backend, store);
+  const sim::AlternateAtFailure baseline_policy;
+  const sim::ShirazPairScheduler shiraz_policy(k);
+
+  const ProtoResult base =
+      runtime.run(make_jobs(1), baseline_policy, trace.times(), horizon);
+  const ProtoResult shiraz =
+      runtime.run(make_jobs(1), shiraz_policy, trace.times(), horizon);
+
+  std::printf("Shiraz vs baseline: useful work %+.1f%% (paper: +10.2%%), "
+              "checkpoint overhead %+.1f%%.\n\n",
+              100.0 * (shiraz.total_useful() - base.total_useful()) /
+                  base.total_useful(),
+              100.0 * (shiraz.total_io() - base.total_io()) / base.total_io());
+
+  Table table({"policy", "useful (s)", "ckpt ovhd (s)", "lost (s)",
+               "useful vs base", "data moved (MiB)", "data-movement cut"});
+  auto add_row = [&](const std::string& name, const ProtoResult& res) {
+    // Data movement (bytes actually written) is the robust I/O metric here:
+    // wall-clock checkpoint durations jitter with machine load, byte counts
+    // do not.
+    const double moved = static_cast<double>(res.total_bytes_written());
+    const double base_moved = static_cast<double>(base.total_bytes_written());
+    table.add_row({name, fmt(res.total_useful(), 1), fmt(res.total_io(), 2),
+                   fmt(res.jobs[0].lost + res.jobs[1].lost, 1),
+                   fmt_percent((res.total_useful() - base.total_useful()) /
+                               base.total_useful()),
+                   fmt(as_mib(res.total_bytes_written()), 1),
+                   fmt_percent((base_moved - moved) / base_moved)});
+  };
+  add_row("baseline (switch at failure)", base);
+  add_row("Shiraz (k=" + std::to_string(k) + ")", shiraz);
+  for (const unsigned stretch : {2u, 3u, 4u}) {
+    const ProtoResult plus =
+        runtime.run(make_jobs(stretch), shiraz_policy, trace.times(), horizon);
+    add_row("Shiraz+ " + std::to_string(stretch) + "x", plus);
+  }
+  bench::print_table(table, flags);
+
+  bench::note("\nPaper-shape checks (Fig 16): checkpoint data movement falls "
+              "steeply with the stretch factor (paper's overhead reductions: "
+              "35.8% / 69.6% / 77.6%) while useful work stays within a few "
+              "percent; Shiraz itself beats the baseline (paper: +10.2%). "
+              "Wall-clock checkpoint durations are load-sensitive; byte counts "
+              "are the stable view of the same reduction. Short default runs "
+              "(~" + std::to_string(trace.size()) + " failures) understate the "
+              "Shiraz useful-work gain — raise --horizon-mtbfs for tighter "
+              "statistics.");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Micro-benchmarks (google-benchmark) backing the paper's "the model takes a
+// few seconds where simulation takes hours" claim, plus throughput numbers
+// for the core primitives.
+#include <benchmark/benchmark.h>
+
+#include "core/switch_solver.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+#include "sim/optimizer.h"
+
+using namespace shiraz;
+
+namespace {
+
+core::ShirazModel make_model(double mtbf_hours) {
+  core::ModelConfig cfg;
+  cfg.mtbf = hours(mtbf_hours);
+  cfg.t_total = hours(1000.0);
+  return core::ShirazModel(cfg);
+}
+
+void BM_ModelPairEvaluation(benchmark::State& state) {
+  const core::ShirazModel model = make_model(5.0);
+  const core::AppSpec lw{"lw", 18.0, 1};
+  const core::AppSpec hw{"hw", 1800.0, 1};
+  int k = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.shiraz(lw, hw, 1 + (k++ % 40)));
+  }
+}
+BENCHMARK(BM_ModelPairEvaluation);
+
+void BM_ModelFullSolve(benchmark::State& state) {
+  const double factor = static_cast<double>(state.range(0));
+  const core::ShirazModel model = make_model(5.0);
+  const core::AppSpec lw{"lw", hours(0.5) / factor, 1};
+  const core::AppSpec hw{"hw", hours(0.5), 1};
+  core::SolverOptions opts;
+  opts.keep_sweep = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_switch_point(model, lw, hw, opts));
+  }
+}
+BENCHMARK(BM_ModelFullSolve)->Arg(5)->Arg(100)->Arg(1000);
+
+void BM_SimOneCampaign(benchmark::State& state) {
+  const double mtbf_hours = static_cast<double>(state.range(0));
+  sim::EngineConfig cfg;
+  cfg.t_total = hours(1000.0);
+  const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, hours(mtbf_hours)),
+                           cfg);
+  const std::vector<sim::SimJob> jobs{
+      sim::SimJob::at_oci("lw", 18.0, hours(mtbf_hours)),
+      sim::SimJob::at_oci("hw", 1800.0, hours(mtbf_hours))};
+  const sim::ShirazPairScheduler policy(26);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(engine.run(jobs, policy, rng));
+  }
+  state.SetLabel("1000h campaign, one rep");
+}
+BENCHMARK(BM_SimOneCampaign)->Arg(5)->Arg(20);
+
+void BM_SimFairKSearch(benchmark::State& state) {
+  // The cost of finding k* by simulation (what Fig 10 calls "more than a few
+  // hours in some cases" at the paper's repetition counts) — compare against
+  // BM_ModelFullSolve above.
+  sim::EngineConfig cfg;
+  cfg.t_total = hours(1000.0);
+  const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, hours(5.0)), cfg);
+  const sim::SimJob lw = sim::SimJob::at_oci("lw", 18.0, hours(5.0));
+  const sim::SimJob hw = sim::SimJob::at_oci("hw", 1800.0, hours(5.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::find_fair_k_by_simulation(engine, lw, hw, 20, 32, 8, 42));
+  }
+}
+BENCHMARK(BM_SimFairKSearch)->Unit(benchmark::kMillisecond);
+
+void BM_WeibullSampling(benchmark::State& state) {
+  const reliability::Weibull w = reliability::Weibull::from_mtbf(0.6, hours(5.0));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.sample(rng));
+  }
+}
+BENCHMARK(BM_WeibullSampling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+#include "adaptive/adaptive_scheduler.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace shiraz::adaptive {
+
+AdaptiveShirazScheduler::AdaptiveShirazScheduler(core::AppSpec light,
+                                                 core::AppSpec heavy,
+                                                 const AdaptiveConfig& config)
+    : light_(std::move(light)), heavy_(std::move(heavy)), config_(config),
+      estimator_(config.estimator) {
+  SHIRAZ_REQUIRE(light_.delta > 0.0 && heavy_.delta > 0.0,
+                 "checkpoint costs must be positive");
+  SHIRAZ_REQUIRE(config.resolve_threshold >= 0.0, "threshold must be non-negative");
+  reset();
+}
+
+void AdaptiveShirazScheduler::reset() const {
+  estimator_.reset();
+  solved_estimate_ = FailureEstimate{};
+  resolves_ = 0;
+  k_ = 0;
+  maybe_resolve();  // solve once against the prior
+}
+
+void AdaptiveShirazScheduler::maybe_resolve() const {
+  const FailureEstimate est = estimator_.estimate();
+  if (resolves_ > 0) {
+    const double drift = std::fabs(est.mtbf - solved_estimate_.mtbf) /
+                         solved_estimate_.mtbf;
+    const bool warmed_up_since =
+        solved_estimate_.samples == 0 && est.samples > 0;
+    if (drift < config_.resolve_threshold && !warmed_up_since) return;
+  }
+  core::ModelConfig mcfg;
+  mcfg.mtbf = est.mtbf;
+  mcfg.weibull_shape = est.shape;
+  mcfg.epsilon = config_.epsilon;
+  mcfg.t_total = config_.model_horizon;
+  const core::ShirazModel model(mcfg);
+  core::SolverOptions opts;
+  opts.keep_sweep = false;
+  const core::SwitchSolution sol =
+      core::solve_switch_point(model, light_, heavy_, opts);
+  k_ = sol.k.value_or(0);
+  solved_estimate_ = est;
+  ++resolves_;
+}
+
+sim::Decision AdaptiveShirazScheduler::on_gap_start(const sim::SchedContext& ctx) const {
+  SHIRAZ_REQUIRE(ctx.num_apps == 2, "adaptive scheduler drives exactly two apps");
+  if (ctx.last_gap_length > 0.0) {
+    estimator_.observe(ctx.last_gap_length);
+    maybe_resolve();
+  }
+  // k == 0 means "no beneficial switch at the current estimate": fall back to
+  // fair alternation at failures.
+  if (k_ == 0) return sim::Decision::run(ctx.failures_so_far % 2);
+  return sim::Decision::run(0);
+}
+
+sim::Decision AdaptiveShirazScheduler::on_checkpoint(const sim::SchedContext& ctx) const {
+  if (k_ == 0) return sim::Decision::run(ctx.current);
+  if (ctx.current == 0 &&
+      (*ctx.checkpoints_this_gap)[0] >= static_cast<std::size_t>(k_)) {
+    return sim::Decision::run(1);
+  }
+  return sim::Decision::run(ctx.current);
+}
+
+std::string AdaptiveShirazScheduler::name() const {
+  std::ostringstream os;
+  os << "AdaptiveShiraz(k=" << k_ << ", resolves=" << resolves_ << ")";
+  return os.str();
+}
+
+}  // namespace shiraz::adaptive

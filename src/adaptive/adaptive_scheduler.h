@@ -1,0 +1,62 @@
+// Adaptive Shiraz: re-derives the fair switch point online as the failure
+// process is learned (and as it drifts).
+//
+// The paper solves for k with the system's nominal MTBF/beta. On a real
+// machine those numbers drift — systems age, firmware changes, workloads
+// move. This scheduler wraps the Shiraz pair policy around an
+// OnlineWeibullEstimator: at every failure it records the observed gap,
+// refreshes the (MTBF, beta) estimate, and re-solves for k when the estimate
+// has moved materially since the last solve. The paper's static Shiraz is the
+// special case where the estimate never changes.
+#pragma once
+
+#include "adaptive/online_estimator.h"
+#include "core/switch_solver.h"
+#include "sim/scheduler.h"
+
+namespace shiraz::adaptive {
+
+struct AdaptiveConfig {
+  EstimatorConfig estimator;
+  /// Lost-work fraction and campaign length fed to the model when re-solving.
+  double epsilon = 0.45;
+  Seconds model_horizon = hours(1000.0);
+  /// Re-solve only when the estimated MTBF moved by more than this fraction
+  /// since the last solve (hysteresis; re-solving is cheap but not free).
+  double resolve_threshold = 0.10;
+};
+
+/// Drop-in sim::Scheduler for a light/heavy pair (app 0 = light, app 1 =
+/// heavy), usable with both the simulator engine and the prototype runtime.
+class AdaptiveShirazScheduler final : public sim::Scheduler {
+ public:
+  AdaptiveShirazScheduler(core::AppSpec light, core::AppSpec heavy,
+                          const AdaptiveConfig& config);
+
+  void reset() const override;
+  sim::Decision on_gap_start(const sim::SchedContext& ctx) const override;
+  sim::Decision on_checkpoint(const sim::SchedContext& ctx) const override;
+  std::string name() const override;
+
+  /// The switch point currently in force (0 while no beneficial switch).
+  int current_k() const { return k_; }
+  /// Number of times the controller re-solved for k this run.
+  std::size_t resolves() const { return resolves_; }
+  /// The estimate the current k was solved against.
+  FailureEstimate current_estimate() const { return solved_estimate_; }
+
+ private:
+  void maybe_resolve() const;
+
+  core::AppSpec light_;
+  core::AppSpec heavy_;
+  AdaptiveConfig config_;
+  // Run state; mutable because the engine holds policies by const reference
+  // (see sim::Scheduler::reset).
+  mutable OnlineWeibullEstimator estimator_;
+  mutable FailureEstimate solved_estimate_;
+  mutable int k_ = 0;
+  mutable std::size_t resolves_ = 0;
+};
+
+}  // namespace shiraz::adaptive

@@ -1,0 +1,45 @@
+#include "adaptive/online_estimator.h"
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace shiraz::adaptive {
+
+OnlineWeibullEstimator::OnlineWeibullEstimator(const EstimatorConfig& config)
+    : config_(config) {
+  SHIRAZ_REQUIRE(config.window >= 2, "window must hold at least two gaps");
+  SHIRAZ_REQUIRE(config.min_samples >= 2, "need at least two samples for an MLE");
+  SHIRAZ_REQUIRE(config.min_samples <= config.window,
+                 "min_samples cannot exceed the window");
+  SHIRAZ_REQUIRE(config.prior_mtbf > 0.0, "prior MTBF must be positive");
+  SHIRAZ_REQUIRE(config.prior_shape > 0.0, "prior shape must be positive");
+}
+
+void OnlineWeibullEstimator::observe(Seconds gap) {
+  SHIRAZ_REQUIRE(gap > 0.0, "gaps must be positive");
+  gaps_.push_back(gap);
+  if (gaps_.size() > config_.window) gaps_.pop_front();
+}
+
+FailureEstimate OnlineWeibullEstimator::estimate() const {
+  FailureEstimate est;
+  est.mtbf = config_.prior_mtbf;
+  est.shape = config_.prior_shape;
+  if (gaps_.size() < config_.min_samples) return est;
+
+  const std::vector<Seconds> window(gaps_.begin(), gaps_.end());
+  try {
+    const reliability::WeibullFit fit = reliability::fit_weibull_mle(window);
+    est.mtbf = fit.distribution().mean();
+    est.shape = fit.shape;
+    est.samples = window.size();
+  } catch (const Error&) {
+    // Degenerate window (e.g. identical gaps): keep the prior.
+  }
+  return est;
+}
+
+void OnlineWeibullEstimator::reset() { gaps_.clear(); }
+
+}  // namespace shiraz::adaptive

@@ -1,0 +1,55 @@
+// Online estimation of the failure process (the introduction's challenge #1:
+// "timely and accurate identification of time periods with varying failure
+// rates").
+//
+// Maintains a sliding window of recent inter-failure gaps and exposes the
+// current Weibull MLE (shape + MTBF). Until enough gaps arrive it falls back
+// to the configured prior — the system's spec-sheet MTBF and the literature
+// beta — so consumers always have a usable estimate.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/units.h"
+#include "reliability/fitting.h"
+
+namespace shiraz::adaptive {
+
+struct EstimatorConfig {
+  /// Number of most-recent gaps the estimate is computed from.
+  std::size_t window = 64;
+  /// Minimum gaps before the MLE replaces the prior.
+  std::size_t min_samples = 8;
+  /// Prior used before warm-up (and blended during it).
+  Seconds prior_mtbf = hours(20.0);
+  double prior_shape = 0.6;
+};
+
+struct FailureEstimate {
+  Seconds mtbf = 0.0;
+  double shape = 0.0;
+  std::size_t samples = 0;  ///< gaps the estimate is based on (0 = pure prior)
+};
+
+class OnlineWeibullEstimator {
+ public:
+  explicit OnlineWeibullEstimator(const EstimatorConfig& config);
+
+  /// Records one observed inter-failure gap.
+  void observe(Seconds gap);
+
+  /// Current best estimate (prior until min_samples gaps arrive).
+  FailureEstimate estimate() const;
+
+  /// Drops all observed gaps (new campaign).
+  void reset();
+
+  std::size_t observed() const { return gaps_.size(); }
+
+ private:
+  EstimatorConfig config_;
+  std::deque<Seconds> gaps_;
+};
+
+}  // namespace shiraz::adaptive

@@ -1,0 +1,62 @@
+#include "apps/catalog.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace shiraz::apps {
+
+std::vector<AppProfile> table1_catalog() {
+  // Values transcribed from the paper's Table 1.
+  return {
+      {"CESM climate change simulation", seconds(1.5), "Climate", "Titan (OLCF)"},
+      {"20th Century Reanalysis", seconds(2.0), "Climate", "Hopper/Franklin (NERSC)"},
+      {"Molecular simulation in energy biosciences", seconds(6.0), "Chemistry",
+       "Jaguar (ORNL), Hopper (NERSC)"},
+      {"Predictions of transcription factor binding sites", seconds(50.0), "Biology",
+       "Carver/Euclid (NERSC)"},
+      {"Chombo-crunch", seconds(70.0), "Subsurface flow", "Cori (NERSC)"},
+      {"Climate science for a sustainable energy future", seconds(150.0), "Climate",
+       "Hopper (NERSC)"},
+      {"Laser plasma interactions", seconds(1800.0), "Plasma physics", "Hopper (NERSC)"},
+      {"Plasma based accelerators", seconds(2000.0), "Plasma physics", "Hopper (NERSC)"},
+      {"Plasma science studies", seconds(2700.0), "Plasma physics", "Hopper (NERSC)"},
+  };
+}
+
+namespace {
+std::vector<AppProfile> sorted_by_cost(std::vector<AppProfile> catalog) {
+  std::sort(catalog.begin(), catalog.end(),
+            [](const AppProfile& a, const AppProfile& b) {
+              return a.checkpoint_cost < b.checkpoint_cost;
+            });
+  return catalog;
+}
+}  // namespace
+
+std::vector<AppProfile> lightest(const std::vector<AppProfile>& catalog, std::size_t n) {
+  SHIRAZ_REQUIRE(n <= catalog.size(), "not enough applications in catalog");
+  auto sorted = sorted_by_cost(catalog);
+  sorted.resize(n);
+  return sorted;
+}
+
+std::vector<AppProfile> heaviest(const std::vector<AppProfile>& catalog, std::size_t n) {
+  SHIRAZ_REQUIRE(n <= catalog.size(), "not enough applications in catalog");
+  auto sorted = sorted_by_cost(catalog);
+  sorted.erase(sorted.begin(), sorted.end() - static_cast<long>(n));
+  std::reverse(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+double delta_factor_span(const std::vector<AppProfile>& catalog) {
+  SHIRAZ_REQUIRE(!catalog.empty(), "empty catalog");
+  const auto [mn, mx] = std::minmax_element(
+      catalog.begin(), catalog.end(), [](const AppProfile& a, const AppProfile& b) {
+        return a.checkpoint_cost < b.checkpoint_cost;
+      });
+  SHIRAZ_REQUIRE(mn->checkpoint_cost > 0.0, "zero checkpoint cost in catalog");
+  return mx->checkpoint_cost / mn->checkpoint_cost;
+}
+
+}  // namespace shiraz::apps

@@ -1,0 +1,25 @@
+// The paper's Table 1: measured checkpoint costs of real HPC workloads.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "apps/profile.h"
+
+namespace shiraz::apps {
+
+/// Returns the nine Table 1 applications (checkpoint durations 1.5 s - 2700 s).
+std::vector<AppProfile> table1_catalog();
+
+/// The N applications with the smallest checkpoint cost (used by the paper's
+/// 40-job "conservative" experiment, which draws its 35 light jobs from the
+/// three least heavy Table 1 applications).
+std::vector<AppProfile> lightest(const std::vector<AppProfile>& catalog, std::size_t n);
+
+/// The N applications with the largest checkpoint cost.
+std::vector<AppProfile> heaviest(const std::vector<AppProfile>& catalog, std::size_t n);
+
+/// Ratio of heaviest to lightest checkpoint cost in `catalog`.
+double delta_factor_span(const std::vector<AppProfile>& catalog);
+
+}  // namespace shiraz::apps

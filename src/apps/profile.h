@@ -1,0 +1,21 @@
+// Application profiles: the per-application facts Shiraz schedules on.
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+
+namespace shiraz::apps {
+
+/// One schedulable application as Shiraz sees it: a name and a checkpoint
+/// cost. The catalog additionally records provenance (machine/domain from the
+/// paper's Table 1) for reporting.
+struct AppProfile {
+  std::string name;
+  /// Wall-clock cost of writing one checkpoint (the paper's delta).
+  Seconds checkpoint_cost = 0.0;
+  std::string domain;
+  std::string machine;
+};
+
+}  // namespace shiraz::apps

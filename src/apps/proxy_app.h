@@ -1,0 +1,74 @@
+// Proxy applications for the prototype experiments.
+//
+// The paper's prototype checkpoints real proxy apps (CoMD, SNAP, miniFE) with
+// DMTCP on a cluster. Offline substitute (see DESIGN.md): in-process models
+// that hold realistically proportioned state and run a deterministic compute
+// kernel over it. A "system-level checkpoint" serializes the full state —
+// real bytes, real I/O — so measured checkpoint costs scale with state size
+// exactly as the DMTCP measurements in the paper's Fig. 3 do (the 30x
+// miniFE:CoMD cost ratio of Section 5 is reproduced by construction).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace shiraz::apps {
+
+enum class ProxyKind {
+  kCoMD,    ///< molecular-dynamics-like: particle positions/velocities/forces
+  kSNAP,    ///< discrete-ordinates-transport-like: angular flux moments
+  kMiniFE,  ///< implicit-finite-element-like: matrix + solver vectors
+};
+
+std::string to_string(ProxyKind kind);
+
+/// A deterministic, serializable stand-in for one scientific application.
+class ProxyApp {
+ public:
+  /// Creates a proxy of `kind` at configuration `config` (1..3; larger config
+  /// = larger state, mirroring the paper's Fig. 3 input-dependent costs).
+  ProxyApp(ProxyKind kind, int config);
+
+  ProxyKind kind() const { return kind_; }
+  int config() const { return config_; }
+  std::string name() const;
+
+  /// Advances the simulation by one timestep; deterministic given history.
+  void step();
+
+  /// Number of completed steps (the proxy's "useful work" metric).
+  std::uint64_t steps_completed() const { return steps_; }
+
+  /// Total size of the serialized state.
+  Bytes state_bytes() const;
+
+  /// FNV-1a digest of the state, for checkpoint-integrity assertions.
+  std::uint64_t checksum() const;
+
+  /// Writes the full application state (header + buffers).
+  void serialize(std::ostream& out) const;
+
+  /// Restores the full application state; throws IoError on malformed input.
+  void deserialize(std::istream& in);
+
+ private:
+  ProxyKind kind_;
+  int config_;
+  std::uint64_t steps_ = 0;
+  // State buffers; semantics depend on kind (positions/fluxes/matrix values),
+  // but all kinds advance them with the same cache-touching kernel.
+  std::vector<double> primary_;
+  std::vector<double> secondary_;
+  std::vector<std::uint32_t> indices_;
+};
+
+/// The nine (kind, config) combinations of the paper's Fig. 3, in the order
+/// CoMD 1-3, SNAP 1-3, miniFE 1-3.
+std::vector<ProxyApp> fig3_proxy_suite();
+
+}  // namespace shiraz::apps

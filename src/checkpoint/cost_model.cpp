@@ -1,0 +1,23 @@
+#include "checkpoint/cost_model.h"
+
+#include "common/error.h"
+
+namespace shiraz::checkpoint {
+
+Seconds checkpoint_cost(Bytes state, const StorageSpec& storage) {
+  SHIRAZ_REQUIRE(storage.write_bandwidth_bps > 0.0, "write bandwidth must be positive");
+  SHIRAZ_REQUIRE(storage.fixed_latency >= 0.0, "latency must be non-negative");
+  return storage.fixed_latency +
+         static_cast<double>(state) / storage.write_bandwidth_bps;
+}
+
+Seconds restart_read_cost(Bytes state, const StorageSpec& storage) {
+  SHIRAZ_REQUIRE(storage.read_bandwidth_bps > 0.0, "read bandwidth must be positive");
+  return static_cast<double>(state) / storage.read_bandwidth_bps;
+}
+
+Bytes data_moved(Bytes state, unsigned long long num_checkpoints) {
+  return state * num_checkpoints;
+}
+
+}  // namespace shiraz::checkpoint

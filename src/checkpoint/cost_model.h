@@ -1,0 +1,33 @@
+// Checkpoint cost models.
+//
+// The analytical model only needs a scalar cost delta per application, but the
+// prototype and the Fig 3 experiment derive that scalar from application state
+// size and storage characteristics, so both views live here.
+#pragma once
+
+#include "common/units.h"
+
+namespace shiraz::checkpoint {
+
+/// Storage subsystem characteristics seen by a checkpoint write.
+struct StorageSpec {
+  /// Sustained write bandwidth available to one job (bytes/second).
+  double write_bandwidth_bps = 50.0e9;
+  /// Fixed per-checkpoint latency (metadata, barriers, drain), seconds.
+  Seconds fixed_latency = 1.0;
+  /// Read bandwidth for restart (bytes/second).
+  double read_bandwidth_bps = 80.0e9;
+};
+
+/// Computes the wall-clock cost of writing one checkpoint of `state` bytes.
+Seconds checkpoint_cost(Bytes state, const StorageSpec& storage);
+
+/// Computes the wall-clock cost of reading one checkpoint of `state` bytes
+/// during restart.
+Seconds restart_read_cost(Bytes state, const StorageSpec& storage);
+
+/// Total bytes moved by `num_checkpoints` checkpoints of `state` bytes — the
+/// data-movement metric Shiraz+ reduces.
+Bytes data_moved(Bytes state, unsigned long long num_checkpoints);
+
+}  // namespace shiraz::checkpoint

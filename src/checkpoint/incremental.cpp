@@ -1,0 +1,82 @@
+#include "checkpoint/incremental.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "checkpoint/oci.h"
+
+namespace shiraz::checkpoint {
+
+namespace {
+void validate(const IncrementalSpec& spec) {
+  SHIRAZ_REQUIRE(spec.delta_full > 0.0, "full checkpoint cost must be positive");
+  SHIRAZ_REQUIRE(spec.delta_meta >= 0.0, "metadata cost must be non-negative");
+  SHIRAZ_REQUIRE(spec.dirty_halflife > 0.0, "dirty half-life must be positive");
+  SHIRAZ_REQUIRE(spec.full_every >= 1, "full_every must be >= 1");
+  SHIRAZ_REQUIRE(spec.replay_cost_per_increment >= 0.0,
+                 "replay cost must be non-negative");
+}
+}  // namespace
+
+double dirty_fraction(const IncrementalSpec& spec, Seconds tau) {
+  validate(spec);
+  SHIRAZ_REQUIRE(tau >= 0.0, "interval must be non-negative");
+  return 1.0 - std::exp(-tau / spec.dirty_halflife);
+}
+
+Seconds incremental_cost(const IncrementalSpec& spec, Seconds tau) {
+  return spec.delta_meta + spec.delta_full * dirty_fraction(spec, tau);
+}
+
+Seconds average_checkpoint_cost(const IncrementalSpec& spec, Seconds tau) {
+  validate(spec);
+  const double n = static_cast<double>(spec.full_every);
+  if (spec.full_every == 1) return spec.delta_full;
+  return (spec.delta_full + (n - 1.0) * incremental_cost(spec, tau)) / n;
+}
+
+Seconds average_replay_cost(const IncrementalSpec& spec) {
+  validate(spec);
+  const double n = static_cast<double>(spec.full_every);
+  // A failure lands uniformly inside the full-checkpoint cycle: on average
+  // (n - 1) / 2 increments sit between the last full checkpoint and the
+  // recovery point.
+  return spec.replay_cost_per_increment * (n - 1.0) / 2.0;
+}
+
+double incremental_waste_rate(const IncrementalSpec& spec, Seconds tau, Seconds mtbf) {
+  validate(spec);
+  SHIRAZ_REQUIRE(tau > 0.0, "interval must be positive");
+  SHIRAZ_REQUIRE(mtbf > 0.0, "MTBF must be positive");
+  return average_checkpoint_cost(spec, tau) / tau +
+         (tau / 2.0 + average_replay_cost(spec)) / mtbf;
+}
+
+IncrementalPlan optimize_incremental(const IncrementalSpec& spec, Seconds mtbf,
+                                     int max_full_every) {
+  validate(spec);
+  SHIRAZ_REQUIRE(max_full_every >= 1, "max_full_every must be >= 1");
+  IncrementalPlan best;
+  best.waste_rate = std::numeric_limits<double>::infinity();
+  for (int n = 1; n <= max_full_every; ++n) {
+    IncrementalSpec candidate = spec;
+    candidate.full_every = n;
+    // The waste rate is quasi-convex in tau; scan a geometric grid around the
+    // classic OCI seeded with the *full* cost (an upper bound on the average).
+    const Seconds seed = optimal_interval(mtbf, spec.delta_full, OciFormula::kYoung);
+    for (double factor = 1.0 / 16.0; factor <= 4.0; factor *= 1.059) {
+      const Seconds tau = seed * factor;
+      const double waste = incremental_waste_rate(candidate, tau, mtbf);
+      if (waste < best.waste_rate) {
+        best.waste_rate = waste;
+        best.interval = tau;
+        best.full_every = n;
+        best.effective_delta = average_checkpoint_cost(candidate, tau);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace shiraz::checkpoint

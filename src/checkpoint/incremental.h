@@ -1,0 +1,63 @@
+// Incremental checkpointing (Ferreira et al. FGCS'14, Nicolae & Cappello
+// HPDC'13 — related work the paper lists as composable with Shiraz): only the
+// pages dirtied since the last checkpoint are written, shrinking the average
+// checkpoint cost; periodically a full checkpoint bounds the recovery chain.
+//
+// Model: a full checkpoint costs delta_full. Between checkpoints the
+// application dirties a fraction of its state that grows with the compute
+// interval and saturates:  dirty(tau) = 1 - exp(-tau / t_half), so an
+// incremental checkpoint costs  delta_full * dirty(tau) + delta_meta.
+// Every n-th checkpoint is full (restart replays at most n-1 increments).
+#pragma once
+
+#include "common/units.h"
+
+namespace shiraz::checkpoint {
+
+struct IncrementalSpec {
+  /// Cost of writing the full application state.
+  Seconds delta_full = 0.0;
+  /// Fixed per-checkpoint metadata/indexing cost of an incremental write.
+  Seconds delta_meta = 0.0;
+  /// Interval after which roughly 63% of the state has been re-dirtied.
+  Seconds dirty_halflife = 0.0;
+  /// Every n-th checkpoint is a full one (n >= 1; n == 1 disables increments).
+  int full_every = 4;
+  /// Extra restart cost per incremental checkpoint replayed on recovery.
+  Seconds replay_cost_per_increment = 0.0;
+};
+
+/// Fraction of state dirtied after computing for `tau` seconds.
+double dirty_fraction(const IncrementalSpec& spec, Seconds tau);
+
+/// Cost of one incremental checkpoint taken after a compute interval `tau`.
+Seconds incremental_cost(const IncrementalSpec& spec, Seconds tau);
+
+/// Average per-checkpoint cost of the schedule (one full every n, the rest
+/// incremental), for compute interval `tau` — the effective delta a
+/// single-level scheduler like Shiraz sees.
+Seconds average_checkpoint_cost(const IncrementalSpec& spec, Seconds tau);
+
+/// Average extra restart latency from replaying increments ((n-1)/2 expected).
+Seconds average_replay_cost(const IncrementalSpec& spec);
+
+/// First-order waste rate of running at compute interval tau with this
+/// incremental schedule on a machine with the given MTBF:
+///   W = avg_ckpt/ (tau) + (tau/2 + avg_replay)/M.
+double incremental_waste_rate(const IncrementalSpec& spec, Seconds tau, Seconds mtbf);
+
+/// Scans compute intervals (geometric grid around the classic OCI computed
+/// from the average cost) and full-checkpoint periods to minimize the waste
+/// rate; returns the best (tau, full_every) pair embedded in a copy of spec.
+struct IncrementalPlan {
+  Seconds interval = 0.0;
+  int full_every = 1;
+  double waste_rate = 0.0;
+  /// Effective per-checkpoint cost at the optimum.
+  Seconds effective_delta = 0.0;
+};
+
+IncrementalPlan optimize_incremental(const IncrementalSpec& spec, Seconds mtbf,
+                                     int max_full_every = 32);
+
+}  // namespace shiraz::checkpoint

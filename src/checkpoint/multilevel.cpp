@@ -1,0 +1,72 @@
+#include "checkpoint/multilevel.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace shiraz::checkpoint {
+
+namespace {
+void validate(const TwoLevelSpec& spec) {
+  SHIRAZ_REQUIRE(spec.delta_local > 0.0, "local checkpoint cost must be positive");
+  SHIRAZ_REQUIRE(spec.delta_pfs >= 0.0, "PFS flush cost must be non-negative");
+  SHIRAZ_REQUIRE(spec.mtbf_light > 0.0, "light-failure MTBF must be positive");
+  SHIRAZ_REQUIRE(spec.mtbf_heavy > 0.0, "heavy-failure MTBF must be positive");
+  SHIRAZ_REQUIRE(spec.restart_light >= 0.0 && spec.restart_heavy >= 0.0,
+                 "restart latencies must be non-negative");
+}
+}  // namespace
+
+Seconds TwoLevelPlan::effective_delta(const TwoLevelSpec& spec) const {
+  return spec.delta_local + spec.delta_pfs / static_cast<double>(pfs_every);
+}
+
+double two_level_waste_rate(const TwoLevelSpec& spec, Seconds tau, int n) {
+  validate(spec);
+  SHIRAZ_REQUIRE(tau > 0.0, "interval must be positive");
+  SHIRAZ_REQUIRE(n >= 1, "flush period must be >= 1");
+  const double dn = static_cast<double>(n);
+  const double ckpt = (spec.delta_local + spec.delta_pfs / dn) / tau;
+  const double light = (tau / 2.0 + spec.restart_light) / spec.mtbf_light;
+  const double heavy = (dn * tau / 2.0 + spec.restart_heavy) / spec.mtbf_heavy;
+  return ckpt + light + heavy;
+}
+
+Seconds optimal_two_level_interval(const TwoLevelSpec& spec, int n) {
+  validate(spec);
+  SHIRAZ_REQUIRE(n >= 1, "flush period must be >= 1");
+  const double dn = static_cast<double>(n);
+  const double numerator = spec.delta_local + spec.delta_pfs / dn;
+  const double denominator = 1.0 / (2.0 * spec.mtbf_light) + dn / (2.0 * spec.mtbf_heavy);
+  return std::sqrt(numerator / denominator);
+}
+
+TwoLevelPlan optimize_two_level(const TwoLevelSpec& spec, int max_n) {
+  validate(spec);
+  SHIRAZ_REQUIRE(max_n >= 1, "max_n must be >= 1");
+  TwoLevelPlan best;
+  best.waste_rate = std::numeric_limits<double>::infinity();
+  for (int n = 1; n <= max_n; ++n) {
+    const Seconds tau = optimal_two_level_interval(spec, n);
+    const double waste = two_level_waste_rate(spec, tau, n);
+    if (waste < best.waste_rate) {
+      best.interval = tau;
+      best.pfs_every = n;
+      best.waste_rate = waste;
+    }
+  }
+  return best;
+}
+
+double single_level_waste_rate(const TwoLevelSpec& spec) {
+  // Everything goes to the PFS every time: an effective single-level cost of
+  // delta_local + delta_pfs, recovering both failure classes.
+  TwoLevelSpec merged = spec;
+  merged.delta_local = spec.delta_local + spec.delta_pfs;
+  merged.delta_pfs = 0.0;
+  const Seconds tau = optimal_two_level_interval(merged, 1);
+  return two_level_waste_rate(merged, tau, 1);
+}
+
+}  // namespace shiraz::checkpoint

@@ -1,0 +1,61 @@
+// Two-level checkpointing (Moody et al. SC'10; Di et al. IPDPS'14; Benoit et
+// al. ToC'17 — the related-work family the paper notes "can be used in
+// conjunction with Shiraz").
+//
+// Level 1 writes cheap local/burst-buffer checkpoints that recover *light*
+// failures (process crash, node soft error); every n-th checkpoint is also
+// flushed to the parallel file system, recovering *heavy* failures (node
+// loss, PFS-visible corruption). The model optimizes the base interval tau
+// and the flush period n against the first-order waste rate
+//
+//   W(tau, n) = (d1 + d2/n)/tau + (tau/2 + r1)/M1 + (n*tau/2 + r2)/M2
+//
+// and exposes the effective per-segment cost (d1 + d2/n) that a scheduler
+// like Shiraz sees — the integration point the ablation bench exercises.
+#pragma once
+
+#include "common/units.h"
+
+namespace shiraz::checkpoint {
+
+struct TwoLevelSpec {
+  /// Cost of a level-1 (local / burst buffer) checkpoint.
+  Seconds delta_local = 0.0;
+  /// Additional cost of flushing a checkpoint to the PFS.
+  Seconds delta_pfs = 0.0;
+  /// Mean time between failures recoverable from a level-1 checkpoint.
+  Seconds mtbf_light = 0.0;
+  /// Mean time between failures that need the PFS copy.
+  Seconds mtbf_heavy = 0.0;
+  /// Restart latencies per failure class.
+  Seconds restart_light = 0.0;
+  Seconds restart_heavy = 0.0;
+};
+
+struct TwoLevelPlan {
+  /// Compute interval between (level-1) checkpoints.
+  Seconds interval = 0.0;
+  /// Every n-th checkpoint is flushed to the PFS.
+  int pfs_every = 1;
+  /// Expected waste rate (fraction of wall-clock lost to resilience).
+  double waste_rate = 0.0;
+
+  /// The per-segment checkpoint cost a single-level scheduler (e.g. the
+  /// Shiraz model) should be fed: delta_local + delta_pfs / pfs_every.
+  Seconds effective_delta(const TwoLevelSpec& spec) const;
+};
+
+/// First-order expected waste rate of schedule (tau, n) under `spec`.
+double two_level_waste_rate(const TwoLevelSpec& spec, Seconds tau, int n);
+
+/// Optimal interval for a fixed flush period n (closed form).
+Seconds optimal_two_level_interval(const TwoLevelSpec& spec, int n);
+
+/// Full optimization: scans n in [1, max_n] with the closed-form tau*(n).
+TwoLevelPlan optimize_two_level(const TwoLevelSpec& spec, int max_n = 64);
+
+/// Waste rate of the single-level alternative (every checkpoint goes to the
+/// PFS; n = 1) at its own optimal interval — the comparison baseline.
+double single_level_waste_rate(const TwoLevelSpec& spec);
+
+}  // namespace shiraz::checkpoint

@@ -1,0 +1,40 @@
+#include "checkpoint/oci.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace shiraz::checkpoint {
+
+Seconds optimal_interval(Seconds mtbf, Seconds delta, OciFormula formula) {
+  SHIRAZ_REQUIRE(mtbf > 0.0, "MTBF must be positive");
+  SHIRAZ_REQUIRE(delta > 0.0, "checkpoint cost must be positive");
+  const double base = std::sqrt(2.0 * mtbf * delta);
+  switch (formula) {
+    case OciFormula::kYoung:
+      return base;
+    case OciFormula::kDalyFirstOrder:
+      SHIRAZ_REQUIRE(base > delta, "delta too large for first-order Daly formula");
+      return base - delta;
+    case OciFormula::kDalyHigherOrder: {
+      SHIRAZ_REQUIRE(delta < 2.0 * mtbf, "Daly higher-order requires delta < 2M");
+      const double r = delta / (2.0 * mtbf);
+      const double oci = base * (1.0 + std::sqrt(r) / 3.0 + r / 9.0) - delta;
+      SHIRAZ_REQUIRE(oci > 0.0, "non-positive higher-order OCI");
+      return oci;
+    }
+  }
+  throw InvalidArgument("unknown OCI formula");
+}
+
+Seconds segment_length(Seconds mtbf, Seconds delta, OciFormula formula) {
+  return optimal_interval(mtbf, delta, formula) + delta;
+}
+
+double expected_waste_fraction(Seconds mtbf, Seconds delta) {
+  SHIRAZ_REQUIRE(mtbf > 0.0, "MTBF must be positive");
+  SHIRAZ_REQUIRE(delta >= 0.0, "checkpoint cost must be non-negative");
+  return std::sqrt(2.0 * delta / mtbf);
+}
+
+}  // namespace shiraz::checkpoint

@@ -1,0 +1,78 @@
+#include "common/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace shiraz {
+
+std::string render_plot(const std::vector<Series>& series, const PlotOptions& options) {
+  SHIRAZ_REQUIRE(!series.empty(), "nothing to plot");
+  SHIRAZ_REQUIRE(options.width >= 8 && options.height >= 4, "canvas too small");
+  std::size_t max_len = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (const Series& s : series) {
+    SHIRAZ_REQUIRE(!s.ys.empty(), "empty series: " + s.label);
+    max_len = std::max(max_len, s.ys.size());
+    for (const double y : s.ys) {
+      SHIRAZ_REQUIRE(std::isfinite(y), "non-finite sample in series " + s.label);
+      lo = first ? y : std::min(lo, y);
+      hi = first ? y : std::max(hi, y);
+      first = false;
+    }
+  }
+  if (hi == lo) {
+    hi += 1.0;
+    lo -= 1.0;
+  }
+
+  std::vector<std::string> canvas(options.height, std::string(options.width, ' '));
+  auto to_row = [&](double y) {
+    const double frac = (y - lo) / (hi - lo);
+    const auto row = static_cast<std::size_t>(
+        std::lround((1.0 - frac) * static_cast<double>(options.height - 1)));
+    return std::min(row, options.height - 1);
+  };
+  if (options.zero_line && lo < 0.0 && hi > 0.0) {
+    const std::size_t zero_row = to_row(0.0);
+    canvas[zero_row].assign(options.width, '-');
+  }
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.ys.size(); ++i) {
+      const std::size_t col =
+          s.ys.size() == 1
+              ? 0
+              : i * (options.width - 1) / (s.ys.size() - 1);
+      canvas[to_row(s.ys[i])][col] = s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%11.2f |", hi);
+  os << buf << canvas.front() << '\n';
+  for (std::size_t r = 1; r + 1 < options.height; ++r) {
+    os << "            |" << canvas[r] << '\n';
+  }
+  std::snprintf(buf, sizeof(buf), "%11.2f |", lo);
+  os << buf << canvas.back() << '\n';
+  os << "            +" << std::string(options.width, '-') << '\n';
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    os << "             x: " << options.x_label;
+    if (!options.y_label.empty()) os << "   y: " << options.y_label;
+    os << '\n';
+  }
+  os << "             ";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    os << (i ? "   " : "") << series[i].glyph << " = " << series[i].label;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace shiraz

@@ -1,0 +1,36 @@
+// Minimal ASCII line plots for the bench harnesses.
+//
+// The paper's figures are curves (Delta-useful vs k, CDFs, hazard decay);
+// the benches print the underlying tables, and this helper renders a quick
+// visual of up to three series so the *shape* of each figure is visible
+// directly in the terminal output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shiraz {
+
+struct Series {
+  std::string label;
+  std::vector<double> ys;
+  char glyph = '*';
+};
+
+struct PlotOptions {
+  std::size_t width = 72;
+  std::size_t height = 16;
+  /// Label for the x axis (indices of the series are mapped onto it).
+  std::string x_label;
+  std::string y_label;
+  /// Draw a horizontal rule at y = 0 when the range spans it.
+  bool zero_line = true;
+};
+
+/// Renders the series onto a character canvas. All series share the y scale;
+/// x is the sample index (series may have different lengths). Returns a
+/// multi-line string ending in a legend.
+std::string render_plot(const std::vector<Series>& series,
+                        const PlotOptions& options = {});
+
+}  // namespace shiraz

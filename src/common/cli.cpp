@@ -1,0 +1,55 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+
+namespace shiraz {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    SHIRAZ_REQUIRE(arg.rfind("--", 0) == 0, "expected --name=value, got: " + arg);
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Flags::get(const std::string& name, const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+std::uint64_t Flags::get_seed(const std::string& name, std::uint64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace shiraz

@@ -1,0 +1,27 @@
+// Minimal `--key=value` flag parser for the bench and example binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace shiraz {
+
+/// Parses flags of the form `--name=value` (or bare `--name` for booleans).
+/// Unknown positional arguments raise InvalidArgument so typos surface early.
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  double get_double(const std::string& name, double def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  std::uint64_t get_seed(const std::string& name, std::uint64_t def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace shiraz

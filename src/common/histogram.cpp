@@ -1,0 +1,80 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace shiraz {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins + 1, 0) {
+  SHIRAZ_REQUIRE(hi > lo, "histogram range must be non-empty");
+  SHIRAZ_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++counts_.front();  // clamp underflow into the first bin
+    return;
+  }
+  if (x >= hi_) {
+    ++counts_.back();
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+  ++counts_[std::min(bin, counts_.size() - 2)];
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  SHIRAZ_REQUIRE(bin < counts_.size(), "bin out of range");
+  return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  SHIRAZ_REQUIRE(bin < counts_.size(), "bin out of range");
+  return bin + 1 == counts_.size() ? hi_ : lo_ + static_cast<double>(bin + 1) * bin_width_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  SHIRAZ_REQUIRE(bin < counts_.size(), "bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::cumulative_fraction(std::size_t bin) const {
+  SHIRAZ_REQUIRE(bin < counts_.size(), "bin out of range");
+  if (total_ == 0) return 0.0;
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i <= bin; ++i) acc += counts_[i];
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream os;
+  const std::size_t peak =
+      *std::max_element(counts_.begin(), counts_.end() - 1);
+  for (std::size_t b = 0; b + 1 < counts_.size(); ++b) {
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * width / std::max<std::size_t>(peak, 1);
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%9.2f,%9.2f)", bin_lo(b), bin_hi(b));
+    os << label << ' ' << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+  if (overflow() > 0) os << ">= " << hi_ << " : " << overflow() << '\n';
+  return os.str();
+}
+
+}  // namespace shiraz

@@ -1,0 +1,42 @@
+// Fixed-bin histogram used by the failure-trace analytics (Figs 1 & 2).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace shiraz {
+
+/// Equal-width histogram over [lo, hi) with an overflow bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t bin_count() const { return counts_.size() - 1; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  /// Count in bin `bin` (bin == bin_count() addresses the overflow bin).
+  std::size_t count(std::size_t bin) const;
+  std::size_t overflow() const { return counts_.back(); }
+  std::size_t total() const { return total_; }
+
+  /// Fraction of all samples in bin `bin`.
+  double fraction(std::size_t bin) const;
+  /// Cumulative fraction of samples in bins [0, bin].
+  double cumulative_fraction(std::size_t bin) const;
+
+  /// Renders an ASCII bar chart (one row per bin), for bench output.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;  // last element = overflow
+  std::size_t total_ = 0;
+};
+
+}  // namespace shiraz

@@ -1,0 +1,169 @@
+#include "common/mathx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace shiraz::mathx {
+
+bool approx_equal(double a, double b, double tol) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol * scale;
+}
+
+double gamma_fn(double x) {
+  SHIRAZ_REQUIRE(x > 0.0, "gamma_fn requires x > 0");
+  return std::tgamma(x);
+}
+
+double log_gamma(double x) {
+  SHIRAZ_REQUIRE(x > 0.0, "log_gamma requires x > 0");
+  return std::lgamma(x);
+}
+
+namespace {
+
+// Series representation of P(a, x), valid/efficient for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-16) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Continued-fraction representation of Q(a, x), valid/efficient for x >= a + 1.
+double gamma_q_cf(double a, double x) {
+  const double tiny = std::numeric_limits<double>::min() / 1e-30;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-16) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double reg_lower_incomplete_gamma(double a, double x) {
+  SHIRAZ_REQUIRE(a > 0.0, "incomplete gamma requires a > 0");
+  SHIRAZ_REQUIRE(x >= 0.0, "incomplete gamma requires x >= 0");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_cf(a, x);
+}
+
+double reg_upper_incomplete_gamma(double a, double x) {
+  return 1.0 - reg_lower_incomplete_gamma(a, x);
+}
+
+double erf_fn(double x) { return std::erf(x); }
+
+namespace {
+
+double simpson(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive_simpson_rec(const std::function<double(double)>& f, double a, double fa,
+                            double b, double fb, double m, double fm, double whole,
+                            double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(a, fa, m, fm, flm);
+  const double right = simpson(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::fabs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive_simpson_rec(f, a, fa, m, fm, lm, flm, left, 0.5 * tol, depth - 1) +
+         adaptive_simpson_rec(f, m, fm, b, fb, rm, frm, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& f, double a, double b, double tol,
+                 int max_depth) {
+  SHIRAZ_REQUIRE(std::isfinite(a) && std::isfinite(b), "integration bounds must be finite");
+  if (a == b) return 0.0;
+  const double sign = (a < b) ? 1.0 : -1.0;
+  const double lo = std::min(a, b);
+  const double hi = std::max(a, b);
+  const double m = 0.5 * (lo + hi);
+  const double flo = f(lo);
+  const double fhi = f(hi);
+  const double fm = f(m);
+  const double whole = simpson(lo, flo, hi, fhi, fm);
+  return sign *
+         adaptive_simpson_rec(f, lo, flo, hi, fhi, m, fm, whole, tol, max_depth);
+}
+
+double bisect(const std::function<double(double)>& f, double lo, double hi, double tol,
+              int max_iter) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  SHIRAZ_REQUIRE(flo == 0.0 || fhi == 0.0 || (flo < 0.0) != (fhi < 0.0),
+                 "bisect requires a bracketing interval");
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  for (int i = 0; i < max_iter && (hi - lo) > tol * std::max(1.0, std::fabs(lo)); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (fmid == 0.0) return mid;
+    if ((fmid < 0.0) == (flo < 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double newton(const std::function<double(double)>& f, const std::function<double(double)>& df,
+              double x0, double lo, double hi, double tol, int max_iter) {
+  double x = std::clamp(x0, lo, hi);
+  for (int i = 0; i < max_iter; ++i) {
+    const double fx = f(x);
+    if (std::fabs(fx) < tol) return x;
+    const double dfx = df(x);
+    double next = (dfx != 0.0) ? x - fx / dfx : std::numeric_limits<double>::quiet_NaN();
+    if (!std::isfinite(next) || next <= lo || next >= hi) {
+      // Fall back to a bisection step inside the bracket.
+      const double flo = f(lo);
+      next = ((fx < 0.0) == (flo < 0.0)) ? 0.5 * (x + hi) : 0.5 * (lo + x);
+    }
+    if (std::fabs(next - x) < tol * std::max(1.0, std::fabs(x))) return next;
+    x = next;
+  }
+  return x;
+}
+
+void KahanSum::add(double term) {
+  const double y = term - carry_;
+  const double t = sum_ + y;
+  carry_ = (t - sum_) - y;
+  sum_ = t;
+}
+
+}  // namespace shiraz::mathx

@@ -1,0 +1,54 @@
+// Special functions and numerical helpers used by the reliability models.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace shiraz::mathx {
+
+/// Machine-precision-ish comparison: |a - b| <= tol * max(1, |a|, |b|).
+bool approx_equal(double a, double b, double tol = 1e-9);
+
+/// Gamma function Γ(x) for x > 0.
+double gamma_fn(double x);
+
+/// Natural log of Γ(x) for x > 0.
+double log_gamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = γ(a, x) / Γ(a), a > 0, x >= 0.
+/// Series expansion for x < a + 1, continued fraction otherwise.
+double reg_lower_incomplete_gamma(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double reg_upper_incomplete_gamma(double a, double x);
+
+/// Error function (wraps std::erf; kept here so all special functions share a home).
+double erf_fn(double x);
+
+/// Adaptive Simpson integration of `f` over [a, b] to absolute tolerance `tol`.
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol = 1e-10, int max_depth = 40);
+
+/// Finds a root of `f` in [lo, hi] by bisection; requires f(lo) and f(hi) to
+/// bracket zero. Returns the midpoint of the final bracket.
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              double tol = 1e-12, int max_iter = 200);
+
+/// Newton-Raphson with bisection fallback bracket [lo, hi].
+double newton(const std::function<double(double)>& f,
+              const std::function<double(double)>& df, double x0, double lo, double hi,
+              double tol = 1e-12, int max_iter = 100);
+
+/// Kahan-compensated summation over a callable producing terms until it
+/// returns false. Used by the model's "infinite" segment sums.
+class KahanSum {
+ public:
+  void add(double term);
+  double value() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double carry_ = 0.0;
+};
+
+}  // namespace shiraz::mathx

@@ -1,0 +1,94 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace shiraz {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return n_ == 0 ? 0.0 : min_; }
+
+double RunningStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+double percentile(std::vector<double> xs, double q) {
+  SHIRAZ_REQUIRE(!xs.empty(), "percentile of empty sample");
+  SHIRAZ_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  SHIRAZ_REQUIRE(!xs.empty(), "summarize of empty sample");
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  Summary s;
+  s.count = xs.size();
+  s.mean = stats.mean();
+  s.stddev = stats.stddev();
+  s.min = stats.min();
+  s.max = stats.max();
+  s.p25 = percentile(xs, 0.25);
+  s.median = percentile(xs, 0.50);
+  s.p75 = percentile(xs, 0.75);
+  s.p95 = percentile(xs, 0.95);
+  return s;
+}
+
+double ci95_halfwidth(const RunningStats& stats) {
+  if (stats.count() < 2) return 0.0;
+  return 1.96 * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+}
+
+double empirical_cdf(const std::vector<double>& xs, double x) {
+  SHIRAZ_REQUIRE(!xs.empty(), "empirical_cdf of empty sample");
+  const auto below =
+      std::count_if(xs.begin(), xs.end(), [x](double v) { return v <= x; });
+  return static_cast<double>(below) / static_cast<double>(xs.size());
+}
+
+}  // namespace shiraz

@@ -1,0 +1,57 @@
+// Descriptive statistics used throughout the benches and the trace analytics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace shiraz {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Linear-interpolated percentile of a sample, q in [0, 1]. Sorts a copy.
+double percentile(std::vector<double> xs, double q);
+
+/// Computes a full Summary of `xs`. Throws InvalidArgument when empty.
+Summary summarize(const std::vector<double>& xs);
+
+/// Half-width of the (approximately) 95% normal confidence interval of the mean.
+double ci95_halfwidth(const RunningStats& stats);
+
+/// Empirical CDF evaluated at `x` over sample `xs` (fraction of values <= x).
+double empirical_cdf(const std::vector<double>& xs, double x);
+
+}  // namespace shiraz

@@ -1,0 +1,41 @@
+// Console table and CSV rendering for the bench harnesses.
+//
+// Every figure/table bench prints the paper's rows as an aligned ASCII table
+// plus (optionally) a CSV block, so results are both human-readable and easy
+// to re-plot.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace shiraz {
+
+/// Column-aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column alignment and a separator under the header.
+  std::string render() const;
+
+  /// Renders as CSV (RFC-4180-ish quoting).
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string fmt(double value, int digits = 2);
+
+/// Formats a value as a signed percentage, e.g. "+12.3%".
+std::string fmt_percent(double fraction, int digits = 1);
+
+}  // namespace shiraz

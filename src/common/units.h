@@ -1,0 +1,49 @@
+// Time-unit helpers.
+//
+// The simulator and the analytical model both span time scales from sub-second
+// checkpoint latencies to multi-year campaigns, so time is represented as
+// `double` seconds everywhere. These helpers keep unit conversions explicit at
+// call sites (`hours(5)`, `as_hours(t)`) instead of scattering magic constants.
+#pragma once
+
+namespace shiraz {
+
+/// Seconds, the canonical time representation across the library.
+using Seconds = double;
+
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 24.0 * kSecondsPerHour;
+inline constexpr double kSecondsPerWeek = 7.0 * kSecondsPerDay;
+/// One calendar year as the paper uses it ("8,700 hours", Section 5).
+inline constexpr double kHoursPerYear = 8700.0;
+inline constexpr double kSecondsPerYear = kHoursPerYear * kSecondsPerHour;
+
+constexpr Seconds seconds(double s) { return s; }
+constexpr Seconds minutes(double m) { return m * kSecondsPerMinute; }
+constexpr Seconds hours(double h) { return h * kSecondsPerHour; }
+constexpr Seconds days(double d) { return d * kSecondsPerDay; }
+constexpr Seconds weeks(double w) { return w * kSecondsPerWeek; }
+constexpr Seconds years(double y) { return y * kSecondsPerYear; }
+
+constexpr double as_minutes(Seconds s) { return s / kSecondsPerMinute; }
+constexpr double as_hours(Seconds s) { return s / kSecondsPerHour; }
+constexpr double as_days(Seconds s) { return s / kSecondsPerDay; }
+constexpr double as_weeks(Seconds s) { return s / kSecondsPerWeek; }
+constexpr double as_years(Seconds s) { return s / kSecondsPerYear; }
+
+/// Bytes, used by the proxy applications and the checkpoint cost models.
+using Bytes = unsigned long long;
+
+inline constexpr Bytes kKiB = 1024ULL;
+inline constexpr Bytes kMiB = 1024ULL * kKiB;
+inline constexpr Bytes kGiB = 1024ULL * kMiB;
+
+constexpr Bytes kib(double n) { return static_cast<Bytes>(n * static_cast<double>(kKiB)); }
+constexpr Bytes mib(double n) { return static_cast<Bytes>(n * static_cast<double>(kMiB)); }
+constexpr Bytes gib(double n) { return static_cast<Bytes>(n * static_cast<double>(kGiB)); }
+
+constexpr double as_mib(Bytes b) { return static_cast<double>(b) / static_cast<double>(kMiB); }
+constexpr double as_gib(Bytes b) { return static_cast<double>(b) / static_cast<double>(kGiB); }
+
+}  // namespace shiraz

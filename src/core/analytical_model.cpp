@@ -1,0 +1,180 @@
+#include "core/analytical_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/mathx.h"
+
+namespace shiraz::core {
+
+namespace {
+constexpr double kTailCutoff = 1e-12;  // stop summing once survival mass is gone
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Components& Components::operator+=(const Components& o) {
+  useful += o.useful;
+  io += o.io;
+  lost += o.lost;
+  return *this;
+}
+
+ShirazModel::ShirazModel(const ModelConfig& config)
+    : config_(config), failures_(config.mtbf, config.weibull_shape) {
+  SHIRAZ_REQUIRE(config.epsilon >= 0.0 && config.epsilon <= 1.0,
+                 "epsilon must be a fraction in [0,1]");
+  SHIRAZ_REQUIRE(config.t_total > 0.0, "campaign length must be positive");
+}
+
+Seconds ShirazModel::interval(const AppSpec& app) const {
+  SHIRAZ_REQUIRE(app.stretch >= 1, "stretch factor must be >= 1");
+  return checkpoint::optimal_interval(config_.mtbf, app.delta, config_.oci_formula) *
+         static_cast<double>(app.stretch);
+}
+
+Seconds ShirazModel::segment(const AppSpec& app) const {
+  return interval(app) + app.delta;
+}
+
+Seconds ShirazModel::switch_time(const AppSpec& lw, int k) const {
+  SHIRAZ_REQUIRE(k >= 0, "switch point must be non-negative");
+  return static_cast<double>(k) * segment(lw);
+}
+
+Components ShirazModel::first_app(const AppSpec& app, Seconds t_switch,
+                                  Seconds t_total) const {
+  SHIRAZ_REQUIRE(t_switch >= 0.0, "switch time must be non-negative");
+  const Seconds seg = segment(app);
+  const Seconds oci = interval(app);
+  const double gaps = failures_.gaps(t_total);
+
+  // Number of whole segments the app can complete before switch-out. The
+  // switch happens at a checkpoint boundary, so t_switch is a multiple of seg
+  // in Shiraz; for validation sweeps any t_switch is allowed and the app
+  // simply completes floor(t_switch/seg) segments.
+  const double k_whole = std::floor(t_switch / seg + 1e-9);
+
+  Components out;
+  mathx::KahanSum useful;
+  mathx::KahanSum io;
+  // Gaps ending while the app is running its (i+1)-th segment credit i
+  // completed segments and hit the app with a failure.
+  double s_prev = failures_.survival(0.0);
+  for (double i = 1.0; i <= k_whole; ++i) {
+    const double s_i = failures_.survival(i * seg);
+    const double fail_count = gaps * (s_prev - s_i);  // gaps in ((i-1)seg, i*seg)
+    useful.add((i - 1.0) * oci * fail_count);
+    io.add((i - 1.0) * app.delta * fail_count);
+    s_prev = s_i;
+    if (s_i < kTailCutoff) break;
+  }
+  const double s_switch = failures_.survival(t_switch);
+  if (std::isfinite(t_switch)) {
+    // Gaps ending in (k_whole*seg, t_switch): app completed k_whole segments.
+    if (t_switch > k_whole * seg) {
+      const double fail_count = gaps * (s_prev - s_switch);
+      useful.add(k_whole * oci * fail_count);
+      io.add(k_whole * app.delta * fail_count);
+    }
+    // Tail: gaps longer than t_switch — the app completed all k_whole segments
+    // and was switched out cleanly (the Eq. 10 tail credit; see DESIGN.md).
+    useful.add(k_whole * oci * gaps * s_switch);
+    io.add(k_whole * app.delta * gaps * s_switch);
+  }
+
+  out.useful = useful.value();
+  out.io = io.value();
+  // Failures hit this app only while it is running: gaps shorter than t_switch.
+  const double failures_hit = gaps * (1.0 - s_switch);
+  out.lost = config_.epsilon * seg * failures_hit;
+  return out;
+}
+
+Components ShirazModel::second_app(const AppSpec& app, Seconds t_start,
+                                   Seconds t_total) const {
+  SHIRAZ_REQUIRE(t_start >= 0.0, "start time must be non-negative");
+  const Seconds seg = segment(app);
+  const Seconds oci = interval(app);
+  const double gaps = failures_.gaps(t_total);
+
+  Components out;
+  mathx::KahanSum useful;
+  mathx::KahanSum io;
+  // Gaps ending in (t_start + j*seg, t_start + (j+1)*seg) credit j completed
+  // segments, j = 1, 2, ... (j = 0 contributes nothing).
+  double s_prev = failures_.survival(t_start + seg);
+  for (double j = 1.0; j < 1e9; ++j) {
+    const double s_j = failures_.survival(t_start + (j + 1.0) * seg);
+    const double fail_count = gaps * (s_prev - s_j);
+    useful.add(j * oci * fail_count);
+    io.add(j * app.delta * fail_count);
+    s_prev = s_j;
+    if (s_j < kTailCutoff) break;
+  }
+  out.useful = useful.value();
+  out.io = io.value();
+  // Every gap longer than t_start ends with a failure that hits this app.
+  out.lost = config_.epsilon * seg * gaps * failures_.survival(t_start);
+  return out;
+}
+
+Components ShirazModel::window_app(const AppSpec& app, Seconds t_start, int k,
+                                   Seconds t_total) const {
+  SHIRAZ_REQUIRE(t_start >= 0.0, "start time must be non-negative");
+  SHIRAZ_REQUIRE(k >= 0, "checkpoint count must be non-negative");
+  const Seconds seg = segment(app);
+  const Seconds oci = interval(app);
+  const double gaps = failures_.gaps(t_total);
+  const Seconds t_end = t_start + static_cast<double>(k) * seg;
+
+  Components out;
+  mathx::KahanSum useful;
+  mathx::KahanSum io;
+  // Gaps ending in (t_start + j*seg, t_start + (j+1)*seg), j < k, credit j
+  // completed segments and hit the app with a failure.
+  double s_prev = failures_.survival(t_start);
+  for (int j = 0; j < k; ++j) {
+    const double s_j = failures_.survival(t_start + (j + 1.0) * seg);
+    const double fail_count = gaps * (s_prev - s_j);
+    useful.add(static_cast<double>(j) * oci * fail_count);
+    io.add(static_cast<double>(j) * app.delta * fail_count);
+    s_prev = s_j;
+    if (s_j < kTailCutoff) break;
+  }
+  // Gaps outlasting the window: the app completed all k segments and yielded.
+  const double s_end = failures_.survival(t_end);
+  useful.add(static_cast<double>(k) * oci * gaps * s_end);
+  io.add(static_cast<double>(k) * app.delta * gaps * s_end);
+  out.useful = useful.value();
+  out.io = io.value();
+  // Failures hit the app only while its window is live.
+  out.lost = config_.epsilon * seg * gaps *
+             (failures_.survival(t_start) - s_end);
+  return out;
+}
+
+Components ShirazModel::baseline(const AppSpec& app) const {
+  // Switching at every failure is switching out at t = infinity, with the app
+  // exposed for half the campaign (paper: "in the baseline case
+  // T_total = T_total/2").
+  return first_app(app, kInf, config_.t_total / 2.0);
+}
+
+PairOutcome ShirazModel::shiraz(const AppSpec& lw, const AppSpec& hw, int k) const {
+  SHIRAZ_REQUIRE(k >= 0, "switch point must be non-negative");
+  const Seconds t_k = switch_time(lw, k);
+  PairOutcome out;
+  out.lw = first_app(lw, t_k, config_.t_total);
+  out.hw = second_app(hw, t_k, config_.t_total);
+  return out;
+}
+
+PairOutcome ShirazModel::baseline_pair(const AppSpec& lw, const AppSpec& hw) const {
+  PairOutcome out;
+  out.lw = baseline(lw);
+  out.hw = baseline(hw);
+  return out;
+}
+
+}  // namespace shiraz::core

@@ -1,0 +1,115 @@
+// The Shiraz analytical model (paper Section 3, Eqs. 1-15).
+//
+// Decomposes an application's expected execution into three components —
+// useful work, checkpoint I/O, and lost work — under three scheduling shapes:
+//
+//  * baseline:   the app alternates with a peer at every failure (each app is
+//                exposed for half the campaign);
+//  * first-app:  the app runs from each failure until a fixed switch-out time
+//                (Shiraz's light-weight role; validation case 1 in Section 4);
+//  * second-app: the app runs from a fixed switch-in time until the next
+//                failure (Shiraz's heavy-weight role; validation case 2).
+//
+// Two deliberate departures from the equations as printed, both required to
+// match the discrete-event simulation (see DESIGN.md "Faithfulness notes"):
+//  * the light-weight app is credited k*OCI for gaps longer than the switch
+//    time (the printed Eq. 10 drops that tail);
+//  * the default OCI convention is sqrt(2*M*delta) with segment length
+//    OCI + delta, which is the convention the paper's own numbers follow.
+#pragma once
+
+#include <string>
+
+#include "checkpoint/oci.h"
+#include "common/units.h"
+#include "core/failure_math.h"
+
+namespace shiraz::core {
+
+/// One application as the model sees it.
+struct AppSpec {
+  std::string name;
+  /// Checkpoint cost delta (seconds).
+  Seconds delta = 0.0;
+  /// Checkpoint-interval stretch factor (1 = run at the OCI; >1 = Shiraz+'s
+  /// stretched interval for the heavy-weight app).
+  unsigned stretch = 1;
+};
+
+/// Expected execution-time components, all in seconds.
+struct Components {
+  double useful = 0.0;
+  double io = 0.0;
+  double lost = 0.0;
+
+  Components& operator+=(const Components& o);
+};
+
+/// Model-wide parameters (paper Section 4 defaults).
+struct ModelConfig {
+  Seconds mtbf = hours(5.0);
+  double weibull_shape = 0.6;
+  /// Average fraction of a segment lost per failure (paper's epsilon = 0.45).
+  double epsilon = 0.45;
+  Seconds t_total = hours(1000.0);
+  checkpoint::OciFormula oci_formula = checkpoint::OciFormula::kYoung;
+};
+
+/// Joint outcome of running a light-weight / heavy-weight pair under Shiraz
+/// with a given switch point k.
+struct PairOutcome {
+  Components lw;
+  Components hw;
+
+  double total_useful() const { return lw.useful + hw.useful; }
+  double total_io() const { return lw.io + hw.io; }
+  double total_lost() const { return lw.lost + hw.lost; }
+};
+
+class ShirazModel {
+ public:
+  explicit ShirazModel(const ModelConfig& config);
+
+  const ModelConfig& config() const { return config_; }
+  const FailureWindowModel& failures() const { return failures_; }
+
+  /// The app's compute interval between checkpoints (OCI * stretch).
+  Seconds interval(const AppSpec& app) const;
+  /// interval + delta: the forward-progress unit.
+  Seconds segment(const AppSpec& app) const;
+
+  /// Baseline components (Eqs. 4-9): the app alternates at every failure and
+  /// is exposed for t_total/2.
+  Components baseline(const AppSpec& app) const;
+
+  /// Components for an app that runs from each failure until switch-out at
+  /// `t_switch` (seconds since the failure), exposed over `t_total`.
+  Components first_app(const AppSpec& app, Seconds t_switch, Seconds t_total) const;
+
+  /// Components for an app that is switched in `t_start` seconds after each
+  /// failure and runs until the next failure, exposed over `t_total`.
+  Components second_app(const AppSpec& app, Seconds t_start, Seconds t_total) const;
+
+  /// General middle-of-the-gap primitive: the app is switched in `t_start`
+  /// seconds after each failure, runs for `k` checkpoints, then yields. The
+  /// first-app case is window_app(app, 0, k, ...) and the second-app case is
+  /// the k -> infinity limit. Powers the N-application chain (multi_switch.h).
+  Components window_app(const AppSpec& app, Seconds t_start, int k,
+                        Seconds t_total) const;
+
+  /// Shiraz with switch point k: `lw` runs for k checkpoints after each
+  /// failure, then `hw` runs until the next failure (Eqs. 10-15).
+  PairOutcome shiraz(const AppSpec& lw, const AppSpec& hw, int k) const;
+
+  /// Baseline outcome for the pair (both apps switched at every failure).
+  PairOutcome baseline_pair(const AppSpec& lw, const AppSpec& hw) const;
+
+  /// The switch-out wall-clock time for a given k: k * segment(lw).
+  Seconds switch_time(const AppSpec& lw, int k) const;
+
+ private:
+  ModelConfig config_;
+  FailureWindowModel failures_;
+};
+
+}  // namespace shiraz::core

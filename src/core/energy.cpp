@@ -1,0 +1,30 @@
+#include "core/energy.h"
+
+#include "common/error.h"
+
+namespace shiraz::core {
+
+EnergySavings energy_savings(double useful_gain_hours_per_year,
+                             const EnergyModelConfig& config) {
+  SHIRAZ_REQUIRE(config.system_power_megawatts > 0.0, "power must be positive");
+  SHIRAZ_REQUIRE(config.dollars_per_kwh >= 0.0, "price must be non-negative");
+  EnergySavings s;
+  s.megawatt_hours_per_year = useful_gain_hours_per_year * config.system_power_megawatts;
+  // 1 MWh = 1000 kWh.
+  s.dollars_per_year = s.megawatt_hours_per_year * 1000.0 * config.dollars_per_kwh;
+  s.dollars_over_lifetime = s.dollars_per_year * config.system_lifetime_years;
+  return s;
+}
+
+double burst_buffer_cost(const BurstBufferConfig& config) {
+  SHIRAZ_REQUIRE(config.gigabytes_per_dollar > 0.0, "GB/$ must be positive");
+  const double gigabytes = config.capacity_petabytes * 1.0e6;  // 1 PB = 1e6 GB
+  return gigabytes / config.gigabytes_per_dollar;
+}
+
+double burst_buffer_payback_fraction(double savings_dollars,
+                                     const BurstBufferConfig& config) {
+  return savings_dollars / burst_buffer_cost(config);
+}
+
+}  // namespace shiraz::core

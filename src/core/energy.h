@@ -1,0 +1,48 @@
+// Energy and monetary savings model (paper Section 5, "energy savings").
+//
+// Shiraz converts lost work into useful work; at the whole-system level every
+// recovered hour is an hour of machine power that produces science instead of
+// being thrown away. The paper monetizes this at a conservative $0.1/kWh and
+// projects the savings over a 5-year system lifetime, then asks what fraction
+// of an SSD burst-buffer deployment those savings would fund.
+#pragma once
+
+#include "common/units.h"
+
+namespace shiraz::core {
+
+struct EnergyModelConfig {
+  double system_power_megawatts = 10.0;
+  /// Electricity price in dollars per kilowatt-hour (paper: $0.1).
+  double dollars_per_kwh = 0.1;
+  double system_lifetime_years = 5.0;
+};
+
+struct EnergySavings {
+  double megawatt_hours_per_year = 0.0;
+  double dollars_per_year = 0.0;
+  double dollars_over_lifetime = 0.0;
+};
+
+/// Savings from `useful_gain_per_year` hours of recovered useful work per
+/// year of operation.
+EnergySavings energy_savings(double useful_gain_hours_per_year,
+                             const EnergyModelConfig& config);
+
+struct BurstBufferConfig {
+  /// Capacity of the storage deployment being priced (paper: 1 PB).
+  double capacity_petabytes = 1.0;
+  /// Deployed capacity per dollar of *total* cost (paper: 0.2 GB/USD, which
+  /// already folds in the pessimistic 3x packaging/assembly/firmware
+  /// multiplier over raw hardware — 1 PB prices at $5M total).
+  double gigabytes_per_dollar = 0.2;
+};
+
+/// Total deployment cost of the burst buffer, dollars.
+double burst_buffer_cost(const BurstBufferConfig& config);
+
+/// Fraction of the burst-buffer cost covered by `savings_dollars`.
+double burst_buffer_payback_fraction(double savings_dollars,
+                                     const BurstBufferConfig& config);
+
+}  // namespace shiraz::core

@@ -1,0 +1,36 @@
+#include "core/failure_math.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/mathx.h"
+
+namespace shiraz::core {
+
+FailureWindowModel::FailureWindowModel(Seconds mtbf, double shape)
+    : mtbf_(mtbf), shape_(shape),
+      scale_(mtbf / mathx::gamma_fn(1.0 + 1.0 / shape)) {
+  SHIRAZ_REQUIRE(mtbf > 0.0, "MTBF must be positive");
+  SHIRAZ_REQUIRE(shape > 0.0, "Weibull shape must be positive");
+}
+
+double FailureWindowModel::survival(Seconds t) const {
+  if (t <= 0.0) return 1.0;
+  if (std::isinf(t)) return 0.0;
+  return std::exp(-std::pow(t / scale_, shape_));
+}
+
+double FailureWindowModel::failures_in_window(Seconds t_total, Seconds t1,
+                                              Seconds t2) const {
+  SHIRAZ_REQUIRE(t_total >= 0.0, "campaign length must be non-negative");
+  SHIRAZ_REQUIRE(t2 >= t1, "window must be ordered");
+  return gaps(t_total) * (survival(t1) - survival(t2));
+}
+
+double FailureWindowModel::total_failures(Seconds t_total) const {
+  SHIRAZ_REQUIRE(t_total >= 0.0, "campaign length must be non-negative");
+  return gaps(t_total) * (1.0 - survival(t_total));
+}
+
+}  // namespace shiraz::core

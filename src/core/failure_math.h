@@ -1,0 +1,47 @@
+// Expected-failure-count window math (paper Eqs. 2-3).
+//
+// Failures form a renewal process whose inter-arrival gaps follow a Weibull
+// distribution with shape beta and scale lambda = M / Gamma(1 + 1/beta). Over
+// a campaign of length T_total there are ~T_total/M gaps, and the expected
+// number of gaps whose *length* falls in a window (t1, t2) is
+//
+//   Failnum(t1, t2) = T_total/M * (e^{-(t1/lambda)^beta} - e^{-(t2/lambda)^beta})
+//
+// which is Eq. 2. Everything in the analytical model reduces to sums of this
+// quantity over checkpoint-segment windows.
+#pragma once
+
+#include "common/units.h"
+
+namespace shiraz::core {
+
+class FailureWindowModel {
+ public:
+  /// Builds the model from the system MTBF and the Weibull shape beta.
+  FailureWindowModel(Seconds mtbf, double shape);
+
+  Seconds mtbf() const { return mtbf_; }
+  double shape() const { return shape_; }
+  Seconds scale() const { return scale_; }
+
+  /// Weibull survival S(t) = exp(-(t/lambda)^beta).
+  double survival(Seconds t) const;
+
+  /// Expected number of inter-failure gaps with length in (t1, t2), over a
+  /// campaign of `t_total` (Eq. 2). Pass t2 = +infinity for the upper tail.
+  double failures_in_window(Seconds t_total, Seconds t1, Seconds t2) const;
+
+  /// Expected total number of failures in `t_total` (Eq. 3).
+  double total_failures(Seconds t_total) const;
+
+  /// Expected number of gaps per campaign (t_total / M) — the renewal count
+  /// that the window expression scales.
+  double gaps(Seconds t_total) const { return t_total / mtbf_; }
+
+ private:
+  Seconds mtbf_;
+  double shape_;
+  Seconds scale_;
+};
+
+}  // namespace shiraz::core

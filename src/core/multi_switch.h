@@ -1,0 +1,54 @@
+// N-application within-gap scheduling — the natural generalization of
+// Shiraz's two-application switch (an extension beyond the paper, which
+// scales to many applications by *pairing*; see pairing.h for the paper's
+// scheme).
+//
+// Applications are ordered by ascending checkpoint cost. After each failure,
+// app 0 (the lightest) runs for k_0 checkpoints, then app 1 for k_1, ..., and
+// the heaviest app runs until the next failure — each app occupying a
+// progressively lower-hazard region of the gap. The solver picks the switch
+// counts k_0..k_{n-2} by max-min fairness against the round-robin baseline
+// (every app exposed for t_total/n): hill-climbing on the vector of switch
+// counts, seeded from the pairwise solution. For n = 2 this reproduces the
+// paper's fair switch point.
+#pragma once
+
+#include <vector>
+
+#include "core/analytical_model.h"
+
+namespace shiraz::core {
+
+struct ChainSolution {
+  /// Switch counts for apps 0..n-2 (the last app runs to the failure).
+  std::vector<int> ks;
+  /// Useful-work improvement per app vs the round-robin baseline (seconds).
+  std::vector<double> deltas;
+  double min_delta = 0.0;
+  double total_delta = 0.0;
+  /// False when no switch vector beats the baseline for every app.
+  bool beneficial = false;
+};
+
+struct ChainSolverOptions {
+  /// Upper bound per switch count during the search.
+  int max_k = 2048;
+  /// Hill-climb iterations (each sweeps every coordinate).
+  int max_passes = 64;
+};
+
+/// Baseline components for an app that alternates with n-1 peers at failures.
+Components chain_baseline(const ShirazModel& model, const AppSpec& app,
+                          std::size_t n_apps);
+
+/// Evaluates a specific switch-count vector; deltas[i] is app i's gain.
+std::vector<double> evaluate_chain(const ShirazModel& model,
+                                   const std::vector<AppSpec>& apps,
+                                   const std::vector<int>& ks);
+
+/// Solves for the max-min-fair switch counts. `apps` must be sorted by
+/// ascending checkpoint cost and contain at least two entries.
+ChainSolution solve_chain(const ShirazModel& model, const std::vector<AppSpec>& apps,
+                          const ChainSolverOptions& options = {});
+
+}  // namespace shiraz::core

@@ -1,0 +1,67 @@
+#include "core/pairing.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace shiraz::core {
+
+std::vector<AppPair> make_pairs(std::vector<apps::AppProfile> catalog,
+                                PairingStrategy strategy, Rng& rng) {
+  SHIRAZ_REQUIRE(catalog.size() >= 2, "need at least two applications to pair");
+  SHIRAZ_REQUIRE(catalog.size() % 2 == 0, "need an even number of applications");
+
+  std::vector<AppPair> pairs;
+  pairs.reserve(catalog.size() / 2);
+  switch (strategy) {
+    case PairingStrategy::kExtreme: {
+      std::sort(catalog.begin(), catalog.end(),
+                [](const apps::AppProfile& a, const apps::AppProfile& b) {
+                  return a.checkpoint_cost < b.checkpoint_cost;
+                });
+      for (std::size_t i = 0; i < catalog.size() / 2; ++i) {
+        AppPair p;
+        p.light = catalog[i];
+        p.heavy = catalog[catalog.size() - 1 - i];
+        pairs.push_back(std::move(p));
+      }
+      break;
+    }
+    case PairingStrategy::kRandom: {
+      std::shuffle(catalog.begin(), catalog.end(), rng.engine());
+      for (std::size_t i = 0; i + 1 < catalog.size(); i += 2) {
+        AppPair p;
+        p.light = catalog[i];
+        p.heavy = catalog[i + 1];
+        if (p.light.checkpoint_cost > p.heavy.checkpoint_cost) {
+          std::swap(p.light, p.heavy);
+        }
+        pairs.push_back(std::move(p));
+      }
+      break;
+    }
+  }
+  return pairs;
+}
+
+void solve_pairs(const ShirazModel& model, std::vector<AppPair>& pairs,
+                 const SolverOptions& options) {
+  SolverOptions opts = options;
+  opts.keep_sweep = false;
+  for (AppPair& pair : pairs) {
+    const AppSpec lw{pair.light.name, pair.light.checkpoint_cost, 1};
+    const AppSpec hw{pair.heavy.name, pair.heavy.checkpoint_cost, 1};
+    const SwitchSolution sol = solve_switch_point(model, lw, hw, opts);
+    pair.k = sol.k;
+    pair.model_delta_total = sol.delta_total;
+  }
+}
+
+double average_delta_factor(const std::vector<AppPair>& pairs) {
+  SHIRAZ_REQUIRE(!pairs.empty(), "no pairs");
+  double sum = 0.0;
+  for (const AppPair& p : pairs) sum += p.delta_factor();
+  return sum / static_cast<double>(pairs.size());
+}
+
+}  // namespace shiraz::core

@@ -1,0 +1,52 @@
+// Multi-application scaling (paper Section 5, "Shiraz in multi-application
+// environment"): make pairs of applications with different checkpointing
+// overheads, run one pair between two failures using Shiraz, and rotate to
+// the next pair at every failure.
+//
+// Two pairing strategies from the paper:
+//  * extreme pairing — heaviest with lightest, second-heaviest with
+//    second-lightest, ... (maximizes the average delta-factor; the paper's
+//    provably optimal strategy);
+//  * random pairing — shuffle, then pair adjacent entries (the paper's
+//    "easier to implement" strategy, used for its Fig. 14 results).
+#pragma once
+
+#include <vector>
+
+#include "apps/profile.h"
+#include "common/rng.h"
+#include "core/analytical_model.h"
+#include "core/switch_solver.h"
+
+namespace shiraz::core {
+
+/// One scheduled pair: light-weight member, heavy-weight member, and the fair
+/// switch point Shiraz computed for them (absent when the pair gains nothing
+/// and falls back to baseline alternation).
+struct AppPair {
+  apps::AppProfile light;
+  apps::AppProfile heavy;
+  std::optional<int> k;
+  double model_delta_total = 0.0;  ///< modeled pair gain, seconds of useful work
+
+  double delta_factor() const {
+    return heavy.checkpoint_cost / light.checkpoint_cost;
+  }
+};
+
+enum class PairingStrategy { kExtreme, kRandom };
+
+/// Pairs up an even-sized application list. Each pair is ordered so that
+/// `light` has the smaller checkpoint cost.
+std::vector<AppPair> make_pairs(std::vector<apps::AppProfile> catalog,
+                                PairingStrategy strategy, Rng& rng);
+
+/// Computes the fair switch point for every pair under `model`.
+void solve_pairs(const ShirazModel& model, std::vector<AppPair>& pairs,
+                 const SolverOptions& options = {});
+
+/// Average of the pairs' delta-factors — the quantity extreme pairing
+/// maximizes (paper's stated intuition).
+double average_delta_factor(const std::vector<AppPair>& pairs);
+
+}  // namespace shiraz::core

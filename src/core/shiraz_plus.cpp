@@ -1,0 +1,64 @@
+#include "core/shiraz_plus.h"
+
+#include "common/error.h"
+
+namespace shiraz::core {
+
+std::vector<StretchOutcome> evaluate_shiraz_plus(const ShirazModel& model,
+                                                 const AppSpec& lw, const AppSpec& hw,
+                                                 const std::vector<unsigned>& stretches,
+                                                 const SolverOptions& options) {
+  SHIRAZ_REQUIRE(hw.stretch == 1 && lw.stretch == 1,
+                 "pass unstretched specs; stretching is applied per factor");
+  SolverOptions solve_opts = options;
+  solve_opts.keep_sweep = false;
+  const SwitchSolution shiraz = solve_switch_point(model, lw, hw, solve_opts);
+  SHIRAZ_REQUIRE(shiraz.beneficial(),
+                 "Shiraz+ requires a beneficial Shiraz switch point for the pair");
+  const int k = *shiraz.k;
+
+  const PairOutcome base = model.baseline_pair(lw, hw);
+  std::vector<StretchOutcome> outcomes;
+  outcomes.reserve(stretches.size());
+  for (const unsigned stretch : stretches) {
+    SHIRAZ_REQUIRE(stretch >= 1, "stretch factor must be >= 1");
+    AppSpec hw_stretched = hw;
+    hw_stretched.stretch = stretch;
+    StretchOutcome o;
+    o.stretch = stretch;
+    o.k = k;
+    o.baseline = base;
+    o.shiraz_plus = model.shiraz(lw, hw_stretched, k);
+    o.delta_lw = o.shiraz_plus.lw.useful - base.lw.useful;
+    o.delta_hw = o.shiraz_plus.hw.useful - base.hw.useful;
+    o.useful_improvement =
+        (o.shiraz_plus.total_useful() - base.total_useful()) / base.total_useful();
+    o.io_reduction = (base.total_io() - o.shiraz_plus.total_io()) / base.total_io();
+    outcomes.push_back(o);
+  }
+  return outcomes;
+}
+
+StretchOutcome optimal_stretch(const ShirazModel& model, const AppSpec& lw,
+                               const AppSpec& hw,
+                               const StretchOptimizerOptions& options) {
+  SHIRAZ_REQUIRE(options.max_stretch >= 1, "max_stretch must be >= 1");
+  std::vector<unsigned> stretches;
+  for (unsigned s = 1; s <= options.max_stretch; ++s) stretches.push_back(s);
+  const std::vector<StretchOutcome> outcomes =
+      evaluate_shiraz_plus(model, lw, hw, stretches, options.solver);
+
+  // useful_improvement(stretch) is monotone non-increasing: walk up and keep
+  // the last factor that clears the floor.
+  StretchOutcome best = outcomes.front();
+  for (const StretchOutcome& o : outcomes) {
+    if (o.useful_improvement >= options.min_useful_improvement) {
+      best = o;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace shiraz::core

@@ -1,0 +1,84 @@
+#include "core/switch_solver.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace shiraz::core {
+
+SwitchCandidate evaluate_switch_point(const ShirazModel& model, const AppSpec& lw,
+                                      const AppSpec& hw, int k) {
+  const PairOutcome base = model.baseline_pair(lw, hw);
+  const PairOutcome sz = model.shiraz(lw, hw, k);
+  SwitchCandidate c;
+  c.k = k;
+  c.delta_lw = sz.lw.useful - base.lw.useful;
+  c.delta_hw = sz.hw.useful - base.hw.useful;
+  c.delta_total = c.delta_lw + c.delta_hw;
+  return c;
+}
+
+SwitchSolution solve_switch_point(const ShirazModel& model, const AppSpec& lw,
+                                  const AppSpec& hw, const SolverOptions& options) {
+  SHIRAZ_REQUIRE(options.max_k >= 1, "max_k must be at least 1");
+  const PairOutcome base = model.baseline_pair(lw, hw);
+
+  SwitchSolution sol;
+  double best_gap = std::numeric_limits<double>::infinity();
+  SwitchCandidate best;
+  bool have_candidate = false;
+
+  // Delta_LW(k) is non-decreasing and Delta_HW(k) non-increasing, so their
+  // difference crosses zero exactly once. The fair switch point is the
+  // integer k nearest that crossing (the paper solves the continuous equality
+  // Delta_LW = Delta_HW numerically and k is integral); at that k one app can
+  // sit a hair below zero when the crossing falls between integers. A single
+  // forward scan finds both the crossing and the region of interest. Stop
+  // early once LW's switch time is so deep in the Weibull tail that nothing
+  // changes anymore.
+  const double tail_time_limit = 64.0 * model.config().mtbf;
+  bool crossed = false;
+  for (int k = 1; k <= options.max_k; ++k) {
+    const PairOutcome sz = model.shiraz(lw, hw, k);
+    SwitchCandidate c;
+    c.k = k;
+    c.delta_lw = sz.lw.useful - base.lw.useful;
+    c.delta_hw = sz.hw.useful - base.hw.useful;
+    c.delta_total = c.delta_lw + c.delta_hw;
+    if (options.keep_sweep) sol.sweep.push_back(c);
+
+    if (c.delta_lw >= 0.0 && c.delta_hw >= 0.0 && c.delta_total > 0.0) {
+      if (!sol.region_lo) sol.region_lo = k;
+      sol.region_hi = k;
+    }
+
+    const double gap = std::fabs(c.delta_lw - c.delta_hw);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = c;
+      have_candidate = true;
+    }
+    if (c.delta_lw - c.delta_hw > 0.0) crossed = true;
+    // Past the crossing the gap only widens; keep scanning only if the
+    // caller wants the full sweep (for plotting the Delta curves).
+    if (crossed && !options.keep_sweep) break;
+    if (model.switch_time(lw, k) > tail_time_limit) break;
+  }
+
+  // "Shiraz will return k = infinity if no system throughput improvement can
+  // be achieved" — no crossing found, or no *material* gain to split at the
+  // crossing (identical apps produce a numerically-zero delta that must not
+  // count as a benefit).
+  const double materiality =
+      1e-4 * (base.lw.useful + base.hw.useful);
+  if (have_candidate && crossed && best.delta_total > materiality) {
+    sol.k = best.k;
+    sol.delta_lw = best.delta_lw;
+    sol.delta_hw = best.delta_hw;
+    sol.delta_total = best.delta_total;
+  }
+  return sol;
+}
+
+}  // namespace shiraz::core

@@ -1,0 +1,62 @@
+// Optimal switch-point solver (paper Section 3, "Where is optimal point?").
+//
+// For a light-weight/heavy-weight pair, the light-weight improvement
+// Delta_LW(k) grows with k while the heavy-weight improvement Delta_HW(k)
+// shrinks, both measured against the switch-at-every-failure baseline. Shiraz
+// picks the *fair* switch point: the k where the two improvements are equal
+// (and non-negative), splitting the total throughput gain evenly. If no k
+// yields a positive gain for both, Shiraz reports "no beneficial switch"
+// (k = infinity in the paper's formulation).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/analytical_model.h"
+
+namespace shiraz::core {
+
+/// Improvement of one candidate switch point over the baseline (seconds).
+struct SwitchCandidate {
+  int k = 0;
+  double delta_lw = 0.0;    ///< LW useful-work gain vs baseline
+  double delta_hw = 0.0;    ///< HW useful-work gain vs baseline
+  double delta_total = 0.0; ///< delta_lw + delta_hw
+};
+
+struct SwitchSolution {
+  /// The fair optimal switch point; empty when no switch point helps
+  /// (the paper's "Shiraz will return k = infinity" case).
+  std::optional<int> k;
+  /// Improvements at k (seconds of useful work over the campaign).
+  double delta_lw = 0.0;
+  double delta_hw = 0.0;
+  double delta_total = 0.0;
+  /// Region of interest: all k with delta_lw >= 0 and delta_hw >= 0 and
+  /// delta_total > 0 (paper Fig. 10's shaded band). Empty when none.
+  std::optional<int> region_lo;
+  std::optional<int> region_hi;
+  /// The full sweep, for benches that plot Delta curves (Figs. 10-12).
+  std::vector<SwitchCandidate> sweep;
+
+  bool beneficial() const { return k.has_value(); }
+};
+
+struct SolverOptions {
+  /// Upper bound of the k scan. The switch time k*segment(LW) rarely needs to
+  /// exceed a few MTBFs; the default covers the paper's largest case
+  /// (delta-factor 1000 at petascale, k* = 161) with a wide margin.
+  int max_k = 4096;
+  /// Keep the full sweep in the solution (costs memory; benches want it).
+  bool keep_sweep = true;
+};
+
+/// Evaluates the improvement of Shiraz over baseline at a single k.
+SwitchCandidate evaluate_switch_point(const ShirazModel& model, const AppSpec& lw,
+                                      const AppSpec& hw, int k);
+
+/// Finds the fair optimal switch point by scanning k = 1..max_k.
+SwitchSolution solve_switch_point(const ShirazModel& model, const AppSpec& lw,
+                                  const AppSpec& hw, const SolverOptions& options = {});
+
+}  // namespace shiraz::core

@@ -1,0 +1,74 @@
+#include "proto/backend.h"
+
+#include <chrono>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace shiraz::proto {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double elapsed_seconds(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+}  // namespace
+
+Seconds RealBackend::run_step(apps::ProxyApp& app) {
+  const auto start = SteadyClock::now();
+  app.step();
+  return elapsed_seconds(start);
+}
+
+Seconds RealBackend::write_checkpoint(const apps::ProxyApp& app,
+                                      const std::filesystem::path& path) {
+  // Writes to exactly the path it is given; the caller (CheckpointStore's
+  // pending/commit protocol) decides when the checkpoint becomes visible.
+  const auto start = SteadyClock::now();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open checkpoint file: " + path.string());
+    app.serialize(out);
+    out.flush();
+    if (!out) throw IoError("failed writing checkpoint: " + path.string());
+  }
+  return elapsed_seconds(start);
+}
+
+Seconds RealBackend::restore_checkpoint(apps::ProxyApp& app,
+                                        const std::filesystem::path& path) {
+  const auto start = SteadyClock::now();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open checkpoint file: " + path.string());
+  app.deserialize(in);
+  return elapsed_seconds(start);
+}
+
+SyntheticBackend::SyntheticBackend(const Rates& rates) : rates_(rates) {
+  SHIRAZ_REQUIRE(rates.step_duration > 0.0, "step duration must be positive");
+  SHIRAZ_REQUIRE(rates.write_bandwidth_bps > 0.0, "write bandwidth must be positive");
+  SHIRAZ_REQUIRE(rates.read_bandwidth_bps > 0.0, "read bandwidth must be positive");
+  SHIRAZ_REQUIRE(rates.fixed_latency >= 0.0, "latency must be non-negative");
+}
+
+Seconds SyntheticBackend::run_step(apps::ProxyApp&) {
+  // Deliberately does not run the kernel: tests that use this backend verify
+  // scheduling/accounting logic, and modeled time keeps them deterministic.
+  return rates_.step_duration;
+}
+
+Seconds SyntheticBackend::write_checkpoint(const apps::ProxyApp& app,
+                                           const std::filesystem::path&) {
+  return rates_.fixed_latency +
+         static_cast<double>(app.state_bytes()) / rates_.write_bandwidth_bps;
+}
+
+Seconds SyntheticBackend::restore_checkpoint(apps::ProxyApp& app,
+                                             const std::filesystem::path&) {
+  return static_cast<double>(app.state_bytes()) / rates_.read_bandwidth_bps;
+}
+
+}  // namespace shiraz::proto

@@ -1,0 +1,80 @@
+// Execution backends for the prototype runtime.
+//
+// The paper's prototype (Fig. 15) runs real applications under DMTCP and
+// kills them with injected errors. Our in-process equivalent executes proxy
+// applications (src/apps) and checkpoints them by serializing their state:
+//
+//  * RealBackend — actually runs the compute kernel and writes checkpoint
+//    files to disk, measuring wall-clock durations. This is what the Fig. 3
+//    and Fig. 16 benches use: the measured checkpoint-cost ratios emerge from
+//    real I/O, not from assumed constants.
+//  * SyntheticBackend — returns modeled durations without touching the disk
+//    or the CPU-heavy kernel; used by tests that need deterministic timing.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "apps/proxy_app.h"
+#include "common/units.h"
+
+namespace shiraz::proto {
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  /// Runs one compute step; returns its (virtual) duration in seconds.
+  virtual Seconds run_step(apps::ProxyApp& app) = 0;
+
+  /// Writes a full application checkpoint to `path`; returns its duration.
+  virtual Seconds write_checkpoint(const apps::ProxyApp& app,
+                                   const std::filesystem::path& path) = 0;
+
+  /// Restores the application from `path`; returns the restore duration.
+  virtual Seconds restore_checkpoint(apps::ProxyApp& app,
+                                     const std::filesystem::path& path) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Real execution: wall-clock timed kernel steps and real file I/O.
+class RealBackend final : public ExecutionBackend {
+ public:
+  Seconds run_step(apps::ProxyApp& app) override;
+  Seconds write_checkpoint(const apps::ProxyApp& app,
+                           const std::filesystem::path& path) override;
+  Seconds restore_checkpoint(apps::ProxyApp& app,
+                             const std::filesystem::path& path) override;
+  std::string name() const override { return "RealBackend"; }
+};
+
+/// Deterministic modeled execution for tests: durations derive from state
+/// size and configured rates; the kernel and the filesystem are not touched.
+class SyntheticBackend final : public ExecutionBackend {
+ public:
+  struct Rates {
+    /// Virtual duration of one compute step.
+    Seconds step_duration = 0.01;
+    /// Modeled checkpoint write bandwidth, bytes/second.
+    double write_bandwidth_bps = 1.0e9;
+    /// Fixed per-checkpoint latency, seconds.
+    Seconds fixed_latency = 0.001;
+    /// Modeled restore bandwidth, bytes/second.
+    double read_bandwidth_bps = 2.0e9;
+  };
+
+  explicit SyntheticBackend(const Rates& rates);
+
+  Seconds run_step(apps::ProxyApp& app) override;
+  Seconds write_checkpoint(const apps::ProxyApp& app,
+                           const std::filesystem::path& path) override;
+  Seconds restore_checkpoint(apps::ProxyApp& app,
+                             const std::filesystem::path& path) override;
+  std::string name() const override { return "SyntheticBackend"; }
+
+ private:
+  Rates rates_;
+};
+
+}  // namespace shiraz::proto

@@ -1,0 +1,85 @@
+#include "proto/checkpoint_store.h"
+
+#include <chrono>
+#include <system_error>
+
+#include "common/error.h"
+
+namespace shiraz::proto {
+
+namespace fs = std::filesystem;
+
+CheckpointStore::CheckpointStore(fs::path dir, bool owned)
+    : dir_(std::move(dir)), owned_(owned) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw IoError("cannot create checkpoint dir " + dir_.string() + ": " + ec.message());
+}
+
+CheckpointStore CheckpointStore::make_temporary(const std::string& tag) {
+  const auto stamp = std::chrono::steady_clock::now().time_since_epoch().count();
+  const fs::path dir = fs::temp_directory_path() /
+                       ("shiraz-ckpt-" + tag + "-" + std::to_string(stamp));
+  return CheckpointStore(dir, /*owned=*/true);
+}
+
+CheckpointStore::CheckpointStore(CheckpointStore&& other) noexcept
+    : dir_(std::move(other.dir_)), owned_(other.owned_) {
+  other.owned_ = false;
+}
+
+CheckpointStore::~CheckpointStore() {
+  if (!owned_) return;
+  std::error_code ec;
+  fs::remove_all(dir_, ec);  // best-effort cleanup; never throw from a dtor
+}
+
+fs::path CheckpointStore::path_for(const std::string& job_name) const {
+  std::string sanitized;
+  sanitized.reserve(job_name.size());
+  for (const char c : job_name) {
+    sanitized += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' || c == '_')
+                     ? c
+                     : '_';
+  }
+  return dir_ / (sanitized + ".ckpt");
+}
+
+fs::path CheckpointStore::pending_path_for(const std::string& job_name) const {
+  return path_for(job_name).string() + ".pending";
+}
+
+void CheckpointStore::commit_pending(const std::string& job_name) const {
+  std::error_code ec;
+  const fs::path pending = pending_path_for(job_name);
+  if (fs::exists(pending, ec)) {
+    fs::rename(pending, path_for(job_name), ec);
+    if (ec) throw IoError("cannot commit checkpoint for " + job_name + ": " + ec.message());
+  }
+}
+
+void CheckpointStore::discard_pending(const std::string& job_name) const {
+  std::error_code ec;
+  fs::remove(pending_path_for(job_name), ec);
+}
+
+bool CheckpointStore::has_checkpoint(const std::string& job_name) const {
+  std::error_code ec;
+  return fs::exists(path_for(job_name), ec);
+}
+
+void CheckpointStore::remove(const std::string& job_name) const {
+  std::error_code ec;
+  fs::remove(path_for(job_name), ec);
+}
+
+std::uintmax_t CheckpointStore::bytes_stored() const {
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file(ec)) total += entry.file_size(ec);
+  }
+  return total;
+}
+
+}  // namespace shiraz::proto

@@ -1,0 +1,60 @@
+// Checkpoint file management for the prototype runtime.
+//
+// Owns a directory of checkpoint files, names them per job, and cleans up on
+// destruction (RAII), so benches and tests never leak files into the
+// workspace.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace shiraz::proto {
+
+class CheckpointStore {
+ public:
+  /// Creates (or reuses) `dir`. When `owned` is true the whole directory is
+  /// removed on destruction.
+  explicit CheckpointStore(std::filesystem::path dir, bool owned = true);
+
+  /// Creates a store under the system temp directory with a unique suffix.
+  static CheckpointStore make_temporary(const std::string& tag);
+
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+  CheckpointStore(CheckpointStore&& other) noexcept;
+  CheckpointStore& operator=(CheckpointStore&&) = delete;
+  ~CheckpointStore();
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Canonical (committed) checkpoint path for a job.
+  std::filesystem::path path_for(const std::string& job_name) const;
+
+  /// Staging path for an in-flight checkpoint write. A checkpoint only
+  /// becomes visible to restores after commit_pending(); a failure during the
+  /// write discards the staging file and the previous committed checkpoint
+  /// survives — the two-phase commit real checkpoint libraries implement.
+  std::filesystem::path pending_path_for(const std::string& job_name) const;
+
+  /// Atomically promotes the staged checkpoint to the committed one.
+  /// No-op when no staged file exists (synthetic backends write no files).
+  void commit_pending(const std::string& job_name) const;
+
+  /// Drops the staged checkpoint if present.
+  void discard_pending(const std::string& job_name) const;
+
+  /// Whether a committed checkpoint exists for the job.
+  bool has_checkpoint(const std::string& job_name) const;
+
+  /// Removes the job's committed checkpoint if present.
+  void remove(const std::string& job_name) const;
+
+  /// Total bytes currently stored.
+  std::uintmax_t bytes_stored() const;
+
+ private:
+  std::filesystem::path dir_;
+  bool owned_;
+};
+
+}  // namespace shiraz::proto

@@ -1,0 +1,218 @@
+#include "proto/runtime.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace shiraz::proto {
+
+namespace {
+constexpr Seconds kInf = std::numeric_limits<double>::infinity();
+}
+
+Seconds ProtoResult::total_useful() const {
+  Seconds t = 0.0;
+  for (const auto& j : jobs) t += j.useful;
+  return t;
+}
+
+Seconds ProtoResult::total_io() const {
+  Seconds t = 0.0;
+  for (const auto& j : jobs) t += j.io;
+  return t;
+}
+
+Bytes ProtoResult::total_bytes_written() const {
+  Bytes b = 0;
+  for (const auto& j : jobs) b += j.bytes_written;
+  return b;
+}
+
+const ProtoJobStats& ProtoResult::job(const std::string& name) const {
+  for (const auto& j : jobs) {
+    if (j.name == name) return j;
+  }
+  throw InvalidArgument("no job named " + name + " in result");
+}
+
+Runtime::Runtime(ExecutionBackend& backend, CheckpointStore& store)
+    : backend_(backend), store_(store) {}
+
+ProtoResult Runtime::run(std::vector<ProtoJob> jobs, const sim::Scheduler& policy,
+                         const std::vector<Seconds>& failure_times, Seconds horizon) {
+  SHIRAZ_REQUIRE(!jobs.empty(), "need at least one job");
+  SHIRAZ_REQUIRE(horizon > 0.0, "horizon must be positive");
+  SHIRAZ_REQUIRE(std::is_sorted(failure_times.begin(), failure_times.end()),
+                 "failure times must be sorted");
+  for (const ProtoJob& j : jobs) {
+    SHIRAZ_REQUIRE(j.interval > 0.0, "job interval must be positive");
+  }
+
+  ProtoResult res;
+  res.jobs.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) res.jobs[i].name = jobs[i].name;
+
+  // Pristine copies for restart-from-scratch (no checkpoint yet).
+  std::vector<apps::ProxyApp> pristine;
+  pristine.reserve(jobs.size());
+  for (const ProtoJob& j : jobs) pristine.push_back(j.app);
+
+  std::vector<std::size_t> ckpts_gap(jobs.size(), 0);
+  std::vector<bool> needs_restore(jobs.size(), false);
+  // Tracked logically rather than via the filesystem so synthetic backends
+  // (which write no files) see the same recovery semantics as real ones.
+  std::vector<bool> has_committed_ckpt(jobs.size(), false);
+  std::vector<Seconds> unsealed(jobs.size(), 0.0);  // compute since last ckpt
+
+  Seconds now = 0.0;
+  Seconds gap_start = 0.0;
+  std::size_t fail_idx = 0;
+  auto next_fail = [&]() {
+    return fail_idx < failure_times.size() ? failure_times[fail_idx] : kInf;
+  };
+
+  Seconds last_gap_length = 0.0;
+  auto make_ctx = [&](std::size_t current) {
+    sim::SchedContext ctx;
+    ctx.now = now;
+    ctx.gap_start = gap_start;
+    ctx.num_apps = jobs.size();
+    ctx.current = current;
+    ctx.checkpoints_this_gap = &ckpts_gap;
+    ctx.failures_so_far = res.failures;
+    ctx.last_gap_length = last_gap_length;
+    return ctx;
+  };
+
+  policy.reset();
+  sim::Decision decision = policy.on_gap_start(make_ctx(0));
+  auto handle_failure = [&](std::optional<std::size_t> hit) {
+    ++res.failures;
+    ++fail_idx;
+    if (hit) {
+      ++res.jobs[*hit].failures_hit;
+      res.jobs[*hit].lost += unsealed[*hit];
+      unsealed[*hit] = 0.0;
+      needs_restore[*hit] = true;
+    }
+    last_gap_length = now - gap_start;
+    gap_start = now;
+    std::fill(ckpts_gap.begin(), ckpts_gap.end(), 0);
+    decision = policy.on_gap_start(make_ctx(0));
+  };
+
+  while (now < horizon) {
+    if (!decision.app) {
+      const Seconds until = std::min(next_fail(), horizon);
+      res.idle += until - now;
+      now = until;
+      if (now >= horizon) break;
+      handle_failure(std::nullopt);
+      continue;
+    }
+    const std::size_t ai = *decision.app;
+    SHIRAZ_REQUIRE(ai < jobs.size(), "policy chose an unknown job");
+    const Seconds start_time = gap_start + decision.not_before_elapsed;
+    if (start_time > now) {
+      const Seconds until = std::min({start_time, next_fail(), horizon});
+      res.idle += until - now;
+      now = until;
+      if (now >= horizon) break;
+      if (next_fail() <= start_time && now >= next_fail()) {
+        handle_failure(std::nullopt);
+        continue;
+      }
+    }
+
+    ProtoJob& job = jobs[ai];
+    ProtoJobStats& stats = res.jobs[ai];
+
+    // Roll the job back to its last checkpoint if a failure wiped its
+    // in-memory state since it last ran.
+    if (needs_restore[ai]) {
+      Seconds dur;
+      if (has_committed_ckpt[ai]) {
+        dur = backend_.restore_checkpoint(job.app, store_.path_for(job.name));
+        ++stats.restores;
+      } else {
+        job.app = pristine[ai];  // restart from scratch
+        dur = 0.0;
+      }
+      stats.restart += dur;
+      now += dur;
+      needs_restore[ai] = false;
+      if (now >= next_fail()) {  // failure struck during the restore
+        needs_restore[ai] = true;
+        handle_failure(ai);
+        continue;
+      }
+      if (now >= horizon) break;
+    }
+
+    // Compute phase: run kernel steps until the interval is filled.
+    bool interrupted = false;
+    Seconds accumulated = 0.0;
+    while (accumulated < job.interval) {
+      const Seconds dur = backend_.run_step(job.app);
+      now += dur;
+      accumulated += dur;
+      unsealed[ai] += dur;
+      ++stats.steps;
+      if (now >= next_fail()) {
+        handle_failure(ai);
+        interrupted = true;
+        break;
+      }
+      if (now >= horizon) {
+        res.truncated += unsealed[ai];
+        unsealed[ai] = 0.0;
+        interrupted = true;
+        break;
+      }
+    }
+    if (interrupted) continue;
+
+    // Checkpoint phase: write to the staging path, commit only if no failure
+    // struck during the write (so a torn write rolls back to the previous
+    // committed checkpoint).
+    const Seconds dur =
+        backend_.write_checkpoint(job.app, store_.pending_path_for(job.name));
+    now += dur;
+    if (now >= next_fail()) {
+      store_.discard_pending(job.name);
+      res.jobs[ai].lost += dur;  // unsealed compute is added by handle_failure
+      handle_failure(ai);
+      continue;
+    }
+    store_.commit_pending(job.name);
+    has_committed_ckpt[ai] = true;
+    stats.useful += unsealed[ai];
+    unsealed[ai] = 0.0;
+    stats.io += dur;
+    ++stats.checkpoints;
+    stats.bytes_written += job.app.state_bytes();
+    ++ckpts_gap[ai];
+    if (now >= horizon) break;
+    decision = policy.on_checkpoint(make_ctx(ai));
+  }
+
+  res.wall = std::max(now, horizon);
+  return res;
+}
+
+Seconds measure_checkpoint_cost(ExecutionBackend& backend, const apps::ProxyApp& app,
+                                CheckpointStore& store, std::size_t samples) {
+  SHIRAZ_REQUIRE(samples >= 1, "need at least one sample");
+  std::vector<Seconds> durations;
+  durations.reserve(samples);
+  const std::string probe_name = "calib-" + app.name();
+  for (std::size_t s = 0; s < samples; ++s) {
+    durations.push_back(backend.write_checkpoint(app, store.path_for(probe_name)));
+  }
+  store.remove(probe_name);
+  std::sort(durations.begin(), durations.end());
+  return durations[durations.size() / 2];
+}
+
+}  // namespace shiraz::proto

@@ -1,0 +1,83 @@
+// The prototype workload-manager runtime (paper Fig. 15).
+//
+// Executes proxy applications through an ExecutionBackend, checkpoints them
+// into a CheckpointStore, injects failures from a pre-generated trace, and
+// consults a sim::Scheduler policy at gap starts and checkpoint completions —
+// the *same* policy objects the discrete-event simulator uses, so the
+// scheduling logic evaluated on "real" execution is identical to the modeled
+// one. Time is virtual and accumulates from the durations the backend
+// reports (real wall-clock under RealBackend, modeled under SyntheticBackend).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/proxy_app.h"
+#include "common/units.h"
+#include "proto/backend.h"
+#include "proto/checkpoint_store.h"
+#include "sim/scheduler.h"
+
+namespace shiraz::proto {
+
+/// One job under the workload manager.
+struct ProtoJob {
+  std::string name;
+  apps::ProxyApp app;
+  /// Compute interval between checkpoints (already stretched for Shiraz+).
+  Seconds interval = 0.0;
+
+  ProtoJob(std::string job_name, apps::ProxyApp job_app, Seconds ckpt_interval)
+      : name(std::move(job_name)), app(std::move(job_app)), interval(ckpt_interval) {}
+};
+
+struct ProtoJobStats {
+  std::string name;
+  Seconds useful = 0.0;
+  Seconds io = 0.0;
+  Seconds lost = 0.0;
+  Seconds restart = 0.0;
+  std::size_t checkpoints = 0;
+  std::size_t failures_hit = 0;
+  std::size_t restores = 0;
+  std::uint64_t steps = 0;
+  Bytes bytes_written = 0;
+};
+
+struct ProtoResult {
+  std::vector<ProtoJobStats> jobs;
+  Seconds wall = 0.0;
+  Seconds idle = 0.0;
+  Seconds truncated = 0.0;
+  std::size_t failures = 0;
+
+  Seconds total_useful() const;
+  Seconds total_io() const;
+  Bytes total_bytes_written() const;
+  const ProtoJobStats& job(const std::string& name) const;
+};
+
+class Runtime {
+ public:
+  Runtime(ExecutionBackend& backend, CheckpointStore& store);
+
+  /// Runs the campaign until `horizon` (virtual seconds), injecting failures
+  /// at the absolute times in `failure_times` (sorted). Jobs are mutated
+  /// (their apps advance / roll back); pass copies to reuse a job set.
+  ProtoResult run(std::vector<ProtoJob> jobs, const sim::Scheduler& policy,
+                  const std::vector<Seconds>& failure_times, Seconds horizon);
+
+ private:
+  ExecutionBackend& backend_;
+  CheckpointStore& store_;
+};
+
+/// Measures the checkpoint cost of `app` through `backend` by writing
+/// `samples` real checkpoints and taking the median duration — the
+/// calibration step the paper's scheduler plug-in performs ("maintains
+/// records of the checkpointing overhead for different applications").
+Seconds measure_checkpoint_cost(ExecutionBackend& backend, const apps::ProxyApp& app,
+                                CheckpointStore& store, std::size_t samples = 3);
+
+}  // namespace shiraz::proto

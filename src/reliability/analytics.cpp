@@ -1,0 +1,80 @@
+#include "reliability/analytics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/statistics.h"
+
+namespace shiraz::reliability {
+
+std::vector<std::size_t> weekly_failure_counts(const FailureTrace& trace) {
+  const Seconds horizon = trace.horizon();
+  SHIRAZ_REQUIRE(horizon > 0.0, "trace has no horizon");
+  const auto weeks_total =
+      static_cast<std::size_t>(std::ceil(horizon / kSecondsPerWeek));
+  std::vector<std::size_t> counts(std::max<std::size_t>(weeks_total, 1), 0);
+  for (const Seconds t : trace.times()) {
+    const auto w = static_cast<std::size_t>(t / kSecondsPerWeek);
+    ++counts[std::min(w, counts.size() - 1)];
+  }
+  return counts;
+}
+
+WeeklyVariability weekly_variability(const std::vector<std::size_t>& counts) {
+  SHIRAZ_REQUIRE(!counts.empty(), "no weekly counts");
+  RunningStats stats;
+  for (const std::size_t c : counts) stats.add(static_cast<double>(c));
+  WeeklyVariability v;
+  v.mean = stats.mean();
+  v.stddev = stats.stddev();
+  v.cv = v.mean > 0.0 ? v.stddev / v.mean : 0.0;
+  v.max_week = static_cast<std::size_t>(stats.max());
+  std::size_t run = 0;
+  for (const std::size_t c : counts) {
+    const bool stable = std::fabs(static_cast<double>(c) - v.mean) <= 0.25 * v.mean;
+    run = stable ? run + 1 : 0;
+    v.longest_stable_run = std::max(v.longest_stable_run, run);
+  }
+  return v;
+}
+
+std::vector<double> interarrival_cdf_at_mtbf_fractions(
+    const FailureTrace& trace, const std::vector<double>& fractions) {
+  const auto gaps = trace.inter_arrival_times();
+  SHIRAZ_REQUIRE(!gaps.empty(), "trace has no gaps");
+  const Seconds mtbf = trace.observed_mtbf();
+  std::vector<double> cdf;
+  cdf.reserve(fractions.size());
+  for (const double f : fractions) {
+    cdf.push_back(empirical_cdf(gaps, f * mtbf));
+  }
+  return cdf;
+}
+
+std::vector<double> empirical_hazard(const FailureTrace& trace, Seconds window,
+                                     std::size_t bins) {
+  SHIRAZ_REQUIRE(window > 0.0, "hazard window must be positive");
+  SHIRAZ_REQUIRE(bins > 0, "hazard needs at least one bin");
+  const auto gaps = trace.inter_arrival_times();
+  SHIRAZ_REQUIRE(!gaps.empty(), "trace has no gaps");
+  const Seconds width = window / static_cast<double>(bins);
+  std::vector<double> events(bins, 0.0);
+  std::vector<double> exposure(bins, 0.0);
+  for (const Seconds g : gaps) {
+    for (std::size_t b = 0; b < bins; ++b) {
+      const Seconds lo = static_cast<double>(b) * width;
+      const Seconds hi = lo + width;
+      if (g <= lo) break;
+      exposure[b] += std::min(g, hi) - lo;
+      if (g > lo && g <= hi) events[b] += 1.0;
+    }
+  }
+  std::vector<double> hazard(bins, 0.0);
+  for (std::size_t b = 0; b < bins; ++b) {
+    hazard[b] = exposure[b] > 0.0 ? events[b] / exposure[b] : 0.0;
+  }
+  return hazard;
+}
+
+}  // namespace shiraz::reliability

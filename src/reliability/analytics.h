@@ -1,0 +1,45 @@
+// Trace analytics backing the paper's motivation figures.
+//
+//  * Figure 1: failures per week over the system lifetime — shows there are no
+//    long distinctly-stable eras to exploit at coarse granularity.
+//  * Figure 2: the inter-arrival time distribution — shows most gaps are far
+//    shorter than the MTBF (temporal recurrence), the property Shiraz exploits
+//    at the granularity of a single failure gap.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+#include "reliability/trace.h"
+
+namespace shiraz::reliability {
+
+/// Failure counts bucketed per calendar week (Fig 1 series).
+std::vector<std::size_t> weekly_failure_counts(const FailureTrace& trace);
+
+/// Summary of week-to-week variability.
+struct WeeklyVariability {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double cv = 0.0;           ///< coefficient of variation (stddev / mean)
+  std::size_t max_week = 0;  ///< largest weekly count
+  /// Longest run of consecutive weeks whose count stays within +-25% of the
+  /// lifetime mean — the "distinct stable period" the naive strategy needs.
+  std::size_t longest_stable_run = 0;
+};
+
+WeeklyVariability weekly_variability(const std::vector<std::size_t>& counts);
+
+/// Points of the empirical CDF of inter-arrival gaps, evaluated at fractions
+/// of the observed MTBF (Fig 2 series): result[i] = P(gap <= fractions[i]*MTBF).
+std::vector<double> interarrival_cdf_at_mtbf_fractions(
+    const FailureTrace& trace, const std::vector<double>& fractions);
+
+/// Nonparametric hazard-rate estimate over [0, window], from the gaps of a
+/// trace, using `bins` equal-width bins:
+///   h(bin) = (#gaps ending in bin) / (sum of exposure time in bin).
+std::vector<double> empirical_hazard(const FailureTrace& trace, Seconds window,
+                                     std::size_t bins);
+
+}  // namespace shiraz::reliability

@@ -1,0 +1,66 @@
+#include "reliability/bootstrap.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "reliability/fitting.h"
+
+namespace shiraz::reliability {
+
+namespace {
+
+template <typename Statistic>
+Interval percentile_bootstrap(const std::vector<Seconds>& gaps,
+                              const BootstrapOptions& options, Statistic statistic) {
+  SHIRAZ_REQUIRE(gaps.size() >= 4, "bootstrap needs at least four gaps");
+  SHIRAZ_REQUIRE(options.resamples >= 10, "too few bootstrap resamples");
+  SHIRAZ_REQUIRE(options.confidence > 0.0 && options.confidence < 1.0,
+                 "confidence must be in (0,1)");
+
+  Interval ci;
+  ci.point = statistic(gaps);
+
+  Rng rng(options.seed);
+  std::vector<double> stats;
+  stats.reserve(options.resamples);
+  std::vector<Seconds> resample(gaps.size());
+  for (std::size_t b = 0; b < options.resamples; ++b) {
+    for (std::size_t i = 0; i < gaps.size(); ++i) {
+      resample[i] =
+          gaps[static_cast<std::size_t>(rng.uniform_int(0, gaps.size() - 1))];
+    }
+    try {
+      stats.push_back(statistic(resample));
+    } catch (const Error&) {
+      // Degenerate resample (e.g. all-identical gaps for the MLE); skip it.
+    }
+  }
+  SHIRAZ_REQUIRE(stats.size() >= options.resamples / 2,
+                 "too many degenerate bootstrap resamples");
+  const double alpha = 1.0 - options.confidence;
+  ci.lower = percentile(stats, alpha / 2.0);
+  ci.upper = percentile(stats, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+}  // namespace
+
+Interval bootstrap_mtbf(const std::vector<Seconds>& gaps,
+                        const BootstrapOptions& options) {
+  return percentile_bootstrap(gaps, options, [](const std::vector<Seconds>& xs) {
+    RunningStats stats;
+    for (const Seconds x : xs) stats.add(x);
+    return stats.mean();
+  });
+}
+
+Interval bootstrap_weibull_shape(const std::vector<Seconds>& gaps,
+                                 const BootstrapOptions& options) {
+  return percentile_bootstrap(gaps, options, [](const std::vector<Seconds>& xs) {
+    return fit_weibull_mle(xs).shape;
+  });
+}
+
+}  // namespace shiraz::reliability

@@ -1,0 +1,41 @@
+// Bootstrap confidence intervals for failure-process parameters.
+//
+// Production traces are short relative to the tail of the gap distribution;
+// point estimates of the MTBF and the Weibull shape can be badly misleading.
+// Percentile-bootstrap intervals quantify that uncertainty — the honest input
+// band for Shiraz's sensitivity analysis (see bench/abl_adaptive).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace shiraz::reliability {
+
+struct Interval {
+  double lower = 0.0;
+  double point = 0.0;
+  double upper = 0.0;
+
+  double width() const { return upper - lower; }
+  bool contains(double x) const { return x >= lower && x <= upper; }
+};
+
+struct BootstrapOptions {
+  std::size_t resamples = 1000;
+  /// Two-sided confidence level (0.95 = 95%).
+  double confidence = 0.95;
+  std::uint64_t seed = 1;
+};
+
+/// Percentile-bootstrap CI for the mean of the gap sample (the MTBF).
+Interval bootstrap_mtbf(const std::vector<Seconds>& gaps,
+                        const BootstrapOptions& options = {});
+
+/// Percentile-bootstrap CI for the Weibull MLE shape parameter.
+Interval bootstrap_weibull_shape(const std::vector<Seconds>& gaps,
+                                 const BootstrapOptions& options = {});
+
+}  // namespace shiraz::reliability

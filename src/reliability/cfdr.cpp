@@ -1,0 +1,128 @@
+#include "reliability/cfdr.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace shiraz::reliability {
+
+std::string to_string(FailureCategory category) {
+  switch (category) {
+    case FailureCategory::kHardware:
+      return "hardware";
+    case FailureCategory::kSoftware:
+      return "software";
+    case FailureCategory::kNetwork:
+      return "network";
+    case FailureCategory::kEnvironment:
+      return "environment";
+    case FailureCategory::kUnknown:
+      return "unknown";
+  }
+  throw InvalidArgument("unknown failure category");
+}
+
+FailureCategory category_from_string(const std::string& text) {
+  if (text == "hardware") return FailureCategory::kHardware;
+  if (text == "software") return FailureCategory::kSoftware;
+  if (text == "network") return FailureCategory::kNetwork;
+  if (text == "environment") return FailureCategory::kEnvironment;
+  if (text == "unknown") return FailureCategory::kUnknown;
+  throw InvalidArgument("unknown failure category: " + text);
+}
+
+RecordSet::RecordSet(std::vector<FailureRecord> records)
+    : records_(std::move(records)) {
+  for (const FailureRecord& r : records_) {
+    SHIRAZ_REQUIRE(r.timestamp >= 0.0, "negative record timestamp");
+    SHIRAZ_REQUIRE(!r.node.empty(), "record with empty node id");
+  }
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const FailureRecord& a, const FailureRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+RecordSet RecordSet::filter_category(FailureCategory category) const {
+  std::vector<FailureRecord> out;
+  std::copy_if(records_.begin(), records_.end(), std::back_inserter(out),
+               [&](const FailureRecord& r) { return r.category == category; });
+  return RecordSet(std::move(out));
+}
+
+RecordSet RecordSet::filter_node(const std::string& node) const {
+  std::vector<FailureRecord> out;
+  std::copy_if(records_.begin(), records_.end(), std::back_inserter(out),
+               [&](const FailureRecord& r) { return r.node == node; });
+  return RecordSet(std::move(out));
+}
+
+RecordSet RecordSet::merge(const RecordSet& other) const {
+  std::vector<FailureRecord> out = records_;
+  out.insert(out.end(), other.records_.begin(), other.records_.end());
+  return RecordSet(std::move(out));
+}
+
+std::vector<std::string> RecordSet::nodes() const {
+  std::set<std::string> unique;
+  for (const FailureRecord& r : records_) unique.insert(r.node);
+  return {unique.begin(), unique.end()};
+}
+
+FailureTrace RecordSet::to_trace(Seconds horizon) const {
+  std::vector<Seconds> times;
+  times.reserve(records_.size());
+  for (const FailureRecord& r : records_) times.push_back(r.timestamp);
+  FailureTrace trace(std::move(times));
+  if (horizon > 0.0) trace.set_horizon(horizon);
+  return trace;
+}
+
+void RecordSet::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open record CSV for writing: " + path);
+  out.precision(17);
+  out << "timestamp_seconds,node,category\n";
+  for (const FailureRecord& r : records_) {
+    out << r.timestamp << ',' << r.node << ',' << to_string(r.category) << '\n';
+  }
+  if (!out) throw IoError("failed writing record CSV: " + path);
+}
+
+RecordSet RecordSet::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open record CSV for reading: " + path);
+  std::string line;
+  SHIRAZ_REQUIRE(static_cast<bool>(std::getline(in, line)), "empty record CSV");
+  SHIRAZ_REQUIRE(line == "timestamp_seconds,node,category",
+                 "unexpected record CSV header: " + line);
+  std::vector<FailureRecord> records;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string ts;
+    std::string node;
+    std::string category;
+    if (!std::getline(row, ts, ',') || !std::getline(row, node, ',') ||
+        !std::getline(row, category)) {
+      throw IoError("malformed record CSV at line " + std::to_string(line_no));
+    }
+    FailureRecord rec;
+    try {
+      rec.timestamp = std::stod(ts);
+    } catch (const std::exception&) {
+      throw IoError("bad timestamp in record CSV at line " + std::to_string(line_no));
+    }
+    rec.node = node;
+    rec.category = category_from_string(category);
+    records.push_back(std::move(rec));
+  }
+  return RecordSet(std::move(records));
+}
+
+}  // namespace shiraz::reliability

@@ -1,0 +1,70 @@
+// CFDR-style failure records.
+//
+// The Computer Failure Data Repository traces the paper analyzes carry, per
+// event, a timestamp, the failing component, and a failure category. This
+// module reads/writes a compatible CSV schema and projects record sets onto
+// the system-wide FailureTrace the rest of the library consumes — so a site
+// with real logs can feed them to Shiraz unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "reliability/trace.h"
+
+namespace shiraz::reliability {
+
+enum class FailureCategory {
+  kHardware,
+  kSoftware,
+  kNetwork,
+  kEnvironment,
+  kUnknown,
+};
+
+std::string to_string(FailureCategory category);
+FailureCategory category_from_string(const std::string& text);
+
+struct FailureRecord {
+  /// Seconds since the trace epoch.
+  Seconds timestamp = 0.0;
+  /// Identifier of the failing node/component.
+  std::string node;
+  FailureCategory category = FailureCategory::kUnknown;
+};
+
+class RecordSet {
+ public:
+  RecordSet() = default;
+  explicit RecordSet(std::vector<FailureRecord> records);
+
+  const std::vector<FailureRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Records of one category only.
+  RecordSet filter_category(FailureCategory category) const;
+
+  /// Records of one node only.
+  RecordSet filter_node(const std::string& node) const;
+
+  /// Union of two record sets (timestamps re-sorted).
+  RecordSet merge(const RecordSet& other) const;
+
+  /// Distinct node identifiers.
+  std::vector<std::string> nodes() const;
+
+  /// System-wide failure trace: every record is an application-killing event
+  /// (the paper's definition: failures that force a restart from checkpoint).
+  FailureTrace to_trace(Seconds horizon = 0.0) const;
+
+  /// CSV round-trip: `timestamp_seconds,node,category` with a header line.
+  void save_csv(const std::string& path) const;
+  static RecordSet load_csv(const std::string& path);
+
+ private:
+  std::vector<FailureRecord> records_;  // kept sorted by timestamp
+};
+
+}  // namespace shiraz::reliability

@@ -1,0 +1,13 @@
+#include "reliability/distribution.h"
+
+#include <limits>
+
+namespace shiraz::reliability {
+
+double Distribution::hazard(Seconds t) const {
+  const double s = survival(t);
+  if (s <= 0.0) return std::numeric_limits<double>::infinity();
+  return pdf(t) / s;
+}
+
+}  // namespace shiraz::reliability

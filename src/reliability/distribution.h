@@ -1,0 +1,54 @@
+// Failure inter-arrival time distributions.
+//
+// HPC failure studies (Schroeder & Gibson TDSC'10, Tiwari et al. DSN'14, and
+// the Shiraz paper's Section 2) model inter-arrival times between node/system
+// failures with Weibull distributions whose shape parameter beta < 1, i.e. a
+// hazard rate that is highest right after a failure and decays until the next
+// one. This interface abstracts the distribution so the simulator, the trace
+// generator, and the analytical model can share one failure process notion.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace shiraz::reliability {
+
+/// A continuous, non-negative inter-arrival time distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one inter-arrival time (seconds).
+  virtual Seconds sample(Rng& rng) const = 0;
+
+  /// P(T <= t).
+  virtual double cdf(Seconds t) const = 0;
+
+  /// Density f(t).
+  virtual double pdf(Seconds t) const = 0;
+
+  /// Mean inter-arrival time (the MTBF when used as a failure process).
+  virtual Seconds mean() const = 0;
+
+  /// Inverse CDF; quantile(u) for u in [0, 1).
+  virtual Seconds quantile(double u) const = 0;
+
+  /// Human-readable name with parameters, e.g. "Weibull(beta=0.6, mtbf=5h)".
+  virtual std::string name() const = 0;
+
+  /// Deep copy (distributions are cheap value-like objects).
+  virtual std::unique_ptr<Distribution> clone() const = 0;
+
+  /// Survival S(t) = 1 - cdf(t).
+  double survival(Seconds t) const { return 1.0 - cdf(t); }
+
+  /// Hazard rate h(t) = f(t) / S(t); +inf-safe for S(t) == 0.
+  double hazard(Seconds t) const;
+};
+
+using DistributionPtr = std::unique_ptr<Distribution>;
+
+}  // namespace shiraz::reliability

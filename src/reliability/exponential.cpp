@@ -1,0 +1,39 @@
+#include "reliability/exponential.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace shiraz::reliability {
+
+Exponential::Exponential(Seconds mean) : mean_(mean) {
+  SHIRAZ_REQUIRE(mean > 0.0, "Exponential mean must be positive");
+}
+
+Seconds Exponential::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+double Exponential::cdf(Seconds t) const {
+  if (t <= 0.0) return 0.0;
+  return 1.0 - std::exp(-t / mean_);
+}
+
+double Exponential::pdf(Seconds t) const {
+  if (t < 0.0) return 0.0;
+  return std::exp(-t / mean_) / mean_;
+}
+
+Seconds Exponential::quantile(double u) const {
+  SHIRAZ_REQUIRE(u >= 0.0 && u < 1.0, "quantile u must be in [0,1)");
+  return -mean_ * std::log1p(-u);
+}
+
+std::string Exponential::name() const {
+  std::ostringstream os;
+  os << "Exponential(mtbf=" << as_hours(mean_) << "h)";
+  return os.str();
+}
+
+DistributionPtr Exponential::clone() const { return std::make_unique<Exponential>(*this); }
+
+}  // namespace shiraz::reliability

@@ -1,0 +1,30 @@
+// Exponential inter-arrival distribution (constant hazard rate).
+//
+// The memoryless baseline against which the Weibull temporal-recurrence effect
+// is contrasted: with exponential failures, there is no "reliability zone" to
+// exploit and Shiraz's optimal switch point degenerates.
+#pragma once
+
+#include <string>
+
+#include "reliability/distribution.h"
+
+namespace shiraz::reliability {
+
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(Seconds mean);
+
+  Seconds sample(Rng& rng) const override;
+  double cdf(Seconds t) const override;
+  double pdf(Seconds t) const override;
+  Seconds mean() const override { return mean_; }
+  Seconds quantile(double u) const override;
+  std::string name() const override;
+  DistributionPtr clone() const override;
+
+ private:
+  Seconds mean_;
+};
+
+}  // namespace shiraz::reliability

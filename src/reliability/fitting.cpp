@@ -1,0 +1,88 @@
+#include "reliability/fitting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/mathx.h"
+
+namespace shiraz::reliability {
+
+namespace {
+
+// Profile-likelihood equation for the Weibull shape parameter beta:
+//   g(beta) = sum(x^b ln x)/sum(x^b) - 1/b - mean(ln x) = 0.
+// Strictly increasing in beta over (0, inf), so bisection is safe.
+double shape_equation(const std::vector<Seconds>& xs, double beta) {
+  double sum_xb = 0.0;
+  double sum_xb_lnx = 0.0;
+  double sum_lnx = 0.0;
+  for (const double x : xs) {
+    const double lnx = std::log(x);
+    const double xb = std::pow(x, beta);
+    sum_xb += xb;
+    sum_xb_lnx += xb * lnx;
+    sum_lnx += lnx;
+  }
+  return sum_xb_lnx / sum_xb - 1.0 / beta - sum_lnx / static_cast<double>(xs.size());
+}
+
+}  // namespace
+
+WeibullFit fit_weibull_mle(const std::vector<Seconds>& samples) {
+  SHIRAZ_REQUIRE(samples.size() >= 2, "Weibull MLE needs at least two samples");
+  for (const double x : samples) {
+    SHIRAZ_REQUIRE(x > 0.0, "Weibull MLE requires strictly positive samples");
+  }
+  // Degenerate case: all samples identical -> the equation has no finite root.
+  const double first = samples.front();
+  const bool all_equal =
+      std::all_of(samples.begin(), samples.end(),
+                  [&](double x) { return mathx::approx_equal(x, first, 1e-12); });
+  SHIRAZ_REQUIRE(!all_equal, "Weibull MLE undefined for a constant sample");
+
+  // Bracket the root of the (monotone) shape equation.
+  double lo = 1e-3;
+  double hi = 1.0;
+  while (shape_equation(samples, hi) < 0.0 && hi < 1e3) hi *= 2.0;
+  while (shape_equation(samples, lo) > 0.0 && lo > 1e-9) lo *= 0.5;
+  const double beta =
+      mathx::bisect([&](double b) { return shape_equation(samples, b); }, lo, hi, 1e-12);
+
+  double sum_xb = 0.0;
+  for (const double x : samples) sum_xb += std::pow(x, beta);
+  const double scale =
+      std::pow(sum_xb / static_cast<double>(samples.size()), 1.0 / beta);
+
+  WeibullFit fit;
+  fit.shape = beta;
+  fit.scale = scale;
+  fit.log_likelihood = log_likelihood(samples, Weibull(beta, scale));
+  return fit;
+}
+
+double ks_statistic(std::vector<Seconds> samples, const Distribution& dist) {
+  SHIRAZ_REQUIRE(!samples.empty(), "KS statistic of empty sample");
+  std::sort(samples.begin(), samples.end());
+  const double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double f = dist.cdf(samples[i]);
+    const double above = (static_cast<double>(i) + 1.0) / n - f;
+    const double below = f - static_cast<double>(i) / n;
+    d = std::max({d, above, below});
+  }
+  return d;
+}
+
+double log_likelihood(const std::vector<Seconds>& samples, const Distribution& dist) {
+  double ll = 0.0;
+  for (const double x : samples) {
+    const double p = dist.pdf(x);
+    SHIRAZ_REQUIRE(p > 0.0, "sample outside the support of the distribution");
+    ll += std::log(p);
+  }
+  return ll;
+}
+
+}  // namespace shiraz::reliability

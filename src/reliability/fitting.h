@@ -1,0 +1,36 @@
+// Fitting failure distributions to observed inter-arrival samples.
+//
+// Used by the trace analytics to recover the Weibull shape parameter beta from
+// (synthetic or recorded) failure logs — the "How to accurately identify and
+// quantify changing reliability characteristics" question from the paper's
+// introduction.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::reliability {
+
+struct WeibullFit {
+  double shape = 0.0;
+  Seconds scale = 0.0;
+  /// Maximized log-likelihood of the fit.
+  double log_likelihood = 0.0;
+
+  Weibull distribution() const { return Weibull(shape, scale); }
+};
+
+/// Maximum-likelihood Weibull fit. Solves the standard profile-likelihood
+/// shape equation by Newton iteration, then recovers the scale in closed form.
+/// Requires at least two strictly positive samples.
+WeibullFit fit_weibull_mle(const std::vector<Seconds>& samples);
+
+/// Kolmogorov-Smirnov statistic of `samples` against a reference distribution.
+double ks_statistic(std::vector<Seconds> samples, const Distribution& dist);
+
+/// Log-likelihood of samples under `dist`.
+double log_likelihood(const std::vector<Seconds>& samples, const Distribution& dist);
+
+}  // namespace shiraz::reliability

@@ -1,0 +1,56 @@
+#include "reliability/gamma_dist.h"
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/mathx.h"
+
+namespace shiraz::reliability {
+
+GammaDist::GammaDist(double shape, Seconds scale) : shape_(shape), scale_(scale) {
+  SHIRAZ_REQUIRE(shape > 0.0, "Gamma shape must be positive");
+  SHIRAZ_REQUIRE(scale > 0.0, "Gamma scale must be positive");
+}
+
+GammaDist GammaDist::from_mtbf(double shape, Seconds mtbf) {
+  SHIRAZ_REQUIRE(shape > 0.0, "Gamma shape must be positive");
+  SHIRAZ_REQUIRE(mtbf > 0.0, "MTBF must be positive");
+  return GammaDist(shape, mtbf / shape);
+}
+
+Seconds GammaDist::sample(Rng& rng) const {
+  std::gamma_distribution<double> d(shape_, scale_);
+  return d(rng.engine());
+}
+
+double GammaDist::cdf(Seconds t) const {
+  if (t <= 0.0) return 0.0;
+  return mathx::reg_lower_incomplete_gamma(shape_, t / scale_);
+}
+
+double GammaDist::pdf(Seconds t) const {
+  if (t <= 0.0) return 0.0;
+  return std::exp((shape_ - 1.0) * std::log(t) - t / scale_ -
+                  mathx::log_gamma(shape_) - shape_ * std::log(scale_));
+}
+
+Seconds GammaDist::quantile(double u) const {
+  SHIRAZ_REQUIRE(u >= 0.0 && u < 1.0, "quantile u must be in [0,1)");
+  if (u == 0.0) return 0.0;
+  // The CDF is strictly increasing; bracket generously above the mean.
+  Seconds hi = mean();
+  while (cdf(hi) < u) hi *= 2.0;
+  return mathx::bisect([&](double t) { return cdf(t) - u; }, 0.0, hi, 1e-12);
+}
+
+std::string GammaDist::name() const {
+  std::ostringstream os;
+  os << "Gamma(k=" << shape_ << ", mtbf=" << as_hours(mean()) << "h)";
+  return os.str();
+}
+
+DistributionPtr GammaDist::clone() const { return std::make_unique<GammaDist>(*this); }
+
+}  // namespace shiraz::reliability

@@ -1,0 +1,36 @@
+// Gamma inter-arrival distribution.
+//
+// Another decreasing-hazard family (for shape < 1); exercises the fitting and
+// analytics code against a second sub-exponential alternative.
+#pragma once
+
+#include <string>
+
+#include "reliability/distribution.h"
+
+namespace shiraz::reliability {
+
+class GammaDist final : public Distribution {
+ public:
+  /// shape k, scale theta; mean = k * theta.
+  GammaDist(double shape, Seconds scale);
+
+  static GammaDist from_mtbf(double shape, Seconds mtbf);
+
+  double shape() const { return shape_; }
+  Seconds scale() const { return scale_; }
+
+  Seconds sample(Rng& rng) const override;
+  double cdf(Seconds t) const override;
+  double pdf(Seconds t) const override;
+  Seconds mean() const override { return shape_ * scale_; }
+  Seconds quantile(double u) const override;
+  std::string name() const override;
+  DistributionPtr clone() const override;
+
+ private:
+  double shape_;
+  Seconds scale_;
+};
+
+}  // namespace shiraz::reliability

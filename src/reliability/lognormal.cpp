@@ -1,0 +1,54 @@
+#include "reliability/lognormal.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/mathx.h"
+
+namespace shiraz::reliability {
+
+Lognormal::Lognormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  SHIRAZ_REQUIRE(sigma > 0.0, "Lognormal sigma must be positive");
+}
+
+Lognormal Lognormal::from_mean_cv(Seconds mean, double cv) {
+  SHIRAZ_REQUIRE(mean > 0.0, "Lognormal mean must be positive");
+  SHIRAZ_REQUIRE(cv > 0.0, "Lognormal cv must be positive");
+  const double sigma2 = std::log1p(cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return Lognormal(mu, std::sqrt(sigma2));
+}
+
+Seconds Lognormal::sample(Rng& rng) const { return std::exp(mu_ + sigma_ * rng.normal()); }
+
+double Lognormal::cdf(Seconds t) const {
+  if (t <= 0.0) return 0.0;
+  return 0.5 * (1.0 + mathx::erf_fn((std::log(t) - mu_) / (sigma_ * std::sqrt(2.0))));
+}
+
+double Lognormal::pdf(Seconds t) const {
+  if (t <= 0.0) return 0.0;
+  const double z = (std::log(t) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (t * sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+Seconds Lognormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+Seconds Lognormal::quantile(double u) const {
+  SHIRAZ_REQUIRE(u >= 0.0 && u < 1.0, "quantile u must be in [0,1)");
+  if (u == 0.0) return 0.0;
+  // Invert the CDF numerically; the CDF is strictly increasing.
+  const Seconds hi_guess = std::exp(mu_ + 8.0 * sigma_);
+  return mathx::bisect([&](double t) { return cdf(t) - u; }, 0.0, hi_guess, 1e-12);
+}
+
+std::string Lognormal::name() const {
+  std::ostringstream os;
+  os << "Lognormal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+  return os.str();
+}
+
+DistributionPtr Lognormal::clone() const { return std::make_unique<Lognormal>(*this); }
+
+}  // namespace shiraz::reliability

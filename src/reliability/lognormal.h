@@ -1,0 +1,38 @@
+// Lognormal inter-arrival distribution.
+//
+// Schroeder & Gibson found lognormal to be a competitive fit for some systems'
+// repair and inter-arrival times; included so trace generation and fitting can
+// be exercised against a non-Weibull alternative.
+#pragma once
+
+#include <string>
+
+#include "reliability/distribution.h"
+
+namespace shiraz::reliability {
+
+class Lognormal final : public Distribution {
+ public:
+  /// Parameters of the underlying normal: ln T ~ N(mu, sigma^2).
+  Lognormal(double mu, double sigma);
+
+  /// Derives (mu, sigma) from a target mean and coefficient of variation.
+  static Lognormal from_mean_cv(Seconds mean, double cv);
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+  Seconds sample(Rng& rng) const override;
+  double cdf(Seconds t) const override;
+  double pdf(Seconds t) const override;
+  Seconds mean() const override;
+  Seconds quantile(double u) const override;
+  std::string name() const override;
+  DistributionPtr clone() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace shiraz::reliability

@@ -1,0 +1,30 @@
+#include "reliability/systems.h"
+
+namespace shiraz::reliability {
+
+SystemSpec petascale_system() {
+  return SystemSpec{.name = "Petascale (MTBF 20h)",
+                    .mtbf = hours(20.0),
+                    .weibull_shape = 0.6,
+                    .power_megawatts = 10.0};
+}
+
+SystemSpec exascale_system() {
+  return SystemSpec{.name = "Exascale (MTBF 5h)",
+                    .mtbf = hours(5.0),
+                    .weibull_shape = 0.6,
+                    .power_megawatts = 20.0};
+}
+
+std::vector<SystemSpec> trace_systems() {
+  // Names indicate the role, not a claim of matching any particular machine's
+  // trace; MTBF/beta values span the band the paper's Section 2 cites.
+  return {
+      SystemSpec{"TraceSys-A (leadership, MTBF 8h, beta 0.5)", hours(8.0), 0.5, 9.0},
+      SystemSpec{"TraceSys-B (capacity, MTBF 16h, beta 0.6)", hours(16.0), 0.6, 6.0},
+      SystemSpec{"TraceSys-C (capability, MTBF 26h, beta 0.7)", hours(26.0), 0.7, 8.0},
+      SystemSpec{"TraceSys-D (aging, MTBF 40h, beta 0.4)", hours(40.0), 0.4, 4.0},
+  };
+}
+
+}  // namespace shiraz::reliability

@@ -1,0 +1,39 @@
+// Catalog of virtual HPC systems used across benches.
+//
+// Parameters mirror the paper's working points: MTBF of 20 h for a petascale
+// system and 5 h for a projected exascale system (Section 5), with Weibull
+// shape beta in the 0.4-0.7 band reported for production machines (Section 2).
+// The Fig 1/Fig 2 benches additionally use a set of "trace systems" standing in
+// for the CFDR production systems (documented substitution, see DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::reliability {
+
+struct SystemSpec {
+  std::string name;
+  Seconds mtbf = 0.0;
+  double weibull_shape = 0.6;
+  double power_megawatts = 0.0;
+
+  Weibull failure_distribution() const {
+    return Weibull::from_mtbf(weibull_shape, mtbf);
+  }
+};
+
+/// Paper's petascale working point: MTBF 20 h, 10 MW.
+SystemSpec petascale_system();
+
+/// Paper's projected exascale working point: MTBF 5 h, 20 MW.
+SystemSpec exascale_system();
+
+/// Four virtual production systems (varying MTBF / beta) for the Fig 1 and
+/// Fig 2 trace analytics.
+std::vector<SystemSpec> trace_systems();
+
+}  // namespace shiraz::reliability

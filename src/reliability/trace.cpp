@@ -1,0 +1,82 @@
+#include "reliability/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace shiraz::reliability {
+
+FailureTrace::FailureTrace(std::vector<Seconds> times) : times_(std::move(times)) {
+  SHIRAZ_REQUIRE(std::is_sorted(times_.begin(), times_.end()),
+                 "failure trace timestamps must be sorted");
+  for (const double t : times_) SHIRAZ_REQUIRE(t >= 0.0, "negative failure timestamp");
+  horizon_ = times_.empty() ? 0.0 : times_.back();
+}
+
+FailureTrace FailureTrace::generate(const Distribution& dist, Seconds horizon, Rng& rng) {
+  SHIRAZ_REQUIRE(horizon > 0.0, "trace horizon must be positive");
+  std::vector<Seconds> times;
+  Seconds t = 0.0;
+  while (true) {
+    t += dist.sample(rng);
+    if (t >= horizon) break;
+    times.push_back(t);
+  }
+  FailureTrace trace(std::move(times));
+  trace.horizon_ = horizon;
+  return trace;
+}
+
+void FailureTrace::set_horizon(Seconds horizon) {
+  SHIRAZ_REQUIRE(horizon >= (times_.empty() ? 0.0 : times_.back()),
+                 "horizon must cover all failures");
+  horizon_ = horizon;
+}
+
+std::vector<Seconds> FailureTrace::inter_arrival_times() const {
+  std::vector<Seconds> gaps;
+  gaps.reserve(times_.size());
+  Seconds prev = 0.0;
+  for (const Seconds t : times_) {
+    gaps.push_back(t - prev);
+    prev = t;
+  }
+  return gaps;
+}
+
+Seconds FailureTrace::observed_mtbf() const {
+  SHIRAZ_REQUIRE(!times_.empty(), "observed_mtbf of empty trace");
+  return horizon_ / static_cast<double>(times_.size());
+}
+
+void FailureTrace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot open trace file for writing: " + path);
+  out.precision(17);
+  out << "# shiraz failure trace; horizon_seconds=" << horizon_ << '\n';
+  for (const Seconds t : times_) out << t << '\n';
+  if (!out) throw IoError("failed writing trace file: " + path);
+}
+
+FailureTrace FailureTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open trace file for reading: " + path);
+  std::vector<Seconds> times;
+  Seconds horizon = 0.0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      const auto pos = line.find("horizon_seconds=");
+      if (pos != std::string::npos) horizon = std::stod(line.substr(pos + 16));
+      continue;
+    }
+    times.push_back(std::stod(line));
+  }
+  FailureTrace trace(std::move(times));
+  if (horizon > 0.0) trace.set_horizon(horizon);
+  return trace;
+}
+
+}  // namespace shiraz::reliability

@@ -1,0 +1,49 @@
+// Failure traces: ordered sequences of failure timestamps for one system.
+//
+// The paper's Figures 1 and 2 analyze production traces (CFDR/LANL). Those are
+// not redistributable, so this module also provides synthetic generation from
+// renewal processes over any Distribution — the documented substitution in
+// DESIGN.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "reliability/distribution.h"
+
+namespace shiraz::reliability {
+
+/// An ordered list of absolute failure times on one system, starting at t = 0.
+class FailureTrace {
+ public:
+  FailureTrace() = default;
+  explicit FailureTrace(std::vector<Seconds> times);
+
+  /// Generates a renewal-process trace covering [0, horizon).
+  static FailureTrace generate(const Distribution& dist, Seconds horizon, Rng& rng);
+
+  const std::vector<Seconds>& times() const { return times_; }
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+  Seconds horizon() const { return horizon_; }
+  void set_horizon(Seconds horizon);
+
+  /// Gaps between consecutive failures (size() - 1 entries, plus the initial
+  /// gap from t = 0 to the first failure).
+  std::vector<Seconds> inter_arrival_times() const;
+
+  /// Observed mean time between failures.
+  Seconds observed_mtbf() const;
+
+  /// Serializes to a simple one-timestamp-per-line text format (seconds).
+  void save(const std::string& path) const;
+  static FailureTrace load(const std::string& path);
+
+ private:
+  std::vector<Seconds> times_;
+  Seconds horizon_ = 0.0;
+};
+
+}  // namespace shiraz::reliability

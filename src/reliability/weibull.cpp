@@ -1,0 +1,54 @@
+#include "reliability/weibull.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/mathx.h"
+
+namespace shiraz::reliability {
+
+Weibull::Weibull(double shape, Seconds scale) : shape_(shape), scale_(scale) {
+  SHIRAZ_REQUIRE(shape > 0.0, "Weibull shape must be positive");
+  SHIRAZ_REQUIRE(scale > 0.0, "Weibull scale must be positive");
+}
+
+Weibull Weibull::from_mtbf(double shape, Seconds mtbf) {
+  SHIRAZ_REQUIRE(shape > 0.0, "Weibull shape must be positive");
+  SHIRAZ_REQUIRE(mtbf > 0.0, "MTBF must be positive");
+  const double scale = mtbf / mathx::gamma_fn(1.0 + 1.0 / shape);
+  return Weibull(shape, scale);
+}
+
+Seconds Weibull::sample(Rng& rng) const {
+  // Inverse-transform sampling: T = lambda * (-ln(1 - U))^(1/beta).
+  return quantile(rng.uniform());
+}
+
+double Weibull::cdf(Seconds t) const {
+  if (t <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(t / scale_, shape_));
+}
+
+double Weibull::pdf(Seconds t) const {
+  if (t <= 0.0) return 0.0;
+  const double z = t / scale_;
+  return shape_ / scale_ * std::pow(z, shape_ - 1.0) * std::exp(-std::pow(z, shape_));
+}
+
+Seconds Weibull::mean() const { return scale_ * mathx::gamma_fn(1.0 + 1.0 / shape_); }
+
+Seconds Weibull::quantile(double u) const {
+  SHIRAZ_REQUIRE(u >= 0.0 && u < 1.0, "quantile u must be in [0,1)");
+  return scale_ * std::pow(-std::log1p(-u), 1.0 / shape_);
+}
+
+std::string Weibull::name() const {
+  std::ostringstream os;
+  os << "Weibull(beta=" << shape_ << ", mtbf=" << as_hours(mean()) << "h)";
+  return os.str();
+}
+
+DistributionPtr Weibull::clone() const { return std::make_unique<Weibull>(*this); }
+
+}  // namespace shiraz::reliability

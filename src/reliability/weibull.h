@@ -1,0 +1,40 @@
+// Weibull inter-arrival distribution — the paper's failure model.
+#pragma once
+
+#include <string>
+
+#include "reliability/distribution.h"
+
+namespace shiraz::reliability {
+
+/// Weibull(shape beta, scale lambda):
+///   S(t) = exp(-(t/lambda)^beta),  mean = lambda * Gamma(1 + 1/beta).
+///
+/// For beta < 1 the hazard rate decreases between failures — the temporal
+/// recurrence property Shiraz exploits (paper Section 2).
+class Weibull final : public Distribution {
+ public:
+  /// Constructs from shape and scale directly.
+  Weibull(double shape, Seconds scale);
+
+  /// Constructs from shape and the desired mean (MTBF), deriving the scale as
+  /// lambda = M / Gamma(1 + 1/beta) — exactly the paper's Eq. 2 note.
+  static Weibull from_mtbf(double shape, Seconds mtbf);
+
+  double shape() const { return shape_; }
+  Seconds scale() const { return scale_; }
+
+  Seconds sample(Rng& rng) const override;
+  double cdf(Seconds t) const override;
+  double pdf(Seconds t) const override;
+  Seconds mean() const override;
+  Seconds quantile(double u) const override;
+  std::string name() const override;
+  DistributionPtr clone() const override;
+
+ private:
+  double shape_;
+  Seconds scale_;
+};
+
+}  // namespace shiraz::reliability

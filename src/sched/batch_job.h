@@ -1,0 +1,41 @@
+// Batch jobs as the workload manager sees them (paper Fig. 15's job queue).
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+
+namespace shiraz::sched {
+
+/// A finite job submitted to the machine.
+struct BatchJobSpec {
+  std::string name;
+  /// Total useful work the job must accumulate to complete.
+  Seconds work = 0.0;
+  /// Cost of one checkpoint (the paper's delta).
+  Seconds checkpoint_cost = 0.0;
+  /// Arrival time of the job at the queue.
+  Seconds submit_time = 0.0;
+};
+
+/// Per-job outcome of a campaign.
+struct BatchJobRecord {
+  std::string name;
+  Seconds submit_time = 0.0;
+  /// First time the job ran (negative = never started).
+  Seconds start_time = -1.0;
+  /// Completion time (negative = still unfinished at the horizon).
+  Seconds completion_time = -1.0;
+  Seconds useful = 0.0;
+  Seconds io = 0.0;
+  Seconds lost = 0.0;
+  std::size_t checkpoints = 0;
+  std::size_t failures_hit = 0;
+
+  bool completed() const { return completion_time >= 0.0; }
+  bool started() const { return start_time >= 0.0; }
+  /// Submit-to-completion latency (only valid when completed()).
+  Seconds turnaround() const { return completion_time - submit_time; }
+};
+
+}  // namespace shiraz::sched

@@ -1,0 +1,263 @@
+#include "sched/manager.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/error.h"
+#include "core/switch_solver.h"
+
+namespace shiraz::sched {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+WorkloadManager::WorkloadManager(const reliability::Distribution& failure_dist,
+                                 const ManagerConfig& config)
+    : failure_dist_(failure_dist.clone()), config_(config) {
+  SHIRAZ_REQUIRE(config.horizon > 0.0, "horizon must be positive");
+  SHIRAZ_REQUIRE(config.nominal_mtbf > 0.0, "nominal MTBF must be positive");
+  SHIRAZ_REQUIRE(config.hw_stretch >= 1, "stretch must be >= 1");
+}
+
+CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
+                                   Policy policy, Rng& rng) const {
+  SHIRAZ_REQUIRE(!jobs.empty(), "no jobs submitted");
+  for (const BatchJobSpec& job : jobs) {
+    SHIRAZ_REQUIRE(job.work > 0.0, "job work must be positive: " + job.name);
+    SHIRAZ_REQUIRE(job.checkpoint_cost > 0.0,
+                   "job checkpoint cost must be positive: " + job.name);
+    SHIRAZ_REQUIRE(job.submit_time >= 0.0, "negative submit time: " + job.name);
+  }
+
+  CampaignStats stats;
+  stats.horizon = config_.horizon;
+  stats.jobs.resize(jobs.size());
+  std::vector<Seconds> remaining(jobs.size());
+  std::vector<Seconds> interval(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    stats.jobs[i].name = jobs[i].name;
+    stats.jobs[i].submit_time = jobs[i].submit_time;
+    remaining[i] = jobs[i].work;
+    interval[i] = checkpoint::optimal_interval(
+        config_.nominal_mtbf, jobs[i].checkpoint_cost, config_.oci_formula);
+  }
+
+  // Pending jobs in FCFS (submit-time) order.
+  std::vector<std::size_t> pending(jobs.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+  std::stable_sort(pending.begin(), pending.end(), [&](std::size_t a, std::size_t b) {
+    return jobs[a].submit_time < jobs[b].submit_time;
+  });
+
+  std::vector<std::size_t> active;  // at most two machine-sharing jobs
+  std::vector<std::size_t> ckpts_in_gap(jobs.size(), 0);
+  std::optional<int> pair_k;  // Shiraz switch point; nullopt = alternate
+  std::map<std::pair<std::size_t, std::size_t>, std::optional<int>> k_cache;
+  std::size_t gap_index = 0;
+
+  Seconds now = 0.0;
+  Seconds next_fail = failure_dist_->sample(rng);
+
+  auto light_of_pair = [&]() {
+    return jobs[active[0]].checkpoint_cost <= jobs[active[1]].checkpoint_cost
+               ? active[0]
+               : active[1];
+  };
+  auto heavy_of_pair = [&]() {
+    return jobs[active[0]].checkpoint_cost <= jobs[active[1]].checkpoint_cost
+               ? active[1]
+               : active[0];
+  };
+
+  auto resolve_pair = [&]() {
+    if (policy != Policy::kShirazPairing || active.size() < 2) {
+      pair_k = std::nullopt;
+      return;
+    }
+    const std::size_t lw = light_of_pair();
+    const std::size_t hw = heavy_of_pair();
+    const auto key = std::make_pair(lw, hw);
+    const auto cached = k_cache.find(key);
+    if (cached != k_cache.end()) {
+      pair_k = cached->second;
+      return;
+    }
+    core::ModelConfig mcfg;
+    mcfg.mtbf = config_.nominal_mtbf;
+    mcfg.weibull_shape = config_.weibull_shape;
+    mcfg.epsilon = config_.epsilon;
+    mcfg.t_total = config_.horizon;
+    mcfg.oci_formula = config_.oci_formula;
+    const core::ShirazModel model(mcfg);
+    core::SolverOptions opts;
+    opts.keep_sweep = false;
+    const core::SwitchSolution sol = core::solve_switch_point(
+        model, core::AppSpec{jobs[lw].name, jobs[lw].checkpoint_cost, 1},
+        core::AppSpec{jobs[hw].name, jobs[hw].checkpoint_cost, config_.hw_stretch},
+        opts);
+    pair_k = sol.k;
+    k_cache[key] = pair_k;
+  };
+
+  // Fills free machine slots from the eligible pending jobs; returns true
+  // when the active set changed (which resets the within-gap switch state).
+  auto activate = [&]() {
+    bool changed = false;
+    while (active.size() < 2 && !pending.empty() &&
+           jobs[pending.front()].submit_time <= now) {
+      const std::size_t job = pending.front();
+      pending.erase(pending.begin());
+      active.push_back(job);
+      if (!stats.jobs[job].started()) stats.jobs[job].start_time = now;
+      changed = true;
+    }
+    if (changed) {
+      std::fill(ckpts_in_gap.begin(), ckpts_in_gap.end(), 0);
+      resolve_pair();
+    }
+    return changed;
+  };
+
+  auto next_arrival = [&]() {
+    return pending.empty() ? kInf : jobs[pending.front()].submit_time;
+  };
+
+  // Which active job runs right now, given the within-gap state.
+  auto pick_current = [&]() -> std::size_t {
+    if (active.size() == 1) return active[0];
+    if (policy == Policy::kShirazPairing && pair_k) {
+      const std::size_t lw = light_of_pair();
+      if (*pair_k > 0 && ckpts_in_gap[lw] < static_cast<std::size_t>(*pair_k)) {
+        return lw;
+      }
+      return heavy_of_pair();
+    }
+    // Baseline (and non-beneficial pairs): alternate at every failure.
+    return active[gap_index % active.size()];
+  };
+
+  auto handle_failure = [&](std::optional<std::size_t> hit) {
+    ++stats.failures;
+    ++gap_index;
+    if (hit) ++stats.jobs[*hit].failures_hit;
+    next_fail = now + failure_dist_->sample(rng);
+    std::fill(ckpts_in_gap.begin(), ckpts_in_gap.end(), 0);
+  };
+
+  activate();
+  while (now < config_.horizon) {
+    if (active.empty()) {
+      const Seconds until = std::min({next_arrival(), next_fail, config_.horizon});
+      stats.idle += until - now;
+      now = until;
+      if (now >= config_.horizon) break;
+      if (now >= next_fail) handle_failure(std::nullopt);
+      activate();
+      continue;
+    }
+
+    const std::size_t job = pick_current();
+    BatchJobRecord& rec = stats.jobs[job];
+
+    // Shiraz+ stretches the *heavy* member of an active pair; everyone else
+    // runs at their OCI.
+    Seconds job_interval = interval[job];
+    if (policy == Policy::kShirazPairing && config_.hw_stretch > 1 &&
+        active.size() == 2 && pair_k && job == heavy_of_pair()) {
+      job_interval *= static_cast<double>(config_.hw_stretch);
+    }
+
+    // One segment: compute (capped by the remaining work) then checkpoint
+    // (skipped on the completing segment — a finishing job just ends).
+    const bool completing = remaining[job] <= job_interval;
+    const Seconds run_time = completing ? remaining[job] : job_interval;
+    const Seconds delta = completing ? 0.0 : jobs[job].checkpoint_cost;
+    const Seconds seg_end = now + run_time + delta;
+
+    if (config_.horizon <= std::min(seg_end, next_fail)) {
+      rec.lost += config_.horizon - now;  // work in flight at the horizon
+      now = config_.horizon;
+      break;
+    }
+    if (next_fail < seg_end) {
+      rec.lost += next_fail - now;
+      now = next_fail;
+      handle_failure(job);
+      activate();
+      continue;
+    }
+
+    now = seg_end;
+    rec.useful += run_time;
+    remaining[job] -= run_time;
+    if (completing) {
+      rec.completion_time = now;
+      stats.makespan = std::max(stats.makespan, now);
+      active.erase(std::find(active.begin(), active.end(), job));
+      std::fill(ckpts_in_gap.begin(), ckpts_in_gap.end(), 0);
+      activate();
+      resolve_pair();
+    } else {
+      rec.io += delta;
+      ++rec.checkpoints;
+      ++ckpts_in_gap[job];
+      activate();  // a new arrival may fill an empty second slot
+    }
+  }
+
+  // Jobs cut off by the horizon stretch the makespan to the horizon.
+  for (const BatchJobRecord& rec : stats.jobs) {
+    if (!rec.completed()) stats.makespan = config_.horizon;
+  }
+  return stats;
+}
+
+CampaignStats WorkloadManager::run_many(const std::vector<BatchJobSpec>& jobs,
+                                        Policy policy, std::size_t reps,
+                                        std::uint64_t seed) const {
+  SHIRAZ_REQUIRE(reps >= 1, "need at least one repetition");
+  Rng master(seed);
+  CampaignStats acc;
+  for (std::size_t r = 0; r < reps; ++r) {
+    Rng rng = master.fork(r);
+    const CampaignStats one = run(jobs, policy, rng);
+    if (r == 0) {
+      acc = one;
+      continue;
+    }
+    for (std::size_t i = 0; i < acc.jobs.size(); ++i) {
+      acc.jobs[i].useful += one.jobs[i].useful;
+      acc.jobs[i].io += one.jobs[i].io;
+      acc.jobs[i].lost += one.jobs[i].lost;
+      acc.jobs[i].checkpoints += one.jobs[i].checkpoints;
+      acc.jobs[i].failures_hit += one.jobs[i].failures_hit;
+      // Average latencies only over runs where the job completed in both.
+      if (acc.jobs[i].completed() && one.jobs[i].completed()) {
+        acc.jobs[i].completion_time += one.jobs[i].completion_time;
+      } else {
+        acc.jobs[i].completion_time = -1.0;
+      }
+    }
+    acc.failures += one.failures;
+    acc.idle += one.idle;
+    acc.makespan += one.makespan;
+  }
+  const double n = static_cast<double>(reps);
+  for (auto& rec : acc.jobs) {
+    rec.useful /= n;
+    rec.io /= n;
+    rec.lost /= n;
+    rec.checkpoints = static_cast<std::size_t>(static_cast<double>(rec.checkpoints) / n);
+    rec.failures_hit =
+        static_cast<std::size_t>(static_cast<double>(rec.failures_hit) / n);
+    if (rec.completed()) rec.completion_time /= n;
+  }
+  acc.failures = static_cast<std::size_t>(static_cast<double>(acc.failures) / n);
+  acc.idle /= n;
+  acc.makespan /= n;
+  return acc;
+}
+
+}  // namespace shiraz::sched

@@ -1,0 +1,60 @@
+#include "sched/stats.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace shiraz::sched {
+
+std::size_t CampaignStats::completed_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs.begin(), jobs.end(),
+                    [](const BatchJobRecord& j) { return j.completed(); }));
+}
+
+Seconds CampaignStats::total_useful() const {
+  Seconds t = 0.0;
+  for (const auto& j : jobs) t += j.useful;
+  return t;
+}
+
+Seconds CampaignStats::total_io() const {
+  Seconds t = 0.0;
+  for (const auto& j : jobs) t += j.io;
+  return t;
+}
+
+Seconds CampaignStats::total_lost() const {
+  Seconds t = 0.0;
+  for (const auto& j : jobs) t += j.lost;
+  return t;
+}
+
+Seconds CampaignStats::mean_turnaround() const {
+  Seconds sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& j : jobs) {
+    if (j.completed()) {
+      sum += j.turnaround();
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+Seconds CampaignStats::max_turnaround() const {
+  Seconds best = 0.0;
+  for (const auto& j : jobs) {
+    if (j.completed()) best = std::max(best, j.turnaround());
+  }
+  return best;
+}
+
+const BatchJobRecord& CampaignStats::job(const std::string& name) const {
+  for (const auto& j : jobs) {
+    if (j.name == name) return j;
+  }
+  throw InvalidArgument("no job named " + name + " in campaign stats");
+}
+
+}  // namespace shiraz::sched

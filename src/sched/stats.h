@@ -1,0 +1,31 @@
+// Campaign-level statistics for workload-manager runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+#include "sched/batch_job.h"
+
+namespace shiraz::sched {
+
+struct CampaignStats {
+  std::vector<BatchJobRecord> jobs;
+  /// Completion time of the last finished job (horizon if any job is cut off).
+  Seconds makespan = 0.0;
+  Seconds horizon = 0.0;
+  std::size_t failures = 0;
+  Seconds idle = 0.0;
+
+  std::size_t completed_count() const;
+  Seconds total_useful() const;
+  Seconds total_io() const;
+  Seconds total_lost() const;
+  /// Mean turnaround across completed jobs; 0 when none completed.
+  Seconds mean_turnaround() const;
+  Seconds max_turnaround() const;
+
+  const BatchJobRecord& job(const std::string& name) const;
+};
+
+}  // namespace shiraz::sched

@@ -1,0 +1,167 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace shiraz::sim {
+
+namespace {
+void validate_config(const EngineConfig& config) {
+  SHIRAZ_REQUIRE(config.t_total > 0.0, "horizon must be positive");
+  SHIRAZ_REQUIRE(config.restart_cost >= 0.0, "restart cost must be non-negative");
+  SHIRAZ_REQUIRE(config.switch_cost >= 0.0, "switch cost must be non-negative");
+}
+}  // namespace
+
+Engine::Engine(const reliability::Distribution& failure_dist, const EngineConfig& config)
+    : config_(config) {
+  validate_config(config);
+  // shared_ptr keeps the lambda copyable, as std::function requires.
+  gap_sampler_ = [dist = std::shared_ptr<const reliability::Distribution>(
+                      failure_dist.clone())](Rng& rng, Seconds) {
+    return dist->sample(rng);
+  };
+}
+
+Engine::Engine(GapSampler sampler, const EngineConfig& config)
+    : gap_sampler_(std::move(sampler)), config_(config) {
+  validate_config(config);
+  SHIRAZ_REQUIRE(gap_sampler_ != nullptr, "gap sampler must be callable");
+}
+
+SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
+                      Rng& rng) const {
+  SHIRAZ_REQUIRE(!jobs.empty(), "need at least one job");
+  for (const SimJob& job : jobs) {
+    SHIRAZ_REQUIRE(job.delta > 0.0, "job checkpoint cost must be positive");
+    SHIRAZ_REQUIRE(job.schedule != nullptr, "job needs an interval schedule");
+  }
+
+  SimResult res;
+  res.wall = config_.t_total;
+  res.apps.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) res.apps[i].name = jobs[i].name;
+
+  const Seconds horizon = config_.t_total;
+  std::vector<std::size_t> ckpts_gap(jobs.size(), 0);
+  Seconds now = 0.0;
+  Seconds gap_start = 0.0;
+  Seconds next_fail = gap_sampler_(rng, 0.0);
+
+  Seconds last_gap_length = 0.0;
+  auto make_ctx = [&](std::size_t current) {
+    SchedContext ctx;
+    ctx.now = now;
+    ctx.gap_start = gap_start;
+    ctx.num_apps = jobs.size();
+    ctx.current = current;
+    ctx.checkpoints_this_gap = &ckpts_gap;
+    ctx.failures_so_far = res.failures;
+    ctx.last_gap_length = last_gap_length;
+    return ctx;
+  };
+
+  // Handles the failure at `now`; charges nothing (time already charged by
+  // the caller), re-arms the failure clock, applies the restart downtime, and
+  // asks the scheduler who runs next.
+  scheduler.reset();
+  Decision decision = scheduler.on_gap_start(make_ctx(0));
+  auto handle_failure = [&](std::optional<std::size_t> hit) {
+    ++res.failures;
+    if (hit) ++res.apps[*hit].failures_hit;
+    last_gap_length = now - gap_start;
+    gap_start = now;
+    next_fail = now + gap_sampler_(rng, now);
+    std::fill(ckpts_gap.begin(), ckpts_gap.end(), 0);
+    decision = scheduler.on_gap_start(make_ctx(0));
+    if (config_.restart_cost > 0.0 && decision.app) {
+      // Non-preemptible restart window charged to the resuming app. A failure
+      // striking inside it is handled by the main loop (the window is modeled
+      // as part of the app's first interval start offset).
+      const Seconds end = std::min({now + config_.restart_cost, next_fail, horizon});
+      res.apps[*decision.app].restart += end - now;
+      now = end;
+    }
+  };
+
+  while (now < horizon) {
+    // Resolve idling (no app, or an app with a delayed start).
+    if (!decision.app) {
+      const Seconds until = std::min(next_fail, horizon);
+      res.idle += until - now;
+      now = until;
+      if (now >= horizon) break;
+      handle_failure(std::nullopt);
+      continue;
+    }
+    const std::size_t ai = *decision.app;
+    SHIRAZ_REQUIRE(ai < jobs.size(), "scheduler chose an unknown app");
+    const Seconds start_time = gap_start + decision.not_before_elapsed;
+    if (start_time > now) {
+      const Seconds until = std::min({start_time, next_fail, horizon});
+      res.idle += until - now;
+      now = until;
+      if (now >= horizon) break;
+      if (next_fail <= start_time && now >= next_fail) {
+        handle_failure(std::nullopt);  // failure struck while still idle
+        continue;
+      }
+    }
+
+    // Run one segment (compute interval + checkpoint write) of app `ai`.
+    const SimJob& job = jobs[ai];
+    const Seconds tau = job.schedule->next_interval(now - gap_start);
+    SHIRAZ_REQUIRE(tau > 0.0, "schedule produced a non-positive interval");
+    const Seconds seg_end = now + tau + job.delta;
+
+    if (horizon <= std::min(seg_end, next_fail)) {
+      // Horizon cuts the segment: neither checkpointed nor failure-wiped.
+      res.truncated += horizon - now;
+      now = horizon;
+      break;
+    }
+    if (next_fail < seg_end) {
+      // Failure wipes the in-flight segment (compute + partial checkpoint).
+      res.apps[ai].lost += next_fail - now;
+      now = next_fail;
+      handle_failure(ai);
+      continue;
+    }
+    // Segment completes: the interval becomes useful work, sealed by delta of
+    // checkpoint I/O.
+    res.apps[ai].useful += tau;
+    res.apps[ai].io += job.delta;
+    ++res.apps[ai].checkpoints;
+    ++ckpts_gap[ai];
+    now = seg_end;
+    decision = scheduler.on_checkpoint(make_ctx(ai));
+    // A within-gap hand-off (Shiraz's switch) may cost drain/launch downtime,
+    // charged to the incoming application.
+    if (decision.app && *decision.app != ai) {
+      ++res.switches;
+      if (config_.switch_cost > 0.0) {
+        const Seconds end =
+            std::min({now + config_.switch_cost, next_fail, horizon});
+        res.apps[*decision.app].restart += end - now;
+        now = end;
+      }
+    }
+  }
+  return res;
+}
+
+SimResult Engine::run_many(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
+                           std::size_t reps, std::uint64_t seed) const {
+  SHIRAZ_REQUIRE(reps >= 1, "need at least one repetition");
+  std::vector<SimResult> results;
+  results.reserve(reps);
+  Rng master(seed);
+  for (std::size_t r = 0; r < reps; ++r) {
+    Rng rng = master.fork(r);
+    results.push_back(run(jobs, scheduler, rng));
+  }
+  return average(results);
+}
+
+}  // namespace shiraz::sim

@@ -1,0 +1,27 @@
+#include "sim/job.h"
+
+namespace shiraz::sim {
+
+SimJob SimJob::at_oci(std::string name, Seconds delta, Seconds mtbf, unsigned stretch,
+                      checkpoint::OciFormula formula) {
+  const Seconds oci = checkpoint::optimal_interval(mtbf, delta, formula);
+  SimJob job;
+  job.name = std::move(name);
+  job.delta = delta;
+  if (stretch == 1) {
+    job.schedule = std::make_shared<checkpoint::EquidistantSchedule>(oci);
+  } else {
+    job.schedule = std::make_shared<checkpoint::StretchedSchedule>(oci, stretch);
+  }
+  return job;
+}
+
+SimJob SimJob::lazy(std::string name, Seconds delta, Seconds mtbf, double weibull_shape) {
+  SimJob job;
+  job.name = std::move(name);
+  job.delta = delta;
+  job.schedule = std::make_shared<checkpoint::LazySchedule>(delta, mtbf, weibull_shape);
+  return job;
+}
+
+}  // namespace shiraz::sim

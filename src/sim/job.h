@@ -1,0 +1,32 @@
+// A simulated application: checkpoint cost plus an interval schedule.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "checkpoint/oci.h"
+#include "checkpoint/schedule.h"
+#include "common/units.h"
+
+namespace shiraz::sim {
+
+struct SimJob {
+  std::string name;
+  /// Checkpoint cost delta (seconds).
+  Seconds delta = 0.0;
+  /// Compute-interval schedule; shared so job lists are copyable across
+  /// repetitions (schedules are immutable).
+  std::shared_ptr<const checkpoint::IntervalSchedule> schedule;
+
+  /// Convenience factory: equidistant checkpoints at the OCI for `mtbf`,
+  /// optionally stretched by an integer factor (Shiraz+).
+  static SimJob at_oci(std::string name, Seconds delta, Seconds mtbf,
+                       unsigned stretch = 1,
+                       checkpoint::OciFormula formula = checkpoint::OciFormula::kYoung);
+
+  /// Convenience factory: Lazy Checkpointing schedule (Tiwari et al. DSN'14).
+  static SimJob lazy(std::string name, Seconds delta, Seconds mtbf,
+                     double weibull_shape);
+};
+
+}  // namespace shiraz::sim

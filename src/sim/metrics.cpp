@@ -1,0 +1,75 @@
+#include "sim/metrics.h"
+
+#include "common/error.h"
+
+namespace shiraz::sim {
+
+Seconds SimResult::total_useful() const {
+  Seconds t = 0.0;
+  for (const auto& a : apps) t += a.useful;
+  return t;
+}
+
+Seconds SimResult::total_io() const {
+  Seconds t = 0.0;
+  for (const auto& a : apps) t += a.io;
+  return t;
+}
+
+Seconds SimResult::total_lost() const {
+  Seconds t = 0.0;
+  for (const auto& a : apps) t += a.lost;
+  return t;
+}
+
+Seconds SimResult::accounted() const {
+  Seconds t = idle + truncated;
+  for (const auto& a : apps) t += a.busy();
+  return t;
+}
+
+const AppMetrics& SimResult::app(const std::string& name) const {
+  for (const auto& a : apps) {
+    if (a.name == name) return a;
+  }
+  throw InvalidArgument("no app named " + name + " in result");
+}
+
+SimResult average(const std::vector<SimResult>& results) {
+  SHIRAZ_REQUIRE(!results.empty(), "cannot average zero results");
+  SimResult mean = results.front();
+  const double n = static_cast<double>(results.size());
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    const SimResult& x = results[r];
+    SHIRAZ_REQUIRE(x.apps.size() == mean.apps.size(), "result layouts differ");
+    for (std::size_t i = 0; i < x.apps.size(); ++i) {
+      mean.apps[i].useful += x.apps[i].useful;
+      mean.apps[i].io += x.apps[i].io;
+      mean.apps[i].lost += x.apps[i].lost;
+      mean.apps[i].restart += x.apps[i].restart;
+      mean.apps[i].checkpoints += x.apps[i].checkpoints;
+      mean.apps[i].failures_hit += x.apps[i].failures_hit;
+    }
+    mean.idle += x.idle;
+    mean.truncated += x.truncated;
+    mean.failures += x.failures;
+    mean.switches += x.switches;
+    mean.wall += x.wall;
+  }
+  for (auto& a : mean.apps) {
+    a.useful /= n;
+    a.io /= n;
+    a.lost /= n;
+    a.restart /= n;
+    a.checkpoints = static_cast<std::size_t>(static_cast<double>(a.checkpoints) / n);
+    a.failures_hit = static_cast<std::size_t>(static_cast<double>(a.failures_hit) / n);
+  }
+  mean.idle /= n;
+  mean.truncated /= n;
+  mean.wall /= n;
+  mean.failures = static_cast<std::size_t>(static_cast<double>(mean.failures) / n);
+  mean.switches = static_cast<std::size_t>(static_cast<double>(mean.switches) / n);
+  return mean;
+}
+
+}  // namespace shiraz::sim

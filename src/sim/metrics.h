@@ -1,0 +1,45 @@
+// Simulation metrics: the same useful/io/lost decomposition the analytical
+// model predicts, plus event counts for deeper assertions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace shiraz::sim {
+
+struct AppMetrics {
+  std::string name;
+  Seconds useful = 0.0;   ///< compute time sealed by a completed checkpoint
+  Seconds io = 0.0;       ///< time spent writing completed checkpoints
+  Seconds lost = 0.0;     ///< compute/partial-checkpoint time wiped by failures
+  Seconds restart = 0.0;  ///< downtime charged to this app after its failures
+  std::size_t checkpoints = 0;
+  std::size_t failures_hit = 0;  ///< failures that struck while this app ran
+
+  Seconds busy() const { return useful + io + lost + restart; }
+};
+
+struct SimResult {
+  std::vector<AppMetrics> apps;
+  Seconds wall = 0.0;             ///< simulated horizon
+  Seconds idle = 0.0;             ///< time no app was running
+  Seconds truncated = 0.0;        ///< partial segment cut off by the horizon
+  std::size_t failures = 0;       ///< total failures over the horizon
+  std::size_t switches = 0;       ///< within-gap application switches
+
+  Seconds total_useful() const;
+  Seconds total_io() const;
+  Seconds total_lost() const;
+  /// Σ busy + idle + truncated; equals `wall` up to rounding (tested invariant).
+  Seconds accounted() const;
+
+  const AppMetrics& app(const std::string& name) const;
+};
+
+/// Element-wise mean of several results (same app layout required).
+SimResult average(const std::vector<SimResult>& results);
+
+}  // namespace shiraz::sim

@@ -1,0 +1,70 @@
+#include "sim/optimizer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace shiraz::sim {
+
+SimSwitchCandidate simulate_switch_point(const Engine& engine, const SimJob& lw,
+                                         const SimJob& hw, int k, std::size_t reps,
+                                         std::uint64_t seed) {
+  const std::vector<SimJob> jobs{lw, hw};
+  const AlternateAtFailure baseline_policy;
+  const ShirazPairScheduler shiraz_policy(k);
+  // Same seed => same failure streams for both policies (the engine draws
+  // failures identically regardless of policy), so the difference is pure
+  // policy effect.
+  const SimResult base = engine.run_many(jobs, baseline_policy, reps, seed);
+  const SimResult sz = engine.run_many(jobs, shiraz_policy, reps, seed);
+  SimSwitchCandidate c;
+  c.k = k;
+  c.delta_lw = sz.apps[0].useful - base.apps[0].useful;
+  c.delta_hw = sz.apps[1].useful - base.apps[1].useful;
+  c.delta_total = c.delta_lw + c.delta_hw;
+  return c;
+}
+
+SimSwitchSolution find_fair_k_by_simulation(const Engine& engine, const SimJob& lw,
+                                            const SimJob& hw, int k_lo, int k_hi,
+                                            std::size_t reps, std::uint64_t seed) {
+  SHIRAZ_REQUIRE(k_lo >= 1 && k_hi >= k_lo, "invalid k range");
+  const std::vector<SimJob> jobs{lw, hw};
+  const AlternateAtFailure baseline_policy;
+  const SimResult base = engine.run_many(jobs, baseline_policy, reps, seed);
+
+  SimSwitchSolution sol;
+  // Same fairness criterion the model solver applies: the k nearest the
+  // Delta_LW = Delta_HW crossing, accepted only when the total gain there is
+  // material (see core::solve_switch_point).
+  double best_gap = std::numeric_limits<double>::infinity();
+  SimSwitchCandidate best;
+  bool have_candidate = false;
+  for (int k = k_lo; k <= k_hi; ++k) {
+    const ShirazPairScheduler policy(k);
+    const SimResult sz = engine.run_many(jobs, policy, reps, seed);
+    SimSwitchCandidate c;
+    c.k = k;
+    c.delta_lw = sz.apps[0].useful - base.apps[0].useful;
+    c.delta_hw = sz.apps[1].useful - base.apps[1].useful;
+    c.delta_total = c.delta_lw + c.delta_hw;
+    sol.sweep.push_back(c);
+    const double gap = std::fabs(c.delta_lw - c.delta_hw);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = c;
+      have_candidate = true;
+    }
+  }
+  const double materiality = 1e-4 * (base.apps[0].useful + base.apps[1].useful);
+  if (have_candidate && best.delta_total > materiality) {
+    sol.k = best.k;
+    sol.delta_lw = best.delta_lw;
+    sol.delta_hw = best.delta_hw;
+    sol.delta_total = best.delta_total;
+  }
+  return sol;
+}
+
+}  // namespace shiraz::sim

@@ -1,0 +1,46 @@
+// Simulation-side switch-point search and policy comparison.
+//
+// The paper's Table 2 checks that the model's fair switch point matches the
+// one found by "extensive simulation". This module implements that search:
+// for each candidate k it simulates Shiraz and the baseline over the same
+// failure streams (common random numbers) and applies the same fairness
+// criterion the model uses — both apps gain, and the gains are as equal as
+// possible.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace shiraz::sim {
+
+/// Improvements of Shiraz(k) over the baseline, measured by simulation.
+struct SimSwitchCandidate {
+  int k = 0;
+  double delta_lw = 0.0;
+  double delta_hw = 0.0;
+  double delta_total = 0.0;
+};
+
+struct SimSwitchSolution {
+  std::optional<int> k;
+  double delta_lw = 0.0;
+  double delta_hw = 0.0;
+  double delta_total = 0.0;
+  std::vector<SimSwitchCandidate> sweep;
+
+  bool beneficial() const { return k.has_value(); }
+};
+
+/// Baseline-vs-Shiraz comparison for a light/heavy pair at one k.
+SimSwitchCandidate simulate_switch_point(const Engine& engine, const SimJob& lw,
+                                         const SimJob& hw, int k, std::size_t reps,
+                                         std::uint64_t seed);
+
+/// Scans k in [k_lo, k_hi] and returns the simulated fair switch point.
+SimSwitchSolution find_fair_k_by_simulation(const Engine& engine, const SimJob& lw,
+                                            const SimJob& hw, int k_lo, int k_hi,
+                                            std::size_t reps, std::uint64_t seed);
+
+}  // namespace shiraz::sim

@@ -1,0 +1,157 @@
+#include "adaptive/adaptive_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/switch_solver.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+
+namespace shiraz::adaptive {
+namespace {
+
+core::AppSpec light() { return {"lw", 18.0, 1}; }
+core::AppSpec heavy() { return {"hw", 1800.0, 1}; }
+
+AdaptiveConfig config_with_prior(Seconds prior_mtbf) {
+  AdaptiveConfig cfg;
+  cfg.estimator.prior_mtbf = prior_mtbf;
+  cfg.estimator.min_samples = 16;
+  // Wide window: the Weibull MLE over heavy-tailed gaps is noisy, and k
+  // jitter costs fairness; 256 gaps is ~2 months of an MTBF-5h machine.
+  cfg.estimator.window = 256;
+  return cfg;
+}
+
+TEST(AdaptiveScheduler, StartsFromThePriorSolution) {
+  const AdaptiveShirazScheduler sched(light(), heavy(),
+                                      config_with_prior(hours(5.0)));
+  core::ModelConfig mcfg;
+  mcfg.mtbf = hours(5.0);
+  const core::ShirazModel model(mcfg);
+  core::SolverOptions opts;
+  opts.keep_sweep = false;
+  const core::SwitchSolution sol = solve_switch_point(model, light(), heavy(), opts);
+  ASSERT_TRUE(sol.beneficial());
+  EXPECT_EQ(sched.current_k(), *sol.k);
+  EXPECT_EQ(sched.resolves(), 1u);
+}
+
+TEST(AdaptiveScheduler, LearnsTheTrueMtbfFromAWrongPrior) {
+  // Prior says 20h but the machine fails every 5h: after enough observed
+  // gaps the controller's k must move toward the 5h solution (k ~ 26) and
+  // away from the 20h one (k ~ 50).
+  const AdaptiveShirazScheduler sched(light(), heavy(),
+                                      config_with_prior(hours(20.0)));
+  const int k_prior = sched.current_k();
+
+  sim::EngineConfig ecfg;
+  ecfg.t_total = hours(2000.0);
+  const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, hours(5.0)), ecfg);
+  const std::vector<sim::SimJob> jobs{sim::SimJob::at_oci("lw", 18.0, hours(5.0)),
+                                      sim::SimJob::at_oci("hw", 1800.0, hours(5.0))};
+  Rng rng(11);
+  (void)engine.run(jobs, sched, rng);
+
+  EXPECT_GT(sched.resolves(), 1u);
+  EXPECT_LT(sched.current_k(), k_prior);
+  EXPECT_NEAR(sched.current_k(), 26, 8);
+  EXPECT_NEAR(sched.current_estimate().mtbf / hours(5.0), 1.0, 0.3);
+}
+
+TEST(AdaptiveScheduler, ResetRestoresThePrior) {
+  const AdaptiveShirazScheduler sched(light(), heavy(),
+                                      config_with_prior(hours(20.0)));
+  const int k_prior = sched.current_k();
+  sim::EngineConfig ecfg;
+  ecfg.t_total = hours(1000.0);
+  const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, hours(5.0)), ecfg);
+  const std::vector<sim::SimJob> jobs{sim::SimJob::at_oci("lw", 18.0, hours(5.0)),
+                                      sim::SimJob::at_oci("hw", 1800.0, hours(5.0))};
+  Rng rng(13);
+  (void)engine.run(jobs, sched, rng);
+  EXPECT_NE(sched.current_k(), k_prior);
+  sched.reset();
+  EXPECT_EQ(sched.current_k(), k_prior);
+  EXPECT_EQ(sched.resolves(), 1u);
+}
+
+TEST(AdaptiveScheduler, RestoresFairnessUnderAMisconfiguredMtbf) {
+  // When the operator's nominal MTBF is wrong by 4x, the static switch point
+  // (k ~ 50 instead of ~26) over-serves the light app: the *total* can even
+  // rise, but the heavy app is cheated out of its share — precisely the
+  // unfairness Shiraz's constraint exists to prevent. The adaptive controller
+  // must restore the fair split: its worst-served app does far better than
+  // the miscalibrated static one's, and close to the oracle's.
+  sim::EngineConfig ecfg;
+  ecfg.t_total = hours(4000.0);
+  const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, hours(5.0)), ecfg);
+  const std::vector<sim::SimJob> jobs{sim::SimJob::at_oci("lw", 18.0, hours(5.0)),
+                                      sim::SimJob::at_oci("hw", 1800.0, hours(5.0))};
+
+  core::SolverOptions opts;
+  opts.keep_sweep = false;
+  core::ModelConfig wrong;
+  wrong.mtbf = hours(20.0);
+  const core::SwitchSolution miscal =
+      solve_switch_point(core::ShirazModel(wrong), light(), heavy(), opts);
+  ASSERT_TRUE(miscal.beneficial());
+  const sim::ShirazPairScheduler static_wrong(*miscal.k);
+
+  core::ModelConfig right;
+  right.mtbf = hours(5.0);
+  const core::SwitchSolution oracle =
+      solve_switch_point(core::ShirazModel(right), light(), heavy(), opts);
+  const sim::ShirazPairScheduler static_right(*oracle.k);
+
+  const AdaptiveShirazScheduler adaptive(light(), heavy(),
+                                         config_with_prior(hours(20.0)));
+
+  const std::size_t reps = 16;
+  const sim::AlternateAtFailure baseline;
+  const sim::SimResult r_base = engine.run_many(jobs, baseline, reps, 3);
+  const sim::SimResult r_wrong = engine.run_many(jobs, static_wrong, reps, 3);
+  const sim::SimResult r_adapt = engine.run_many(jobs, adaptive, reps, 3);
+  const sim::SimResult r_right = engine.run_many(jobs, static_right, reps, 3);
+
+  auto min_gain = [&](const sim::SimResult& r) {
+    return std::min(r.apps[0].useful - r_base.apps[0].useful,
+                    r.apps[1].useful - r_base.apps[1].useful);
+  };
+  EXPECT_GT(min_gain(r_adapt), min_gain(r_wrong) + hours(5.0));
+  // Learning costs something (the prior governs until the window warms up and
+  // the estimate keeps jittering afterwards): demand half the oracle's
+  // fairness gain, not parity.
+  EXPECT_GT(min_gain(r_adapt), 0.5 * min_gain(r_right));
+  // And the adaptive schedule still improves the system overall.
+  EXPECT_GT(r_adapt.total_useful(), r_base.total_useful());
+}
+
+TEST(AdaptiveScheduler, FallsBackToAlternationWhenNoBenefit) {
+  // Identical apps: no beneficial k at any estimate -> alternate at failures.
+  const core::AppSpec a{"a", 300.0, 1};
+  const core::AppSpec b{"b", 300.0, 1};
+  const AdaptiveShirazScheduler sched(a, b, config_with_prior(hours(5.0)));
+  EXPECT_EQ(sched.current_k(), 0);
+
+  std::vector<std::size_t> ckpts{0, 0};
+  sim::SchedContext ctx;
+  ctx.num_apps = 2;
+  ctx.checkpoints_this_gap = &ckpts;
+  ctx.failures_so_far = 0;
+  EXPECT_EQ(*sched.on_gap_start(ctx).app, 0u);
+  ctx.failures_so_far = 1;
+  EXPECT_EQ(*sched.on_gap_start(ctx).app, 1u);
+}
+
+TEST(AdaptiveScheduler, RejectsBadConstruction) {
+  AdaptiveConfig cfg;
+  cfg.resolve_threshold = -0.1;
+  EXPECT_THROW(AdaptiveShirazScheduler(light(), heavy(), cfg), InvalidArgument);
+  EXPECT_THROW(
+      AdaptiveShirazScheduler(core::AppSpec{"z", 0.0, 1}, heavy(), AdaptiveConfig{}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::adaptive

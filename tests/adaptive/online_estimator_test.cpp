@@ -1,0 +1,93 @@
+#include "adaptive/online_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::adaptive {
+namespace {
+
+EstimatorConfig small_config() {
+  EstimatorConfig cfg;
+  cfg.window = 64;
+  cfg.min_samples = 8;
+  cfg.prior_mtbf = hours(20.0);
+  cfg.prior_shape = 0.6;
+  return cfg;
+}
+
+TEST(OnlineEstimator, ReturnsPriorBeforeWarmup) {
+  OnlineWeibullEstimator est(small_config());
+  for (int i = 0; i < 7; ++i) est.observe(hours(1.0) + i);
+  const FailureEstimate e = est.estimate();
+  EXPECT_EQ(e.samples, 0u);
+  EXPECT_DOUBLE_EQ(e.mtbf, hours(20.0));
+  EXPECT_DOUBLE_EQ(e.shape, 0.6);
+}
+
+TEST(OnlineEstimator, ConvergesToTrueParameters) {
+  const reliability::Weibull truth =
+      reliability::Weibull::from_mtbf(0.6, hours(5.0));
+  EstimatorConfig cfg = small_config();
+  cfg.window = 512;
+  OnlineWeibullEstimator est(cfg);
+  Rng rng(5);
+  for (int i = 0; i < 512; ++i) est.observe(truth.sample(rng));
+  const FailureEstimate e = est.estimate();
+  EXPECT_EQ(e.samples, 512u);
+  EXPECT_NEAR(e.mtbf / hours(5.0), 1.0, 0.15);
+  EXPECT_NEAR(e.shape, 0.6, 0.1);
+}
+
+TEST(OnlineEstimator, SlidingWindowTracksDrift) {
+  // Feed gaps from MTBF 20h, then from MTBF 5h: the estimate must follow.
+  const reliability::Weibull before = reliability::Weibull::from_mtbf(0.6, hours(20.0));
+  const reliability::Weibull after = reliability::Weibull::from_mtbf(0.6, hours(5.0));
+  OnlineWeibullEstimator est(small_config());
+  Rng rng(9);
+  for (int i = 0; i < 64; ++i) est.observe(before.sample(rng));
+  const Seconds early = est.estimate().mtbf;
+  for (int i = 0; i < 64; ++i) est.observe(after.sample(rng));
+  const Seconds late = est.estimate().mtbf;
+  EXPECT_GT(early, 2.0 * late);
+}
+
+TEST(OnlineEstimator, WindowCapsMemory) {
+  OnlineWeibullEstimator est(small_config());
+  for (int i = 0; i < 1000; ++i) est.observe(100.0 + i);
+  EXPECT_EQ(est.observed(), 64u);
+}
+
+TEST(OnlineEstimator, DegenerateWindowFallsBackToPrior) {
+  OnlineWeibullEstimator est(small_config());
+  for (int i = 0; i < 20; ++i) est.observe(3600.0);  // identical gaps: MLE undefined
+  const FailureEstimate e = est.estimate();
+  EXPECT_DOUBLE_EQ(e.mtbf, hours(20.0));
+  EXPECT_EQ(e.samples, 0u);
+}
+
+TEST(OnlineEstimator, ResetDropsHistory) {
+  OnlineWeibullEstimator est(small_config());
+  Rng rng(3);
+  const reliability::Weibull truth = reliability::Weibull::from_mtbf(0.6, hours(5.0));
+  for (int i = 0; i < 64; ++i) est.observe(truth.sample(rng));
+  est.reset();
+  EXPECT_EQ(est.observed(), 0u);
+  EXPECT_DOUBLE_EQ(est.estimate().mtbf, hours(20.0));
+}
+
+TEST(OnlineEstimator, RejectsBadConfigAndGaps) {
+  EstimatorConfig bad = small_config();
+  bad.window = 1;
+  EXPECT_THROW(OnlineWeibullEstimator{bad}, InvalidArgument);
+  EstimatorConfig bad2 = small_config();
+  bad2.min_samples = 100;  // exceeds window
+  EXPECT_THROW(OnlineWeibullEstimator{bad2}, InvalidArgument);
+  OnlineWeibullEstimator est(small_config());
+  EXPECT_THROW(est.observe(0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::adaptive

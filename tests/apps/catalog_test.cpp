@@ -1,0 +1,61 @@
+#include "apps/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz::apps {
+namespace {
+
+TEST(Catalog, HasNineTable1Applications) {
+  EXPECT_EQ(table1_catalog().size(), 9u);
+}
+
+TEST(Catalog, CostsSpanTheTable1Range) {
+  const auto catalog = table1_catalog();
+  const auto light = lightest(catalog, 1);
+  const auto heavy = heaviest(catalog, 1);
+  EXPECT_DOUBLE_EQ(light.front().checkpoint_cost, 1.5);
+  EXPECT_DOUBLE_EQ(heavy.front().checkpoint_cost, 2700.0);
+}
+
+TEST(Catalog, DeltaFactorSpanIs1800x) {
+  EXPECT_NEAR(delta_factor_span(table1_catalog()), 2700.0 / 1.5, 1e-9);
+}
+
+TEST(Catalog, LightestReturnsAscendingOrder) {
+  const auto light = lightest(table1_catalog(), 3);
+  ASSERT_EQ(light.size(), 3u);
+  EXPECT_DOUBLE_EQ(light[0].checkpoint_cost, 1.5);
+  EXPECT_DOUBLE_EQ(light[1].checkpoint_cost, 2.0);
+  EXPECT_DOUBLE_EQ(light[2].checkpoint_cost, 6.0);
+}
+
+TEST(Catalog, HeaviestReturnsDescendingOrder) {
+  const auto heavy = heaviest(table1_catalog(), 3);
+  ASSERT_EQ(heavy.size(), 3u);
+  EXPECT_DOUBLE_EQ(heavy[0].checkpoint_cost, 2700.0);
+  EXPECT_DOUBLE_EQ(heavy[1].checkpoint_cost, 2000.0);
+  EXPECT_DOUBLE_EQ(heavy[2].checkpoint_cost, 1800.0);
+}
+
+TEST(Catalog, SelectionRejectsOversizedRequests) {
+  EXPECT_THROW(lightest(table1_catalog(), 10), InvalidArgument);
+  EXPECT_THROW(heaviest(table1_catalog(), 10), InvalidArgument);
+}
+
+TEST(Catalog, EveryEntryDocumented) {
+  for (const AppProfile& app : table1_catalog()) {
+    EXPECT_FALSE(app.name.empty());
+    EXPECT_FALSE(app.domain.empty());
+    EXPECT_FALSE(app.machine.empty());
+    EXPECT_GT(app.checkpoint_cost, 0.0);
+  }
+}
+
+TEST(Catalog, DeltaFactorSpanRejectsEmpty) {
+  EXPECT_THROW(delta_factor_span({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::apps

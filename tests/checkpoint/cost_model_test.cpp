@@ -1,0 +1,48 @@
+#include "checkpoint/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz::checkpoint {
+namespace {
+
+TEST(CostModel, CostIsLatencyPlusTransfer) {
+  StorageSpec storage;
+  storage.write_bandwidth_bps = 1.0e9;
+  storage.fixed_latency = 2.0;
+  EXPECT_DOUBLE_EQ(checkpoint_cost(gib(1.0), storage),
+                   2.0 + static_cast<double>(gib(1.0)) / 1.0e9);
+}
+
+TEST(CostModel, CostScalesLinearlyWithState) {
+  StorageSpec storage;
+  storage.fixed_latency = 0.0;
+  const Seconds one = checkpoint_cost(gib(1.0), storage);
+  const Seconds four = checkpoint_cost(gib(4.0), storage);
+  EXPECT_NEAR(four / one, 4.0, 1e-9);
+}
+
+TEST(CostModel, RestartUsesReadBandwidth) {
+  StorageSpec storage;
+  storage.read_bandwidth_bps = 2.0e9;
+  EXPECT_DOUBLE_EQ(restart_read_cost(gib(2.0), storage),
+                   static_cast<double>(gib(2.0)) / 2.0e9);
+}
+
+TEST(CostModel, DataMovedCountsEveryCheckpoint) {
+  EXPECT_EQ(data_moved(mib(100.0), 52), mib(100.0) * 52);
+  EXPECT_EQ(data_moved(mib(100.0), 0), 0ULL);
+}
+
+TEST(CostModel, RejectsBadStorage) {
+  StorageSpec bad;
+  bad.write_bandwidth_bps = 0.0;
+  EXPECT_THROW(checkpoint_cost(kib(1.0), bad), InvalidArgument);
+  StorageSpec bad2;
+  bad2.read_bandwidth_bps = -1.0;
+  EXPECT_THROW(restart_read_cost(kib(1.0), bad2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::checkpoint

@@ -1,0 +1,110 @@
+#include "checkpoint/incremental.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/oci.h"
+#include "common/error.h"
+
+namespace shiraz::checkpoint {
+namespace {
+
+IncrementalSpec typical_spec() {
+  IncrementalSpec spec;
+  spec.delta_full = 600.0;
+  spec.delta_meta = 5.0;
+  spec.dirty_halflife = 1200.0;
+  spec.full_every = 4;
+  spec.replay_cost_per_increment = 20.0;
+  return spec;
+}
+
+TEST(Incremental, DirtyFractionSaturates) {
+  const IncrementalSpec spec = typical_spec();
+  EXPECT_DOUBLE_EQ(dirty_fraction(spec, 0.0), 0.0);
+  EXPECT_NEAR(dirty_fraction(spec, 1200.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(dirty_fraction(spec, 1.0e9), 1.0, 1e-12);
+  EXPECT_LT(dirty_fraction(spec, 300.0), dirty_fraction(spec, 900.0));
+}
+
+TEST(Incremental, IncrementalCostBelowFullForShortIntervals) {
+  const IncrementalSpec spec = typical_spec();
+  EXPECT_LT(incremental_cost(spec, 300.0), spec.delta_full);
+  // Long intervals dirty everything: cost approaches full + metadata.
+  EXPECT_NEAR(incremental_cost(spec, 1.0e9), spec.delta_full + spec.delta_meta, 1e-6);
+}
+
+TEST(Incremental, AverageCostInterpolatesFullAndIncremental) {
+  IncrementalSpec spec = typical_spec();
+  spec.full_every = 1;
+  EXPECT_DOUBLE_EQ(average_checkpoint_cost(spec, 300.0), spec.delta_full);
+  spec.full_every = 4;
+  const Seconds avg = average_checkpoint_cost(spec, 300.0);
+  EXPECT_LT(avg, spec.delta_full);
+  EXPECT_GT(avg, incremental_cost(spec, 300.0));
+}
+
+TEST(Incremental, ReplayCostGrowsWithChainLength) {
+  IncrementalSpec spec = typical_spec();
+  spec.full_every = 1;
+  EXPECT_DOUBLE_EQ(average_replay_cost(spec), 0.0);
+  spec.full_every = 5;
+  EXPECT_DOUBLE_EQ(average_replay_cost(spec), 20.0 * 2.0);
+}
+
+TEST(Incremental, OptimizerBeatsFullOnlyCheckpointing) {
+  const IncrementalSpec spec = typical_spec();
+  const Seconds mtbf = hours(5.0);
+  const IncrementalPlan plan = optimize_incremental(spec, mtbf);
+  // Full-only reference at its own optimal interval.
+  IncrementalSpec full_only = spec;
+  full_only.full_every = 1;
+  const Seconds tau_full = optimal_interval(mtbf, spec.delta_full);
+  const double full_waste = incremental_waste_rate(full_only, tau_full, mtbf);
+  EXPECT_LT(plan.waste_rate, full_waste);
+  EXPECT_GT(plan.full_every, 1);
+  EXPECT_LT(plan.effective_delta, spec.delta_full);
+}
+
+TEST(Incremental, OptimizerAvoidsIncrementsWhenReplayIsRuinous) {
+  IncrementalSpec spec = typical_spec();
+  spec.replay_cost_per_increment = hours(2.0);  // replay dwarfs any I/O savings
+  const IncrementalPlan plan = optimize_incremental(spec, hours(5.0));
+  EXPECT_EQ(plan.full_every, 1);
+}
+
+TEST(Incremental, FastDirtyingErasesTheAdvantage) {
+  // If the app re-dirties its whole state within a fraction of the interval,
+  // increments cost as much as full checkpoints (plus metadata), so the
+  // optimal plan gains almost nothing.
+  IncrementalSpec spec = typical_spec();
+  spec.dirty_halflife = 1.0;
+  const IncrementalPlan plan = optimize_incremental(spec, hours(5.0));
+  EXPECT_NEAR(plan.effective_delta, spec.delta_full, spec.delta_full * 0.05);
+}
+
+TEST(Incremental, WasteRateQuasiConvexInInterval) {
+  const IncrementalSpec spec = typical_spec();
+  const Seconds mtbf = hours(5.0);
+  const IncrementalPlan plan = optimize_incremental(spec, mtbf);
+  IncrementalSpec at = spec;
+  at.full_every = plan.full_every;
+  EXPECT_GT(incremental_waste_rate(at, plan.interval * 0.25, mtbf), plan.waste_rate);
+  EXPECT_GT(incremental_waste_rate(at, plan.interval * 4.0, mtbf), plan.waste_rate);
+}
+
+TEST(Incremental, RejectsBadSpec) {
+  IncrementalSpec bad = typical_spec();
+  bad.delta_full = 0.0;
+  EXPECT_THROW(dirty_fraction(bad, 1.0), InvalidArgument);
+  IncrementalSpec bad2 = typical_spec();
+  bad2.full_every = 0;
+  EXPECT_THROW(average_checkpoint_cost(bad2, 1.0), InvalidArgument);
+  const IncrementalSpec spec = typical_spec();
+  EXPECT_THROW(incremental_waste_rate(spec, 0.0, hours(5.0)), InvalidArgument);
+  EXPECT_THROW(optimize_incremental(spec, hours(5.0), 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::checkpoint

@@ -1,0 +1,104 @@
+#include "checkpoint/multilevel.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz::checkpoint {
+namespace {
+
+TwoLevelSpec typical_spec() {
+  // Burst-buffer-class local checkpoints, expensive PFS flushes; node-level
+  // soft failures ~hourly, PFS-requiring failures ~daily.
+  TwoLevelSpec spec;
+  spec.delta_local = 10.0;
+  spec.delta_pfs = 290.0;
+  spec.mtbf_light = hours(4.0);
+  spec.mtbf_heavy = hours(30.0);
+  spec.restart_light = 20.0;
+  spec.restart_heavy = 120.0;
+  return spec;
+}
+
+TEST(TwoLevel, WasteRateMatchesHandComputation) {
+  TwoLevelSpec spec;
+  spec.delta_local = 10.0;
+  spec.delta_pfs = 90.0;
+  spec.mtbf_light = 1000.0;
+  spec.mtbf_heavy = 10'000.0;
+  // tau = 100, n = 3: ckpt = (10 + 30)/100 = 0.4; light = 50/1000 = 0.05;
+  // heavy = 150/10000 = 0.015.
+  EXPECT_NEAR(two_level_waste_rate(spec, 100.0, 3), 0.4 + 0.05 + 0.015, 1e-12);
+}
+
+TEST(TwoLevel, OptimalIntervalIsStationaryPoint) {
+  const TwoLevelSpec spec = typical_spec();
+  for (const int n : {1, 2, 4, 8}) {
+    const Seconds tau = optimal_two_level_interval(spec, n);
+    const double at = two_level_waste_rate(spec, tau, n);
+    EXPECT_LT(at, two_level_waste_rate(spec, tau * 0.9, n));
+    EXPECT_LT(at, two_level_waste_rate(spec, tau * 1.1, n));
+  }
+}
+
+TEST(TwoLevel, OptimizerBeatsEveryScannedAlternative) {
+  const TwoLevelSpec spec = typical_spec();
+  const TwoLevelPlan plan = optimize_two_level(spec, 64);
+  for (int n = 1; n <= 64; ++n) {
+    const Seconds tau = optimal_two_level_interval(spec, n);
+    EXPECT_LE(plan.waste_rate, two_level_waste_rate(spec, tau, n) + 1e-12);
+  }
+}
+
+TEST(TwoLevel, BeatsSingleLevelWhenPfsIsExpensive) {
+  const TwoLevelSpec spec = typical_spec();
+  const TwoLevelPlan plan = optimize_two_level(spec);
+  EXPECT_GT(plan.pfs_every, 1);
+  EXPECT_LT(plan.waste_rate, single_level_waste_rate(spec));
+}
+
+TEST(TwoLevel, DegeneratesToSingleLevelWhenFlushIsFree) {
+  TwoLevelSpec spec = typical_spec();
+  spec.delta_pfs = 0.0;
+  const TwoLevelPlan plan = optimize_two_level(spec);
+  // With a free flush there is no reason to skip PFS copies... but also no
+  // harm; the waste rate must equal the n = 1 rate either way.
+  const Seconds tau1 = optimal_two_level_interval(spec, 1);
+  EXPECT_NEAR(plan.waste_rate, two_level_waste_rate(spec, tau1, 1), 0.01);
+}
+
+TEST(TwoLevel, FlushPeriodGrowsWithPfsCost) {
+  TwoLevelSpec cheap = typical_spec();
+  TwoLevelSpec dear = typical_spec();
+  cheap.delta_pfs = 50.0;
+  dear.delta_pfs = 2000.0;
+  EXPECT_LE(optimize_two_level(cheap).pfs_every, optimize_two_level(dear).pfs_every);
+}
+
+TEST(TwoLevel, FlushPeriodShrinksWithHeavyFailureRate) {
+  TwoLevelSpec calm = typical_spec();
+  TwoLevelSpec stormy = typical_spec();
+  calm.mtbf_heavy = hours(100.0);
+  stormy.mtbf_heavy = hours(6.0);
+  EXPECT_GE(optimize_two_level(calm).pfs_every, optimize_two_level(stormy).pfs_every);
+}
+
+TEST(TwoLevel, EffectiveDeltaAmortizesTheFlush) {
+  const TwoLevelSpec spec = typical_spec();
+  TwoLevelPlan plan;
+  plan.pfs_every = 4;
+  EXPECT_DOUBLE_EQ(plan.effective_delta(spec), 10.0 + 290.0 / 4.0);
+}
+
+TEST(TwoLevel, RejectsBadSpecAndArguments) {
+  TwoLevelSpec bad = typical_spec();
+  bad.delta_local = 0.0;
+  EXPECT_THROW(optimize_two_level(bad), InvalidArgument);
+  const TwoLevelSpec spec = typical_spec();
+  EXPECT_THROW(two_level_waste_rate(spec, 0.0, 1), InvalidArgument);
+  EXPECT_THROW(two_level_waste_rate(spec, 100.0, 0), InvalidArgument);
+  EXPECT_THROW(optimize_two_level(spec, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::checkpoint

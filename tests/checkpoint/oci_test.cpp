@@ -1,0 +1,76 @@
+#include "checkpoint/oci.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz::checkpoint {
+namespace {
+
+TEST(Oci, YoungFormulaMatchesClosedForm) {
+  // The paper's working example: M = 5h, delta = 0.1h -> OCI = 1h exactly
+  // (sqrt(2 * 5 * 0.1) = 1), which is how its 6.6h switch time arises.
+  EXPECT_NEAR(optimal_interval(hours(5.0), hours(0.1), OciFormula::kYoung), hours(1.0),
+              1e-9);
+  EXPECT_NEAR(optimal_interval(hours(20.0), hours(0.1), OciFormula::kYoung), hours(2.0),
+              1e-9);
+}
+
+TEST(Oci, DalyFirstOrderSubtractsDelta) {
+  const Seconds young = optimal_interval(hours(5.0), 300.0, OciFormula::kYoung);
+  const Seconds daly = optimal_interval(hours(5.0), 300.0, OciFormula::kDalyFirstOrder);
+  EXPECT_NEAR(daly, young - 300.0, 1e-9);
+}
+
+TEST(Oci, HigherOrderBetweenFirstOrderBounds) {
+  const Seconds mtbf = hours(5.0);
+  const Seconds delta = hours(0.5);  // large delta: corrections matter
+  const Seconds young = optimal_interval(mtbf, delta, OciFormula::kYoung);
+  const Seconds daly1 = optimal_interval(mtbf, delta, OciFormula::kDalyFirstOrder);
+  const Seconds dalyh = optimal_interval(mtbf, delta, OciFormula::kDalyHigherOrder);
+  EXPECT_GT(dalyh, daly1);
+  EXPECT_LT(dalyh, young);
+}
+
+TEST(Oci, HigherOrderConvergesToFirstOrderForSmallDelta) {
+  const Seconds mtbf = hours(20.0);
+  const Seconds delta = 1.0;  // tiny delta
+  const Seconds daly1 = optimal_interval(mtbf, delta, OciFormula::kDalyFirstOrder);
+  const Seconds dalyh = optimal_interval(mtbf, delta, OciFormula::kDalyHigherOrder);
+  EXPECT_NEAR(dalyh / daly1, 1.0, 1e-3);
+}
+
+TEST(Oci, GrowsWithMtbfAndDelta) {
+  EXPECT_GT(optimal_interval(hours(20.0), 300.0), optimal_interval(hours(5.0), 300.0));
+  EXPECT_GT(optimal_interval(hours(5.0), 600.0), optimal_interval(hours(5.0), 300.0));
+}
+
+TEST(Oci, SegmentLengthAddsDelta) {
+  const Seconds mtbf = hours(5.0);
+  const Seconds delta = 360.0;
+  EXPECT_DOUBLE_EQ(segment_length(mtbf, delta),
+                   optimal_interval(mtbf, delta) + delta);
+}
+
+TEST(Oci, RejectsBadParameters) {
+  EXPECT_THROW(optimal_interval(0.0, 100.0), InvalidArgument);
+  EXPECT_THROW(optimal_interval(hours(5.0), 0.0), InvalidArgument);
+  // First-order Daly breaks when delta >= sqrt(2 M delta), i.e. delta >= 2M.
+  EXPECT_THROW(optimal_interval(100.0, 300.0, OciFormula::kDalyFirstOrder),
+               InvalidArgument);
+}
+
+TEST(WasteFraction, MatchesFirstOrderFormula) {
+  EXPECT_NEAR(expected_waste_fraction(hours(5.0), hours(0.1)), std::sqrt(0.04), 1e-12);
+}
+
+TEST(WasteFraction, Exceeds40PercentAtPaperExascalePoint) {
+  // The introduction's claim: at exascale failure rates, resilience overhead
+  // passes 40% of execution time for heavy checkpoints.
+  EXPECT_GT(expected_waste_fraction(hours(5.0), hours(0.5)), 0.4);
+}
+
+}  // namespace
+}  // namespace shiraz::checkpoint

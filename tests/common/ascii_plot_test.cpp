@@ -1,0 +1,97 @@
+#include "common/ascii_plot.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz {
+namespace {
+
+TEST(AsciiPlot, RendersSeriesGlyphsAndLegend) {
+  Series s;
+  s.label = "ramp";
+  s.glyph = '*';
+  for (int i = 0; i < 20; ++i) s.ys.push_back(static_cast<double>(i));
+  const std::string plot = render_plot({s});
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find("* = ramp"), std::string::npos);
+}
+
+TEST(AsciiPlot, ExtremesLandOnTopAndBottomRows) {
+  Series s;
+  s.label = "updown";
+  s.ys = {0.0, 10.0};
+  PlotOptions opts;
+  opts.height = 6;
+  opts.zero_line = false;
+  const std::string plot = render_plot({s}, opts);
+  std::vector<std::string> lines;
+  std::istringstream in(plot);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  // First canvas row holds the max, last canvas row the min.
+  EXPECT_NE(lines[0].find('*'), std::string::npos);
+  EXPECT_NE(lines[5].find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, ZeroLineDrawnWhenRangeSpansZero) {
+  Series s;
+  s.label = "signed";
+  s.ys = {-5.0, 5.0};
+  const std::string with = render_plot({s});
+  EXPECT_NE(with.find("---"), std::string::npos);
+
+  Series positive;
+  positive.label = "pos";
+  positive.ys = {1.0, 5.0};
+  PlotOptions opts;
+  const std::string without = render_plot({positive}, opts);
+  // The only long dash run should be the bottom border, prefixed by '+'.
+  const auto first_dashes = without.find("----");
+  ASSERT_NE(first_dashes, std::string::npos);
+  EXPECT_EQ(without[first_dashes - 1], '+');
+}
+
+TEST(AsciiPlot, MultipleSeriesShareTheScale) {
+  Series a;
+  a.label = "low";
+  a.glyph = 'a';
+  a.ys = {1.0, 1.0, 1.0};
+  Series b;
+  b.label = "high";
+  b.glyph = 'b';
+  b.ys = {9.0, 9.0, 9.0};
+  const std::string plot = render_plot({a, b});
+  // 'b' must appear above 'a' in the rendering.
+  EXPECT_LT(plot.find('b'), plot.find('a'));
+}
+
+TEST(AsciiPlot, ConstantSeriesGetsArtificialRange) {
+  Series s;
+  s.label = "flat";
+  s.ys = {3.0, 3.0, 3.0};
+  EXPECT_NO_THROW(render_plot({s}));
+}
+
+TEST(AsciiPlot, RejectsBadInput) {
+  EXPECT_THROW(render_plot({}), InvalidArgument);
+  Series empty;
+  empty.label = "empty";
+  EXPECT_THROW(render_plot({empty}), InvalidArgument);
+  Series nan_series;
+  nan_series.label = "nan";
+  nan_series.ys = {std::nan("")};
+  EXPECT_THROW(render_plot({nan_series}), InvalidArgument);
+  Series ok;
+  ok.label = "ok";
+  ok.ys = {1.0};
+  PlotOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW(render_plot({ok}, tiny), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz

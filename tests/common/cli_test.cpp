@@ -1,0 +1,66 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz {
+namespace {
+
+Flags make_flags(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParsesKeyValuePairs) {
+  const Flags f = make_flags({"--reps=50", "--name=fig10"});
+  EXPECT_TRUE(f.has("reps"));
+  EXPECT_EQ(f.get_int("reps", 0), 50);
+  EXPECT_EQ(f.get("name", ""), "fig10");
+}
+
+TEST(Flags, BareFlagIsBooleanTrue) {
+  const Flags f = make_flags({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, DefaultsReturnedWhenAbsent) {
+  const Flags f = make_flags({});
+  EXPECT_FALSE(f.has("reps"));
+  EXPECT_EQ(f.get_int("reps", 17), 17);
+  EXPECT_DOUBLE_EQ(f.get_double("mtbf", 2.5), 2.5);
+  EXPECT_EQ(f.get("name", "dflt"), "dflt");
+  EXPECT_TRUE(f.get_bool("flag", true));
+}
+
+TEST(Flags, ParsesDoublesAndSeeds) {
+  const Flags f = make_flags({"--mtbf=5.5", "--seed=18446744073709551615"});
+  EXPECT_DOUBLE_EQ(f.get_double("mtbf", 0.0), 5.5);
+  EXPECT_EQ(f.get_seed("seed", 0), 18446744073709551615ULL);
+}
+
+TEST(Flags, BoolRecognizesCommonSpellings) {
+  EXPECT_TRUE(make_flags({"--a=true"}).get_bool("a", false));
+  EXPECT_TRUE(make_flags({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(make_flags({"--a=yes"}).get_bool("a", false));
+  EXPECT_FALSE(make_flags({"--a=false"}).get_bool("a", true));
+}
+
+TEST(Flags, RejectsPositionalArguments) {
+  EXPECT_THROW(make_flags({"positional"}), InvalidArgument);
+}
+
+TEST(Flags, LastValueWinsOnRepeat) {
+  const Flags f = make_flags({"--k=1", "--k=2"});
+  EXPECT_EQ(f.get_int("k", 0), 2);
+}
+
+TEST(Flags, EmptyValueAllowed) {
+  const Flags f = make_flags({"--tag="});
+  EXPECT_TRUE(f.has("tag"));
+  EXPECT_EQ(f.get("tag", "x"), "");
+}
+
+}  // namespace
+}  // namespace shiraz

@@ -1,0 +1,95 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz {
+namespace {
+
+TEST(Histogram, BinsCoverRangeEvenly) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsLandInCorrectBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0 (inclusive lower edge)
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OverflowBinCatchesValuesAtOrAboveHi) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(10.0);
+  h.add(1e9);
+  EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, UnderflowClampsIntoFirstBin) {
+  Histogram h(5.0, 10.0, 5);
+  h.add(-3.0);
+  EXPECT_EQ(h.count(0), 1u);
+}
+
+TEST(Histogram, FractionsSumToOne) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) / 100.0);
+  double sum = 0.0;
+  for (std::size_t b = 0; b <= h.bin_count(); ++b) sum += h.fraction(b);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, CumulativeFractionIsMonotone) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 1000; ++i) h.add(static_cast<double>(i % 97) / 100.0);
+  double prev = 0.0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) {
+    const double c = h.cumulative_fraction(b);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(h.cumulative_fraction(h.bin_count()), 1.0, 1e-12);
+}
+
+TEST(Histogram, AddAllMatchesIndividualAdds) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  const std::vector<double> xs{1.0, 3.0, 3.5, 7.0, 12.0};
+  a.add_all(xs);
+  for (const double x : xs) b.add(x);
+  for (std::size_t i = 0; i <= a.bin_count(); ++i) EXPECT_EQ(a.count(i), b.count(i));
+}
+
+TEST(Histogram, RenderShowsEveryBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  const std::string text = h.render();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(Histogram, BinAccessorsRejectOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.count(3), InvalidArgument);
+  EXPECT_THROW(h.bin_lo(3), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz

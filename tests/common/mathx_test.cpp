@@ -1,0 +1,134 @@
+#include "common/mathx.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz::mathx {
+namespace {
+
+TEST(ApproxEqual, ExactValuesMatch) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0));
+  EXPECT_TRUE(approx_equal(0.0, 0.0));
+}
+
+TEST(ApproxEqual, RelativeToleranceScalesWithMagnitude) {
+  EXPECT_TRUE(approx_equal(1e12, 1e12 + 1.0, 1e-9));
+  EXPECT_FALSE(approx_equal(1.0, 1.001, 1e-9));
+}
+
+TEST(GammaFn, MatchesFactorialOnIntegers) {
+  EXPECT_DOUBLE_EQ(gamma_fn(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(gamma_fn(5.0), 24.0);
+}
+
+TEST(GammaFn, HalfIntegerValue) {
+  EXPECT_NEAR(gamma_fn(0.5), std::sqrt(M_PI), 1e-12);
+}
+
+TEST(GammaFn, RejectsNonPositive) {
+  EXPECT_THROW(gamma_fn(0.0), InvalidArgument);
+  EXPECT_THROW(gamma_fn(-1.0), InvalidArgument);
+}
+
+TEST(LogGamma, ConsistentWithGamma) {
+  for (const double x : {0.3, 1.7, 4.2, 9.9}) {
+    EXPECT_NEAR(log_gamma(x), std::log(gamma_fn(x)), 1e-10);
+  }
+}
+
+TEST(IncompleteGamma, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(reg_lower_incomplete_gamma(2.0, 0.0), 0.0);
+  EXPECT_NEAR(reg_lower_incomplete_gamma(2.0, 1e3), 1.0, 1e-12);
+}
+
+TEST(IncompleteGamma, MatchesExponentialCdfForShapeOne) {
+  // P(1, x) = 1 - e^-x.
+  for (const double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(reg_lower_incomplete_gamma(1.0, x), 1.0 - std::exp(-x), 1e-12);
+  }
+}
+
+TEST(IncompleteGamma, MatchesErlangCdfForShapeTwo) {
+  // P(2, x) = 1 - e^-x (1 + x).
+  for (const double x : {0.2, 1.0, 4.0, 9.0}) {
+    EXPECT_NEAR(reg_lower_incomplete_gamma(2.0, x),
+                1.0 - std::exp(-x) * (1.0 + x), 1e-12);
+  }
+}
+
+TEST(IncompleteGamma, UpperPlusLowerIsOne) {
+  for (const double a : {0.4, 1.0, 3.5}) {
+    for (const double x : {0.2, 2.0, 8.0}) {
+      EXPECT_NEAR(reg_lower_incomplete_gamma(a, x) + reg_upper_incomplete_gamma(a, x),
+                  1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Integrate, PolynomialIsExact) {
+  const double got = integrate([](double x) { return 3.0 * x * x; }, 0.0, 2.0);
+  EXPECT_NEAR(got, 8.0, 1e-9);
+}
+
+TEST(Integrate, ReversedBoundsNegate) {
+  const double fwd = integrate([](double x) { return x; }, 0.0, 1.0);
+  const double rev = integrate([](double x) { return x; }, 1.0, 0.0);
+  EXPECT_NEAR(fwd, -rev, 1e-12);
+}
+
+TEST(Integrate, GaussianMass) {
+  const double got = integrate(
+      [](double x) { return std::exp(-x * x / 2.0) / std::sqrt(2.0 * M_PI); }, -8.0,
+      8.0, 1e-12);
+  EXPECT_NEAR(got, 1.0, 1e-9);
+}
+
+TEST(Integrate, EmptyIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(integrate([](double) { return 42.0; }, 1.0, 1.0), 0.0);
+}
+
+TEST(Bisect, FindsSquareRoot) {
+  const double root = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisect, AcceptsRootAtEndpoint) {
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+}
+
+TEST(Bisect, RejectsNonBracketingInterval) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               InvalidArgument);
+}
+
+TEST(Newton, ConvergesQuadratically) {
+  const double root = newton([](double x) { return x * x - 2.0; },
+                             [](double x) { return 2.0 * x; }, 1.0, 0.0, 2.0);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Newton, FallsBackWhenDerivativeVanishes) {
+  // f(x) = x^3 has f'(0) = 0; start exactly there.
+  const double root = newton([](double x) { return x * x * x; },
+                             [](double x) { return 3.0 * x * x; }, 0.0, -1.0, 1.0);
+  EXPECT_NEAR(root, 0.0, 1e-6);
+}
+
+TEST(KahanSum, RecoversSmallTermsNextToLargeOnes) {
+  KahanSum sum;
+  sum.add(1e16);
+  for (int i = 0; i < 10'000; ++i) sum.add(1.0);
+  sum.add(-1e16);
+  EXPECT_DOUBLE_EQ(sum.value(), 10'000.0);
+}
+
+TEST(KahanSum, EmptySumIsZero) {
+  KahanSum sum;
+  EXPECT_DOUBLE_EQ(sum.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace shiraz::mathx

@@ -1,0 +1,157 @@
+#include "common/statistics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace shiraz {
+namespace {
+
+TEST(RunningStats, EmptyIsAllZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSingleStream) {
+  Rng rng(3);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() * 3.0 + 1.0;
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  std::vector<double> xs{40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 25.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.3), 7.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQ) {
+  EXPECT_THROW(percentile({}, 0.5), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, 1.5), InvalidArgument);
+  EXPECT_THROW(percentile({1.0}, -0.1), InvalidArgument);
+}
+
+TEST(Summarize, FieldsAreConsistent) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.median, 50.5, 1e-12);
+  EXPECT_LT(s.p25, s.median);
+  EXPECT_LT(s.median, s.p75);
+  EXPECT_LT(s.p75, s.p95);
+}
+
+TEST(Summarize, RejectsEmpty) {
+  EXPECT_THROW(summarize({}), InvalidArgument);
+}
+
+TEST(Ci95, ShrinksWithSampleSize) {
+  Rng rng(5);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 100; ++i) small.add(rng.normal());
+  for (int i = 0; i < 10'000; ++i) large.add(rng.normal());
+  EXPECT_GT(ci95_halfwidth(small), ci95_halfwidth(large));
+}
+
+TEST(Ci95, ZeroForTinySamples) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(ci95_halfwidth(s), 0.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(ci95_halfwidth(s), 0.0);
+}
+
+TEST(Ci95, CoversTrueMeanUsually) {
+  // 95% CI should cover the true mean in roughly 95% of repetitions.
+  Rng master(21);
+  int covered = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng = master.fork(t);
+    RunningStats s;
+    for (int i = 0; i < 50; ++i) s.add(rng.normal());
+    if (std::fabs(s.mean()) <= ci95_halfwidth(s)) ++covered;
+  }
+  EXPECT_GT(covered, trials * 85 / 100);
+  EXPECT_LT(covered, trials);
+}
+
+TEST(EmpiricalCdf, StepsThroughSample) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(empirical_cdf(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empirical_cdf(xs, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(empirical_cdf(xs, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(empirical_cdf(xs, 10.0), 1.0);
+}
+
+TEST(EmpiricalCdf, RejectsEmpty) {
+  EXPECT_THROW(empirical_cdf({}, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz

@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string text = t.render();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);  // header+rule+2 rows
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"h", "x"});
+  t.add_row({"longer-cell", "1"});
+  const std::string text = t.render();
+  // Header line must be padded to the width of "longer-cell".
+  const auto first_newline = text.find('\n');
+  const auto rule_end = text.find('\n', first_newline + 1);
+  EXPECT_EQ(first_newline, rule_end - first_newline - 1);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), InvalidArgument);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), InvalidArgument);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"k", "v"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table t({"k"});
+  t.add_row({"plain"});
+  EXPECT_EQ(t.render_csv(), "k\nplain\n");
+}
+
+TEST(Fmt, RoundsToRequestedDigits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.005, 1), "-1.0");
+}
+
+TEST(FmtPercent, SignedWithPercentSign) {
+  EXPECT_EQ(fmt_percent(0.123, 1), "+12.3%");
+  EXPECT_EQ(fmt_percent(-0.05, 1), "-5.0%");
+  EXPECT_EQ(fmt_percent(0.0, 1), "+0.0%");
+}
+
+}  // namespace
+}  // namespace shiraz

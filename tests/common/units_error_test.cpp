@@ -1,0 +1,57 @@
+#include "common/error.h"
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace shiraz {
+namespace {
+
+TEST(Units, TimeConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(hours(1.0), 3600.0);
+  EXPECT_DOUBLE_EQ(minutes(90.0), hours(1.5));
+  EXPECT_DOUBLE_EQ(days(1.0), hours(24.0));
+  EXPECT_DOUBLE_EQ(weeks(2.0), days(14.0));
+  EXPECT_DOUBLE_EQ(as_hours(hours(7.25)), 7.25);
+  EXPECT_DOUBLE_EQ(as_minutes(minutes(42.0)), 42.0);
+  EXPECT_DOUBLE_EQ(as_days(days(3.0)), 3.0);
+  EXPECT_DOUBLE_EQ(as_weeks(weeks(5.0)), 5.0);
+}
+
+TEST(Units, PaperYearIs8700Hours) {
+  // Section 5 simulates "one calendar year (8,700 hours)".
+  EXPECT_DOUBLE_EQ(as_hours(years(1.0)), 8700.0);
+  EXPECT_DOUBLE_EQ(as_years(hours(8700.0)), 1.0);
+}
+
+TEST(Units, ByteConversions) {
+  EXPECT_EQ(kib(1.0), 1024ULL);
+  EXPECT_EQ(mib(1.0), 1024ULL * 1024ULL);
+  EXPECT_EQ(gib(1.0), 1024ULL * 1024ULL * 1024ULL);
+  EXPECT_DOUBLE_EQ(as_mib(mib(37.0)), 37.0);
+  EXPECT_DOUBLE_EQ(as_gib(gib(2.0)), 2.0);
+}
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    SHIRAZ_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("units_error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(SHIRAZ_REQUIRE(true, "never"));
+}
+
+TEST(Error, HierarchyCatchableAsBase) {
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+  EXPECT_THROW(throw IoError("y"), Error);
+  EXPECT_THROW(throw Error("z"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace shiraz

@@ -1,0 +1,195 @@
+#include "core/analytical_model.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ModelConfig exascale_config() {
+  ModelConfig cfg;
+  cfg.mtbf = hours(5.0);
+  cfg.t_total = hours(1000.0);
+  return cfg;
+}
+
+TEST(Model, IntervalUsesYoungConventionByDefault) {
+  // The convention that reproduces the paper's numbers: OCI = sqrt(2 M delta),
+  // so for M = 5h, delta = 0.1h the segment is exactly 1.1h (6 segments ->
+  // the 6.6h switch time quoted in Section 5).
+  const ShirazModel model(exascale_config());
+  const AppSpec app{"a", hours(0.1), 1};
+  EXPECT_NEAR(model.interval(app), hours(1.0), 1e-9);
+  EXPECT_NEAR(model.segment(app), hours(1.1), 1e-9);
+  EXPECT_NEAR(model.switch_time(app, 6), hours(6.6), 1e-9);
+}
+
+TEST(Model, StretchMultipliesInterval) {
+  const ShirazModel model(exascale_config());
+  const AppSpec base{"a", hours(0.5), 1};
+  const AppSpec stretched{"a", hours(0.5), 3};
+  EXPECT_NEAR(model.interval(stretched), 3.0 * model.interval(base), 1e-9);
+  // The checkpoint cost inside the segment does not stretch.
+  EXPECT_NEAR(model.segment(stretched) - model.interval(stretched), hours(0.5), 1e-9);
+}
+
+TEST(Model, BaselineUsefulPlusOverheadsStayWithinExposure) {
+  const ShirazModel model(exascale_config());
+  const AppSpec app{"a", 300.0, 1};
+  const Components base = model.baseline(app);
+  EXPECT_GT(base.useful, 0.0);
+  EXPECT_GT(base.io, 0.0);
+  EXPECT_GT(base.lost, 0.0);
+  // The app is exposed for t_total / 2; the epsilon lost-work approximation
+  // can overshoot the exact budget by a percent or so.
+  EXPECT_LT(base.useful + base.io + base.lost, hours(500.0) * 1.02);
+  EXPECT_GT(base.useful + base.io + base.lost, hours(450.0));
+}
+
+TEST(Model, FirstAppUsefulGrowsWithSwitchTime) {
+  const ShirazModel model(exascale_config());
+  const AppSpec app{"a", 300.0, 1};
+  double prev = 0.0;
+  for (int k = 1; k <= 8; ++k) {
+    const Components c =
+        model.first_app(app, model.switch_time(app, k), hours(1000.0));
+    EXPECT_GT(c.useful, prev);
+    prev = c.useful;
+  }
+}
+
+TEST(Model, FirstAppAtInfinityEqualsBaselineShape) {
+  // Baseline is defined as first_app with infinite switch time over half the
+  // campaign; doubling the exposure must exactly double every component.
+  const ShirazModel model(exascale_config());
+  const AppSpec app{"a", 300.0, 1};
+  const Components base = model.baseline(app);
+  const Components full = model.first_app(app, kInf, hours(1000.0));
+  EXPECT_NEAR(full.useful, 2.0 * base.useful, 1e-6);
+  EXPECT_NEAR(full.io, 2.0 * base.io, 1e-6);
+  EXPECT_NEAR(full.lost, 2.0 * base.lost, 1e-6);
+}
+
+TEST(Model, SecondAppUsefulShrinksWithLaterStart) {
+  const ShirazModel model(exascale_config());
+  const AppSpec app{"a", 300.0, 1};
+  double prev = kInf;
+  for (const double frac : {0.0, 0.2, 0.5, 1.0, 2.0}) {
+    const Components c = model.second_app(app, frac * hours(5.0), hours(1000.0));
+    EXPECT_LT(c.useful, prev);
+    prev = c.useful;
+  }
+}
+
+TEST(Model, SecondAppAtZeroEqualsFirstAppAtInfinity) {
+  // Starting at the failure and running to the next failure is the same
+  // execution shape as never being switched out.
+  const ShirazModel model(exascale_config());
+  const AppSpec app{"a", 300.0, 1};
+  const Components second = model.second_app(app, 0.0, hours(1000.0));
+  const Components first = model.first_app(app, kInf, hours(1000.0));
+  EXPECT_NEAR(second.useful, first.useful, first.useful * 1e-6);
+  EXPECT_NEAR(second.io, first.io, first.io * 1e-6);
+  EXPECT_NEAR(second.lost, first.lost, first.lost * 1e-6);
+}
+
+TEST(Model, SecondAppLostWorkScalesWithTailMass) {
+  // Lost work for the second app is epsilon * segment * gaps * S(t_start).
+  const ShirazModel model(exascale_config());
+  const AppSpec app{"a", 300.0, 1};
+  const Components c = model.second_app(app, hours(5.0), hours(1000.0));
+  const double expected = 0.45 * model.segment(app) * 200.0 *
+                          model.failures().survival(hours(5.0));
+  EXPECT_NEAR(c.lost, expected, 1e-6);
+}
+
+TEST(Model, HeavierAppLosesMorePerFailure) {
+  // Fig 5's point: larger OCI -> larger average lost work per failure.
+  const ShirazModel model(exascale_config());
+  const AppSpec light{"lw", 30.0, 1};
+  const AppSpec heavy{"hw", 1800.0, 1};
+  const Components lb = model.baseline(light);
+  const Components hb = model.baseline(heavy);
+  EXPECT_GT(hb.lost, lb.lost);
+}
+
+TEST(Model, ShirazComponentsAddUpAcrossRoles) {
+  // LW time share + HW time share + lost + io + useful must stay within the
+  // campaign: useful+io+lost <= t_total for the pair (some gap time is spent
+  // on partial segments already accounted as lost).
+  const ShirazModel model(exascale_config());
+  const AppSpec lw{"lw", 18.0, 1};
+  const AppSpec hw{"hw", 1800.0, 1};
+  const PairOutcome out = model.shiraz(lw, hw, 26);
+  const double total = out.total_useful() + out.total_io() + out.total_lost();
+  EXPECT_LT(total, hours(1000.0) * 1.02);
+  EXPECT_GT(total, hours(800.0));
+}
+
+TEST(Model, ShirazAtZeroGivesLwNothing) {
+  const ShirazModel model(exascale_config());
+  const AppSpec lw{"lw", 18.0, 1};
+  const AppSpec hw{"hw", 1800.0, 1};
+  const PairOutcome out = model.shiraz(lw, hw, 0);
+  EXPECT_DOUBLE_EQ(out.lw.useful, 0.0);
+  EXPECT_DOUBLE_EQ(out.lw.io, 0.0);
+  EXPECT_DOUBLE_EQ(out.lw.lost, 0.0);
+  EXPECT_GT(out.hw.useful, 0.0);
+}
+
+TEST(Model, LwLostVanishesForHugeK) {
+  // With the switch point deep in the Weibull tail, almost every failure
+  // strikes while LW runs, so HW's lost work goes to ~0 and LW's lost work
+  // approaches the all-failures value.
+  const ShirazModel model(exascale_config());
+  const AppSpec lw{"lw", 18.0, 1};
+  const AppSpec hw{"hw", 1800.0, 1};
+  const PairOutcome out = model.shiraz(lw, hw, 2000);
+  EXPECT_LT(out.hw.lost, 1.0);
+  EXPECT_LT(out.hw.useful, 1.0);
+}
+
+TEST(Model, EpsilonScalesLostWorkLinearly) {
+  ModelConfig a = exascale_config();
+  ModelConfig b = exascale_config();
+  a.epsilon = 0.3;
+  b.epsilon = 0.6;
+  const AppSpec app{"a", 300.0, 1};
+  const Components ca = ShirazModel(a).baseline(app);
+  const Components cb = ShirazModel(b).baseline(app);
+  EXPECT_NEAR(cb.lost / ca.lost, 2.0, 1e-9);
+  EXPECT_NEAR(cb.useful, ca.useful, 1e-9);  // epsilon only affects lost work
+}
+
+TEST(Model, RejectsBadConfigAndArguments) {
+  ModelConfig bad = exascale_config();
+  bad.epsilon = 1.5;
+  EXPECT_THROW(ShirazModel{bad}, InvalidArgument);
+  ModelConfig bad2 = exascale_config();
+  bad2.t_total = 0.0;
+  EXPECT_THROW(ShirazModel{bad2}, InvalidArgument);
+
+  const ShirazModel model(exascale_config());
+  const AppSpec app{"a", 300.0, 1};
+  EXPECT_THROW(model.first_app(app, -1.0, hours(10.0)), InvalidArgument);
+  EXPECT_THROW(model.second_app(app, -1.0, hours(10.0)), InvalidArgument);
+  EXPECT_THROW(model.switch_time(app, -1), InvalidArgument);
+  const AppSpec zero_stretch{"a", 300.0, 0};
+  EXPECT_THROW(model.interval(zero_stretch), InvalidArgument);
+}
+
+TEST(Model, OciFormulaSelectionChangesSegments) {
+  ModelConfig young = exascale_config();
+  ModelConfig daly = exascale_config();
+  daly.oci_formula = checkpoint::OciFormula::kDalyFirstOrder;
+  const AppSpec app{"a", hours(0.1), 1};
+  EXPECT_GT(ShirazModel(young).interval(app), ShirazModel(daly).interval(app));
+}
+
+}  // namespace
+}  // namespace shiraz::core

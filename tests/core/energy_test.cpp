@@ -1,0 +1,80 @@
+#include "core/energy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz::core {
+namespace {
+
+TEST(Energy, PaperPetascaleNumbers) {
+  // Section 5: 57 hours/year of recovered useful work on a 10 MW petascale
+  // machine at $0.1/kWh -> $57,000/year -> $285,000 over 5 years.
+  EnergyModelConfig cfg;
+  cfg.system_power_megawatts = 10.0;
+  const EnergySavings s = energy_savings(57.0, cfg);
+  EXPECT_NEAR(s.megawatt_hours_per_year, 570.0, 1e-9);
+  EXPECT_NEAR(s.dollars_per_year, 57'000.0, 1e-6);
+  EXPECT_NEAR(s.dollars_over_lifetime, 285'000.0, 1e-6);
+}
+
+TEST(Energy, PaperExascaleNumbers) {
+  // 89 hours/year on a 20 MW exascale machine -> $178,000/year -> $890,000
+  // over 5 years.
+  EnergyModelConfig cfg;
+  cfg.system_power_megawatts = 20.0;
+  const EnergySavings s = energy_savings(89.0, cfg);
+  EXPECT_NEAR(s.dollars_per_year, 178'000.0, 1e-6);
+  EXPECT_NEAR(s.dollars_over_lifetime, 890'000.0, 1e-6);
+}
+
+TEST(Energy, ScalesLinearlyInEveryInput) {
+  EnergyModelConfig cfg;
+  const EnergySavings base = energy_savings(10.0, cfg);
+  EXPECT_NEAR(energy_savings(20.0, cfg).dollars_per_year, 2.0 * base.dollars_per_year,
+              1e-9);
+  cfg.system_power_megawatts *= 3.0;
+  EXPECT_NEAR(energy_savings(10.0, cfg).dollars_per_year, 3.0 * base.dollars_per_year,
+              1e-9);
+}
+
+TEST(Energy, ZeroGainZeroSavings) {
+  const EnergySavings s = energy_savings(0.0, EnergyModelConfig{});
+  EXPECT_DOUBLE_EQ(s.dollars_per_year, 0.0);
+  EXPECT_DOUBLE_EQ(s.dollars_over_lifetime, 0.0);
+}
+
+TEST(Energy, RejectsBadConfig) {
+  EnergyModelConfig bad;
+  bad.system_power_megawatts = 0.0;
+  EXPECT_THROW(energy_savings(1.0, bad), InvalidArgument);
+  EnergyModelConfig bad2;
+  bad2.dollars_per_kwh = -0.1;
+  EXPECT_THROW(energy_savings(1.0, bad2), InvalidArgument);
+}
+
+TEST(BurstBuffer, PaperPetabyteCostsFiveMillion) {
+  // 1 PB at 0.2 GB per total dollar -> $5M.
+  EXPECT_NEAR(burst_buffer_cost(BurstBufferConfig{}), 5.0e6, 1e-3);
+}
+
+TEST(BurstBuffer, PaybackFractionMatchesPaper) {
+  // $285k of savings pays 5.7% of the petascale burst buffer.
+  EXPECT_NEAR(burst_buffer_payback_fraction(285'000.0, BurstBufferConfig{}), 0.057,
+              1e-9);
+}
+
+TEST(BurstBuffer, CostScalesWithCapacity) {
+  BurstBufferConfig cfg;
+  cfg.capacity_petabytes = 2.0;
+  EXPECT_NEAR(burst_buffer_cost(cfg), 1.0e7, 1e-3);
+}
+
+TEST(BurstBuffer, RejectsBadConfig) {
+  BurstBufferConfig bad;
+  bad.gigabytes_per_dollar = 0.0;
+  EXPECT_THROW(burst_buffer_cost(bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::core

@@ -1,0 +1,110 @@
+#include "core/failure_math.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(FailureWindow, ScaleDerivedFromMtbfAsInEq2) {
+  // lambda = M / Gamma(1 + 1/beta); checked against the Weibull whose mean is M.
+  const FailureWindowModel m(hours(5.0), 0.6);
+  const reliability::Weibull w = reliability::Weibull::from_mtbf(0.6, hours(5.0));
+  EXPECT_NEAR(m.scale(), w.scale(), 1e-6);
+}
+
+TEST(FailureWindow, SurvivalMatchesWeibull) {
+  const FailureWindowModel m(hours(5.0), 0.6);
+  const reliability::Weibull w = reliability::Weibull::from_mtbf(0.6, hours(5.0));
+  for (double t = 600.0; t < hours(40.0); t *= 2.0) {
+    EXPECT_NEAR(m.survival(t), w.survival(t), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(m.survival(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.survival(kInf), 0.0);
+}
+
+TEST(FailureWindow, WindowsPartitionTotalMass) {
+  // Summing adjacent windows must reproduce the enclosing window (Eq 2 is a
+  // telescoping difference of survivals).
+  const FailureWindowModel m(hours(5.0), 0.6);
+  const double t_total = hours(1000.0);
+  const double whole = m.failures_in_window(t_total, 0.0, hours(10.0));
+  double parts = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    parts += m.failures_in_window(t_total, hours(i), hours(i + 1));
+  }
+  EXPECT_NEAR(parts, whole, 1e-9);
+}
+
+TEST(FailureWindow, FullWindowEqualsGapCount) {
+  const FailureWindowModel m(hours(5.0), 0.6);
+  const double t_total = hours(1000.0);
+  EXPECT_NEAR(m.failures_in_window(t_total, 0.0, kInf), t_total / hours(5.0), 1e-9);
+}
+
+TEST(FailureWindow, TotalFailuresNearGapCountForLongCampaigns) {
+  // Eq 3: for T_total >> M the truncation factor vanishes.
+  const FailureWindowModel m(hours(5.0), 0.6);
+  EXPECT_NEAR(m.total_failures(hours(1000.0)), 200.0, 0.01);
+  // For short campaigns it matters.
+  EXPECT_LT(m.total_failures(hours(2.0)), 2.0 / 5.0);
+}
+
+TEST(FailureWindow, EarlyWindowsHoldMoreMassThanLateOnes) {
+  // The decreasing-hazard property at the heart of Shiraz: equal-width
+  // windows right after a failure catch more failures than windows near the
+  // MTBF.
+  const FailureWindowModel m(hours(5.0), 0.6);
+  const double t_total = hours(1000.0);
+  const double early = m.failures_in_window(t_total, 0.0, hours(1.0));
+  const double late = m.failures_in_window(t_total, hours(4.0), hours(5.0));
+  EXPECT_GT(early, 2.0 * late);
+}
+
+TEST(FailureWindow, ExponentialShapeHasMemorylessWindows) {
+  const FailureWindowModel m(hours(5.0), 1.0);
+  const double t_total = hours(1000.0);
+  const double w1 = m.failures_in_window(t_total, 0.0, hours(1.0));
+  const double w2 = m.failures_in_window(t_total, hours(1.0), hours(2.0));
+  // Ratio of consecutive equal windows is exactly e^{-1/5} for beta = 1.
+  EXPECT_NEAR(w2 / w1, std::exp(-1.0 / 5.0), 1e-9);
+}
+
+TEST(FailureWindow, MonteCarloGapLengthsMatchWindowCounts) {
+  // Empirical check of Eq 2: generate gaps, bucket them by length, compare
+  // to the model's expected counts.
+  const double beta = 0.6;
+  const Seconds mtbf = hours(5.0);
+  const FailureWindowModel m(mtbf, beta);
+  const reliability::Weibull w = reliability::Weibull::from_mtbf(beta, mtbf);
+  Rng rng(31);
+  const int gaps = 200'000;
+  const double t_total = static_cast<double>(gaps) * mtbf;
+
+  int in_window = 0;
+  for (int i = 0; i < gaps; ++i) {
+    const Seconds g = w.sample(rng);
+    if (g > hours(2.0) && g <= hours(6.0)) ++in_window;
+  }
+  const double expected = m.failures_in_window(t_total, hours(2.0), hours(6.0));
+  EXPECT_NEAR(static_cast<double>(in_window) / expected, 1.0, 0.02);
+}
+
+TEST(FailureWindow, RejectsBadArguments) {
+  EXPECT_THROW(FailureWindowModel(0.0, 0.6), InvalidArgument);
+  EXPECT_THROW(FailureWindowModel(hours(5.0), 0.0), InvalidArgument);
+  const FailureWindowModel m(hours(5.0), 0.6);
+  EXPECT_THROW(m.failures_in_window(-1.0, 0.0, 1.0), InvalidArgument);
+  EXPECT_THROW(m.failures_in_window(100.0, 2.0, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::core

@@ -1,0 +1,116 @@
+#include "core/pairing.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "common/error.h"
+
+namespace shiraz::core {
+namespace {
+
+std::vector<apps::AppProfile> ten_apps() {
+  // The paper's Fig 14 mix: Table 1's nine applications plus a tenth drawn
+  // from the light end, giving an even count.
+  auto catalog = apps::table1_catalog();
+  catalog.push_back(apps::AppProfile{"CoMD-like proxy", 3.0, "Materials", "local"});
+  return catalog;
+}
+
+TEST(Pairing, ExtremePairsHeaviestWithLightest) {
+  Rng rng(1);
+  const auto pairs = make_pairs(ten_apps(), PairingStrategy::kExtreme, rng);
+  ASSERT_EQ(pairs.size(), 5u);
+  EXPECT_DOUBLE_EQ(pairs[0].light.checkpoint_cost, 1.5);
+  EXPECT_DOUBLE_EQ(pairs[0].heavy.checkpoint_cost, 2700.0);
+  EXPECT_DOUBLE_EQ(pairs[1].light.checkpoint_cost, 2.0);
+  EXPECT_DOUBLE_EQ(pairs[1].heavy.checkpoint_cost, 2000.0);
+}
+
+TEST(Pairing, EveryAppAppearsExactlyOnce) {
+  for (const auto strategy : {PairingStrategy::kExtreme, PairingStrategy::kRandom}) {
+    Rng rng(2);
+    const auto pairs = make_pairs(ten_apps(), strategy, rng);
+    std::multiset<std::string> names;
+    for (const auto& p : pairs) {
+      names.insert(p.light.name);
+      names.insert(p.heavy.name);
+    }
+    EXPECT_EQ(names.size(), 10u);
+    for (const auto& app : ten_apps()) EXPECT_EQ(names.count(app.name), 1u) << app.name;
+  }
+}
+
+TEST(Pairing, PairsOrderedLightToHeavy) {
+  Rng rng(3);
+  for (const auto strategy : {PairingStrategy::kExtreme, PairingStrategy::kRandom}) {
+    const auto pairs = make_pairs(ten_apps(), strategy, rng);
+    for (const auto& p : pairs) {
+      EXPECT_LE(p.light.checkpoint_cost, p.heavy.checkpoint_cost);
+      EXPECT_GE(p.delta_factor(), 1.0);
+    }
+  }
+}
+
+TEST(Pairing, ExtremeMaximizesAverageDeltaFactor) {
+  // The paper's stated intuition: extreme pairing maximizes the average of
+  // checkpoint-cost ratios. Compare against many random pairings.
+  Rng rng(4);
+  Rng extreme_rng(4);
+  const auto extreme = make_pairs(ten_apps(), PairingStrategy::kExtreme, extreme_rng);
+  const double extreme_avg = average_delta_factor(extreme);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto random = make_pairs(ten_apps(), PairingStrategy::kRandom, rng);
+    EXPECT_GE(extreme_avg, average_delta_factor(random) - 1e-9);
+  }
+}
+
+TEST(Pairing, RandomPairingIsSeedDeterministic) {
+  Rng a(5);
+  Rng b(5);
+  const auto pa = make_pairs(ten_apps(), PairingStrategy::kRandom, a);
+  const auto pb = make_pairs(ten_apps(), PairingStrategy::kRandom, b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].light.name, pb[i].light.name);
+    EXPECT_EQ(pa[i].heavy.name, pb[i].heavy.name);
+  }
+}
+
+TEST(Pairing, SolvePairsFillsSwitchPoints) {
+  ModelConfig cfg;
+  cfg.mtbf = hours(5.0);
+  cfg.t_total = hours(1000.0);
+  const ShirazModel model(cfg);
+  Rng rng(6);
+  auto pairs = make_pairs(ten_apps(), PairingStrategy::kExtreme, rng);
+  solve_pairs(model, pairs);
+  int beneficial = 0;
+  for (const auto& p : pairs) {
+    if (p.k) {
+      ++beneficial;
+      EXPECT_GE(*p.k, 1);
+      EXPECT_GT(p.model_delta_total, 0.0);
+    }
+  }
+  // Table 1's spread is so large that most extreme pairs benefit.
+  EXPECT_GE(beneficial, 4);
+}
+
+TEST(Pairing, RejectsOddOrTinyCatalogs) {
+  Rng rng(7);
+  std::vector<apps::AppProfile> one{{"a", 1.0, "d", "m"}};
+  EXPECT_THROW(make_pairs(one, PairingStrategy::kExtreme, rng), InvalidArgument);
+  auto odd = ten_apps();
+  odd.pop_back();
+  EXPECT_THROW(make_pairs(odd, PairingStrategy::kRandom, rng), InvalidArgument);
+}
+
+TEST(Pairing, AverageDeltaFactorRejectsEmpty) {
+  EXPECT_THROW(average_delta_factor({}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::core

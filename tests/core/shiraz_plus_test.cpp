@@ -1,0 +1,127 @@
+#include "core/shiraz_plus.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz::core {
+namespace {
+
+ShirazModel make_model(double mtbf_hours) {
+  ModelConfig cfg;
+  cfg.mtbf = hours(mtbf_hours);
+  cfg.t_total = hours(1000.0);
+  return ShirazModel(cfg);
+}
+
+AppSpec heavy() { return {"hw", hours(0.5), 1}; }
+AppSpec light(double factor) { return {"lw", hours(0.5) / factor, 1}; }
+
+TEST(ShirazPlus, IoReductionGrowsWithStretchFactor) {
+  const ShirazModel model = make_model(5.0);
+  const auto outcomes = evaluate_shiraz_plus(model, light(25.0), heavy(), {2, 3, 4});
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_GT(outcomes[0].io_reduction, 0.15);
+  EXPECT_GT(outcomes[1].io_reduction, outcomes[0].io_reduction);
+  EXPECT_GT(outcomes[2].io_reduction, outcomes[1].io_reduction);
+}
+
+TEST(ShirazPlus, AveragesRoughly40PercentIoReductionAcrossScenarios) {
+  // Paper Fig 13 headline: "The average reduction in checkpointing overhead is
+  // approximately 40%" over stretch factors 2-4, MTBF {5,20}, factor {5..1000}.
+  double total = 0.0;
+  int n = 0;
+  for (const double mtbf_hours : {5.0, 20.0}) {
+    for (const double factor : {5.0, 25.0, 100.0, 1000.0}) {
+      const ShirazModel model = make_model(mtbf_hours);
+      for (const auto& o :
+           evaluate_shiraz_plus(model, light(factor), heavy(), {2, 3, 4})) {
+        total += o.io_reduction;
+        ++n;
+      }
+    }
+  }
+  EXPECT_NEAR(total / n, 0.40, 0.15);
+}
+
+TEST(ShirazPlus, StretchOneReproducesPlainShiraz) {
+  const ShirazModel model = make_model(5.0);
+  const auto outcomes = evaluate_shiraz_plus(model, light(100.0), heavy(), {1});
+  ASSERT_EQ(outcomes.size(), 1u);
+  const SwitchSolution shiraz = solve_switch_point(model, light(100.0), heavy());
+  ASSERT_TRUE(shiraz.beneficial());
+  EXPECT_EQ(outcomes[0].k, *shiraz.k);
+  EXPECT_NEAR(outcomes[0].delta_lw, shiraz.delta_lw, 1e-6);
+  EXPECT_NEAR(outcomes[0].delta_hw, shiraz.delta_hw, 1e-6);
+  EXPECT_NEAR(outcomes[0].io_reduction, 0.0, 0.12);  // Shiraz itself moves io a bit
+}
+
+TEST(ShirazPlus, PerformanceDegradationStaysSmall) {
+  // Paper: at 3x/4x the maximum degradation over baseline stays below ~5%.
+  for (const double mtbf_hours : {5.0, 20.0}) {
+    const ShirazModel model = make_model(mtbf_hours);
+    for (const double factor : {25.0, 100.0}) {
+      for (const auto& o :
+           evaluate_shiraz_plus(model, light(factor), heavy(), {2, 3, 4})) {
+        EXPECT_GT(o.useful_improvement, -0.05)
+            << "mtbf=" << mtbf_hours << " factor=" << factor << " s=" << o.stretch;
+      }
+    }
+  }
+}
+
+TEST(ShirazPlus, TwoXStretchKeepsPartOfShirazGain) {
+  // Paper: "using a 2x OCI-stretch always keeps a part of the performance
+  // improvement obtained by Shiraz".
+  for (const double mtbf_hours : {5.0, 20.0}) {
+    const ShirazModel model = make_model(mtbf_hours);
+    for (const double factor : {25.0, 100.0, 1000.0}) {
+      const auto outcomes = evaluate_shiraz_plus(model, light(factor), heavy(), {2});
+      EXPECT_GT(outcomes[0].useful_improvement, 0.0)
+          << "mtbf=" << mtbf_hours << " factor=" << factor;
+    }
+  }
+}
+
+TEST(ShirazPlus, LightWeightAppUnaffectedByStretch) {
+  // Shiraz+ only touches the heavy-weight schedule (paper Section 3).
+  const ShirazModel model = make_model(5.0);
+  const auto outcomes = evaluate_shiraz_plus(model, light(100.0), heavy(), {1, 2, 3, 4});
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_NEAR(outcomes[i].shiraz_plus.lw.useful, outcomes[0].shiraz_plus.lw.useful,
+                1e-6);
+    EXPECT_NEAR(outcomes[i].shiraz_plus.lw.io, outcomes[0].shiraz_plus.lw.io, 1e-6);
+  }
+}
+
+TEST(ShirazPlus, HwCheckpointCountDropsRoughlyByStretch) {
+  const ShirazModel model = make_model(20.0);
+  const auto outcomes = evaluate_shiraz_plus(model, light(100.0), heavy(), {1, 4});
+  const double io1 = outcomes[0].shiraz_plus.hw.io;
+  const double io4 = outcomes[1].shiraz_plus.hw.io;
+  // Stretching 4x lengthens segments ~4x, so checkpoint I/O falls steeply
+  // (not exactly 4x: longer segments complete less often under failures).
+  EXPECT_LT(io4, 0.45 * io1);
+}
+
+TEST(ShirazPlus, RejectsPreStretchedSpecs) {
+  const ShirazModel model = make_model(5.0);
+  AppSpec hw = heavy();
+  hw.stretch = 2;
+  EXPECT_THROW(evaluate_shiraz_plus(model, light(25.0), hw, {2}), InvalidArgument);
+}
+
+TEST(ShirazPlus, RejectsPairWithoutBeneficialSwitch) {
+  const ShirazModel model = make_model(5.0);
+  const AppSpec a{"a", hours(0.5), 1};
+  const AppSpec b{"b", hours(0.5), 1};
+  EXPECT_THROW(evaluate_shiraz_plus(model, a, b, {2}), InvalidArgument);
+}
+
+TEST(ShirazPlus, RejectsZeroStretch) {
+  const ShirazModel model = make_model(5.0);
+  EXPECT_THROW(evaluate_shiraz_plus(model, light(25.0), heavy(), {0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::core

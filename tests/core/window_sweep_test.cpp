@@ -1,0 +1,100 @@
+// Parameterized sweeps over the window_app primitive — the building block
+// every scheduling shape reduces to (see docs/MODEL.md §2).
+#include <gtest/gtest.h>
+
+#include "core/analytical_model.h"
+
+namespace shiraz::core {
+namespace {
+
+struct WindowCase {
+  double mtbf_hours;
+  double beta;
+  double delta_seconds;
+};
+
+std::string window_name(const ::testing::TestParamInfo<WindowCase>& info) {
+  return "mtbf" + std::to_string(static_cast<int>(info.param.mtbf_hours)) +
+         "_beta" + std::to_string(static_cast<int>(info.param.beta * 10)) +
+         "_delta" + std::to_string(static_cast<int>(info.param.delta_seconds));
+}
+
+class WindowSweep : public ::testing::TestWithParam<WindowCase> {
+ protected:
+  WindowSweep() : model_(make_config()) {}
+
+  ModelConfig make_config() const {
+    ModelConfig cfg;
+    cfg.mtbf = hours(GetParam().mtbf_hours);
+    cfg.weibull_shape = GetParam().beta;
+    cfg.t_total = hours(1000.0);
+    return cfg;
+  }
+
+  AppSpec app() const { return {"a", GetParam().delta_seconds, 1}; }
+
+  ShirazModel model_;
+};
+
+TEST_P(WindowSweep, UsefulMonotoneInWindowLength) {
+  double prev = -1.0;
+  for (int k = 0; k <= 24; k += 3) {
+    const Components c = model_.window_app(app(), hours(0.5), k, hours(1000.0));
+    EXPECT_GE(c.useful, prev);
+    prev = c.useful;
+  }
+}
+
+TEST_P(WindowSweep, UsefulDecreasesWithLaterStart) {
+  double prev = 1e300;
+  for (const double start_frac : {0.0, 0.25, 0.75, 1.5, 3.0}) {
+    const Components c = model_.window_app(
+        app(), start_frac * model_.config().mtbf, 10, hours(1000.0));
+    EXPECT_LE(c.useful, prev + 1e-9);
+    prev = c.useful;
+  }
+}
+
+TEST_P(WindowSweep, AdjacentWindowsComposeExactly) {
+  // Splitting a 12-checkpoint window into two back-to-back 6-checkpoint
+  // windows changes nothing: the second window's re-zeroed credit ladder is
+  // exactly compensated by the first window's tail credit (telescoping sum —
+  // see docs/MODEL.md §2). All three components must match to rounding.
+  const Seconds seg = model_.segment(app());
+  const Components whole = model_.window_app(app(), 0.0, 12, hours(1000.0));
+  const Components first = model_.window_app(app(), 0.0, 6, hours(1000.0));
+  const Components second =
+      model_.window_app(app(), 6.0 * seg, 6, hours(1000.0));
+  EXPECT_NEAR(first.useful + second.useful, whole.useful, 1e-6);
+  EXPECT_NEAR(first.io + second.io, whole.io, 1e-6);
+  EXPECT_NEAR(first.lost + second.lost, whole.lost, 1e-6);
+}
+
+TEST_P(WindowSweep, IoIsDeltaPerOciOfUseful) {
+  // Per completed segment the app banks OCI useful and delta of I/O, so the
+  // ratio is fixed by construction.
+  const Components c = model_.window_app(app(), hours(1.0), 15, hours(1000.0));
+  if (c.useful > 0.0) {
+    EXPECT_NEAR(c.io / c.useful, app().delta / model_.interval(app()), 1e-9);
+  }
+}
+
+TEST_P(WindowSweep, LostWorkBoundedByWindowExposure) {
+  const Seconds t0 = hours(0.5);
+  const int k = 10;
+  const Components c = model_.window_app(app(), t0, k, hours(1000.0));
+  const double max_failures = model_.failures().failures_in_window(
+      hours(1000.0), t0, t0 + k * model_.segment(app()));
+  EXPECT_LE(c.lost,
+            model_.config().epsilon * model_.segment(app()) * max_failures + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WindowSweep,
+    ::testing::Values(WindowCase{5.0, 0.6, 30.0}, WindowCase{5.0, 0.6, 300.0},
+                      WindowCase{20.0, 0.6, 300.0}, WindowCase{20.0, 0.4, 120.0},
+                      WindowCase{10.0, 0.8, 60.0}, WindowCase{2.0, 0.5, 20.0}),
+    window_name);
+
+}  // namespace
+}  // namespace shiraz::core

@@ -1,0 +1,162 @@
+// Multi-application Shiraz (paper Section 5, Fig 14): pair rotation across a
+// real-world application mix, simulated end to end.
+#include <gtest/gtest.h>
+
+#include "apps/catalog.h"
+#include "core/pairing.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+
+namespace shiraz {
+namespace {
+
+std::vector<apps::AppProfile> ten_apps() {
+  auto catalog = apps::table1_catalog();
+  catalog.push_back(apps::AppProfile{"CoMD-like proxy", 3.0, "Materials", "local"});
+  return catalog;
+}
+
+struct Campaign {
+  sim::SimResult baseline;
+  sim::SimResult shiraz;
+};
+
+Campaign run_campaign(double mtbf_hours, Seconds horizon, std::size_t reps,
+                      std::uint64_t seed) {
+  const Seconds mtbf = hours(mtbf_hours);
+  core::ModelConfig cfg;
+  cfg.mtbf = mtbf;
+  cfg.t_total = horizon;
+  const core::ShirazModel model(cfg);
+
+  Rng rng(seed);
+  auto pairs = core::make_pairs(ten_apps(), core::PairingStrategy::kExtreme, rng);
+  core::solve_pairs(model, pairs);
+
+  std::vector<sim::SimJob> jobs;
+  std::vector<std::optional<int>> ks;
+  for (const auto& p : pairs) {
+    jobs.push_back(sim::SimJob::at_oci(p.light.name, p.light.checkpoint_cost, mtbf));
+    jobs.push_back(sim::SimJob::at_oci(p.heavy.name, p.heavy.checkpoint_cost, mtbf));
+    ks.push_back(p.k);
+  }
+
+  sim::EngineConfig ecfg;
+  ecfg.t_total = horizon;
+  const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
+  Campaign c;
+  c.baseline = engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed);
+  c.shiraz = engine.run_many(jobs, sim::PairRotationScheduler{ks}, reps, seed);
+  return c;
+}
+
+TEST(MultiApp, ShirazBeatsBaselineOnExascale) {
+  const Campaign c = run_campaign(5.0, hours(2000.0), 12, 42);
+  EXPECT_GT(c.shiraz.total_useful(), c.baseline.total_useful());
+}
+
+TEST(MultiApp, ShirazBeatsBaselineOnPetascale) {
+  const Campaign c = run_campaign(20.0, hours(4000.0), 12, 43);
+  EXPECT_GT(c.shiraz.total_useful(), c.baseline.total_useful());
+}
+
+TEST(MultiApp, NoApplicationStarves) {
+  // Fig 14's fairness claim: every application keeps making progress under
+  // pair rotation, and none loses more than a sliver vs the baseline.
+  const Campaign c = run_campaign(5.0, hours(4000.0), 16, 44);
+  for (std::size_t i = 0; i < c.shiraz.apps.size(); ++i) {
+    EXPECT_GT(c.shiraz.apps[i].useful, 0.0) << c.shiraz.apps[i].name;
+    EXPECT_GT(c.shiraz.apps[i].useful, 0.90 * c.baseline.apps[i].useful)
+        << c.shiraz.apps[i].name;
+  }
+}
+
+TEST(MultiApp, EveryPairRunsBetweenFailures) {
+  // Over many gaps, each of the 5 pairs must have been scheduled: all 10 apps
+  // accumulate checkpoints.
+  const Campaign c = run_campaign(5.0, hours(2000.0), 8, 45);
+  for (const auto& app : c.shiraz.apps) {
+    EXPECT_GT(app.checkpoints, 0u) << app.name;
+  }
+}
+
+TEST(MultiApp, FortyJobConservativeMixStillGains) {
+  // The paper's conservative experiment: 5 heavy + 35 light jobs. We model it
+  // as the same pair-rotation scheme over 20 pairs (5 heavy-light extreme
+  // pairs plus 15 light-light pairs that fall back to alternation).
+  const Seconds mtbf = hours(5.0);
+  const Seconds horizon = hours(2000.0);
+  core::ModelConfig cfg;
+  cfg.mtbf = mtbf;
+  cfg.t_total = horizon;
+  const core::ShirazModel model(cfg);
+
+  const auto catalog = apps::table1_catalog();
+  const auto heavy5 = apps::heaviest(catalog, 5);
+  const auto light3 = apps::lightest(catalog, 3);
+  std::vector<apps::AppProfile> mix = heavy5;
+  Rng pick(46);
+  for (int i = 0; i < 35; ++i) {
+    auto app = light3[static_cast<std::size_t>(pick.uniform_int(0, 2))];
+    app.name += "#" + std::to_string(i);
+    mix.push_back(app);
+  }
+  Rng rng(47);
+  auto pairs = core::make_pairs(mix, core::PairingStrategy::kExtreme, rng);
+  core::solve_pairs(model, pairs);
+
+  std::vector<sim::SimJob> jobs;
+  std::vector<std::optional<int>> ks;
+  for (const auto& p : pairs) {
+    jobs.push_back(sim::SimJob::at_oci(p.light.name, p.light.checkpoint_cost, mtbf));
+    jobs.push_back(sim::SimJob::at_oci(p.heavy.name, p.heavy.checkpoint_cost, mtbf));
+    ks.push_back(p.k);
+  }
+  sim::EngineConfig ecfg;
+  ecfg.t_total = horizon;
+  const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
+  const sim::SimResult base = engine.run_many(jobs, sim::AlternateAtFailure{}, 8, 48);
+  const sim::SimResult sz =
+      engine.run_many(jobs, sim::PairRotationScheduler{ks}, 8, 48);
+  EXPECT_GT(sz.total_useful(), base.total_useful());
+}
+
+TEST(MultiApp, ExtremePairingGainsAtLeastAsMuchAsRandomOnAverage) {
+  const Seconds mtbf = hours(5.0);
+  const Seconds horizon = hours(2000.0);
+  core::ModelConfig cfg;
+  cfg.mtbf = mtbf;
+  cfg.t_total = horizon;
+  const core::ShirazModel model(cfg);
+
+  auto run_with = [&](core::PairingStrategy strategy, std::uint64_t seed) {
+    Rng rng(seed);
+    auto pairs = core::make_pairs(ten_apps(), strategy, rng);
+    core::solve_pairs(model, pairs);
+    std::vector<sim::SimJob> jobs;
+    std::vector<std::optional<int>> ks;
+    for (const auto& p : pairs) {
+      jobs.push_back(sim::SimJob::at_oci(p.light.name, p.light.checkpoint_cost, mtbf));
+      jobs.push_back(sim::SimJob::at_oci(p.heavy.name, p.heavy.checkpoint_cost, mtbf));
+      ks.push_back(p.k);
+    }
+    sim::EngineConfig ecfg;
+    ecfg.t_total = horizon;
+    const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
+    const sim::SimResult base =
+        engine.run_many(jobs, sim::AlternateAtFailure{}, 10, seed);
+    const sim::SimResult sz =
+        engine.run_many(jobs, sim::PairRotationScheduler{ks}, 10, seed);
+    return sz.total_useful() - base.total_useful();
+  };
+
+  const double extreme_gain = run_with(core::PairingStrategy::kExtreme, 50);
+  double random_gain_sum = 0.0;
+  for (std::uint64_t s = 51; s < 55; ++s) {
+    random_gain_sum += run_with(core::PairingStrategy::kRandom, s);
+  }
+  EXPECT_GE(extreme_gain, random_gain_sum / 4.0 - hours(5.0));
+}
+
+}  // namespace
+}  // namespace shiraz

@@ -1,0 +1,154 @@
+// End-to-end checks of the paper's headline evaluation claims (Section 5),
+// with the simulator as ground truth.
+#include <gtest/gtest.h>
+
+#include "core/energy.h"
+#include "core/shiraz_plus.h"
+#include "core/switch_solver.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+#include "sim/optimizer.h"
+
+namespace shiraz {
+namespace {
+
+core::ShirazModel make_model(double mtbf_hours) {
+  core::ModelConfig cfg;
+  cfg.mtbf = hours(mtbf_hours);
+  cfg.t_total = hours(1000.0);
+  return core::ShirazModel(cfg);
+}
+
+sim::Engine make_engine(double mtbf_hours) {
+  sim::EngineConfig cfg;
+  cfg.t_total = hours(1000.0);
+  return sim::Engine(reliability::Weibull::from_mtbf(0.6, hours(mtbf_hours)), cfg);
+}
+
+TEST(Table2, SimOptimumConfirmsModelOptimum) {
+  // One representative row per system scale (the full 8-row sweep is the
+  // bench's job; here we verify the model-sim agreement property itself).
+  struct Row {
+    double mtbf_hours;
+    double factor;
+  };
+  for (const Row row : {Row{5.0, 25.0}, Row{20.0, 5.0}}) {
+    const core::ShirazModel model = make_model(row.mtbf_hours);
+    const core::AppSpec lw{"lw", hours(0.5) / row.factor, 1};
+    const core::AppSpec hw{"hw", hours(0.5), 1};
+    core::SolverOptions opts;
+    opts.keep_sweep = false;
+    const core::SwitchSolution ms = solve_switch_point(model, lw, hw, opts);
+    ASSERT_TRUE(ms.beneficial());
+
+    const sim::Engine engine = make_engine(row.mtbf_hours);
+    const sim::SimJob lwj =
+        sim::SimJob::at_oci("lw", lw.delta, hours(row.mtbf_hours));
+    const sim::SimJob hwj =
+        sim::SimJob::at_oci("hw", hw.delta, hours(row.mtbf_hours));
+    const int lo = std::max(1, *ms.k - 5);
+    const sim::SimSwitchSolution ss =
+        sim::find_fair_k_by_simulation(engine, lwj, hwj, lo, *ms.k + 5, 32, 2718);
+    ASSERT_TRUE(ss.beneficial());
+    EXPECT_NEAR(*ss.k, *ms.k, 2.0)
+        << "MTBF=" << row.mtbf_hours << " factor=" << row.factor;
+  }
+}
+
+TEST(Fig10, SimConfirmsPositiveTotalGainAtModelOptimum) {
+  // At the Fig 10 working point the model claims ~33h of extra useful work at
+  // k = 26; the simulation must confirm a comparable gain at that k.
+  const sim::Engine engine = make_engine(5.0);
+  const sim::SimJob lw = sim::SimJob::at_oci("lw", 18.0, hours(5.0));
+  const sim::SimJob hw = sim::SimJob::at_oci("hw", 1800.0, hours(5.0));
+  const sim::SimSwitchCandidate c = simulate_switch_point(engine, lw, hw, 26, 48, 555);
+  EXPECT_GT(c.delta_total, hours(15.0));
+  EXPECT_LT(c.delta_total, hours(55.0));
+}
+
+TEST(Fig10, SwitchingMuchTooLateHurtsTheHeavyApp) {
+  const sim::Engine engine = make_engine(5.0);
+  const sim::SimJob lw = sim::SimJob::at_oci("lw", 18.0, hours(5.0));
+  const sim::SimJob hw = sim::SimJob::at_oci("hw", 1800.0, hours(5.0));
+  const sim::SimSwitchCandidate c =
+      simulate_switch_point(engine, lw, hw, 120, 24, 555);
+  EXPECT_LT(c.delta_hw, 0.0);
+}
+
+TEST(Fig10, SwitchingMuchTooSoonHurtsTheLightApp) {
+  const sim::Engine engine = make_engine(5.0);
+  const sim::SimJob lw = sim::SimJob::at_oci("lw", 18.0, hours(5.0));
+  const sim::SimJob hw = sim::SimJob::at_oci("hw", 1800.0, hours(5.0));
+  const sim::SimSwitchCandidate c = simulate_switch_point(engine, lw, hw, 4, 24, 555);
+  EXPECT_LT(c.delta_lw, 0.0);
+}
+
+TEST(Fig13, SimulatedShirazPlusCutsIoWithSmallPerfCost) {
+  // Run Shiraz+ in the simulator: HW at 2x stretch, at the model's fair k.
+  const double mtbf_hours = 5.0;
+  const core::ShirazModel model = make_model(mtbf_hours);
+  const core::AppSpec lw{"lw", hours(0.02), 1};
+  const core::AppSpec hw{"hw", hours(0.5), 1};
+  core::SolverOptions opts;
+  opts.keep_sweep = false;
+  const core::SwitchSolution sol = solve_switch_point(model, lw, hw, opts);
+  ASSERT_TRUE(sol.beneficial());
+
+  const sim::Engine engine = make_engine(mtbf_hours);
+  const std::vector<sim::SimJob> plain{
+      sim::SimJob::at_oci("lw", lw.delta, hours(mtbf_hours)),
+      sim::SimJob::at_oci("hw", hw.delta, hours(mtbf_hours))};
+  const std::vector<sim::SimJob> stretched{
+      sim::SimJob::at_oci("lw", lw.delta, hours(mtbf_hours)),
+      sim::SimJob::at_oci("hw", hw.delta, hours(mtbf_hours), /*stretch=*/2)};
+  const sim::AlternateAtFailure baseline;
+  const sim::ShirazPairScheduler shiraz(*sol.k);
+
+  const sim::SimResult base = engine.run_many(plain, baseline, 40, 777);
+  const sim::SimResult plus = engine.run_many(stretched, shiraz, 40, 777);
+
+  // Checkpoint I/O drops substantially versus the baseline...
+  EXPECT_LT(plus.total_io(), 0.75 * base.total_io());
+  // ...while total useful work does not degrade (Shiraz+ spends part of the
+  // Shiraz gain, so it must stay at least at baseline level).
+  EXPECT_GE(plus.total_useful(), 0.99 * base.total_useful());
+}
+
+TEST(Fig13, StretchFourCutsIoDeeperThanStretchTwo) {
+  const core::ShirazModel model = make_model(20.0);
+  const core::AppSpec lw{"lw", hours(0.02), 1};
+  const core::AppSpec hw{"hw", hours(0.5), 1};
+  core::SolverOptions opts;
+  opts.keep_sweep = false;
+  const core::SwitchSolution sol = solve_switch_point(model, lw, hw, opts);
+  ASSERT_TRUE(sol.beneficial());
+
+  const sim::Engine engine = make_engine(20.0);
+  const sim::ShirazPairScheduler shiraz(*sol.k);
+  auto stretched = [&](unsigned s) {
+    return std::vector<sim::SimJob>{
+        sim::SimJob::at_oci("lw", lw.delta, hours(20.0)),
+        sim::SimJob::at_oci("hw", hw.delta, hours(20.0), s)};
+  };
+  const sim::SimResult s2 = engine.run_many(stretched(2), shiraz, 32, 888);
+  const sim::SimResult s4 = engine.run_many(stretched(4), shiraz, 32, 888);
+  EXPECT_LT(s4.apps[1].io, s2.apps[1].io);
+}
+
+TEST(EnergyPipeline, SimulatedGainTranslatesToDollars) {
+  // Wire a simulated throughput gain through the energy model, petascale.
+  const sim::Engine engine = make_engine(20.0);
+  const sim::SimJob lw = sim::SimJob::at_oci("lw", hours(0.1), hours(20.0));
+  const sim::SimJob hw = sim::SimJob::at_oci("hw", hours(0.5), hours(20.0));
+  const sim::SimSwitchCandidate c = simulate_switch_point(engine, lw, hw, 11, 32, 999);
+  ASSERT_GT(c.delta_total, 0.0);
+  const double gain_per_year = as_hours(c.delta_total) * (kHoursPerYear / 1000.0);
+  core::EnergyModelConfig ecfg;
+  ecfg.system_power_megawatts = 10.0;
+  const core::EnergySavings savings = core::energy_savings(gain_per_year, ecfg);
+  EXPECT_GT(savings.dollars_per_year, 10'000.0);
+  EXPECT_LT(savings.dollars_per_year, 300'000.0);
+}
+
+}  // namespace
+}  // namespace shiraz

@@ -1,0 +1,224 @@
+// Property-based suites: invariants that must hold across wide parameter
+// grids and randomized configurations, not just at the paper's working
+// points.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/analytical_model.h"
+#include "core/switch_solver.h"
+#include "reliability/exponential.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+
+namespace shiraz {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Engine invariants over a (mtbf, delta, policy) grid.
+// ---------------------------------------------------------------------------
+
+struct GridPoint {
+  double mtbf_hours;
+  double delta_seconds;
+  int policy;  // 0 = alternate, 1 = shiraz k=8, 2 = naive half-MTBF
+};
+
+std::string grid_name(const ::testing::TestParamInfo<GridPoint>& info) {
+  const auto& p = info.param;
+  std::string policy = p.policy == 0 ? "alt" : (p.policy == 1 ? "shiraz" : "naive");
+  return "mtbf" + std::to_string(static_cast<int>(p.mtbf_hours)) + "_delta" +
+         std::to_string(static_cast<int>(p.delta_seconds)) + "_" + policy;
+}
+
+class EngineInvariants : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(EngineInvariants, AccountingAndSanity) {
+  const GridPoint p = GetParam();
+  sim::EngineConfig cfg;
+  cfg.t_total = hours(400.0);
+  const sim::Engine engine(
+      reliability::Weibull::from_mtbf(0.6, hours(p.mtbf_hours)), cfg);
+  const std::vector<sim::SimJob> jobs{
+      sim::SimJob::at_oci("lw", p.delta_seconds, hours(p.mtbf_hours)),
+      sim::SimJob::at_oci("hw", p.delta_seconds * 20.0, hours(p.mtbf_hours))};
+
+  const sim::AlternateAtFailure alt;
+  const sim::ShirazPairScheduler shiraz(8);
+  const sim::NaiveTimeSwitchScheduler naive(hours(p.mtbf_hours) / 2.0);
+  const sim::Scheduler& policy =
+      p.policy == 0 ? static_cast<const sim::Scheduler&>(alt)
+                    : (p.policy == 1 ? static_cast<const sim::Scheduler&>(shiraz)
+                                     : static_cast<const sim::Scheduler&>(naive));
+
+  Rng rng(1234);
+  const sim::SimResult res = engine.run(jobs, policy, rng);
+
+  // 1. Exact time conservation.
+  EXPECT_NEAR(res.accounted(), hours(400.0), 1e-6);
+  // 2. Non-negative components everywhere.
+  for (const auto& app : res.apps) {
+    EXPECT_GE(app.useful, 0.0);
+    EXPECT_GE(app.io, 0.0);
+    EXPECT_GE(app.lost, 0.0);
+    // 3. Useful work is an exact multiple of the (fixed) interval.
+    const Seconds oci =
+        checkpoint::optimal_interval(hours(p.mtbf_hours), app.name == "lw"
+                                                              ? p.delta_seconds
+                                                              : p.delta_seconds * 20.0);
+    const double segments = app.useful / oci;
+    EXPECT_NEAR(segments, std::round(segments), 1e-6) << app.name;
+    // 4. I/O is checkpoint count times delta.
+    EXPECT_NEAR(app.io,
+                static_cast<double>(app.checkpoints) *
+                    (app.name == "lw" ? p.delta_seconds : p.delta_seconds * 20.0),
+                1e-6);
+  }
+  // 5. Every failure hit at most one app.
+  std::size_t hits = 0;
+  for (const auto& app : res.apps) hits += app.failures_hit;
+  EXPECT_LE(hits, res.failures);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EngineInvariants,
+    ::testing::Values(GridPoint{2.0, 30.0, 0}, GridPoint{2.0, 30.0, 1},
+                      GridPoint{2.0, 30.0, 2}, GridPoint{5.0, 90.0, 0},
+                      GridPoint{5.0, 90.0, 1}, GridPoint{5.0, 90.0, 2},
+                      GridPoint{20.0, 300.0, 0}, GridPoint{20.0, 300.0, 1},
+                      GridPoint{20.0, 300.0, 2}, GridPoint{50.0, 600.0, 0},
+                      GridPoint{50.0, 600.0, 1}, GridPoint{50.0, 600.0, 2}),
+    grid_name);
+
+// ---------------------------------------------------------------------------
+// Randomized ("fuzz") invariants: random parameters, fixed seeds.
+// ---------------------------------------------------------------------------
+
+class RandomizedInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomizedInvariants, EngineConservesTimeUnderRandomConfigs) {
+  Rng meta(GetParam());
+  const double mtbf_hours = meta.uniform(0.5, 60.0);
+  const double delta_lw = meta.uniform(1.0, 600.0);
+  const double delta_hw = delta_lw * meta.uniform(1.0, 100.0);
+  const double restart = meta.uniform(0.0, 300.0);
+  const int k = static_cast<int>(meta.uniform_int(0, 60));
+
+  sim::EngineConfig cfg;
+  cfg.t_total = hours(meta.uniform(50.0, 400.0));
+  cfg.restart_cost = restart;
+  const sim::Engine engine(
+      reliability::Weibull::from_mtbf(meta.uniform(0.4, 1.0), hours(mtbf_hours)),
+      cfg);
+  const std::vector<sim::SimJob> jobs{
+      sim::SimJob::at_oci("lw", delta_lw, hours(mtbf_hours)),
+      sim::SimJob::at_oci("hw", delta_hw, hours(mtbf_hours))};
+  const sim::ShirazPairScheduler policy(k);
+  Rng rng(GetParam() * 977 + 1);
+  const sim::SimResult res = engine.run(jobs, policy, rng);
+  EXPECT_NEAR(res.accounted(), cfg.t_total, 1e-6)
+      << "mtbf=" << mtbf_hours << " dlw=" << delta_lw << " dhw=" << delta_hw
+      << " k=" << k << " restart=" << restart;
+}
+
+TEST_P(RandomizedInvariants, ModelComponentsNonNegativeAndBounded) {
+  Rng meta(GetParam() + 5000);
+  core::ModelConfig cfg;
+  cfg.mtbf = hours(meta.uniform(0.5, 60.0));
+  cfg.weibull_shape = meta.uniform(0.3, 1.2);
+  cfg.epsilon = meta.uniform(0.2, 0.8);
+  cfg.t_total = hours(meta.uniform(100.0, 5000.0));
+  const core::ShirazModel model(cfg);
+  // Stay inside the model's validity regime (segment length well below the
+  // MTBF): the epsilon lost-work approximation overcharges when a single
+  // segment rivals the mean gap, exactly as the paper's own 4x-stretch
+  // exascale corner does.
+  const core::AppSpec app{"a", cfg.mtbf * meta.uniform(2e-4, 0.02),
+                          static_cast<unsigned>(meta.uniform_int(1, 2))};
+
+  const Seconds t_switch = meta.uniform(0.0, 4.0) * cfg.mtbf;
+  const core::Components first = model.first_app(app, t_switch, cfg.t_total);
+  const core::Components second = model.second_app(app, t_switch, cfg.t_total);
+  for (const core::Components& c : {first, second}) {
+    EXPECT_GE(c.useful, 0.0);
+    EXPECT_GE(c.io, 0.0);
+    EXPECT_GE(c.lost, 0.0);
+    EXPECT_LE(c.useful + c.io + c.lost, cfg.t_total * 1.25);
+  }
+  // Roles partition the gap: together they can at most fill the campaign.
+  EXPECT_LE(first.useful + second.useful, cfg.t_total * 1.01);
+}
+
+TEST_P(RandomizedInvariants, SolverSweepMonotonicity) {
+  Rng meta(GetParam() + 9000);
+  core::ModelConfig cfg;
+  cfg.mtbf = hours(meta.uniform(2.0, 30.0));
+  cfg.t_total = hours(1000.0);
+  const core::ShirazModel model(cfg);
+  const double delta_hw = meta.uniform(600.0, 3600.0);
+  const core::AppSpec lw{"lw", delta_hw / meta.uniform(3.0, 200.0), 1};
+  const core::AppSpec hw{"hw", delta_hw, 1};
+  core::SolverOptions opts;
+  opts.max_k = 64;
+  const core::SwitchSolution sol = solve_switch_point(model, lw, hw, opts);
+  for (std::size_t i = 1; i < sol.sweep.size(); ++i) {
+    EXPECT_GE(sol.sweep[i].delta_lw, sol.sweep[i - 1].delta_lw - 1e-6);
+    EXPECT_LE(sol.sweep[i].delta_hw, sol.sweep[i - 1].delta_hw + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedInvariants,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---------------------------------------------------------------------------
+// Cross-distribution property: with memoryless (exponential) failures there
+// is no reliability zone, so Shiraz's advantage should collapse.
+// ---------------------------------------------------------------------------
+
+TEST(MemorylessFailures, FairShirazAdvantageCollapses) {
+  // With memoryless (exponential) failures there is no within-gap
+  // reliability zone: shifting time toward the light app still moves *total*
+  // useful work, but only by taking it from the heavy app. At the fairness
+  // crossing the shares are even and the gain must vanish — so the solver
+  // reports "no beneficial switch" for beta = 1 while the same pair benefits
+  // handsomely at beta = 0.6.
+  const core::AppSpec lw{"lw", 18.0, 1};
+  const core::AppSpec hw{"hw", 1800.0, 1};
+  core::SolverOptions opts;
+  opts.keep_sweep = false;
+
+  core::ModelConfig weib;
+  weib.mtbf = hours(5.0);
+  weib.weibull_shape = 0.6;
+  weib.t_total = hours(1000.0);
+  const core::SwitchSolution weib_sol =
+      solve_switch_point(core::ShirazModel(weib), lw, hw, opts);
+  ASSERT_TRUE(weib_sol.beneficial());
+  EXPECT_GT(weib_sol.delta_total, hours(10.0));
+
+  core::ModelConfig expo = weib;
+  expo.weibull_shape = 1.0;  // exponential inter-arrivals
+  const core::SwitchSolution expo_sol =
+      solve_switch_point(core::ShirazModel(expo), lw, hw, opts);
+  if (expo_sol.beneficial()) {
+    EXPECT_LT(expo_sol.delta_total, 0.2 * weib_sol.delta_total);
+  }
+
+  // Simulation cross-check: running the Weibull-fair k = 26 on a memoryless
+  // machine cheats one of the two apps (no free gain to split).
+  sim::EngineConfig cfg;
+  cfg.t_total = hours(1000.0);
+  const std::vector<sim::SimJob> jobs{sim::SimJob::at_oci("lw", 18.0, hours(5.0)),
+                                      sim::SimJob::at_oci("hw", 1800.0, hours(5.0))};
+  const sim::Engine engine(reliability::Exponential(hours(5.0)), cfg);
+  const sim::AlternateAtFailure alt;
+  const sim::ShirazPairScheduler policy(*weib_sol.k);
+  const sim::SimResult base = engine.run_many(jobs, alt, 32, 99);
+  const sim::SimResult sz = engine.run_many(jobs, policy, 32, 99);
+  const double min_gain = std::min(sz.apps[0].useful - base.apps[0].useful,
+                                   sz.apps[1].useful - base.apps[1].useful);
+  EXPECT_LT(min_gain, 0.0);
+}
+
+}  // namespace
+}  // namespace shiraz

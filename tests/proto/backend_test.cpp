@@ -1,0 +1,104 @@
+#include "proto/backend.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "proto/checkpoint_store.h"
+
+namespace shiraz::proto {
+namespace {
+
+TEST(RealBackend, StepAdvancesAppAndReportsPositiveDuration) {
+  RealBackend backend;
+  apps::ProxyApp app(apps::ProxyKind::kCoMD, 1);
+  const Seconds dur = backend.run_step(app);
+  EXPECT_GT(dur, 0.0);
+  EXPECT_EQ(app.steps_completed(), 1u);
+}
+
+TEST(RealBackend, CheckpointRestoreRoundTripsThroughDisk) {
+  RealBackend backend;
+  const CheckpointStore store = CheckpointStore::make_temporary("backend");
+  apps::ProxyApp app(apps::ProxyKind::kCoMD, 1);
+  backend.run_step(app);
+  backend.run_step(app);
+  const auto checksum = app.checksum();
+
+  const Seconds wdur = backend.write_checkpoint(app, store.path_for("job"));
+  EXPECT_GT(wdur, 0.0);
+
+  backend.run_step(app);  // diverge
+  EXPECT_NE(app.checksum(), checksum);
+
+  const Seconds rdur = backend.restore_checkpoint(app, store.path_for("job"));
+  EXPECT_GT(rdur, 0.0);
+  EXPECT_EQ(app.checksum(), checksum);
+  EXPECT_EQ(app.steps_completed(), 2u);
+}
+
+TEST(RealBackend, LargerStateCostsMoreToWrite) {
+  // The Fig 3 premise: checkpoint cost tracks state size. Take the median of
+  // several samples to ride out scheduler noise.
+  RealBackend backend;
+  const CheckpointStore store = CheckpointStore::make_temporary("cost");
+  const apps::ProxyApp small(apps::ProxyKind::kCoMD, 1);
+  const apps::ProxyApp large(apps::ProxyKind::kMiniFE, 1);
+  std::vector<Seconds> small_durs;
+  std::vector<Seconds> large_durs;
+  for (int i = 0; i < 5; ++i) {
+    small_durs.push_back(backend.write_checkpoint(small, store.path_for("s")));
+    large_durs.push_back(backend.write_checkpoint(large, store.path_for("l")));
+  }
+  std::sort(small_durs.begin(), small_durs.end());
+  std::sort(large_durs.begin(), large_durs.end());
+  EXPECT_GT(large_durs[2], small_durs[2] * 3.0)
+      << "a ~28x larger state must be clearly slower to checkpoint";
+}
+
+TEST(RealBackend, RestoreFromMissingFileThrows) {
+  RealBackend backend;
+  apps::ProxyApp app(apps::ProxyKind::kCoMD, 1);
+  EXPECT_THROW(backend.restore_checkpoint(app, "/nonexistent/ckpt.bin"), IoError);
+}
+
+TEST(RealBackend, WriteToInvalidPathThrows) {
+  RealBackend backend;
+  const apps::ProxyApp app(apps::ProxyKind::kCoMD, 1);
+  EXPECT_THROW(backend.write_checkpoint(app, "/nonexistent-dir/ckpt.bin"), IoError);
+}
+
+TEST(SyntheticBackend, DurationsAreDeterministic) {
+  SyntheticBackend::Rates rates;
+  rates.step_duration = 0.5;
+  rates.write_bandwidth_bps = 1.0e6;
+  rates.fixed_latency = 0.25;
+  rates.read_bandwidth_bps = 2.0e6;
+  SyntheticBackend backend(rates);
+  apps::ProxyApp app(apps::ProxyKind::kCoMD, 1);
+  EXPECT_DOUBLE_EQ(backend.run_step(app), 0.5);
+  const double bytes = static_cast<double>(app.state_bytes());
+  EXPECT_DOUBLE_EQ(backend.write_checkpoint(app, "unused"), 0.25 + bytes / 1.0e6);
+  EXPECT_DOUBLE_EQ(backend.restore_checkpoint(app, "unused"), bytes / 2.0e6);
+}
+
+TEST(SyntheticBackend, DoesNotTouchTheApp) {
+  SyntheticBackend backend(SyntheticBackend::Rates{});
+  apps::ProxyApp app(apps::ProxyKind::kCoMD, 1);
+  const auto checksum = app.checksum();
+  backend.run_step(app);
+  backend.write_checkpoint(app, "unused");
+  EXPECT_EQ(app.checksum(), checksum);
+  EXPECT_EQ(app.steps_completed(), 0u);
+}
+
+TEST(SyntheticBackend, RejectsBadRates) {
+  SyntheticBackend::Rates bad;
+  bad.step_duration = 0.0;
+  EXPECT_THROW(SyntheticBackend{bad}, InvalidArgument);
+  SyntheticBackend::Rates bad2;
+  bad2.write_bandwidth_bps = -1.0;
+  EXPECT_THROW(SyntheticBackend{bad2}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::proto

@@ -1,0 +1,114 @@
+#include "proto/checkpoint_store.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace shiraz::proto {
+namespace {
+
+namespace fs = std::filesystem;
+
+void touch(const fs::path& path, const std::string& content = "x") {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(CheckpointStore, CreatesAndCleansUpItsDirectory) {
+  fs::path dir;
+  {
+    const CheckpointStore store = CheckpointStore::make_temporary("unit");
+    dir = store.dir();
+    EXPECT_TRUE(fs::exists(dir));
+    touch(store.path_for("job"));
+  }
+  EXPECT_FALSE(fs::exists(dir)) << "owned store must remove its directory";
+}
+
+TEST(CheckpointStore, UnownedStoreLeavesFiles) {
+  const fs::path dir = fs::temp_directory_path() / "shiraz-store-unowned-test";
+  {
+    const CheckpointStore store(dir, /*owned=*/false);
+    touch(store.path_for("job"));
+  }
+  EXPECT_TRUE(fs::exists(dir));
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointStore, PathSanitizesJobNames) {
+  const CheckpointStore store = CheckpointStore::make_temporary("sanitize");
+  const fs::path p = store.path_for("weird name/with:chars");
+  EXPECT_EQ(p.parent_path(), store.dir());
+  EXPECT_EQ(p.filename().string().find('/'), std::string::npos);
+  EXPECT_EQ(p.filename().string().find(':'), std::string::npos);
+}
+
+TEST(CheckpointStore, HasCheckpointTracksFiles) {
+  const CheckpointStore store = CheckpointStore::make_temporary("has");
+  EXPECT_FALSE(store.has_checkpoint("job"));
+  touch(store.path_for("job"));
+  EXPECT_TRUE(store.has_checkpoint("job"));
+  store.remove("job");
+  EXPECT_FALSE(store.has_checkpoint("job"));
+}
+
+TEST(CheckpointStore, PendingCommitMakesCheckpointVisible) {
+  const CheckpointStore store = CheckpointStore::make_temporary("commit");
+  touch(store.pending_path_for("job"), "v1");
+  EXPECT_FALSE(store.has_checkpoint("job")) << "pending must not be visible";
+  store.commit_pending("job");
+  EXPECT_TRUE(store.has_checkpoint("job"));
+  EXPECT_FALSE(fs::exists(store.pending_path_for("job")));
+}
+
+TEST(CheckpointStore, DiscardPendingPreservesCommitted) {
+  const CheckpointStore store = CheckpointStore::make_temporary("discard");
+  touch(store.path_for("job"), "committed");
+  touch(store.pending_path_for("job"), "torn-write");
+  store.discard_pending("job");
+  ASSERT_TRUE(store.has_checkpoint("job"));
+  std::ifstream in(store.path_for("job"));
+  std::string content;
+  in >> content;
+  EXPECT_EQ(content, "committed") << "torn write must not clobber the old checkpoint";
+}
+
+TEST(CheckpointStore, CommitOverwritesOlderCheckpoint) {
+  const CheckpointStore store = CheckpointStore::make_temporary("overwrite");
+  touch(store.path_for("job"), "old");
+  touch(store.pending_path_for("job"), "new");
+  store.commit_pending("job");
+  std::ifstream in(store.path_for("job"));
+  std::string content;
+  in >> content;
+  EXPECT_EQ(content, "new");
+}
+
+TEST(CheckpointStore, CommitAndDiscardAreNoOpsWithoutPending) {
+  const CheckpointStore store = CheckpointStore::make_temporary("noop");
+  EXPECT_NO_THROW(store.commit_pending("job"));
+  EXPECT_NO_THROW(store.discard_pending("job"));
+}
+
+TEST(CheckpointStore, BytesStoredSumsFiles) {
+  const CheckpointStore store = CheckpointStore::make_temporary("bytes");
+  EXPECT_EQ(store.bytes_stored(), 0u);
+  touch(store.path_for("a"), "12345");
+  touch(store.path_for("b"), "123");
+  EXPECT_EQ(store.bytes_stored(), 8u);
+}
+
+TEST(CheckpointStore, MoveTransfersOwnership) {
+  fs::path dir;
+  {
+    CheckpointStore original = CheckpointStore::make_temporary("move");
+    dir = original.dir();
+    const CheckpointStore moved = std::move(original);
+    EXPECT_EQ(moved.dir(), dir);
+  }
+  EXPECT_FALSE(fs::exists(dir));
+}
+
+}  // namespace
+}  // namespace shiraz::proto

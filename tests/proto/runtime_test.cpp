@@ -1,0 +1,177 @@
+#include "proto/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/scheduler.h"
+
+namespace shiraz::proto {
+namespace {
+
+using apps::ProxyApp;
+using apps::ProxyKind;
+
+// Synthetic rates chosen for easy arithmetic: one step = 1s, checkpoint
+// write = exactly 0.5s, restore = 0.25s (for the CoMD config-1 state size).
+SyntheticBackend::Rates unit_rates() {
+  const ProxyApp probe(ProxyKind::kCoMD, 1);
+  SyntheticBackend::Rates rates;
+  rates.step_duration = 1.0;
+  rates.fixed_latency = 0.0;
+  rates.write_bandwidth_bps = static_cast<double>(probe.state_bytes()) / 0.5;
+  rates.read_bandwidth_bps = static_cast<double>(probe.state_bytes()) / 0.25;
+  return rates;
+}
+
+ProtoJob comd_job(const std::string& name, Seconds interval) {
+  return ProtoJob(name, ProxyApp(ProxyKind::kCoMD, 1), interval);
+}
+
+TEST(Runtime, FailureFreeRunSealsAllSegments) {
+  SyntheticBackend backend(unit_rates());
+  CheckpointStore store = CheckpointStore::make_temporary("rt1");
+  Runtime runtime(backend, store);
+  const sim::AlternateAtFailure policy;
+  // Segment = 2 steps (2s) + 0.5s write = 2.5s; horizon 25s -> 10 segments.
+  const ProtoResult res =
+      runtime.run({comd_job("a", 2.0)}, policy, /*failure_times=*/{}, 25.0);
+  EXPECT_EQ(res.failures, 0u);
+  EXPECT_EQ(res.jobs[0].checkpoints, 10u);
+  EXPECT_NEAR(res.jobs[0].useful, 20.0, 1e-9);
+  EXPECT_NEAR(res.jobs[0].io, 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(res.jobs[0].lost, 0.0);
+  EXPECT_EQ(res.jobs[0].steps, 20u);
+}
+
+TEST(Runtime, FailureDuringComputeWipesUnsealedWork) {
+  SyntheticBackend backend(unit_rates());
+  CheckpointStore store = CheckpointStore::make_temporary("rt2");
+  Runtime runtime(backend, store);
+  const sim::AlternateAtFailure policy;
+  // First segment runs [0, 2] + write [2, 2.5]. Failure at t = 3.4 strikes
+  // during the second segment's compute (one step in).
+  const ProtoResult res = runtime.run({comd_job("a", 2.0)}, policy, {3.4}, 10.0);
+  EXPECT_EQ(res.failures, 1u);
+  EXPECT_EQ(res.jobs[0].failures_hit, 1u);
+  // One sealed segment before the failure, the 1s step after it is lost.
+  EXPECT_GE(res.jobs[0].checkpoints, 2u);
+  EXPECT_NEAR(res.jobs[0].lost, 1.0, 0.51);
+  EXPECT_EQ(res.jobs[0].restores, 1u);  // restored from the t=2.5 checkpoint
+}
+
+TEST(Runtime, TornCheckpointRollsBackToPreviousOne) {
+  SyntheticBackend backend(unit_rates());
+  CheckpointStore store = CheckpointStore::make_temporary("rt3");
+  Runtime runtime(backend, store);
+  const sim::AlternateAtFailure policy;
+  // Segment 1: [0,2]+write[2,2.5] commits. Segment 2: [2.5,4.5]+write[4.5,5].
+  // Failure at t = 4.7 tears the second write.
+  const ProtoResult res = runtime.run({comd_job("a", 2.0)}, policy, {4.7}, 12.0);
+  EXPECT_EQ(res.failures, 1u);
+  // Torn write discarded: compute (2s) + write time (0.5s) lost.
+  EXPECT_NEAR(res.jobs[0].lost, 2.5, 1e-9);
+  // The job restores from the first (committed) checkpoint.
+  EXPECT_EQ(res.jobs[0].restores, 1u);
+}
+
+TEST(Runtime, FailureBeforeFirstCheckpointRestartsFromScratch) {
+  SyntheticBackend backend(unit_rates());
+  CheckpointStore store = CheckpointStore::make_temporary("rt4");
+  Runtime runtime(backend, store);
+  const sim::AlternateAtFailure policy;
+  // Failure at t = 1.5: inside the very first segment; no checkpoint exists.
+  const ProtoResult res = runtime.run({comd_job("a", 2.0)}, policy, {1.5}, 8.0);
+  EXPECT_EQ(res.failures, 1u);
+  EXPECT_EQ(res.jobs[0].restores, 0u);
+  EXPECT_DOUBLE_EQ(res.jobs[0].restart, 0.0);
+  EXPECT_GT(res.jobs[0].checkpoints, 0u);  // recovers and makes progress after
+}
+
+TEST(Runtime, TimeAccountingCoversTheHorizon) {
+  SyntheticBackend backend(unit_rates());
+  CheckpointStore store = CheckpointStore::make_temporary("rt5");
+  Runtime runtime(backend, store);
+  const sim::AlternateAtFailure policy;
+  const std::vector<Seconds> failures{3.0, 7.0, 13.0, 20.0};
+  const ProtoResult res = runtime.run({comd_job("a", 2.0)}, policy, failures, 30.0);
+  const Seconds accounted = res.jobs[0].useful + res.jobs[0].io + res.jobs[0].lost +
+                            res.jobs[0].restart + res.idle + res.truncated;
+  EXPECT_NEAR(accounted, res.wall, 1.01);  // last op may overshoot the horizon
+}
+
+TEST(Runtime, ShirazPolicySwitchesAfterKCheckpoints) {
+  SyntheticBackend backend(unit_rates());
+  CheckpointStore store = CheckpointStore::make_temporary("rt6");
+  Runtime runtime(backend, store);
+  const sim::ShirazPairScheduler policy(2);
+  std::vector<ProtoJob> jobs;
+  jobs.push_back(comd_job("lw", 1.0));
+  jobs.push_back(ProtoJob("hw", ProxyApp(ProxyKind::kMiniFE, 1), 4.0));
+  // No failures: LW takes 2 checkpoints (2 * 1.5s = 3s), then HW runs out the
+  // horizon. HW's write costs ~19.5s (39x the CoMD state at the same
+  // bandwidth), so its segments are ~23.5s: the third one *starts* before the
+  // horizon and is allowed to finish (in-flight operations complete), giving
+  // three checkpoints.
+  const ProtoResult res = runtime.run(std::move(jobs), policy, {}, 60.0);
+  EXPECT_EQ(res.job("lw").checkpoints, 2u);
+  EXPECT_EQ(res.job("hw").checkpoints, 3u);
+  EXPECT_NEAR(res.job("hw").useful, 12.0, 1e-6);
+}
+
+TEST(Runtime, RealBackendEndToEndSmoke) {
+  RealBackend backend;
+  CheckpointStore store = CheckpointStore::make_temporary("rt7");
+  Runtime runtime(backend, store);
+  const sim::AlternateAtFailure policy;
+  std::vector<ProtoJob> jobs;
+  jobs.push_back(ProtoJob("a", ProxyApp(ProxyKind::kCoMD, 1), 0.002));
+  // Virtual horizon 0.1s of real execution with two injected failures.
+  const ProtoResult res = runtime.run(std::move(jobs), policy, {0.03, 0.07}, 0.1);
+  EXPECT_GT(res.jobs[0].checkpoints, 0u);
+  EXPECT_GT(res.jobs[0].useful, 0.0);
+  EXPECT_EQ(res.failures, 2u);
+  EXPECT_GT(res.jobs[0].steps, 0u);
+}
+
+TEST(Runtime, RejectsBadInputs) {
+  SyntheticBackend backend(unit_rates());
+  CheckpointStore store = CheckpointStore::make_temporary("rt8");
+  Runtime runtime(backend, store);
+  const sim::AlternateAtFailure policy;
+  EXPECT_THROW(runtime.run({}, policy, {}, 10.0), InvalidArgument);
+  EXPECT_THROW(runtime.run({comd_job("a", 0.0)}, policy, {}, 10.0), InvalidArgument);
+  EXPECT_THROW(runtime.run({comd_job("a", 1.0)}, policy, {}, 0.0), InvalidArgument);
+  EXPECT_THROW(runtime.run({comd_job("a", 1.0)}, policy, {5.0, 2.0}, 10.0),
+               InvalidArgument);
+}
+
+TEST(Runtime, JobLookupByName) {
+  SyntheticBackend backend(unit_rates());
+  CheckpointStore store = CheckpointStore::make_temporary("rt9");
+  Runtime runtime(backend, store);
+  const sim::AlternateAtFailure policy;
+  const ProtoResult res = runtime.run({comd_job("alpha", 2.0)}, policy, {}, 5.0);
+  EXPECT_EQ(res.job("alpha").name, "alpha");
+  EXPECT_THROW(res.job("beta"), InvalidArgument);
+}
+
+TEST(MeasureCheckpointCost, SyntheticMatchesModeledCost) {
+  SyntheticBackend backend(unit_rates());
+  CheckpointStore store = CheckpointStore::make_temporary("rt10");
+  const ProxyApp app(ProxyKind::kCoMD, 1);
+  const Seconds cost = measure_checkpoint_cost(backend, app, store, 3);
+  EXPECT_NEAR(cost, 0.5, 1e-9);
+}
+
+TEST(MeasureCheckpointCost, RealRatioTracksStateSize) {
+  RealBackend backend;
+  CheckpointStore store = CheckpointStore::make_temporary("rt11");
+  const ProxyApp light(ProxyKind::kCoMD, 1);
+  const ProxyApp heavy(ProxyKind::kMiniFE, 1);
+  const Seconds lc = measure_checkpoint_cost(backend, light, store, 5);
+  const Seconds hc = measure_checkpoint_cost(backend, heavy, store, 5);
+  EXPECT_GT(hc / lc, 3.0);  // ~28x state ratio; demand at least 3x in time
+}
+
+}  // namespace
+}  // namespace shiraz::proto

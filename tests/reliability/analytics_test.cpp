@@ -1,0 +1,125 @@
+#include "reliability/analytics.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "reliability/exponential.h"
+#include "reliability/systems.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::reliability {
+namespace {
+
+FailureTrace weibull_trace(double beta, Seconds mtbf, Seconds horizon,
+                           std::uint64_t seed) {
+  const Weibull dist = Weibull::from_mtbf(beta, mtbf);
+  Rng rng(seed);
+  return FailureTrace::generate(dist, horizon, rng);
+}
+
+TEST(WeeklyCounts, SumEqualsTraceSize) {
+  const FailureTrace trace = weibull_trace(0.6, hours(8.0), weeks(52.0), 1);
+  const auto counts = weekly_failure_counts(trace);
+  EXPECT_EQ(counts.size(), 52u);
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), std::size_t{0}),
+            trace.size());
+}
+
+TEST(WeeklyCounts, PartialLastWeekRoundsUp) {
+  FailureTrace trace(std::vector<Seconds>{days(1.0), days(10.0)});
+  trace.set_horizon(days(10.5));  // 1.5 weeks -> 2 buckets
+  const auto counts = weekly_failure_counts(trace);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(WeeklyVariability, Fig1PropertyNoLongStableEras) {
+  // The paper's Fig 1 point: weekly failure counts fluctuate, with no long
+  // runs of stable weeks. For a Weibull renewal process with beta = 0.5 the
+  // weekly counts should show substantial variation over a year.
+  const FailureTrace trace = weibull_trace(0.5, hours(8.0), weeks(52.0), 3);
+  const auto counts = weekly_failure_counts(trace);
+  const WeeklyVariability v = weekly_variability(counts);
+  EXPECT_GT(v.cv, 0.1);
+  EXPECT_LT(v.longest_stable_run, counts.size() / 2);
+}
+
+TEST(WeeklyVariability, ConstantSeriesIsFullyStable) {
+  const std::vector<std::size_t> counts(20, 7);
+  const WeeklyVariability v = weekly_variability(counts);
+  EXPECT_DOUBLE_EQ(v.cv, 0.0);
+  EXPECT_EQ(v.longest_stable_run, 20u);
+  EXPECT_EQ(v.max_week, 7u);
+}
+
+TEST(WeeklyVariability, RejectsEmpty) {
+  EXPECT_THROW(weekly_variability({}), InvalidArgument);
+}
+
+TEST(InterArrivalCdf, Fig2PropertyMostGapsShort) {
+  // Fig 2: a large fraction of gaps end well before the MTBF for beta < 1.
+  const FailureTrace trace = weibull_trace(0.6, hours(5.0), hours(100'000.0), 5);
+  const auto cdf = interarrival_cdf_at_mtbf_fractions(trace, {0.25, 0.5, 1.0, 2.0});
+  EXPECT_GT(cdf[1], 0.45);  // half the gaps before half the MTBF
+  EXPECT_GT(cdf[2], 0.65);  // well above the exponential's 0.63
+  // Monotone in the fraction.
+  EXPECT_LT(cdf[0], cdf[1]);
+  EXPECT_LT(cdf[1], cdf[2]);
+  EXPECT_LT(cdf[2], cdf[3]);
+}
+
+TEST(InterArrivalCdf, WeibullBeatsExponentialBelowMtbf) {
+  const FailureTrace weibull = weibull_trace(0.6, hours(5.0), hours(60'000.0), 7);
+  const Exponential expo(hours(5.0));
+  Rng rng(7);
+  const FailureTrace exp_trace = FailureTrace::generate(expo, hours(60'000.0), rng);
+  const auto wb = interarrival_cdf_at_mtbf_fractions(weibull, {0.5});
+  const auto ex = interarrival_cdf_at_mtbf_fractions(exp_trace, {0.5});
+  EXPECT_GT(wb[0], ex[0]);
+}
+
+TEST(EmpiricalHazard, DecreasingForWeibullShapeBelowOne) {
+  const FailureTrace trace = weibull_trace(0.6, hours(5.0), hours(200'000.0), 9);
+  const auto hazard = empirical_hazard(trace, hours(10.0), 8);
+  ASSERT_EQ(hazard.size(), 8u);
+  // First-bin hazard must dominate the later bins (temporal recurrence).
+  EXPECT_GT(hazard.front(), hazard.back() * 1.5);
+}
+
+TEST(EmpiricalHazard, FlatForExponential) {
+  const Exponential expo(hours(5.0));
+  Rng rng(11);
+  const FailureTrace trace = FailureTrace::generate(expo, hours(400'000.0), rng);
+  const auto hazard = empirical_hazard(trace, hours(10.0), 5);
+  for (const double h : hazard) {
+    EXPECT_NEAR(h * hours(5.0), 1.0, 0.25);  // h ~ 1/MTBF in every bin
+  }
+}
+
+TEST(EmpiricalHazard, RejectsBadArguments) {
+  const FailureTrace trace = weibull_trace(0.6, hours(5.0), hours(1000.0), 1);
+  EXPECT_THROW(empirical_hazard(trace, 0.0, 4), InvalidArgument);
+  EXPECT_THROW(empirical_hazard(trace, hours(1.0), 0), InvalidArgument);
+}
+
+TEST(Systems, CatalogMatchesPaperWorkingPoints) {
+  EXPECT_DOUBLE_EQ(petascale_system().mtbf, hours(20.0));
+  EXPECT_DOUBLE_EQ(exascale_system().mtbf, hours(5.0));
+  EXPECT_DOUBLE_EQ(petascale_system().power_megawatts, 10.0);
+  EXPECT_DOUBLE_EQ(exascale_system().power_megawatts, 20.0);
+}
+
+TEST(Systems, TraceSystemsSpanTheReportedShapeBand) {
+  for (const SystemSpec& spec : trace_systems()) {
+    EXPECT_GE(spec.weibull_shape, 0.4);
+    EXPECT_LE(spec.weibull_shape, 0.7);
+    const Weibull w = spec.failure_distribution();
+    EXPECT_NEAR(w.mean(), spec.mtbf, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace shiraz::reliability

@@ -1,0 +1,78 @@
+#include "reliability/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::reliability {
+namespace {
+
+std::vector<Seconds> weibull_gaps(double shape, Seconds mtbf, std::size_t n,
+                                  std::uint64_t seed) {
+  const Weibull w = Weibull::from_mtbf(shape, mtbf);
+  Rng rng(seed);
+  std::vector<Seconds> gaps;
+  gaps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) gaps.push_back(w.sample(rng));
+  return gaps;
+}
+
+TEST(Bootstrap, MtbfIntervalCoversTruthForLargeSamples) {
+  const auto gaps = weibull_gaps(0.6, hours(5.0), 2000, 1);
+  const Interval ci = bootstrap_mtbf(gaps);
+  EXPECT_TRUE(ci.contains(hours(5.0)))
+      << "[" << as_hours(ci.lower) << ", " << as_hours(ci.upper) << "]";
+  EXPECT_LT(ci.lower, ci.point);
+  EXPECT_GT(ci.upper, ci.point);
+}
+
+TEST(Bootstrap, ShapeIntervalCoversTruth) {
+  const auto gaps = weibull_gaps(0.6, hours(5.0), 2000, 2);
+  const Interval ci = bootstrap_weibull_shape(gaps, {.resamples = 400, .seed = 7});
+  EXPECT_TRUE(ci.contains(0.6)) << "[" << ci.lower << ", " << ci.upper << "]";
+}
+
+TEST(Bootstrap, IntervalShrinksWithSampleSize) {
+  const auto small = weibull_gaps(0.6, hours(5.0), 60, 3);
+  const auto large = weibull_gaps(0.6, hours(5.0), 4000, 3);
+  const Interval ci_small = bootstrap_mtbf(small, {.resamples = 400, .seed = 9});
+  const Interval ci_large = bootstrap_mtbf(large, {.resamples = 400, .seed = 9});
+  EXPECT_GT(ci_small.width(), 2.0 * ci_large.width());
+}
+
+TEST(Bootstrap, WiderConfidenceWiderInterval) {
+  const auto gaps = weibull_gaps(0.6, hours(5.0), 300, 4);
+  const Interval ci90 =
+      bootstrap_mtbf(gaps, {.resamples = 600, .confidence = 0.90, .seed = 5});
+  const Interval ci99 =
+      bootstrap_mtbf(gaps, {.resamples = 600, .confidence = 0.99, .seed = 5});
+  EXPECT_GT(ci99.width(), ci90.width());
+}
+
+TEST(Bootstrap, DeterministicPerSeed) {
+  const auto gaps = weibull_gaps(0.6, hours(5.0), 200, 6);
+  const Interval a = bootstrap_mtbf(gaps, {.resamples = 200, .seed = 42});
+  const Interval b = bootstrap_mtbf(gaps, {.resamples = 200, .seed = 42});
+  EXPECT_DOUBLE_EQ(a.lower, b.lower);
+  EXPECT_DOUBLE_EQ(a.upper, b.upper);
+}
+
+TEST(Bootstrap, ShortTraceGivesWideShapeInterval) {
+  // The practical warning this module exists to give: 25 gaps tell you very
+  // little about beta.
+  const auto gaps = weibull_gaps(0.6, hours(5.0), 25, 8);
+  const Interval ci = bootstrap_weibull_shape(gaps, {.resamples = 400, .seed = 3});
+  EXPECT_GT(ci.width(), 0.1);
+}
+
+TEST(Bootstrap, RejectsBadInput) {
+  const auto gaps = weibull_gaps(0.6, hours(5.0), 100, 9);
+  EXPECT_THROW(bootstrap_mtbf({1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(bootstrap_mtbf(gaps, {.resamples = 5}), InvalidArgument);
+  EXPECT_THROW(bootstrap_mtbf(gaps, {.confidence = 1.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::reliability

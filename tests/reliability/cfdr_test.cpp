@@ -1,0 +1,111 @@
+#include "reliability/cfdr.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz::reliability {
+namespace {
+
+RecordSet sample_records() {
+  return RecordSet({
+      {hours(1.0), "node-07", FailureCategory::kHardware},
+      {hours(5.5), "node-12", FailureCategory::kSoftware},
+      {hours(2.0), "node-07", FailureCategory::kNetwork},
+      {hours(9.0), "node-03", FailureCategory::kHardware},
+  });
+}
+
+TEST(Cfdr, RecordsSortedOnConstruction) {
+  const RecordSet set = sample_records();
+  ASSERT_EQ(set.size(), 4u);
+  EXPECT_DOUBLE_EQ(set.records()[0].timestamp, hours(1.0));
+  EXPECT_DOUBLE_EQ(set.records()[1].timestamp, hours(2.0));
+  EXPECT_DOUBLE_EQ(set.records()[3].timestamp, hours(9.0));
+}
+
+TEST(Cfdr, CategoryRoundTrip) {
+  for (const auto c : {FailureCategory::kHardware, FailureCategory::kSoftware,
+                       FailureCategory::kNetwork, FailureCategory::kEnvironment,
+                       FailureCategory::kUnknown}) {
+    EXPECT_EQ(category_from_string(to_string(c)), c);
+  }
+  EXPECT_THROW(category_from_string("cosmic-rays"), InvalidArgument);
+}
+
+TEST(Cfdr, FilterByCategoryAndNode) {
+  const RecordSet set = sample_records();
+  EXPECT_EQ(set.filter_category(FailureCategory::kHardware).size(), 2u);
+  EXPECT_EQ(set.filter_node("node-07").size(), 2u);
+  EXPECT_EQ(set.filter_node("node-99").size(), 0u);
+}
+
+TEST(Cfdr, MergeCombinesAndResorts) {
+  const RecordSet a = sample_records();
+  const RecordSet b({{hours(0.5), "node-44", FailureCategory::kEnvironment}});
+  const RecordSet merged = a.merge(b);
+  EXPECT_EQ(merged.size(), 5u);
+  EXPECT_EQ(merged.records().front().node, "node-44");
+}
+
+TEST(Cfdr, NodesAreDeduplicated) {
+  const auto nodes = sample_records().nodes();
+  EXPECT_EQ(nodes.size(), 3u);
+}
+
+TEST(Cfdr, ToTraceMatchesTimestamps) {
+  const FailureTrace trace = sample_records().to_trace(hours(20.0));
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_DOUBLE_EQ(trace.horizon(), hours(20.0));
+  EXPECT_DOUBLE_EQ(trace.times()[0], hours(1.0));
+}
+
+TEST(Cfdr, CsvRoundTrips) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "shiraz_cfdr_test.csv").string();
+  const RecordSet original = sample_records();
+  original.save_csv(path);
+  const RecordSet loaded = RecordSet::load_csv(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.records()[i].timestamp, original.records()[i].timestamp);
+    EXPECT_EQ(loaded.records()[i].node, original.records()[i].node);
+    EXPECT_EQ(loaded.records()[i].category, original.records()[i].category);
+  }
+}
+
+TEST(Cfdr, LoadRejectsBadInput) {
+  const auto dir = std::filesystem::temp_directory_path();
+  EXPECT_THROW(RecordSet::load_csv((dir / "does_not_exist.csv").string()), IoError);
+
+  const auto bad_header = (dir / "shiraz_cfdr_badheader.csv").string();
+  {
+    std::FILE* f = std::fopen(bad_header.c_str(), "w");
+    std::fputs("time,who\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(RecordSet::load_csv(bad_header), InvalidArgument);
+  std::remove(bad_header.c_str());
+
+  const auto bad_row = (dir / "shiraz_cfdr_badrow.csv").string();
+  {
+    std::FILE* f = std::fopen(bad_row.c_str(), "w");
+    std::fputs("timestamp_seconds,node,category\nnot-a-number,node-1,hardware\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(RecordSet::load_csv(bad_row), IoError);
+  std::remove(bad_row.c_str());
+}
+
+TEST(Cfdr, RejectsMalformedRecords) {
+  EXPECT_THROW(RecordSet({{-1.0, "node", FailureCategory::kHardware}}),
+               InvalidArgument);
+  EXPECT_THROW(RecordSet({{1.0, "", FailureCategory::kHardware}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::reliability

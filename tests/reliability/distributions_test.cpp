@@ -1,0 +1,199 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "reliability/exponential.h"
+#include "reliability/gamma_dist.h"
+#include "reliability/lognormal.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::reliability {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Properties every distribution must satisfy, checked across the whole family.
+// ---------------------------------------------------------------------------
+
+std::vector<DistributionPtr> all_distributions() {
+  std::vector<DistributionPtr> dists;
+  dists.push_back(Weibull::from_mtbf(0.6, hours(5.0)).clone());
+  dists.push_back(Weibull::from_mtbf(0.4, hours(20.0)).clone());
+  dists.push_back(Weibull(1.0, hours(3.0)).clone());
+  dists.push_back(std::make_unique<Exponential>(hours(10.0)));
+  dists.push_back(Lognormal::from_mean_cv(hours(8.0), 1.5).clone());
+  dists.push_back(GammaDist::from_mtbf(0.7, hours(12.0)).clone());
+  return dists;
+}
+
+class DistributionProperty : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  DistributionProperty() : dist_(std::move(all_distributions()[GetParam()])) {}
+  DistributionPtr dist_;
+};
+
+TEST_P(DistributionProperty, CdfIsMonotoneFromZeroToOne) {
+  const Distribution& d = *dist_;
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  double prev = 0.0;
+  for (double t = 60.0; t < 40.0 * d.mean(); t *= 1.7) {
+    const double c = d.cdf(t);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(d.cdf(1000.0 * d.mean()), 1.0, 1e-6);
+}
+
+TEST_P(DistributionProperty, PdfIntegratesToCdf) {
+  const Distribution& d = *dist_;
+  // Riemann-integrate the pdf over [mean/2, 2*mean] (away from the t -> 0
+  // singularity that sub-exponential shapes have) and compare to the cdf
+  // difference.
+  const double lo = 0.5 * d.mean();
+  const double hi = 2.0 * d.mean();
+  const int steps = 20'000;
+  double acc = 0.0;
+  const double dt = (hi - lo) / steps;
+  for (int i = 0; i < steps; ++i) {
+    acc += d.pdf(lo + (static_cast<double>(i) + 0.5) * dt) * dt;
+  }
+  EXPECT_NEAR(acc, d.cdf(hi) - d.cdf(lo), 5e-3);
+}
+
+TEST_P(DistributionProperty, QuantileInvertsCdf) {
+  const Distribution& d = *dist_;
+  for (const double u : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    EXPECT_NEAR(d.cdf(d.quantile(u)), u, 1e-8) << d.name();
+  }
+}
+
+TEST_P(DistributionProperty, SampleMeanConvergesToMean) {
+  const Distribution& d = *dist_;
+  Rng rng(2024);
+  RunningStats stats;
+  for (int i = 0; i < 60'000; ++i) stats.add(d.sample(rng));
+  EXPECT_NEAR(stats.mean() / d.mean(), 1.0, 0.05) << d.name();
+}
+
+TEST_P(DistributionProperty, SamplesMatchCdfAtMedian) {
+  const Distribution& d = *dist_;
+  Rng rng(7);
+  const double median = d.quantile(0.5);
+  int below = 0;
+  const int n = 40'000;
+  for (int i = 0; i < n; ++i) {
+    if (d.sample(rng) <= median) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.02) << d.name();
+}
+
+TEST_P(DistributionProperty, SurvivalComplementsCdf) {
+  const Distribution& d = *dist_;
+  for (double t = 100.0; t < 10.0 * d.mean(); t *= 2.3) {
+    EXPECT_NEAR(d.cdf(t) + d.survival(t), 1.0, 1e-12);
+  }
+}
+
+TEST_P(DistributionProperty, CloneIsEquivalent) {
+  const Distribution& d = *dist_;
+  const DistributionPtr copy = d.clone();
+  EXPECT_EQ(copy->name(), d.name());
+  EXPECT_DOUBLE_EQ(copy->mean(), d.mean());
+  EXPECT_DOUBLE_EQ(copy->cdf(d.mean()), d.cdf(d.mean()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, DistributionProperty,
+                         ::testing::Range<std::size_t>(0, 6));
+
+// ---------------------------------------------------------------------------
+// Weibull specifics — the paper's failure model.
+// ---------------------------------------------------------------------------
+
+TEST(Weibull, FromMtbfRecoversMean) {
+  for (const double beta : {0.4, 0.6, 0.7, 1.0, 1.5}) {
+    const Weibull w = Weibull::from_mtbf(beta, hours(5.0));
+    EXPECT_NEAR(w.mean(), hours(5.0), 1e-6) << "beta=" << beta;
+  }
+}
+
+TEST(Weibull, ShapeBelowOneHasDecreasingHazard) {
+  const Weibull w = Weibull::from_mtbf(0.6, hours(5.0));
+  double prev = w.hazard(minutes(5.0));
+  for (double t = minutes(30.0); t < hours(40.0); t *= 2.0) {
+    const double h = w.hazard(t);
+    EXPECT_LT(h, prev) << "hazard must decay for beta < 1";
+    prev = h;
+  }
+}
+
+TEST(Weibull, ShapeOneIsExponential) {
+  const Weibull w(1.0, hours(5.0));
+  const Exponential e(hours(5.0));
+  for (double t = 600.0; t < hours(30.0); t *= 2.0) {
+    EXPECT_NEAR(w.cdf(t), e.cdf(t), 1e-12);
+    EXPECT_NEAR(w.hazard(t), e.hazard(t), 1e-15);
+  }
+}
+
+TEST(Weibull, MostMassBelowMtbfForSmallShape) {
+  // The Fig. 2 property: for beta = 0.6 most gaps are much shorter than the
+  // MTBF; P(T <= MTBF) is well above the exponential's 63%.
+  const Weibull w = Weibull::from_mtbf(0.6, hours(5.0));
+  EXPECT_GT(w.cdf(hours(5.0)), 0.68);
+  EXPECT_GT(w.cdf(hours(2.5)), 0.5);
+}
+
+TEST(Weibull, RejectsBadParameters) {
+  EXPECT_THROW(Weibull(0.0, 100.0), InvalidArgument);
+  EXPECT_THROW(Weibull(0.6, 0.0), InvalidArgument);
+  EXPECT_THROW(Weibull::from_mtbf(0.6, -5.0), InvalidArgument);
+}
+
+TEST(Weibull, QuantileRejectsOutOfRange) {
+  const Weibull w(0.6, 100.0);
+  EXPECT_THROW(w.quantile(1.0), InvalidArgument);
+  EXPECT_THROW(w.quantile(-0.1), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Other families.
+// ---------------------------------------------------------------------------
+
+TEST(Exponential, HazardIsConstant) {
+  const Exponential e(hours(4.0));
+  const double h0 = e.hazard(minutes(1.0));
+  for (double t = hours(1.0); t < hours(30.0); t *= 2.0) {
+    EXPECT_NEAR(e.hazard(t), h0, 1e-12);
+  }
+  EXPECT_NEAR(h0, 1.0 / hours(4.0), 1e-15);
+}
+
+TEST(Lognormal, FromMeanCvRecoversMoments) {
+  const Lognormal ln = Lognormal::from_mean_cv(hours(8.0), 1.5);
+  EXPECT_NEAR(ln.mean(), hours(8.0), 1e-6);
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 200'000; ++i) stats.add(ln.sample(rng));
+  EXPECT_NEAR(stats.stddev() / stats.mean(), 1.5, 0.1);
+}
+
+TEST(GammaDist, ShapeBelowOneHasDecreasingHazard) {
+  const GammaDist g = GammaDist::from_mtbf(0.7, hours(12.0));
+  EXPECT_GT(g.hazard(minutes(10.0)), g.hazard(hours(12.0)));
+}
+
+TEST(GammaDist, ShapeOneIsExponential) {
+  const GammaDist g(1.0, hours(6.0));
+  const Exponential e(hours(6.0));
+  for (double t = 600.0; t < hours(30.0); t *= 2.0) {
+    EXPECT_NEAR(g.cdf(t), e.cdf(t), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace shiraz::reliability

@@ -1,0 +1,100 @@
+#include "reliability/trace.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::reliability {
+namespace {
+
+TEST(FailureTrace, GenerateCoversHorizonWithSortedTimes) {
+  const Weibull dist = Weibull::from_mtbf(0.6, hours(5.0));
+  Rng rng(1);
+  const FailureTrace trace = FailureTrace::generate(dist, hours(1000.0), rng);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_TRUE(std::is_sorted(trace.times().begin(), trace.times().end()));
+  EXPECT_LT(trace.times().back(), hours(1000.0));
+  EXPECT_DOUBLE_EQ(trace.horizon(), hours(1000.0));
+}
+
+TEST(FailureTrace, ObservedMtbfApproachesNominal) {
+  const Weibull dist = Weibull::from_mtbf(0.6, hours(5.0));
+  Rng rng(2);
+  const FailureTrace trace = FailureTrace::generate(dist, hours(50'000.0), rng);
+  EXPECT_NEAR(trace.observed_mtbf() / hours(5.0), 1.0, 0.05);
+}
+
+TEST(FailureTrace, InterArrivalGapsReconstructTimes) {
+  const FailureTrace trace(std::vector<Seconds>{10.0, 30.0, 35.0});
+  const auto gaps = trace.inter_arrival_times();
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_DOUBLE_EQ(gaps[0], 10.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 20.0);
+  EXPECT_DOUBLE_EQ(gaps[2], 5.0);
+}
+
+TEST(FailureTrace, RejectsUnsortedOrNegativeTimes) {
+  EXPECT_THROW(FailureTrace(std::vector<Seconds>{5.0, 3.0}), InvalidArgument);
+  EXPECT_THROW(FailureTrace(std::vector<Seconds>{-1.0, 3.0}), InvalidArgument);
+}
+
+TEST(FailureTrace, HorizonMustCoverFailures) {
+  FailureTrace trace(std::vector<Seconds>{10.0, 20.0});
+  EXPECT_THROW(trace.set_horizon(15.0), InvalidArgument);
+  trace.set_horizon(100.0);
+  EXPECT_DOUBLE_EQ(trace.horizon(), 100.0);
+}
+
+TEST(FailureTrace, SaveLoadRoundTrips) {
+  const Weibull dist = Weibull::from_mtbf(0.6, hours(20.0));
+  Rng rng(3);
+  const FailureTrace trace = FailureTrace::generate(dist, hours(2000.0), rng);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "shiraz_trace_test.txt").string();
+  trace.save(path);
+  const FailureTrace loaded = FailureTrace::load(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.times()[i], trace.times()[i]);
+  }
+  EXPECT_DOUBLE_EQ(loaded.horizon(), trace.horizon());
+}
+
+TEST(FailureTrace, LoadMissingFileThrows) {
+  EXPECT_THROW(FailureTrace::load("/nonexistent/trace.txt"), IoError);
+}
+
+TEST(FailureTrace, GenerateIsDeterministicPerSeed) {
+  const Weibull dist = Weibull::from_mtbf(0.6, hours(5.0));
+  Rng a(77);
+  Rng b(77);
+  const FailureTrace ta = FailureTrace::generate(dist, hours(500.0), a);
+  const FailureTrace tb = FailureTrace::generate(dist, hours(500.0), b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ta.times()[i], tb.times()[i]);
+  }
+}
+
+TEST(FailureTrace, EmptyTraceBehaviour) {
+  const FailureTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_TRUE(trace.inter_arrival_times().empty());
+  EXPECT_THROW(trace.observed_mtbf(), InvalidArgument);
+}
+
+TEST(FailureTrace, GenerateRejectsBadHorizon) {
+  const Weibull dist = Weibull::from_mtbf(0.6, hours(5.0));
+  Rng rng(1);
+  EXPECT_THROW(FailureTrace::generate(dist, 0.0, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::reliability

@@ -1,0 +1,185 @@
+#include "sched/manager.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "reliability/exponential.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::sched {
+namespace {
+
+ManagerConfig exa_config() {
+  ManagerConfig cfg;
+  cfg.horizon = hours(5000.0);
+  cfg.nominal_mtbf = hours(5.0);
+  return cfg;
+}
+
+reliability::Weibull exa_failures() {
+  return reliability::Weibull::from_mtbf(0.6, hours(5.0));
+}
+
+/// A calm machine: failures effectively never happen.
+reliability::Exponential calm() { return reliability::Exponential(hours(1e9)); }
+
+std::vector<BatchJobSpec> mixed_pair(Seconds work = hours(100.0)) {
+  return {{"light", work, 18.0, 0.0}, {"heavy", work, 1800.0, 0.0}};
+}
+
+TEST(WorkloadManager, FailureFreeJobsCompleteWithExactWork) {
+  const WorkloadManager mgr(calm(), exa_config());
+  Rng rng(1);
+  const CampaignStats stats =
+      mgr.run(mixed_pair(hours(50.0)), Policy::kBaselineAlternate, rng);
+  EXPECT_EQ(stats.completed_count(), 2u);
+  for (const auto& job : stats.jobs) {
+    EXPECT_NEAR(job.useful, hours(50.0), 1e-6) << job.name;
+    EXPECT_DOUBLE_EQ(job.lost, 0.0) << job.name;
+    EXPECT_TRUE(job.completed());
+  }
+  // With no failures the baseline never switches: the first job runs start to
+  // finish, then the second.
+  EXPECT_LT(stats.jobs[0].completion_time, stats.jobs[1].completion_time);
+}
+
+TEST(WorkloadManager, MakespanAccountsForCheckpointOverhead) {
+  const WorkloadManager mgr(calm(), exa_config());
+  Rng rng(2);
+  const CampaignStats stats =
+      mgr.run(mixed_pair(hours(50.0)), Policy::kBaselineAlternate, rng);
+  EXPECT_GT(stats.makespan, hours(100.0));  // work + checkpoints
+  EXPECT_NEAR(stats.makespan,
+              hours(100.0) + stats.total_io(), 1.0);
+}
+
+TEST(WorkloadManager, ArrivalsAreRespected) {
+  const WorkloadManager mgr(calm(), exa_config());
+  std::vector<BatchJobSpec> jobs{{"early", hours(10.0), 60.0, 0.0},
+                                 {"late", hours(10.0), 60.0, hours(500.0)}};
+  Rng rng(3);
+  const CampaignStats stats = mgr.run(jobs, Policy::kBaselineAlternate, rng);
+  EXPECT_GE(stats.job("late").start_time, hours(500.0));
+  EXPECT_GT(stats.idle, hours(400.0));  // machine idles between the jobs
+}
+
+TEST(WorkloadManager, FailuresCauseRollbacksAndLostWork) {
+  const WorkloadManager mgr(exa_failures(), exa_config());
+  Rng rng(4);
+  const CampaignStats stats =
+      mgr.run(mixed_pair(hours(200.0)), Policy::kBaselineAlternate, rng);
+  EXPECT_GT(stats.failures, 0u);
+  EXPECT_GT(stats.total_lost(), 0.0);
+  // Completed jobs must still account exactly their required work as useful.
+  for (const auto& job : stats.jobs) {
+    if (job.completed()) EXPECT_NEAR(job.useful, hours(200.0), 1e-6);
+  }
+}
+
+TEST(WorkloadManager, ShirazPairingBeatsBaselineThroughput) {
+  // The paper's core claim carried into the batch setting: for a
+  // heavy/light job mix, Shiraz pairing completes the same work sooner.
+  ManagerConfig cfg = exa_config();
+  cfg.horizon = hours(20'000.0);
+  const WorkloadManager mgr(exa_failures(), cfg);
+  std::vector<BatchJobSpec> jobs;
+  for (int i = 0; i < 3; ++i) {
+    jobs.push_back({"light" + std::to_string(i), hours(400.0), 18.0, 0.0});
+    jobs.push_back({"heavy" + std::to_string(i), hours(400.0), 1800.0, 0.0});
+  }
+  const CampaignStats base =
+      mgr.run_many(jobs, Policy::kBaselineAlternate, 10, 2024);
+  const CampaignStats shiraz = mgr.run_many(jobs, Policy::kShirazPairing, 10, 2024);
+  EXPECT_LT(shiraz.total_lost(), base.total_lost());
+  EXPECT_LE(shiraz.makespan, base.makespan * 1.01);
+}
+
+TEST(WorkloadManager, ShirazPlusStretchCutsIo) {
+  ManagerConfig plain = exa_config();
+  ManagerConfig plus = exa_config();
+  plus.hw_stretch = 3;
+  const WorkloadManager mgr_plain(exa_failures(), plain);
+  const WorkloadManager mgr_plus(exa_failures(), plus);
+  const auto jobs = mixed_pair(hours(500.0));
+  const CampaignStats a = mgr_plain.run_many(jobs, Policy::kShirazPairing, 8, 7);
+  const CampaignStats b = mgr_plus.run_many(jobs, Policy::kShirazPairing, 8, 7);
+  EXPECT_LT(b.job("heavy").io, a.job("heavy").io);
+}
+
+TEST(WorkloadManager, HorizonCutsUnfinishedJobs) {
+  ManagerConfig cfg = exa_config();
+  cfg.horizon = hours(10.0);
+  const WorkloadManager mgr(calm(), cfg);
+  Rng rng(6);
+  const CampaignStats stats =
+      mgr.run(mixed_pair(hours(100.0)), Policy::kBaselineAlternate, rng);
+  EXPECT_EQ(stats.completed_count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.makespan, hours(10.0));
+}
+
+TEST(WorkloadManager, SingleJobRunsAlone) {
+  const WorkloadManager mgr(exa_failures(), exa_config());
+  Rng rng(7);
+  const CampaignStats stats = mgr.run({{"solo", hours(30.0), 300.0, 0.0}},
+                                      Policy::kShirazPairing, rng);
+  EXPECT_EQ(stats.completed_count(), 1u);
+  EXPECT_NEAR(stats.job("solo").useful, hours(30.0), 1e-6);
+}
+
+TEST(WorkloadManager, QueueDrainsMoreThanTwoJobs) {
+  const WorkloadManager mgr(calm(), exa_config());
+  std::vector<BatchJobSpec> jobs;
+  for (int i = 0; i < 6; ++i) {
+    jobs.push_back({"job" + std::to_string(i), hours(20.0), 120.0, 0.0});
+  }
+  Rng rng(8);
+  const CampaignStats stats = mgr.run(jobs, Policy::kShirazPairing, rng);
+  EXPECT_EQ(stats.completed_count(), 6u);
+}
+
+TEST(WorkloadManager, DeterministicPerSeed) {
+  const WorkloadManager mgr(exa_failures(), exa_config());
+  Rng r1(9);
+  Rng r2(9);
+  const CampaignStats a = mgr.run(mixed_pair(), Policy::kShirazPairing, r1);
+  const CampaignStats b = mgr.run(mixed_pair(), Policy::kShirazPairing, r2);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_DOUBLE_EQ(a.total_lost(), b.total_lost());
+}
+
+TEST(WorkloadManager, RejectsBadInput) {
+  const WorkloadManager mgr(calm(), exa_config());
+  Rng rng(10);
+  EXPECT_THROW(mgr.run({}, Policy::kBaselineAlternate, rng), InvalidArgument);
+  EXPECT_THROW(mgr.run({{"bad", 0.0, 60.0, 0.0}}, Policy::kBaselineAlternate, rng),
+               InvalidArgument);
+  EXPECT_THROW(mgr.run({{"bad", hours(1.0), 0.0, 0.0}}, Policy::kBaselineAlternate,
+                       rng),
+               InvalidArgument);
+  ManagerConfig bad;
+  bad.horizon = 0.0;
+  EXPECT_THROW(WorkloadManager(calm(), bad), InvalidArgument);
+}
+
+TEST(CampaignStats, TurnaroundHelpers) {
+  CampaignStats stats;
+  BatchJobRecord a;
+  a.name = "a";
+  a.submit_time = 0.0;
+  a.completion_time = 100.0;
+  BatchJobRecord b;
+  b.name = "b";
+  b.submit_time = 50.0;
+  b.completion_time = 250.0;
+  BatchJobRecord c;  // never completed
+  c.name = "c";
+  stats.jobs = {a, b, c};
+  EXPECT_EQ(stats.completed_count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean_turnaround(), 150.0);
+  EXPECT_DOUBLE_EQ(stats.max_turnaround(), 200.0);
+  EXPECT_THROW(stats.job("missing"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::sched

@@ -1,0 +1,93 @@
+// Parameterized comparisons of the workload-manager policies across machine
+// scales and job mixes — the batch-setting analogue of the paper's Fig 11
+// sweep.
+#include <gtest/gtest.h>
+
+#include "reliability/weibull.h"
+#include "sched/manager.h"
+
+namespace shiraz::sched {
+namespace {
+
+struct MixCase {
+  double mtbf_hours;
+  double delta_factor;  // heavy delta = 1800 s, light = 1800 / factor
+};
+
+std::string mix_name(const ::testing::TestParamInfo<MixCase>& info) {
+  return "mtbf" + std::to_string(static_cast<int>(info.param.mtbf_hours)) +
+         "_factor" + std::to_string(static_cast<int>(info.param.delta_factor));
+}
+
+class PolicyComparison : public ::testing::TestWithParam<MixCase> {
+ protected:
+  WorkloadManager make_manager(unsigned stretch = 1) const {
+    ManagerConfig cfg;
+    cfg.horizon = hours(30'000.0);
+    cfg.nominal_mtbf = hours(GetParam().mtbf_hours);
+    cfg.hw_stretch = stretch;
+    return WorkloadManager(
+        reliability::Weibull::from_mtbf(0.6, hours(GetParam().mtbf_hours)), cfg);
+  }
+
+  std::vector<BatchJobSpec> jobs() const {
+    std::vector<BatchJobSpec> out;
+    for (int i = 0; i < 2; ++i) {
+      out.push_back({"light" + std::to_string(i), hours(500.0),
+                     1800.0 / GetParam().delta_factor, 0.0});
+      out.push_back({"heavy" + std::to_string(i), hours(500.0), 1800.0, 0.0});
+    }
+    return out;
+  }
+};
+
+TEST_P(PolicyComparison, BothPoliciesCompleteTheWorkload) {
+  const WorkloadManager mgr = make_manager();
+  const CampaignStats base = mgr.run_many(jobs(), Policy::kBaselineAlternate, 6, 11);
+  const CampaignStats sz = mgr.run_many(jobs(), Policy::kShirazPairing, 6, 11);
+  EXPECT_EQ(base.completed_count(), jobs().size());
+  EXPECT_EQ(sz.completed_count(), jobs().size());
+}
+
+TEST_P(PolicyComparison, CompletedWorkIsConservedAcrossPolicies) {
+  // Same jobs, same requirement: total useful work at completion must be
+  // identical under any policy — only waste and timing differ.
+  const WorkloadManager mgr = make_manager();
+  const CampaignStats base = mgr.run_many(jobs(), Policy::kBaselineAlternate, 6, 13);
+  const CampaignStats sz = mgr.run_many(jobs(), Policy::kShirazPairing, 6, 13);
+  EXPECT_NEAR(base.total_useful(), sz.total_useful(), 1.0);
+  EXPECT_NEAR(base.total_useful(), 4.0 * hours(500.0), 1.0);
+}
+
+TEST_P(PolicyComparison, ShirazDoesNotLoseMoreWork) {
+  const WorkloadManager mgr = make_manager();
+  const CampaignStats base = mgr.run_many(jobs(), Policy::kBaselineAlternate, 8, 17);
+  const CampaignStats sz = mgr.run_many(jobs(), Policy::kShirazPairing, 8, 17);
+  // Shiraz converts lost work into completed work; allow a whisker of noise.
+  EXPECT_LT(sz.total_lost(), base.total_lost() * 1.05);
+}
+
+TEST_P(PolicyComparison, StretchReducesHeavyCheckpointCount) {
+  const WorkloadManager plain = make_manager(1);
+  const WorkloadManager stretched = make_manager(3);
+  const CampaignStats a = plain.run_many(jobs(), Policy::kShirazPairing, 6, 19);
+  const CampaignStats b = stretched.run_many(jobs(), Policy::kShirazPairing, 6, 19);
+  std::size_t heavy_a = 0;
+  std::size_t heavy_b = 0;
+  for (const auto& j : a.jobs) {
+    if (j.name.rfind("heavy", 0) == 0) heavy_a += j.checkpoints;
+  }
+  for (const auto& j : b.jobs) {
+    if (j.name.rfind("heavy", 0) == 0) heavy_b += j.checkpoints;
+  }
+  EXPECT_LT(heavy_b, heavy_a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, PolicyComparison,
+                         ::testing::Values(MixCase{5.0, 25.0}, MixCase{5.0, 100.0},
+                                           MixCase{20.0, 25.0},
+                                           MixCase{20.0, 100.0}),
+                         mix_name);
+
+}  // namespace
+}  // namespace shiraz::sched

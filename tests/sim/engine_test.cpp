@@ -1,0 +1,177 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "reliability/exponential.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::sim {
+namespace {
+
+reliability::Weibull exa_failures() {
+  return reliability::Weibull::from_mtbf(0.6, hours(5.0));
+}
+
+Engine make_engine(Seconds horizon = hours(1000.0)) {
+  EngineConfig cfg;
+  cfg.t_total = horizon;
+  return Engine(exa_failures(), cfg);
+}
+
+TEST(Engine, TimeAccountingIsExact) {
+  // Invariant: useful + io + lost + restart + idle + truncated == horizon.
+  const Engine engine = make_engine();
+  const std::vector<SimJob> jobs{SimJob::at_oci("lw", 18.0, hours(5.0)),
+                                 SimJob::at_oci("hw", 1800.0, hours(5.0))};
+  const AlternateAtFailure policy;
+  Rng rng(1);
+  const SimResult res = engine.run(jobs, policy, rng);
+  EXPECT_NEAR(res.accounted(), hours(1000.0), 1e-6);
+  EXPECT_DOUBLE_EQ(res.idle, 0.0);  // baseline never idles
+}
+
+TEST(Engine, SingleAppRunsTheWholeCampaign) {
+  const Engine engine = make_engine();
+  const std::vector<SimJob> jobs{SimJob::at_oci("a", 300.0, hours(5.0))};
+  const AlternateAtFailure policy;
+  Rng rng(2);
+  const SimResult res = engine.run(jobs, policy, rng);
+  EXPECT_NEAR(res.apps[0].busy() + res.truncated, hours(1000.0), 1e-6);
+  EXPECT_GT(res.apps[0].useful, hours(700.0));
+  EXPECT_GT(res.failures, 100u);  // ~200 expected at MTBF 5h
+  EXPECT_LT(res.failures, 320u);
+}
+
+TEST(Engine, SameSeedSameFailureStreamAcrossPolicies) {
+  // The engine draws failures identically regardless of policy — the
+  // common-random-numbers property the optimizer depends on.
+  const Engine engine = make_engine(hours(200.0));
+  const std::vector<SimJob> jobs{SimJob::at_oci("lw", 18.0, hours(5.0)),
+                                 SimJob::at_oci("hw", 1800.0, hours(5.0))};
+  Rng r1(7);
+  Rng r2(7);
+  const SimResult a = engine.run(jobs, AlternateAtFailure{}, r1);
+  const SimResult b = engine.run(jobs, ShirazPairScheduler{10}, r2);
+  EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST(Engine, DeterministicForFixedSeed) {
+  const Engine engine = make_engine(hours(500.0));
+  const std::vector<SimJob> jobs{SimJob::at_oci("a", 300.0, hours(5.0))};
+  Rng r1(9);
+  Rng r2(9);
+  const SimResult a = engine.run(jobs, AlternateAtFailure{}, r1);
+  const SimResult b = engine.run(jobs, AlternateAtFailure{}, r2);
+  EXPECT_DOUBLE_EQ(a.apps[0].useful, b.apps[0].useful);
+  EXPECT_DOUBLE_EQ(a.apps[0].lost, b.apps[0].lost);
+  EXPECT_EQ(a.apps[0].checkpoints, b.apps[0].checkpoints);
+}
+
+TEST(Engine, UsefulWorkMatchesCheckpointCount) {
+  // Every unit of useful work is sealed by a checkpoint at a fixed interval.
+  const Engine engine = make_engine(hours(300.0));
+  const std::vector<SimJob> jobs{SimJob::at_oci("a", 300.0, hours(5.0))};
+  Rng rng(11);
+  const SimResult res = engine.run(jobs, AlternateAtFailure{}, rng);
+  const Seconds oci = checkpoint::optimal_interval(hours(5.0), 300.0);
+  EXPECT_NEAR(res.apps[0].useful,
+              static_cast<double>(res.apps[0].checkpoints) * oci, 1e-6);
+  EXPECT_NEAR(res.apps[0].io, static_cast<double>(res.apps[0].checkpoints) * 300.0,
+              1e-6);
+}
+
+TEST(Engine, NoFailuresMeansNoLostWork) {
+  // A failure distribution whose samples exceed the horizon.
+  const reliability::Exponential calm(hours(1.0e9));
+  EngineConfig cfg;
+  cfg.t_total = hours(100.0);
+  const Engine engine(calm, cfg);
+  const std::vector<SimJob> jobs{SimJob::at_oci("a", 300.0, hours(5.0))};
+  Rng rng(13);
+  const SimResult res = engine.run(jobs, AlternateAtFailure{}, rng);
+  EXPECT_EQ(res.failures, 0u);
+  EXPECT_DOUBLE_EQ(res.apps[0].lost, 0.0);
+  EXPECT_GT(res.apps[0].useful, hours(90.0));
+}
+
+TEST(Engine, FrequentFailuresWipeMostWork) {
+  // MTBF far below the segment length: almost nothing completes.
+  const reliability::Exponential storm(60.0);
+  EngineConfig cfg;
+  cfg.t_total = hours(10.0);
+  const Engine engine(storm, cfg);
+  const std::vector<SimJob> jobs{SimJob::at_oci("a", 1800.0, hours(5.0))};
+  Rng rng(17);
+  const SimResult res = engine.run(jobs, AlternateAtFailure{}, rng);
+  EXPECT_LT(res.apps[0].useful, hours(1.0));
+  EXPECT_GT(res.apps[0].lost, hours(8.0));
+}
+
+TEST(Engine, RestartCostChargedPerFailure) {
+  EngineConfig cfg;
+  cfg.t_total = hours(500.0);
+  cfg.restart_cost = 120.0;
+  const Engine engine(exa_failures(), cfg);
+  const std::vector<SimJob> jobs{SimJob::at_oci("a", 300.0, hours(5.0))};
+  Rng rng(19);
+  const SimResult res = engine.run(jobs, AlternateAtFailure{}, rng);
+  EXPECT_GT(res.failures, 0u);
+  // Each failure is followed by (up to) one full restart window; short gaps
+  // can clip a window when the next failure strikes during the restart.
+  EXPECT_LE(res.apps[0].restart, static_cast<double>(res.failures) * 120.0 + 1e-9);
+  EXPECT_GE(res.apps[0].restart, 0.85 * static_cast<double>(res.failures) * 120.0);
+  EXPECT_NEAR(res.accounted(), hours(500.0), 1e-6);
+}
+
+TEST(Engine, LazyScheduleCheckpointsLessOftenThanOci) {
+  const Engine engine = make_engine(hours(1000.0));
+  const std::vector<SimJob> oci_jobs{SimJob::at_oci("a", 300.0, hours(5.0))};
+  const std::vector<SimJob> lazy_jobs{SimJob::lazy("a", 300.0, hours(5.0), 0.6)};
+  Rng r1(23);
+  Rng r2(23);
+  const SimResult oci_res = engine.run(oci_jobs, AlternateAtFailure{}, r1);
+  const SimResult lazy_res = engine.run(lazy_jobs, AlternateAtFailure{}, r2);
+  EXPECT_LT(lazy_res.apps[0].checkpoints, oci_res.apps[0].checkpoints);
+  EXPECT_LT(lazy_res.apps[0].io, oci_res.apps[0].io);
+}
+
+TEST(Engine, RunManyAveragesOverIndependentStreams) {
+  const Engine engine = make_engine(hours(200.0));
+  const std::vector<SimJob> jobs{SimJob::at_oci("a", 300.0, hours(5.0))};
+  const SimResult one = engine.run_many(jobs, AlternateAtFailure{}, 1, 5);
+  const SimResult many = engine.run_many(jobs, AlternateAtFailure{}, 16, 5);
+  // Averaging keeps the scale but not the exact value of a single stream.
+  EXPECT_NEAR(many.apps[0].useful / one.apps[0].useful, 1.0, 0.2);
+  EXPECT_NEAR(many.accounted(), hours(200.0), 1e-6);
+}
+
+TEST(Engine, RejectsBadInputs) {
+  const Engine engine = make_engine();
+  Rng rng(1);
+  EXPECT_THROW(engine.run({}, AlternateAtFailure{}, rng), InvalidArgument);
+  std::vector<SimJob> bad{SimJob::at_oci("a", 300.0, hours(5.0))};
+  bad[0].delta = 0.0;
+  EXPECT_THROW(engine.run(bad, AlternateAtFailure{}, rng), InvalidArgument);
+  std::vector<SimJob> no_schedule{SimJob{}};
+  no_schedule[0].name = "x";
+  no_schedule[0].delta = 1.0;
+  EXPECT_THROW(engine.run(no_schedule, AlternateAtFailure{}, rng), InvalidArgument);
+
+  EngineConfig bad_cfg;
+  bad_cfg.t_total = 0.0;
+  EXPECT_THROW(Engine(exa_failures(), bad_cfg), InvalidArgument);
+}
+
+TEST(Engine, ResultLookupByName) {
+  const Engine engine = make_engine(hours(50.0));
+  const std::vector<SimJob> jobs{SimJob::at_oci("alpha", 300.0, hours(5.0)),
+                                 SimJob::at_oci("beta", 600.0, hours(5.0))};
+  Rng rng(29);
+  const SimResult res = engine.run(jobs, AlternateAtFailure{}, rng);
+  EXPECT_EQ(res.app("alpha").name, "alpha");
+  EXPECT_THROW(res.app("gamma"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::sim

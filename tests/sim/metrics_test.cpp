@@ -1,0 +1,86 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz::sim {
+namespace {
+
+SimResult make_result(double scale) {
+  SimResult r;
+  r.wall = 100.0 * scale;
+  r.idle = 4.0 * scale;
+  r.truncated = 1.0 * scale;
+  r.failures = static_cast<std::size_t>(2.0 * scale);
+  r.switches = static_cast<std::size_t>(6.0 * scale);
+  AppMetrics a;
+  a.name = "a";
+  a.useful = 60.0 * scale;
+  a.io = 10.0 * scale;
+  a.lost = 20.0 * scale;
+  a.restart = 5.0 * scale;
+  a.checkpoints = static_cast<std::size_t>(10.0 * scale);
+  a.failures_hit = static_cast<std::size_t>(2.0 * scale);
+  r.apps.push_back(a);
+  return r;
+}
+
+TEST(Metrics, TotalsSumOverApps) {
+  SimResult r = make_result(1.0);
+  AppMetrics b;
+  b.name = "b";
+  b.useful = 40.0;
+  b.io = 5.0;
+  b.lost = 2.0;
+  r.apps.push_back(b);
+  EXPECT_DOUBLE_EQ(r.total_useful(), 100.0);
+  EXPECT_DOUBLE_EQ(r.total_io(), 15.0);
+  EXPECT_DOUBLE_EQ(r.total_lost(), 22.0);
+}
+
+TEST(Metrics, AccountedSumsBusyIdleTruncated) {
+  const SimResult r = make_result(1.0);
+  EXPECT_DOUBLE_EQ(r.accounted(), 60.0 + 10.0 + 20.0 + 5.0 + 4.0 + 1.0);
+}
+
+TEST(Metrics, BusyIsPerAppSum) {
+  const AppMetrics& a = make_result(1.0).apps[0];
+  EXPECT_DOUBLE_EQ(a.busy(), 95.0);
+}
+
+TEST(Metrics, AppLookupByName) {
+  const SimResult r = make_result(1.0);
+  EXPECT_EQ(r.app("a").name, "a");
+  EXPECT_THROW(r.app("nope"), InvalidArgument);
+}
+
+TEST(Metrics, AverageIsElementWiseMean) {
+  const SimResult avg = average({make_result(1.0), make_result(3.0)});
+  EXPECT_DOUBLE_EQ(avg.apps[0].useful, 120.0);
+  EXPECT_DOUBLE_EQ(avg.apps[0].io, 20.0);
+  EXPECT_DOUBLE_EQ(avg.idle, 8.0);
+  EXPECT_DOUBLE_EQ(avg.truncated, 2.0);
+  EXPECT_EQ(avg.failures, 4u);
+  EXPECT_EQ(avg.switches, 12u);
+  EXPECT_DOUBLE_EQ(avg.wall, 200.0);
+}
+
+TEST(Metrics, AverageOfOneIsIdentity) {
+  const SimResult one = make_result(2.0);
+  const SimResult avg = average({one});
+  EXPECT_DOUBLE_EQ(avg.apps[0].useful, one.apps[0].useful);
+  EXPECT_EQ(avg.failures, one.failures);
+}
+
+TEST(Metrics, AverageRejectsEmptyAndMismatched) {
+  EXPECT_THROW(average({}), InvalidArgument);
+  SimResult two_apps = make_result(1.0);
+  AppMetrics b;
+  b.name = "b";
+  two_apps.apps.push_back(b);
+  EXPECT_THROW(average({make_result(1.0), two_apps}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::sim

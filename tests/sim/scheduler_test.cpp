@@ -1,0 +1,150 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+
+namespace shiraz::sim {
+namespace {
+
+SchedContext make_ctx(std::size_t num_apps, std::size_t failures,
+                      const std::vector<std::size_t>& ckpts, std::size_t current = 0,
+                      Seconds now = 0.0, Seconds gap_start = 0.0) {
+  SchedContext ctx;
+  ctx.now = now;
+  ctx.gap_start = gap_start;
+  ctx.num_apps = num_apps;
+  ctx.current = current;
+  ctx.checkpoints_this_gap = &ckpts;
+  ctx.failures_so_far = failures;
+  return ctx;
+}
+
+TEST(AlternateAtFailure, RotatesThroughApps) {
+  const AlternateAtFailure s;
+  const std::vector<std::size_t> ckpts(3, 0);
+  EXPECT_EQ(*s.on_gap_start(make_ctx(3, 0, ckpts)).app, 0u);
+  EXPECT_EQ(*s.on_gap_start(make_ctx(3, 1, ckpts)).app, 1u);
+  EXPECT_EQ(*s.on_gap_start(make_ctx(3, 2, ckpts)).app, 2u);
+  EXPECT_EQ(*s.on_gap_start(make_ctx(3, 3, ckpts)).app, 0u);
+}
+
+TEST(AlternateAtFailure, KeepsRunningBetweenFailures) {
+  const AlternateAtFailure s;
+  const std::vector<std::size_t> ckpts{4, 0};
+  EXPECT_EQ(*s.on_checkpoint(make_ctx(2, 1, ckpts, 1)).app, 1u);
+}
+
+TEST(ShirazPair, LightRunsFirstThenHeavy) {
+  const ShirazPairScheduler s(3);
+  std::vector<std::size_t> ckpts{0, 0};
+  EXPECT_EQ(*s.on_gap_start(make_ctx(2, 0, ckpts)).app, 0u);
+  ckpts[0] = 2;
+  EXPECT_EQ(*s.on_checkpoint(make_ctx(2, 0, ckpts, 0)).app, 0u);
+  ckpts[0] = 3;
+  EXPECT_EQ(*s.on_checkpoint(make_ctx(2, 0, ckpts, 0)).app, 1u);
+}
+
+TEST(ShirazPair, HeavyKeepsRunningAfterSwitch) {
+  const ShirazPairScheduler s(3);
+  const std::vector<std::size_t> ckpts{3, 5};
+  EXPECT_EQ(*s.on_checkpoint(make_ctx(2, 0, ckpts, 1)).app, 1u);
+}
+
+TEST(ShirazPair, KZeroRunsHeavyOnly) {
+  const ShirazPairScheduler s(0);
+  const std::vector<std::size_t> ckpts{0, 0};
+  EXPECT_EQ(*s.on_gap_start(make_ctx(2, 0, ckpts)).app, 1u);
+}
+
+TEST(ShirazPair, RequiresExactlyTwoApps) {
+  const ShirazPairScheduler s(3);
+  const std::vector<std::size_t> ckpts(3, 0);
+  EXPECT_THROW(s.on_gap_start(make_ctx(3, 0, ckpts)), InvalidArgument);
+}
+
+TEST(ShirazPair, RejectsNegativeK) {
+  EXPECT_THROW(ShirazPairScheduler(-1), InvalidArgument);
+}
+
+TEST(FirstApp, IdlesAfterCountCheckpoints) {
+  const FirstAppScheduler s(2);
+  std::vector<std::size_t> ckpts{1};
+  EXPECT_TRUE(s.on_checkpoint(make_ctx(1, 0, ckpts, 0)).app.has_value());
+  ckpts[0] = 2;
+  EXPECT_FALSE(s.on_checkpoint(make_ctx(1, 0, ckpts, 0)).app.has_value());
+}
+
+TEST(FirstApp, CountZeroNeverRuns) {
+  const FirstAppScheduler s(0);
+  const std::vector<std::size_t> ckpts{0};
+  EXPECT_FALSE(s.on_gap_start(make_ctx(1, 0, ckpts)).app.has_value());
+}
+
+TEST(SecondApp, DelaysStartAfterGap) {
+  const SecondAppScheduler s(hours(2.0));
+  const std::vector<std::size_t> ckpts{0};
+  const Decision d = s.on_gap_start(make_ctx(1, 0, ckpts));
+  ASSERT_TRUE(d.app.has_value());
+  EXPECT_DOUBLE_EQ(d.not_before_elapsed, hours(2.0));
+}
+
+TEST(NaiveTimeSwitch, SwitchesAtThreshold) {
+  const NaiveTimeSwitchScheduler s(hours(2.5));
+  const std::vector<std::size_t> ckpts{5, 0};
+  // Before the threshold: keep the light app.
+  EXPECT_EQ(*s.on_checkpoint(make_ctx(2, 0, ckpts, 0, hours(2.0), 0.0)).app, 0u);
+  // At/after the threshold: switch to the heavy app.
+  EXPECT_EQ(*s.on_checkpoint(make_ctx(2, 0, ckpts, 0, hours(2.5), 0.0)).app, 1u);
+}
+
+TEST(PairRotation, RotatesPairsAcrossFailures) {
+  const PairRotationScheduler s({std::optional<int>{2}, std::optional<int>{3}});
+  const std::vector<std::size_t> ckpts(4, 0);
+  EXPECT_EQ(*s.on_gap_start(make_ctx(4, 0, ckpts)).app, 0u);  // pair 0 light
+  EXPECT_EQ(*s.on_gap_start(make_ctx(4, 1, ckpts)).app, 2u);  // pair 1 light
+  EXPECT_EQ(*s.on_gap_start(make_ctx(4, 2, ckpts)).app, 0u);  // pair 0 again
+}
+
+TEST(PairRotation, SwitchesWithinTheActivePair) {
+  const PairRotationScheduler s({std::optional<int>{2}, std::optional<int>{3}});
+  std::vector<std::size_t> ckpts(4, 0);
+  ckpts[2] = 3;  // pair 1's light app reached its k
+  EXPECT_EQ(*s.on_checkpoint(make_ctx(4, 1, ckpts, 2)).app, 3u);
+  ckpts[0] = 1;  // pair 0's light app has not reached its k = 2
+  EXPECT_EQ(*s.on_checkpoint(make_ctx(4, 0, ckpts, 0)).app, 0u);
+}
+
+TEST(PairRotation, NonBeneficialPairAlternatesItsLead) {
+  const PairRotationScheduler s({std::nullopt});
+  const std::vector<std::size_t> ckpts(2, 0);
+  EXPECT_EQ(*s.on_gap_start(make_ctx(2, 0, ckpts)).app, 0u);
+  EXPECT_EQ(*s.on_gap_start(make_ctx(2, 1, ckpts)).app, 1u);
+  EXPECT_EQ(*s.on_gap_start(make_ctx(2, 2, ckpts)).app, 0u);
+}
+
+TEST(PairRotation, ValidatesConstruction) {
+  EXPECT_THROW(PairRotationScheduler({}), InvalidArgument);
+  EXPECT_THROW(PairRotationScheduler({std::optional<int>{-2}}), InvalidArgument);
+}
+
+TEST(NaiveVsShiraz, NaiveHalfMtbfUnderperformsInSimulation) {
+  // Section 5: "A naive strategy to switch applications at half of the MTBF
+  // ... will lead to a significant decrease in the overall useful work."
+  const auto dist = reliability::Weibull::from_mtbf(0.6, hours(5.0));
+  EngineConfig cfg;
+  cfg.t_total = hours(1000.0);
+  const Engine engine(dist, cfg);
+  const std::vector<SimJob> jobs{SimJob::at_oci("lw", hours(0.1), hours(5.0)),
+                                 SimJob::at_oci("hw", hours(0.5), hours(5.0))};
+  const NaiveTimeSwitchScheduler naive(hours(2.5));
+  const ShirazPairScheduler shiraz(6);
+  const SimResult n = engine.run_many(jobs, naive, 24, 99);
+  const SimResult s = engine.run_many(jobs, shiraz, 24, 99);
+  EXPECT_GT(s.total_useful(), n.total_useful());
+}
+
+}  // namespace
+}  // namespace shiraz::sim

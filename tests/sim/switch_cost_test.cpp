@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "reliability/exponential.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+
+namespace shiraz::sim {
+namespace {
+
+std::vector<SimJob> pair_jobs() {
+  return {SimJob::at_oci("lw", 18.0, hours(5.0)),
+          SimJob::at_oci("hw", 1800.0, hours(5.0))};
+}
+
+TEST(SwitchCost, CountedOncePerWithinGapHandoff) {
+  // A failure-free run with Shiraz(k): exactly one light -> heavy hand-off.
+  const reliability::Exponential calm(hours(1e9));
+  EngineConfig cfg;
+  cfg.t_total = hours(100.0);
+  const Engine engine(calm, cfg);
+  const ShirazPairScheduler policy(5);
+  Rng rng(1);
+  const SimResult res = engine.run(pair_jobs(), policy, rng);
+  EXPECT_EQ(res.switches, 1u);
+}
+
+TEST(SwitchCost, BaselineNeverSwitchesWithinGaps) {
+  EngineConfig cfg;
+  cfg.t_total = hours(500.0);
+  const Engine engine(reliability::Weibull::from_mtbf(0.6, hours(5.0)), cfg);
+  const AlternateAtFailure policy;
+  Rng rng(2);
+  const SimResult res = engine.run(pair_jobs(), policy, rng);
+  EXPECT_EQ(res.switches, 0u);
+}
+
+TEST(SwitchCost, ChargedToTheIncomingApp) {
+  const reliability::Exponential calm(hours(1e9));
+  EngineConfig cfg;
+  cfg.t_total = hours(100.0);
+  cfg.switch_cost = 120.0;
+  const Engine engine(calm, cfg);
+  const ShirazPairScheduler policy(3);
+  Rng rng(3);
+  const SimResult res = engine.run(pair_jobs(), policy, rng);
+  EXPECT_EQ(res.switches, 1u);
+  EXPECT_DOUBLE_EQ(res.apps[1].restart, 120.0);  // heavy pays the hand-off
+  EXPECT_DOUBLE_EQ(res.apps[0].restart, 0.0);
+  EXPECT_NEAR(res.accounted(), hours(100.0), 1e-6);
+}
+
+TEST(SwitchCost, ZeroCostStillCountsSwitches) {
+  EngineConfig cfg;
+  cfg.t_total = hours(1000.0);
+  const Engine engine(reliability::Weibull::from_mtbf(0.6, hours(5.0)), cfg);
+  const ShirazPairScheduler policy(26);
+  Rng rng(4);
+  const SimResult res = engine.run(pair_jobs(), policy, rng);
+  EXPECT_GE(res.switches, 40u);  // roughly one per long-enough gap
+  EXPECT_DOUBLE_EQ(res.apps[1].restart, 0.0);
+}
+
+TEST(SwitchCost, ErodesShirazGainMonotonically) {
+  const std::vector<SimJob> jobs = pair_jobs();
+  const AlternateAtFailure baseline;
+  const ShirazPairScheduler shiraz(26);
+  double prev_gain = 1e18;
+  for (const double cost : {0.0, 300.0, 1800.0}) {
+    EngineConfig cfg;
+    cfg.t_total = hours(1000.0);
+    cfg.switch_cost = cost;
+    const Engine engine(reliability::Weibull::from_mtbf(0.6, hours(5.0)), cfg);
+    const SimResult base = engine.run_many(jobs, baseline, 16, 5);
+    const SimResult sz = engine.run_many(jobs, shiraz, 16, 5);
+    const double gain = sz.total_useful() - base.total_useful();
+    EXPECT_LT(gain, prev_gain);
+    prev_gain = gain;
+  }
+}
+
+TEST(SwitchCost, AccountingHoldsUnderCostAndFailures) {
+  EngineConfig cfg;
+  cfg.t_total = hours(700.0);
+  cfg.switch_cost = 240.0;
+  cfg.restart_cost = 60.0;
+  const Engine engine(reliability::Weibull::from_mtbf(0.6, hours(5.0)), cfg);
+  const ShirazPairScheduler policy(13);
+  Rng rng(6);
+  const SimResult res = engine.run(pair_jobs(), policy, rng);
+  EXPECT_NEAR(res.accounted(), hours(700.0), 1e-6);
+}
+
+TEST(SwitchCost, RejectsNegative) {
+  EngineConfig cfg;
+  cfg.switch_cost = -1.0;
+  EXPECT_THROW(Engine(reliability::Weibull::from_mtbf(0.6, hours(5.0)), cfg),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::sim

@@ -1,0 +1,203 @@
+// shirazctl — operator CLI for the Shiraz library.
+//
+// Subcommands:
+//   solve     compute the fair switch point for a light/heavy pair
+//   stretch   Shiraz+ stretch-factor trade-off table (+ the optimum)
+//   pairs     pair a catalog of applications and solve every pair
+//   fit       fit a Weibull to a failure trace file, with bootstrap CIs
+//   simulate  validate a switch point against the discrete-event simulator
+//
+// Examples:
+//   shirazctl solve --mtbf-hours=5 --delta-lw=18 --delta-hw=1800
+//   shirazctl stretch --mtbf-hours=20 --delta-lw=72 --delta-hw=1800
+//   shirazctl pairs --mtbf-hours=5 --strategy=extreme
+//   shirazctl fit --trace=failures.txt
+//   shirazctl simulate --mtbf-hours=5 --delta-lw=18 --delta-hw=1800 --k=26
+#include <cstdio>
+#include <string>
+
+#include "apps/catalog.h"
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "core/pairing.h"
+#include "core/shiraz_plus.h"
+#include "core/switch_solver.h"
+#include "reliability/bootstrap.h"
+#include "reliability/fitting.h"
+#include "reliability/trace.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+#include "sim/optimizer.h"
+
+using namespace shiraz;
+
+namespace {
+
+core::ShirazModel model_from(const Flags& flags) {
+  core::ModelConfig cfg;
+  cfg.mtbf = hours(flags.get_double("mtbf-hours", 5.0));
+  cfg.weibull_shape = flags.get_double("beta", 0.6);
+  cfg.epsilon = flags.get_double("epsilon", 0.45);
+  cfg.t_total = hours(flags.get_double("t-total-hours", 1000.0));
+  return core::ShirazModel(cfg);
+}
+
+core::AppSpec lw_from(const Flags& flags) {
+  return {"light", flags.get_double("delta-lw", 18.0), 1};
+}
+core::AppSpec hw_from(const Flags& flags) {
+  return {"heavy", flags.get_double("delta-hw", 1800.0), 1};
+}
+
+int cmd_solve(const Flags& flags) {
+  const core::ShirazModel model = model_from(flags);
+  const core::AppSpec lw = lw_from(flags);
+  const core::AppSpec hw = hw_from(flags);
+  const core::SwitchSolution sol = solve_switch_point(model, lw, hw);
+  if (!sol.beneficial()) {
+    std::printf("No beneficial switch point (k = infinity): alternate the two "
+                "applications at every failure.\n");
+    return 0;
+  }
+  std::printf("Fair switch point: k = %d\n", *sol.k);
+  std::printf("Schedule: after every failure run `light` (delta %.0f s) for %d "
+              "checkpoints (%.2f h), then `heavy` (delta %.0f s) until the next "
+              "failure.\n", lw.delta, *sol.k,
+              as_hours(model.switch_time(lw, *sol.k)), hw.delta);
+  std::printf("Expected gains over %.0f h vs switch-at-failure: light %+.1f h, "
+              "heavy %+.1f h, total %+.1f h.\n",
+              as_hours(model.config().t_total), as_hours(sol.delta_lw),
+              as_hours(sol.delta_hw), as_hours(sol.delta_total));
+  if (sol.region_lo) {
+    std::printf("Region of interest (both apps gain): k in [%d, %d].\n",
+                *sol.region_lo, *sol.region_hi);
+  }
+  return 0;
+}
+
+int cmd_stretch(const Flags& flags) {
+  const core::ShirazModel model = model_from(flags);
+  const core::AppSpec lw = lw_from(flags);
+  const core::AppSpec hw = hw_from(flags);
+  const auto max_stretch = static_cast<unsigned>(flags.get_int("max-stretch", 6));
+  std::vector<unsigned> stretches;
+  for (unsigned s = 1; s <= max_stretch; ++s) stretches.push_back(s);
+  const auto outcomes = evaluate_shiraz_plus(model, lw, hw, stretches);
+  Table table({"stretch", "ckpt-ovhd reduction", "useful-work change"});
+  for (const auto& o : outcomes) {
+    table.add_row({std::to_string(o.stretch) + "x", fmt_percent(o.io_reduction),
+                   fmt_percent(o.useful_improvement)});
+  }
+  std::printf("%s", table.render().c_str());
+  core::StretchOptimizerOptions opts;
+  opts.max_stretch = max_stretch;
+  opts.min_useful_improvement = flags.get_double("floor", 0.0);
+  const core::StretchOutcome best = optimal_stretch(model, lw, hw, opts);
+  std::printf("\nLargest stretch with useful-work improvement >= %s: %ux "
+              "(ckpt overhead %s).\n", fmt_percent(opts.min_useful_improvement).c_str(),
+              best.stretch, fmt_percent(best.io_reduction).c_str());
+  return 0;
+}
+
+int cmd_pairs(const Flags& flags) {
+  const core::ShirazModel model = model_from(flags);
+  const auto strategy = flags.get("strategy", "extreme") == "random"
+                            ? core::PairingStrategy::kRandom
+                            : core::PairingStrategy::kExtreme;
+  auto catalog = apps::table1_catalog();
+  catalog.push_back(apps::AppProfile{"CoMD-class MD", 3.0, "Materials", "local"});
+  Rng rng(flags.get_seed("seed", 1));
+  auto pairs = core::make_pairs(catalog, strategy, rng);
+  core::solve_pairs(model, pairs);
+  Table table({"light", "heavy", "delta-factor", "k", "modeled pair gain (h)"});
+  for (const auto& p : pairs) {
+    table.add_row({p.light.name, p.heavy.name, fmt(p.delta_factor(), 0) + "x",
+                   p.k ? std::to_string(*p.k) : "inf",
+                   p.k ? fmt(as_hours(p.model_delta_total), 1) : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_fit(const Flags& flags) {
+  const std::string path = flags.get("trace", "");
+  SHIRAZ_REQUIRE(!path.empty(), "fit requires --trace=<file>");
+  const auto trace = reliability::FailureTrace::load(path);
+  const auto gaps = trace.inter_arrival_times();
+  const auto fit = reliability::fit_weibull_mle(gaps);
+  std::printf("%zu failures, observed MTBF %.2f h\n", trace.size(),
+              as_hours(trace.observed_mtbf()));
+  std::printf("Weibull MLE: beta = %.3f, scale = %.2f h\n", fit.shape,
+              as_hours(fit.scale));
+  const auto mtbf_ci = reliability::bootstrap_mtbf(gaps);
+  const auto shape_ci = reliability::bootstrap_weibull_shape(gaps);
+  std::printf("95%% bootstrap CIs: MTBF [%.2f, %.2f] h; beta [%.3f, %.3f]\n",
+              as_hours(mtbf_ci.lower), as_hours(mtbf_ci.upper), shape_ci.lower,
+              shape_ci.upper);
+  if (shape_ci.upper < 1.0) {
+    std::printf("beta < 1 with 95%% confidence: the hazard decays between "
+                "failures — Shiraz applies.\n");
+  }
+  return 0;
+}
+
+int cmd_simulate(const Flags& flags) {
+  const core::ShirazModel model = model_from(flags);
+  const core::AppSpec lw = lw_from(flags);
+  const core::AppSpec hw = hw_from(flags);
+  int k = static_cast<int>(flags.get_int("k", -1));
+  if (k < 0) {
+    const auto sol = solve_switch_point(model, lw, hw);
+    SHIRAZ_REQUIRE(sol.beneficial(), "no beneficial k; pass --k explicitly");
+    k = *sol.k;
+  }
+  sim::EngineConfig ecfg;
+  ecfg.t_total = model.config().t_total;
+  const sim::Engine engine(
+      reliability::Weibull::from_mtbf(model.config().weibull_shape,
+                                      model.config().mtbf),
+      ecfg);
+  const sim::SimJob lwj = sim::SimJob::at_oci("light", lw.delta, model.config().mtbf);
+  const sim::SimJob hwj = sim::SimJob::at_oci("heavy", hw.delta, model.config().mtbf);
+  const auto reps = static_cast<std::size_t>(flags.get_int("reps", 32));
+  const auto c = sim::simulate_switch_point(engine, lwj, hwj, k, reps,
+                                            flags.get_seed("seed", 7));
+  std::printf("Simulated (reps=%zu) at k = %d: light %+.1f h, heavy %+.1f h, "
+              "total %+.1f h vs switch-at-failure.\n", reps, k,
+              as_hours(c.delta_lw), as_hours(c.delta_hw), as_hours(c.delta_total));
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "shirazctl <solve|stretch|pairs|fit|simulate> [--flags]\n"
+      "  common flags: --mtbf-hours=5 --beta=0.6 --epsilon=0.45 --t-total-hours=1000\n"
+      "  solve/stretch/simulate: --delta-lw=18 --delta-hw=1800 [--k=] [--reps=]\n"
+      "  stretch: --max-stretch=6 --floor=0.0\n"
+      "  pairs: --strategy=extreme|random --seed=1\n"
+      "  fit: --trace=<failure-trace file>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Flags flags(argc - 1, argv + 1);
+    if (command == "solve") return cmd_solve(flags);
+    if (command == "stretch") return cmd_stretch(flags);
+    if (command == "pairs") return cmd_pairs(flags);
+    if (command == "fit") return cmd_fit(flags);
+    if (command == "simulate") return cmd_simulate(flags);
+    usage();
+    return 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "shirazctl: %s\n", e.what());
+    return 1;
+  }
+}
