@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_chain.dir/abl_chain.cpp.o"
+  "CMakeFiles/abl_chain.dir/abl_chain.cpp.o.d"
+  "abl_chain"
+  "abl_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_incremental.dir/abl_incremental.cpp.o"
+  "CMakeFiles/abl_incremental.dir/abl_incremental.cpp.o.d"
+  "abl_incremental"
+  "abl_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

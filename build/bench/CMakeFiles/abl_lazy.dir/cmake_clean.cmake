@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lazy.dir/abl_lazy.cpp.o"
+  "CMakeFiles/abl_lazy.dir/abl_lazy.cpp.o.d"
+  "abl_lazy"
+  "abl_lazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_stretch_optimizer.dir/abl_stretch_optimizer.cpp.o"
+  "CMakeFiles/abl_stretch_optimizer.dir/abl_stretch_optimizer.cpp.o.d"
+  "abl_stretch_optimizer"
+  "abl_stretch_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_stretch_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

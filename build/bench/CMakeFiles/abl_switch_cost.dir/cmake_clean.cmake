@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_switch_cost.dir/abl_switch_cost.cpp.o"
+  "CMakeFiles/abl_switch_cost.dir/abl_switch_cost.cpp.o.d"
+  "abl_switch_cost"
+  "abl_switch_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_switch_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

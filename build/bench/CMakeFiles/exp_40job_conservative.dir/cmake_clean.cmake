@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_40job_conservative.dir/exp_40job_conservative.cpp.o"
+  "CMakeFiles/exp_40job_conservative.dir/exp_40job_conservative.cpp.o.d"
+  "exp_40job_conservative"
+  "exp_40job_conservative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_40job_conservative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_batch_scheduler.dir/exp_batch_scheduler.cpp.o"
+  "CMakeFiles/exp_batch_scheduler.dir/exp_batch_scheduler.cpp.o.d"
+  "exp_batch_scheduler"
+  "exp_batch_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_batch_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_energy_savings.dir/exp_energy_savings.cpp.o"
+  "CMakeFiles/exp_energy_savings.dir/exp_energy_savings.cpp.o.d"
+  "exp_energy_savings"
+  "exp_energy_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_energy_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

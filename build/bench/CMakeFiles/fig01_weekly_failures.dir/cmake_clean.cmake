@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_weekly_failures.dir/fig01_weekly_failures.cpp.o"
+  "CMakeFiles/fig01_weekly_failures.dir/fig01_weekly_failures.cpp.o.d"
+  "fig01_weekly_failures"
+  "fig01_weekly_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_weekly_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_interarrival.dir/fig02_interarrival.cpp.o"
+  "CMakeFiles/fig02_interarrival.dir/fig02_interarrival.cpp.o.d"
+  "fig02_interarrival"
+  "fig02_interarrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_proxy_ckpt_cost.dir/fig03_proxy_ckpt_cost.cpp.o"
+  "CMakeFiles/fig03_proxy_ckpt_cost.dir/fig03_proxy_ckpt_cost.cpp.o.d"
+  "fig03_proxy_ckpt_cost"
+  "fig03_proxy_ckpt_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_proxy_ckpt_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

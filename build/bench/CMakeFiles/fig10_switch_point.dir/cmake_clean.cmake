@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_switch_point.dir/fig10_switch_point.cpp.o"
+  "CMakeFiles/fig10_switch_point.dir/fig10_switch_point.cpp.o.d"
+  "fig10_switch_point"
+  "fig10_switch_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_switch_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

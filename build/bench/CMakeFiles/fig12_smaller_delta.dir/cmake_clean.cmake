@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_smaller_delta.dir/fig12_smaller_delta.cpp.o"
+  "CMakeFiles/fig12_smaller_delta.dir/fig12_smaller_delta.cpp.o.d"
+  "fig12_smaller_delta"
+  "fig12_smaller_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_smaller_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

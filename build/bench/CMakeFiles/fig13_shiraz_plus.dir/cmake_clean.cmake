@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_shiraz_plus.dir/fig13_shiraz_plus.cpp.o"
+  "CMakeFiles/fig13_shiraz_plus.dir/fig13_shiraz_plus.cpp.o.d"
+  "fig13_shiraz_plus"
+  "fig13_shiraz_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_shiraz_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

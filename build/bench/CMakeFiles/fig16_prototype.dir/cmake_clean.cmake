@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_prototype.dir/fig16_prototype.cpp.o"
+  "CMakeFiles/fig16_prototype.dir/fig16_prototype.cpp.o.d"
+  "fig16_prototype"
+  "fig16_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

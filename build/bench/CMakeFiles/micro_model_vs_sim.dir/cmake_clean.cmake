@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_model_vs_sim.dir/micro_model_vs_sim.cpp.o"
+  "CMakeFiles/micro_model_vs_sim.dir/micro_model_vs_sim.cpp.o.d"
+  "micro_model_vs_sim"
+  "micro_model_vs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_model_vs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

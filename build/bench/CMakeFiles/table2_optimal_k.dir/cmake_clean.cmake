@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_optimal_k.dir/table2_optimal_k.cpp.o"
+  "CMakeFiles/table2_optimal_k.dir/table2_optimal_k.cpp.o.d"
+  "table2_optimal_k"
+  "table2_optimal_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_optimal_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_app_campaign.dir/multi_app_campaign.cpp.o"
+  "CMakeFiles/multi_app_campaign.dir/multi_app_campaign.cpp.o.d"
+  "multi_app_campaign"
+  "multi_app_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_app_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prototype_emulation.dir/prototype_emulation.cpp.o"
+  "CMakeFiles/prototype_emulation.dir/prototype_emulation.cpp.o.d"
+  "prototype_emulation"
+  "prototype_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prototype_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiraz_plus_tuning.dir/shiraz_plus_tuning.cpp.o"
+  "CMakeFiles/shiraz_plus_tuning.dir/shiraz_plus_tuning.cpp.o.d"
+  "shiraz_plus_tuning"
+  "shiraz_plus_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiraz_plus_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

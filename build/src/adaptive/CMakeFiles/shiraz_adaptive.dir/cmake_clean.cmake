@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiraz_adaptive.dir/adaptive_scheduler.cpp.o"
+  "CMakeFiles/shiraz_adaptive.dir/adaptive_scheduler.cpp.o.d"
+  "CMakeFiles/shiraz_adaptive.dir/online_estimator.cpp.o"
+  "CMakeFiles/shiraz_adaptive.dir/online_estimator.cpp.o.d"
+  "libshiraz_adaptive.a"
+  "libshiraz_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiraz_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiraz_apps.dir/catalog.cpp.o"
+  "CMakeFiles/shiraz_apps.dir/catalog.cpp.o.d"
+  "CMakeFiles/shiraz_apps.dir/proxy_app.cpp.o"
+  "CMakeFiles/shiraz_apps.dir/proxy_app.cpp.o.d"
+  "libshiraz_apps.a"
+  "libshiraz_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiraz_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checkpoint/cost_model.cpp" "src/checkpoint/CMakeFiles/shiraz_checkpoint.dir/cost_model.cpp.o" "gcc" "src/checkpoint/CMakeFiles/shiraz_checkpoint.dir/cost_model.cpp.o.d"
+  "/root/repo/src/checkpoint/incremental.cpp" "src/checkpoint/CMakeFiles/shiraz_checkpoint.dir/incremental.cpp.o" "gcc" "src/checkpoint/CMakeFiles/shiraz_checkpoint.dir/incremental.cpp.o.d"
+  "/root/repo/src/checkpoint/multilevel.cpp" "src/checkpoint/CMakeFiles/shiraz_checkpoint.dir/multilevel.cpp.o" "gcc" "src/checkpoint/CMakeFiles/shiraz_checkpoint.dir/multilevel.cpp.o.d"
+  "/root/repo/src/checkpoint/oci.cpp" "src/checkpoint/CMakeFiles/shiraz_checkpoint.dir/oci.cpp.o" "gcc" "src/checkpoint/CMakeFiles/shiraz_checkpoint.dir/oci.cpp.o.d"
+  "/root/repo/src/checkpoint/schedule.cpp" "src/checkpoint/CMakeFiles/shiraz_checkpoint.dir/schedule.cpp.o" "gcc" "src/checkpoint/CMakeFiles/shiraz_checkpoint.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shiraz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

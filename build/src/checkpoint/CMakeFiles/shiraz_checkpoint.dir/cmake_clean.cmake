@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiraz_checkpoint.dir/cost_model.cpp.o"
+  "CMakeFiles/shiraz_checkpoint.dir/cost_model.cpp.o.d"
+  "CMakeFiles/shiraz_checkpoint.dir/incremental.cpp.o"
+  "CMakeFiles/shiraz_checkpoint.dir/incremental.cpp.o.d"
+  "CMakeFiles/shiraz_checkpoint.dir/multilevel.cpp.o"
+  "CMakeFiles/shiraz_checkpoint.dir/multilevel.cpp.o.d"
+  "CMakeFiles/shiraz_checkpoint.dir/oci.cpp.o"
+  "CMakeFiles/shiraz_checkpoint.dir/oci.cpp.o.d"
+  "CMakeFiles/shiraz_checkpoint.dir/schedule.cpp.o"
+  "CMakeFiles/shiraz_checkpoint.dir/schedule.cpp.o.d"
+  "libshiraz_checkpoint.a"
+  "libshiraz_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiraz_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

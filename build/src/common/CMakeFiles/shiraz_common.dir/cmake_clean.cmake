@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiraz_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/shiraz_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/shiraz_common.dir/cli.cpp.o"
+  "CMakeFiles/shiraz_common.dir/cli.cpp.o.d"
+  "CMakeFiles/shiraz_common.dir/histogram.cpp.o"
+  "CMakeFiles/shiraz_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/shiraz_common.dir/mathx.cpp.o"
+  "CMakeFiles/shiraz_common.dir/mathx.cpp.o.d"
+  "CMakeFiles/shiraz_common.dir/statistics.cpp.o"
+  "CMakeFiles/shiraz_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/shiraz_common.dir/table.cpp.o"
+  "CMakeFiles/shiraz_common.dir/table.cpp.o.d"
+  "libshiraz_common.a"
+  "libshiraz_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiraz_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytical_model.cpp" "src/core/CMakeFiles/shiraz_core.dir/analytical_model.cpp.o" "gcc" "src/core/CMakeFiles/shiraz_core.dir/analytical_model.cpp.o.d"
+  "/root/repo/src/core/energy.cpp" "src/core/CMakeFiles/shiraz_core.dir/energy.cpp.o" "gcc" "src/core/CMakeFiles/shiraz_core.dir/energy.cpp.o.d"
+  "/root/repo/src/core/failure_math.cpp" "src/core/CMakeFiles/shiraz_core.dir/failure_math.cpp.o" "gcc" "src/core/CMakeFiles/shiraz_core.dir/failure_math.cpp.o.d"
+  "/root/repo/src/core/multi_switch.cpp" "src/core/CMakeFiles/shiraz_core.dir/multi_switch.cpp.o" "gcc" "src/core/CMakeFiles/shiraz_core.dir/multi_switch.cpp.o.d"
+  "/root/repo/src/core/pairing.cpp" "src/core/CMakeFiles/shiraz_core.dir/pairing.cpp.o" "gcc" "src/core/CMakeFiles/shiraz_core.dir/pairing.cpp.o.d"
+  "/root/repo/src/core/shiraz_plus.cpp" "src/core/CMakeFiles/shiraz_core.dir/shiraz_plus.cpp.o" "gcc" "src/core/CMakeFiles/shiraz_core.dir/shiraz_plus.cpp.o.d"
+  "/root/repo/src/core/switch_solver.cpp" "src/core/CMakeFiles/shiraz_core.dir/switch_solver.cpp.o" "gcc" "src/core/CMakeFiles/shiraz_core.dir/switch_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shiraz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/shiraz_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/shiraz_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiraz_core.dir/analytical_model.cpp.o"
+  "CMakeFiles/shiraz_core.dir/analytical_model.cpp.o.d"
+  "CMakeFiles/shiraz_core.dir/energy.cpp.o"
+  "CMakeFiles/shiraz_core.dir/energy.cpp.o.d"
+  "CMakeFiles/shiraz_core.dir/failure_math.cpp.o"
+  "CMakeFiles/shiraz_core.dir/failure_math.cpp.o.d"
+  "CMakeFiles/shiraz_core.dir/multi_switch.cpp.o"
+  "CMakeFiles/shiraz_core.dir/multi_switch.cpp.o.d"
+  "CMakeFiles/shiraz_core.dir/pairing.cpp.o"
+  "CMakeFiles/shiraz_core.dir/pairing.cpp.o.d"
+  "CMakeFiles/shiraz_core.dir/shiraz_plus.cpp.o"
+  "CMakeFiles/shiraz_core.dir/shiraz_plus.cpp.o.d"
+  "CMakeFiles/shiraz_core.dir/switch_solver.cpp.o"
+  "CMakeFiles/shiraz_core.dir/switch_solver.cpp.o.d"
+  "libshiraz_core.a"
+  "libshiraz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiraz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiraz_proto.dir/backend.cpp.o"
+  "CMakeFiles/shiraz_proto.dir/backend.cpp.o.d"
+  "CMakeFiles/shiraz_proto.dir/checkpoint_store.cpp.o"
+  "CMakeFiles/shiraz_proto.dir/checkpoint_store.cpp.o.d"
+  "CMakeFiles/shiraz_proto.dir/runtime.cpp.o"
+  "CMakeFiles/shiraz_proto.dir/runtime.cpp.o.d"
+  "libshiraz_proto.a"
+  "libshiraz_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiraz_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

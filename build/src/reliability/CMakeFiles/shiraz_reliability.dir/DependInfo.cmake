@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reliability/analytics.cpp" "src/reliability/CMakeFiles/shiraz_reliability.dir/analytics.cpp.o" "gcc" "src/reliability/CMakeFiles/shiraz_reliability.dir/analytics.cpp.o.d"
+  "/root/repo/src/reliability/bootstrap.cpp" "src/reliability/CMakeFiles/shiraz_reliability.dir/bootstrap.cpp.o" "gcc" "src/reliability/CMakeFiles/shiraz_reliability.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/reliability/cfdr.cpp" "src/reliability/CMakeFiles/shiraz_reliability.dir/cfdr.cpp.o" "gcc" "src/reliability/CMakeFiles/shiraz_reliability.dir/cfdr.cpp.o.d"
+  "/root/repo/src/reliability/distribution.cpp" "src/reliability/CMakeFiles/shiraz_reliability.dir/distribution.cpp.o" "gcc" "src/reliability/CMakeFiles/shiraz_reliability.dir/distribution.cpp.o.d"
+  "/root/repo/src/reliability/exponential.cpp" "src/reliability/CMakeFiles/shiraz_reliability.dir/exponential.cpp.o" "gcc" "src/reliability/CMakeFiles/shiraz_reliability.dir/exponential.cpp.o.d"
+  "/root/repo/src/reliability/fitting.cpp" "src/reliability/CMakeFiles/shiraz_reliability.dir/fitting.cpp.o" "gcc" "src/reliability/CMakeFiles/shiraz_reliability.dir/fitting.cpp.o.d"
+  "/root/repo/src/reliability/gamma_dist.cpp" "src/reliability/CMakeFiles/shiraz_reliability.dir/gamma_dist.cpp.o" "gcc" "src/reliability/CMakeFiles/shiraz_reliability.dir/gamma_dist.cpp.o.d"
+  "/root/repo/src/reliability/lognormal.cpp" "src/reliability/CMakeFiles/shiraz_reliability.dir/lognormal.cpp.o" "gcc" "src/reliability/CMakeFiles/shiraz_reliability.dir/lognormal.cpp.o.d"
+  "/root/repo/src/reliability/systems.cpp" "src/reliability/CMakeFiles/shiraz_reliability.dir/systems.cpp.o" "gcc" "src/reliability/CMakeFiles/shiraz_reliability.dir/systems.cpp.o.d"
+  "/root/repo/src/reliability/trace.cpp" "src/reliability/CMakeFiles/shiraz_reliability.dir/trace.cpp.o" "gcc" "src/reliability/CMakeFiles/shiraz_reliability.dir/trace.cpp.o.d"
+  "/root/repo/src/reliability/weibull.cpp" "src/reliability/CMakeFiles/shiraz_reliability.dir/weibull.cpp.o" "gcc" "src/reliability/CMakeFiles/shiraz_reliability.dir/weibull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shiraz_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

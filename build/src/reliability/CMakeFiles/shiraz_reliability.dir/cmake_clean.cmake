@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiraz_reliability.dir/analytics.cpp.o"
+  "CMakeFiles/shiraz_reliability.dir/analytics.cpp.o.d"
+  "CMakeFiles/shiraz_reliability.dir/bootstrap.cpp.o"
+  "CMakeFiles/shiraz_reliability.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/shiraz_reliability.dir/cfdr.cpp.o"
+  "CMakeFiles/shiraz_reliability.dir/cfdr.cpp.o.d"
+  "CMakeFiles/shiraz_reliability.dir/distribution.cpp.o"
+  "CMakeFiles/shiraz_reliability.dir/distribution.cpp.o.d"
+  "CMakeFiles/shiraz_reliability.dir/exponential.cpp.o"
+  "CMakeFiles/shiraz_reliability.dir/exponential.cpp.o.d"
+  "CMakeFiles/shiraz_reliability.dir/fitting.cpp.o"
+  "CMakeFiles/shiraz_reliability.dir/fitting.cpp.o.d"
+  "CMakeFiles/shiraz_reliability.dir/gamma_dist.cpp.o"
+  "CMakeFiles/shiraz_reliability.dir/gamma_dist.cpp.o.d"
+  "CMakeFiles/shiraz_reliability.dir/lognormal.cpp.o"
+  "CMakeFiles/shiraz_reliability.dir/lognormal.cpp.o.d"
+  "CMakeFiles/shiraz_reliability.dir/systems.cpp.o"
+  "CMakeFiles/shiraz_reliability.dir/systems.cpp.o.d"
+  "CMakeFiles/shiraz_reliability.dir/trace.cpp.o"
+  "CMakeFiles/shiraz_reliability.dir/trace.cpp.o.d"
+  "CMakeFiles/shiraz_reliability.dir/weibull.cpp.o"
+  "CMakeFiles/shiraz_reliability.dir/weibull.cpp.o.d"
+  "libshiraz_reliability.a"
+  "libshiraz_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiraz_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

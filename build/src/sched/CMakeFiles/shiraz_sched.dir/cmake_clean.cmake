@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiraz_sched.dir/manager.cpp.o"
+  "CMakeFiles/shiraz_sched.dir/manager.cpp.o.d"
+  "CMakeFiles/shiraz_sched.dir/stats.cpp.o"
+  "CMakeFiles/shiraz_sched.dir/stats.cpp.o.d"
+  "libshiraz_sched.a"
+  "libshiraz_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiraz_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

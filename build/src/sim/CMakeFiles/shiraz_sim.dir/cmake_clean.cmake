@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiraz_sim.dir/engine.cpp.o"
+  "CMakeFiles/shiraz_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/shiraz_sim.dir/job.cpp.o"
+  "CMakeFiles/shiraz_sim.dir/job.cpp.o.d"
+  "CMakeFiles/shiraz_sim.dir/metrics.cpp.o"
+  "CMakeFiles/shiraz_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/shiraz_sim.dir/optimizer.cpp.o"
+  "CMakeFiles/shiraz_sim.dir/optimizer.cpp.o.d"
+  "CMakeFiles/shiraz_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/shiraz_sim.dir/scheduler.cpp.o.d"
+  "libshiraz_sim.a"
+  "libshiraz_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiraz_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive.dir/adaptive/adaptive_scheduler_test.cpp.o"
+  "CMakeFiles/test_adaptive.dir/adaptive/adaptive_scheduler_test.cpp.o.d"
+  "CMakeFiles/test_adaptive.dir/adaptive/online_estimator_test.cpp.o"
+  "CMakeFiles/test_adaptive.dir/adaptive/online_estimator_test.cpp.o.d"
+  "test_adaptive"
+  "test_adaptive.pdb"
+  "test_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analytical_model_test.cpp" "tests/CMakeFiles/test_core.dir/core/analytical_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/analytical_model_test.cpp.o.d"
+  "/root/repo/tests/core/energy_test.cpp" "tests/CMakeFiles/test_core.dir/core/energy_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/energy_test.cpp.o.d"
+  "/root/repo/tests/core/failure_math_test.cpp" "tests/CMakeFiles/test_core.dir/core/failure_math_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/failure_math_test.cpp.o.d"
+  "/root/repo/tests/core/multi_switch_test.cpp" "tests/CMakeFiles/test_core.dir/core/multi_switch_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/multi_switch_test.cpp.o.d"
+  "/root/repo/tests/core/pairing_test.cpp" "tests/CMakeFiles/test_core.dir/core/pairing_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/pairing_test.cpp.o.d"
+  "/root/repo/tests/core/shiraz_plus_test.cpp" "tests/CMakeFiles/test_core.dir/core/shiraz_plus_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/shiraz_plus_test.cpp.o.d"
+  "/root/repo/tests/core/switch_solver_test.cpp" "tests/CMakeFiles/test_core.dir/core/switch_solver_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/switch_solver_test.cpp.o.d"
+  "/root/repo/tests/core/window_sweep_test.cpp" "tests/CMakeFiles/test_core.dir/core/window_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/window_sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shiraz_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/shiraz_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/shiraz_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/shiraz_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/shiraz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shiraz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/shiraz_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/shiraz_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/shiraz_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

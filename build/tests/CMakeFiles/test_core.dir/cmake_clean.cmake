@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/analytical_model_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/analytical_model_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/energy_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/energy_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/failure_math_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/failure_math_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/multi_switch_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/multi_switch_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pairing_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pairing_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/shiraz_plus_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/shiraz_plus_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/switch_solver_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/switch_solver_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/window_sweep_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/window_sweep_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

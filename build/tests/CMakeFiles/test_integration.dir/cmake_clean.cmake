@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/adaptive_proto_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/adaptive_proto_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/model_vs_sim_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/model_vs_sim_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/multi_app_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/multi_app_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/paper_scenarios_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/paper_scenarios_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/property_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/property_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto.dir/proto/backend_test.cpp.o"
+  "CMakeFiles/test_proto.dir/proto/backend_test.cpp.o.d"
+  "CMakeFiles/test_proto.dir/proto/checkpoint_store_test.cpp.o"
+  "CMakeFiles/test_proto.dir/proto/checkpoint_store_test.cpp.o.d"
+  "CMakeFiles/test_proto.dir/proto/runtime_test.cpp.o"
+  "CMakeFiles/test_proto.dir/proto/runtime_test.cpp.o.d"
+  "test_proto"
+  "test_proto.pdb"
+  "test_proto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

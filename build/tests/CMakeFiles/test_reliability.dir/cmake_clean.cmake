@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reliability.dir/reliability/analytics_test.cpp.o"
+  "CMakeFiles/test_reliability.dir/reliability/analytics_test.cpp.o.d"
+  "CMakeFiles/test_reliability.dir/reliability/bootstrap_test.cpp.o"
+  "CMakeFiles/test_reliability.dir/reliability/bootstrap_test.cpp.o.d"
+  "CMakeFiles/test_reliability.dir/reliability/cfdr_test.cpp.o"
+  "CMakeFiles/test_reliability.dir/reliability/cfdr_test.cpp.o.d"
+  "CMakeFiles/test_reliability.dir/reliability/distributions_test.cpp.o"
+  "CMakeFiles/test_reliability.dir/reliability/distributions_test.cpp.o.d"
+  "CMakeFiles/test_reliability.dir/reliability/fitting_test.cpp.o"
+  "CMakeFiles/test_reliability.dir/reliability/fitting_test.cpp.o.d"
+  "CMakeFiles/test_reliability.dir/reliability/trace_test.cpp.o"
+  "CMakeFiles/test_reliability.dir/reliability/trace_test.cpp.o.d"
+  "test_reliability"
+  "test_reliability.pdb"
+  "test_reliability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

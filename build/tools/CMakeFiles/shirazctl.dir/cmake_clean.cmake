@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shirazctl.dir/shirazctl.cpp.o"
+  "CMakeFiles/shirazctl.dir/shirazctl.cpp.o.d"
+  "shirazctl"
+  "shirazctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shirazctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
