@@ -36,14 +36,20 @@ int main(int argc, char** argv) {
   // tighter statistics (the paper's campaign was an emulated 200 h).
   const double horizon_mtbfs = flags.get_double("horizon-mtbfs", 30.0);
   const bool synthetic = flags.get_bool("synthetic", false);
+  // Opt-in durability for the real backend: fsync per checkpoint makes
+  // durations reflect device I/O (much slower; byte columns are unchanged).
+  const bool fsync = flags.get_bool("fsync", false);
 
   bench::banner("Figure 16 — prototype: CoMD + miniFE under system-level "
                 "checkpointing",
-                "Backend: " + std::string(synthetic ? "synthetic" : "real I/O") +
+                "Backend: " +
+                    std::string(synthetic ? "synthetic"
+                                          : (fsync ? "real I/O, fsync" : "real I/O")) +
                     ", M = " + fmt(mtbf_factor, 0) + " x delta_HW, horizon " +
                     fmt(horizon_mtbfs, 0) + " MTBFs, seed " + std::to_string(seed));
 
-  RealBackend real_backend;
+  RealBackend real_backend(fsync ? RealBackend::Durability::kFsync
+                                 : RealBackend::Durability::kPageCache);
   SyntheticBackend synthetic_backend(SyntheticBackend::Rates{
       .step_duration = 0.0005,
       .write_bandwidth_bps = 2.0e9,
@@ -58,11 +64,16 @@ int main(int argc, char** argv) {
   // --- Calibration (the scheduler plug-in's bookkeeping step) ---
   const apps::ProxyApp comd(apps::ProxyKind::kCoMD, 1);
   const apps::ProxyApp minife(apps::ProxyKind::kMiniFE, 1);
-  const Seconds delta_lw = measure_checkpoint_cost(backend, comd, store, 5);
-  const Seconds delta_hw = measure_checkpoint_cost(backend, minife, store, 5);
-  std::printf("Measured checkpoint costs: CoMD %.2f ms, miniFE %.2f ms "
-              "(ratio %.1fx; paper's DMTCP measurement: 30x).\n", delta_lw * 1e3,
-              delta_hw * 1e3, delta_hw / delta_lw);
+  const IoResult cost_lw = measure_checkpoint_cost(backend, comd, store, 5);
+  const IoResult cost_hw = measure_checkpoint_cost(backend, minife, store, 5);
+  const Seconds delta_lw = cost_lw.duration;
+  const Seconds delta_hw = cost_hw.duration;
+  std::printf("Measured checkpoint costs: CoMD %.2f ms (%.2f MiB), miniFE "
+              "%.2f ms (%.2f MiB); time ratio %.1fx, byte ratio %.1fx "
+              "(paper's DMTCP measurement: 30x).\n", delta_lw * 1e3,
+              as_mib(cost_lw.bytes), delta_hw * 1e3, as_mib(cost_hw.bytes),
+              delta_hw / delta_lw,
+              static_cast<double>(cost_hw.bytes) / static_cast<double>(cost_lw.bytes));
 
   const Seconds mtbf = mtbf_factor * delta_hw;
   const Seconds horizon = horizon_mtbfs * mtbf;
@@ -104,10 +115,25 @@ int main(int argc, char** argv) {
   const sim::AlternateAtFailure baseline_policy;
   const sim::ShirazPairScheduler shiraz_policy(k);
 
-  const ProtoResult base =
-      runtime.run(make_jobs(1), baseline_policy, trace.times(), horizon);
-  const ProtoResult shiraz =
-      runtime.run(make_jobs(1), shiraz_policy, trace.times(), horizon);
+  // Each campaign's ProtoResult totals must reconcile exactly with the
+  // store-side counters (the sum of every per-write/per-restore IoResult the
+  // backend reported); the store is shared across runs, so diff snapshots.
+  bool reconciled = true;
+  auto run_reconciled = [&](const std::vector<ProtoJob>& jobs,
+                            const sim::Scheduler& policy) {
+    const IoCounters before = store.counters();
+    const ProtoResult res = runtime.run(jobs, policy, trace.times(), horizon);
+    const IoCounters delta = store.counters().since(before);
+    const IoCounters totals = res.total_io_counters();
+    reconciled = reconciled && delta.writes == totals.writes &&
+                 delta.restores == totals.restores &&
+                 delta.bytes_written == totals.bytes_written &&
+                 delta.bytes_read == totals.bytes_read;
+    return res;
+  };
+
+  const ProtoResult base = run_reconciled(make_jobs(1), baseline_policy);
+  const ProtoResult shiraz = run_reconciled(make_jobs(1), shiraz_policy);
 
   std::printf("Shiraz vs baseline: useful work %+.1f%% (paper: +10.2%%), "
               "checkpoint overhead %+.1f%%.\n\n",
@@ -116,28 +142,38 @@ int main(int argc, char** argv) {
               100.0 * (shiraz.total_io() - base.total_io()) / base.total_io());
 
   Table table({"policy", "useful (s)", "ckpt ovhd (s)", "lost (s)",
-               "useful vs base", "data moved (MiB)", "data-movement cut"});
+               "useful vs base", "writes", "data moved (MiB)",
+               "restored (MiB)", "eff. MiB/s", "data-movement cut"});
   auto add_row = [&](const std::string& name, const ProtoResult& res) {
-    // Data movement (bytes actually written) is the robust I/O metric here:
-    // wall-clock checkpoint durations jitter with machine load, byte counts
-    // do not.
-    const double moved = static_cast<double>(res.total_bytes_written());
+    // Data movement (bytes actually written, torn writes included) is the
+    // robust I/O metric here: wall-clock checkpoint durations jitter with
+    // machine load, byte counts do not.
+    const IoCounters io = res.total_io_counters();
+    const double moved = static_cast<double>(io.bytes_written);
     const double base_moved = static_cast<double>(base.total_bytes_written());
     table.add_row({name, fmt(res.total_useful(), 1), fmt(res.total_io(), 2),
                    fmt(res.jobs[0].lost + res.jobs[1].lost, 1),
                    fmt_percent((res.total_useful() - base.total_useful()) /
                                base.total_useful()),
-                   fmt(as_mib(res.total_bytes_written()), 1),
+                   std::to_string(io.writes), fmt(as_mib(io.bytes_written), 1),
+                   fmt(as_mib(io.bytes_read), 1),
+                   fmt(io.effective_write_bandwidth_bps() / static_cast<double>(kMiB), 1),
                    fmt_percent((base_moved - moved) / base_moved)});
   };
   add_row("baseline (switch at failure)", base);
   add_row("Shiraz (k=" + std::to_string(k) + ")", shiraz);
   for (const unsigned stretch : {2u, 3u, 4u}) {
-    const ProtoResult plus =
-        runtime.run(make_jobs(stretch), shiraz_policy, trace.times(), horizon);
+    const ProtoResult plus = run_reconciled(make_jobs(stretch), shiraz_policy);
     add_row("Shiraz+ " + std::to_string(stretch) + "x", plus);
   }
   bench::print_table(table, flags);
+
+  std::printf("\nByte accounting: campaign totals reconcile exactly with the "
+              "sum of per-write/per-restore IoResult bytes: %s. Store lifetime "
+              "traffic (incl. calibration): %zu writes, %.1f MiB written, "
+              "%.1f MiB restored.\n", reconciled ? "yes" : "NO",
+              store.counters().writes, as_mib(store.counters().bytes_written),
+              as_mib(store.counters().bytes_read));
 
   bench::note("\nPaper-shape checks (Fig 16): checkpoint data movement falls "
               "steeply with the stretch factor (paper's overhead reductions: "
@@ -148,5 +184,5 @@ int main(int argc, char** argv) {
               "(~" + std::to_string(trace.size()) + " failures) understate the "
               "Shiraz useful-work gain — raise --horizon-mtbfs for tighter "
               "statistics.");
-  return 0;
+  return reconciled ? 0 : 1;
 }

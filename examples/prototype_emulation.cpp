@@ -33,8 +33,8 @@ int main(int argc, char** argv) {
   // scheduler plug-in records per application).
   const apps::ProxyApp comd(apps::ProxyKind::kCoMD, 1);
   const apps::ProxyApp minife(apps::ProxyKind::kMiniFE, 1);
-  const Seconds delta_lw = measure_checkpoint_cost(backend, comd, store);
-  const Seconds delta_hw = measure_checkpoint_cost(backend, minife, store);
+  const Seconds delta_lw = measure_checkpoint_cost(backend, comd, store).duration;
+  const Seconds delta_hw = measure_checkpoint_cost(backend, minife, store).duration;
   std::printf("Calibrated checkpoint costs: CoMD %.2f ms, miniFE %.2f ms "
               "(%.0fx)\n", delta_lw * 1e3, delta_hw * 1e3, delta_hw / delta_lw);
 

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/counting_stream.h"
 #include "common/error.h"
 
 namespace shiraz::apps {
@@ -45,7 +46,10 @@ Sizing sizing_for(ProxyKind kind, int config) {
   throw InvalidArgument("unknown proxy kind");
 }
 
-constexpr std::uint64_t kMagic = 0x5348495241501ULL;  // "SHIRAZP"
+// "SHIRAZP" in byte order P,Z,A,R,I,H,S (little-endian uint64). The seed
+// shipped a 13-hex-digit constant (0x5348495241501) that encoded no such
+// string; checkpoints written with it are rejected by the magic check below.
+constexpr std::uint64_t kMagic = 0x53484952415A50ULL;
 
 }  // namespace
 
@@ -146,16 +150,23 @@ void read_vec(std::istream& in, std::vector<T>& v) {
 }  // namespace
 
 void ProxyApp::serialize(std::ostream& out) const {
+  // Serialization runs through its own counting wrapper so the
+  // state_bytes()-vs-serialized-bytes invariant is enforced on every write,
+  // wherever the destination stream came from.
+  CountingStreambuf counter(*out.rdbuf());
+  std::ostream counted(&counter);
   const std::uint64_t kind = static_cast<std::uint64_t>(kind_);
   const std::uint64_t config = static_cast<std::uint64_t>(config_);
-  out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&kind), sizeof(kind));
-  out.write(reinterpret_cast<const char*>(&config), sizeof(config));
-  out.write(reinterpret_cast<const char*>(&steps_), sizeof(steps_));
-  write_vec(out, primary_);
-  write_vec(out, secondary_);
-  write_vec(out, indices_);
-  if (!out) throw IoError("failed writing proxy checkpoint");
+  counted.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  counted.write(reinterpret_cast<const char*>(&kind), sizeof(kind));
+  counted.write(reinterpret_cast<const char*>(&config), sizeof(config));
+  counted.write(reinterpret_cast<const char*>(&steps_), sizeof(steps_));
+  write_vec(counted, primary_);
+  write_vec(counted, secondary_);
+  write_vec(counted, indices_);
+  if (!counted) throw IoError("failed writing proxy checkpoint");
+  SHIRAZ_REQUIRE(counter.bytes_written() == state_bytes(),
+                 "serialized checkpoint size must equal state_bytes()");
 }
 
 void ProxyApp::deserialize(std::istream& in) {

@@ -1,0 +1,40 @@
+#include "common/counting_stream.h"
+
+namespace shiraz {
+
+CountingStreambuf::int_type CountingStreambuf::overflow(int_type ch) {
+  if (traits_type::eq_int_type(ch, traits_type::eof())) {
+    return traits_type::not_eof(ch);
+  }
+  const int_type result = inner_->sputc(traits_type::to_char_type(ch));
+  if (!traits_type::eq_int_type(result, traits_type::eof())) ++written_;
+  return result;
+}
+
+std::streamsize CountingStreambuf::xsputn(const char* s, std::streamsize n) {
+  const std::streamsize accepted = inner_->sputn(s, n);
+  if (accepted > 0) written_ += static_cast<Bytes>(accepted);
+  return accepted;
+}
+
+int CountingStreambuf::sync() { return inner_->pubsync(); }
+
+CountingStreambuf::int_type CountingStreambuf::underflow() {
+  // Peek without consuming: the byte is not counted until uflow/xsgetn
+  // actually moves it.
+  return inner_->sgetc();
+}
+
+CountingStreambuf::int_type CountingStreambuf::uflow() {
+  const int_type result = inner_->sbumpc();
+  if (!traits_type::eq_int_type(result, traits_type::eof())) ++read_;
+  return result;
+}
+
+std::streamsize CountingStreambuf::xsgetn(char* s, std::streamsize n) {
+  const std::streamsize delivered = inner_->sgetn(s, n);
+  if (delivered > 0) read_ += static_cast<Bytes>(delivered);
+  return delivered;
+}
+
+}  // namespace shiraz

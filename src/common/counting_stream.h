@@ -1,0 +1,46 @@
+// A pass-through streambuf that counts the bytes flowing through it.
+//
+// The prototype backend's I/O accounting is byte-accurate because every
+// checkpoint write and restore goes through a CountingStreambuf wrapped
+// around the file stream: the counter observes exactly what the serializer
+// pushed to (or pulled from) the underlying buffer, independent of machine
+// load. Wall-clock durations jitter with the page cache and the scheduler;
+// byte counts do not — which is why Fig 3 / Fig 16 normalize on bytes moved.
+#pragma once
+
+#include <streambuf>
+
+#include "common/units.h"
+
+namespace shiraz {
+
+/// Wraps an existing `std::streambuf` and forwards every operation to it,
+/// tallying bytes written and bytes read. The wrapper owns no buffer of its
+/// own, so counts are exact (nothing sits unflushed inside the wrapper) and
+/// the inner buffer's lifetime must outlive the counter.
+class CountingStreambuf final : public std::streambuf {
+ public:
+  explicit CountingStreambuf(std::streambuf& inner) : inner_(&inner) {}
+
+  /// Bytes successfully pushed to the inner buffer so far.
+  Bytes bytes_written() const { return written_; }
+
+  /// Bytes successfully consumed from the inner buffer so far. Peeks
+  /// (`sgetc`) do not count; only consumed characters do.
+  Bytes bytes_read() const { return read_; }
+
+ protected:
+  int_type overflow(int_type ch) override;
+  std::streamsize xsputn(const char* s, std::streamsize n) override;
+  int sync() override;
+  int_type underflow() override;
+  int_type uflow() override;
+  std::streamsize xsgetn(char* s, std::streamsize n) override;
+
+ private:
+  std::streambuf* inner_;
+  Bytes written_ = 0;
+  Bytes read_ = 0;
+};
+
+}  // namespace shiraz

@@ -3,7 +3,14 @@
 #include <chrono>
 #include <fstream>
 
+#include "common/counting_stream.h"
 #include "common/error.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define SHIRAZ_HAVE_FSYNC 1
+#endif
 
 namespace shiraz::proto {
 
@@ -15,6 +22,20 @@ double elapsed_seconds(SteadyClock::time_point start) {
   return std::chrono::duration<double>(SteadyClock::now() - start).count();
 }
 
+// Forces the file's data to the device so the surrounding timing covers real
+// device I/O, not just a page-cache copy.
+void fsync_path(const std::filesystem::path& path) {
+#ifdef SHIRAZ_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) throw IoError("cannot reopen checkpoint for fsync: " + path.string());
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) throw IoError("fsync failed for checkpoint: " + path.string());
+#else
+  (void)path;  // no portable durability primitive; page-cache semantics apply
+#endif
+}
+
 }  // namespace
 
 Seconds RealBackend::run_step(apps::ProxyApp& app) {
@@ -23,28 +44,35 @@ Seconds RealBackend::run_step(apps::ProxyApp& app) {
   return elapsed_seconds(start);
 }
 
-Seconds RealBackend::write_checkpoint(const apps::ProxyApp& app,
-                                      const std::filesystem::path& path) {
+IoResult RealBackend::write_checkpoint(const apps::ProxyApp& app,
+                                       const std::filesystem::path& path) {
   // Writes to exactly the path it is given; the caller (CheckpointStore's
   // pending/commit protocol) decides when the checkpoint becomes visible.
   const auto start = SteadyClock::now();
+  Bytes bytes = 0;
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) throw IoError("cannot open checkpoint file: " + path.string());
-    app.serialize(out);
-    out.flush();
-    if (!out) throw IoError("failed writing checkpoint: " + path.string());
+    CountingStreambuf counter(*out.rdbuf());
+    std::ostream counted(&counter);
+    app.serialize(counted);
+    counted.flush();
+    if (!counted || !out) throw IoError("failed writing checkpoint: " + path.string());
+    bytes = counter.bytes_written();
   }
-  return elapsed_seconds(start);
+  if (durability_ == Durability::kFsync) fsync_path(path);
+  return {elapsed_seconds(start), bytes};
 }
 
-Seconds RealBackend::restore_checkpoint(apps::ProxyApp& app,
-                                        const std::filesystem::path& path) {
+IoResult RealBackend::restore_checkpoint(apps::ProxyApp& app,
+                                         const std::filesystem::path& path) {
   const auto start = SteadyClock::now();
   std::ifstream in(path, std::ios::binary);
   if (!in) throw IoError("cannot open checkpoint file: " + path.string());
-  app.deserialize(in);
-  return elapsed_seconds(start);
+  CountingStreambuf counter(*in.rdbuf());
+  std::istream counted(&counter);
+  app.deserialize(counted);
+  return {elapsed_seconds(start), counter.bytes_read()};
 }
 
 SyntheticBackend::SyntheticBackend(const Rates& rates) : rates_(rates) {
@@ -60,15 +88,17 @@ Seconds SyntheticBackend::run_step(apps::ProxyApp&) {
   return rates_.step_duration;
 }
 
-Seconds SyntheticBackend::write_checkpoint(const apps::ProxyApp& app,
-                                           const std::filesystem::path&) {
-  return rates_.fixed_latency +
-         static_cast<double>(app.state_bytes()) / rates_.write_bandwidth_bps;
+IoResult SyntheticBackend::write_checkpoint(const apps::ProxyApp& app,
+                                            const std::filesystem::path&) {
+  const Bytes bytes = app.state_bytes();
+  return {rates_.fixed_latency + static_cast<double>(bytes) / rates_.write_bandwidth_bps,
+          bytes};
 }
 
-Seconds SyntheticBackend::restore_checkpoint(apps::ProxyApp& app,
-                                             const std::filesystem::path&) {
-  return static_cast<double>(app.state_bytes()) / rates_.read_bandwidth_bps;
+IoResult SyntheticBackend::restore_checkpoint(apps::ProxyApp& app,
+                                              const std::filesystem::path&) {
+  const Bytes bytes = app.state_bytes();
+  return {static_cast<double>(bytes) / rates_.read_bandwidth_bps, bytes};
 }
 
 }  // namespace shiraz::proto

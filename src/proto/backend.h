@@ -5,11 +5,15 @@
 // applications (src/apps) and checkpoints them by serializing their state:
 //
 //  * RealBackend — actually runs the compute kernel and writes checkpoint
-//    files to disk, measuring wall-clock durations. This is what the Fig. 3
-//    and Fig. 16 benches use: the measured checkpoint-cost ratios emerge from
-//    real I/O, not from assumed constants.
+//    files to disk, measuring wall-clock durations and counting the bytes
+//    that actually moved. This is what the Fig. 3 and Fig. 16 benches use:
+//    the measured checkpoint-cost ratios emerge from real I/O, not from
+//    assumed constants.
 //  * SyntheticBackend — returns modeled durations without touching the disk
 //    or the CPU-heavy kernel; used by tests that need deterministic timing.
+//
+// Both return an IoResult per operation: durations are load-sensitive (page
+// cache, scheduler), byte counts are exact every run — the stable metric.
 #pragma once
 
 #include <filesystem>
@@ -17,6 +21,7 @@
 
 #include "apps/proxy_app.h"
 #include "common/units.h"
+#include "proto/io_metrics.h"
 
 namespace shiraz::proto {
 
@@ -27,30 +32,51 @@ class ExecutionBackend {
   /// Runs one compute step; returns its (virtual) duration in seconds.
   virtual Seconds run_step(apps::ProxyApp& app) = 0;
 
-  /// Writes a full application checkpoint to `path`; returns its duration.
-  virtual Seconds write_checkpoint(const apps::ProxyApp& app,
-                                   const std::filesystem::path& path) = 0;
+  /// Writes a full application checkpoint to `path`; returns its duration
+  /// and the exact number of bytes written.
+  virtual IoResult write_checkpoint(const apps::ProxyApp& app,
+                                    const std::filesystem::path& path) = 0;
 
-  /// Restores the application from `path`; returns the restore duration.
-  virtual Seconds restore_checkpoint(apps::ProxyApp& app,
-                                     const std::filesystem::path& path) = 0;
+  /// Restores the application from `path`; returns the restore duration and
+  /// the exact number of bytes read.
+  virtual IoResult restore_checkpoint(apps::ProxyApp& app,
+                                      const std::filesystem::path& path) = 0;
 
   virtual std::string name() const = 0;
 };
 
-/// Real execution: wall-clock timed kernel steps and real file I/O.
+/// Real execution: wall-clock timed kernel steps and real file I/O, with
+/// bytes counted through a CountingStreambuf wrapped around the file stream.
 class RealBackend final : public ExecutionBackend {
  public:
+  enum class Durability {
+    /// Writes land in the OS page cache (the default). Fast, but durations
+    /// are dominated by open/flush overhead rather than device I/O.
+    kPageCache,
+    /// fsync(2) each checkpoint before the write is considered complete, so
+    /// durations reflect real device I/O at the price of much slower writes.
+    kFsync,
+  };
+
+  explicit RealBackend(Durability durability = Durability::kPageCache)
+      : durability_(durability) {}
+
+  Durability durability() const { return durability_; }
+
   Seconds run_step(apps::ProxyApp& app) override;
-  Seconds write_checkpoint(const apps::ProxyApp& app,
-                           const std::filesystem::path& path) override;
-  Seconds restore_checkpoint(apps::ProxyApp& app,
-                             const std::filesystem::path& path) override;
+  IoResult write_checkpoint(const apps::ProxyApp& app,
+                            const std::filesystem::path& path) override;
+  IoResult restore_checkpoint(apps::ProxyApp& app,
+                              const std::filesystem::path& path) override;
   std::string name() const override { return "RealBackend"; }
+
+ private:
+  Durability durability_;
 };
 
 /// Deterministic modeled execution for tests: durations derive from state
 /// size and configured rates; the kernel and the filesystem are not touched.
+/// Byte counts report the state size that a real write would serialize.
 class SyntheticBackend final : public ExecutionBackend {
  public:
   struct Rates {
@@ -67,10 +93,10 @@ class SyntheticBackend final : public ExecutionBackend {
   explicit SyntheticBackend(const Rates& rates);
 
   Seconds run_step(apps::ProxyApp& app) override;
-  Seconds write_checkpoint(const apps::ProxyApp& app,
-                           const std::filesystem::path& path) override;
-  Seconds restore_checkpoint(apps::ProxyApp& app,
-                             const std::filesystem::path& path) override;
+  IoResult write_checkpoint(const apps::ProxyApp& app,
+                            const std::filesystem::path& path) override;
+  IoResult restore_checkpoint(apps::ProxyApp& app,
+                              const std::filesystem::path& path) override;
   std::string name() const override { return "SyntheticBackend"; }
 
  private:

@@ -24,8 +24,9 @@ CheckpointStore CheckpointStore::make_temporary(const std::string& tag) {
 }
 
 CheckpointStore::CheckpointStore(CheckpointStore&& other) noexcept
-    : dir_(std::move(other.dir_)), owned_(other.owned_) {
+    : dir_(std::move(other.dir_)), owned_(other.owned_), counters_(other.counters_) {
   other.owned_ = false;
+  other.counters_ = IoCounters{};
 }
 
 CheckpointStore::~CheckpointStore() {

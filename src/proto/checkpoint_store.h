@@ -8,6 +8,8 @@
 #include <filesystem>
 #include <string>
 
+#include "proto/io_metrics.h"
+
 namespace shiraz::proto {
 
 class CheckpointStore {
@@ -52,9 +54,25 @@ class CheckpointStore {
   /// Total bytes currently stored.
   std::uintmax_t bytes_stored() const;
 
+  /// Records one checkpoint write against this store's lifetime counters.
+  /// Callers (Runtime, measure_checkpoint_cost) report every backend
+  /// operation here so benches can reconcile campaign-wide traffic.
+  void record_write(const IoResult& io) { counters_.record_write(io); }
+
+  /// Records one restore against this store's lifetime counters.
+  void record_restore(const IoResult& io) { counters_.record_restore(io); }
+
+  /// Cumulative I/O recorded against this store since construction (or the
+  /// last reset). Unlike bytes_stored(), this counts traffic, not residency:
+  /// overwritten and discarded checkpoints still appear here.
+  const IoCounters& counters() const { return counters_; }
+
+  void reset_counters() { counters_ = IoCounters{}; }
+
  private:
   std::filesystem::path dir_;
   bool owned_;
+  IoCounters counters_;
 };
 
 }  // namespace shiraz::proto

@@ -1,0 +1,87 @@
+// Byte-accurate I/O accounting for the prototype runtime.
+//
+// The paper's Fig. 3 and Section 5 prototype claims (the 30x miniFE:CoMD
+// checkpoint-cost ratio, the 4x Shiraz+ data-movement reduction) are
+// fundamentally bytes-moved claims; related checkpoint-interval work models
+// cost as volume/bandwidth rather than raw latency. Every backend I/O
+// operation therefore returns an IoResult carrying both the wall-clock (or
+// modeled) duration and the exact byte count, and IoCounters aggregates them
+// per job and campaign-wide.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.h"
+
+namespace shiraz::proto {
+
+/// The outcome of one checkpoint write or restore.
+struct IoResult {
+  Seconds duration = 0.0;
+  Bytes bytes = 0;
+
+  /// Effective bandwidth of this operation; 0 when the duration is 0 (e.g.
+  /// a restart-from-scratch that touched no file).
+  double bandwidth_bps() const {
+    return duration > 0.0 ? static_cast<double>(bytes) / duration : 0.0;
+  }
+};
+
+/// Aggregated I/O accounting over many operations.
+struct IoCounters {
+  std::size_t writes = 0;
+  std::size_t restores = 0;
+  Bytes bytes_written = 0;
+  Bytes bytes_read = 0;
+  Seconds write_seconds = 0.0;
+  Seconds read_seconds = 0.0;
+
+  void record_write(const IoResult& io) {
+    ++writes;
+    bytes_written += io.bytes;
+    write_seconds += io.duration;
+  }
+
+  void record_restore(const IoResult& io) {
+    ++restores;
+    bytes_read += io.bytes;
+    read_seconds += io.duration;
+  }
+
+  /// Effective write bandwidth over every recorded write; 0 when nothing
+  /// was written.
+  double effective_write_bandwidth_bps() const {
+    return write_seconds > 0.0 ? static_cast<double>(bytes_written) / write_seconds : 0.0;
+  }
+
+  /// Effective read bandwidth over every recorded restore; 0 when nothing
+  /// was read.
+  double effective_read_bandwidth_bps() const {
+    return read_seconds > 0.0 ? static_cast<double>(bytes_read) / read_seconds : 0.0;
+  }
+
+  IoCounters& operator+=(const IoCounters& other) {
+    writes += other.writes;
+    restores += other.restores;
+    bytes_written += other.bytes_written;
+    bytes_read += other.bytes_read;
+    write_seconds += other.write_seconds;
+    read_seconds += other.read_seconds;
+    return *this;
+  }
+
+  /// Counter delta since an earlier snapshot of the same counters (used by
+  /// benches to attribute a shared store's traffic to one campaign).
+  IoCounters since(const IoCounters& snapshot) const {
+    IoCounters d;
+    d.writes = writes - snapshot.writes;
+    d.restores = restores - snapshot.restores;
+    d.bytes_written = bytes_written - snapshot.bytes_written;
+    d.bytes_read = bytes_read - snapshot.bytes_read;
+    d.write_seconds = write_seconds - snapshot.write_seconds;
+    d.read_seconds = read_seconds - snapshot.read_seconds;
+    return d;
+  }
+};
+
+}  // namespace shiraz::proto

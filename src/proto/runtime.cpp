@@ -23,11 +23,17 @@ Seconds ProtoResult::total_io() const {
   return t;
 }
 
-Bytes ProtoResult::total_bytes_written() const {
-  Bytes b = 0;
-  for (const auto& j : jobs) b += j.bytes_written;
-  return b;
+IoCounters ProtoResult::total_io_counters() const {
+  IoCounters total;
+  for (const auto& j : jobs) total += j.io_counters;
+  return total;
 }
+
+Bytes ProtoResult::total_bytes_written() const {
+  return total_io_counters().bytes_written;
+}
+
+Bytes ProtoResult::total_bytes_read() const { return total_io_counters().bytes_read; }
 
 const ProtoJobStats& ProtoResult::job(const std::string& name) const {
   for (const auto& j : jobs) {
@@ -133,7 +139,10 @@ ProtoResult Runtime::run(std::vector<ProtoJob> jobs, const sim::Scheduler& polic
     if (needs_restore[ai]) {
       Seconds dur;
       if (has_committed_ckpt[ai]) {
-        dur = backend_.restore_checkpoint(job.app, store_.path_for(job.name));
+        const IoResult io = backend_.restore_checkpoint(job.app, store_.path_for(job.name));
+        stats.io_counters.record_restore(io);
+        store_.record_restore(io);
+        dur = io.duration;
         ++stats.restores;
       } else {
         job.app = pristine[ai];  // restart from scratch
@@ -176,12 +185,17 @@ ProtoResult Runtime::run(std::vector<ProtoJob> jobs, const sim::Scheduler& polic
     // Checkpoint phase: write to the staging path, commit only if no failure
     // struck during the write (so a torn write rolls back to the previous
     // committed checkpoint).
-    const Seconds dur =
+    const IoResult write =
         backend_.write_checkpoint(job.app, store_.pending_path_for(job.name));
-    now += dur;
+    // Counted whether or not the write commits: a torn write still moved
+    // bytes, and the data-movement totals must reconcile with the sum of
+    // per-write IoResults.
+    stats.io_counters.record_write(write);
+    store_.record_write(write);
+    now += write.duration;
     if (now >= next_fail()) {
       store_.discard_pending(job.name);
-      res.jobs[ai].lost += dur;  // unsealed compute is added by handle_failure
+      res.jobs[ai].lost += write.duration;  // unsealed compute is added by handle_failure
       handle_failure(ai);
       continue;
     }
@@ -189,9 +203,8 @@ ProtoResult Runtime::run(std::vector<ProtoJob> jobs, const sim::Scheduler& polic
     has_committed_ckpt[ai] = true;
     stats.useful += unsealed[ai];
     unsealed[ai] = 0.0;
-    stats.io += dur;
+    stats.io += write.duration;
     ++stats.checkpoints;
-    stats.bytes_written += job.app.state_bytes();
     ++ckpts_gap[ai];
     if (now >= horizon) break;
     decision = policy.on_checkpoint(make_ctx(ai));
@@ -201,18 +214,22 @@ ProtoResult Runtime::run(std::vector<ProtoJob> jobs, const sim::Scheduler& polic
   return res;
 }
 
-Seconds measure_checkpoint_cost(ExecutionBackend& backend, const apps::ProxyApp& app,
-                                CheckpointStore& store, std::size_t samples) {
+IoResult measure_checkpoint_cost(ExecutionBackend& backend, const apps::ProxyApp& app,
+                                 CheckpointStore& store, std::size_t samples) {
   SHIRAZ_REQUIRE(samples >= 1, "need at least one sample");
   std::vector<Seconds> durations;
   durations.reserve(samples);
   const std::string probe_name = "calib-" + app.name();
+  Bytes bytes = 0;
   for (std::size_t s = 0; s < samples; ++s) {
-    durations.push_back(backend.write_checkpoint(app, store.path_for(probe_name)));
+    const IoResult io = backend.write_checkpoint(app, store.path_for(probe_name));
+    store.record_write(io);
+    durations.push_back(io.duration);
+    bytes = io.bytes;  // identical across samples: the state does not change
   }
   store.remove(probe_name);
   std::sort(durations.begin(), durations.end());
-  return durations[durations.size() / 2];
+  return {durations[durations.size() / 2], bytes};
 }
 
 }  // namespace shiraz::proto

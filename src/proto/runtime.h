@@ -42,7 +42,14 @@ struct ProtoJobStats {
   std::size_t failures_hit = 0;
   std::size_t restores = 0;
   std::uint64_t steps = 0;
-  Bytes bytes_written = 0;
+  /// Byte-accurate I/O accounting: every write the backend performed for
+  /// this job (committed *and* torn) and every restore, with exact byte
+  /// counts from the counting stream. `io_counters.writes` can exceed
+  /// `checkpoints` when failures tear in-flight writes.
+  IoCounters io_counters;
+
+  Bytes bytes_written() const { return io_counters.bytes_written; }
+  Bytes bytes_read() const { return io_counters.bytes_read; }
 };
 
 struct ProtoResult {
@@ -54,7 +61,11 @@ struct ProtoResult {
 
   Seconds total_useful() const;
   Seconds total_io() const;
+  /// Campaign-wide I/O counters: the sum of every job's per-write and
+  /// per-restore IoResult, so totals reconcile exactly with backend traffic.
+  IoCounters total_io_counters() const;
   Bytes total_bytes_written() const;
+  Bytes total_bytes_read() const;
   const ProtoJobStats& job(const std::string& name) const;
 };
 
@@ -77,7 +88,10 @@ class Runtime {
 /// `samples` real checkpoints and taking the median duration — the
 /// calibration step the paper's scheduler plug-in performs ("maintains
 /// records of the checkpointing overhead for different applications").
-Seconds measure_checkpoint_cost(ExecutionBackend& backend, const apps::ProxyApp& app,
-                                CheckpointStore& store, std::size_t samples = 3);
+/// Returns the median duration together with the exact bytes one checkpoint
+/// moves (identical across samples: byte counts are load-independent).
+/// Every probe write is recorded against `store`'s counters.
+IoResult measure_checkpoint_cost(ExecutionBackend& backend, const apps::ProxyApp& app,
+                                 CheckpointStore& store, std::size_t samples = 3);
 
 }  // namespace shiraz::proto

@@ -1,9 +1,11 @@
 #include "apps/proxy_app.h"
 
+#include <cstring>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "common/counting_stream.h"
 #include "common/error.h"
 
 namespace shiraz::apps {
@@ -86,6 +88,40 @@ TEST(ProxyApp, StateBytesMatchesSerializedSize) {
     std::stringstream buffer;
     app.serialize(buffer);
     EXPECT_EQ(static_cast<Bytes>(buffer.str().size()), app.state_bytes()) << app.name();
+  }
+}
+
+TEST(ProxyApp, StateBytesMatchesCountingStreamForAllNineApps) {
+  // The byte-accounting invariant underlying the prototype's IoResult: for
+  // every Fig 3 app, the counting stream observes exactly state_bytes()
+  // bytes of serialized checkpoint.
+  for (const ProxyApp& app : fig3_proxy_suite()) {
+    std::ostringstream sink;
+    CountingStreambuf counter(*sink.rdbuf());
+    std::ostream counted(&counter);
+    app.serialize(counted);
+    EXPECT_EQ(counter.bytes_written(), app.state_bytes()) << app.name();
+    EXPECT_EQ(static_cast<Bytes>(sink.str().size()), counter.bytes_written())
+        << app.name();
+  }
+}
+
+TEST(ProxyApp, RejectsCheckpointWrittenWithLegacyBrokenMagic) {
+  // Regression: the seed shipped kMagic = 0x5348495241501 — a 13-hex-digit
+  // constant that does not encode the claimed "SHIRAZP" (0x53484952415A50).
+  // A checkpoint carrying the old magic must be rejected up front.
+  ProxyApp app(ProxyKind::kCoMD, 1);
+  std::stringstream buffer;
+  app.serialize(buffer);
+  std::string bytes = buffer.str();
+  const std::uint64_t legacy_magic = 0x5348495241501ULL;
+  std::memcpy(bytes.data(), &legacy_magic, sizeof(legacy_magic));
+  std::stringstream corrupted(bytes);
+  try {
+    app.deserialize(corrupted);
+    FAIL() << "a legacy-magic checkpoint must be rejected";
+  } catch (const IoError& e) {
+    EXPECT_STREQ(e.what(), "bad proxy checkpoint magic");
   }
 }
 

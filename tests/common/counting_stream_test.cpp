@@ -1,0 +1,101 @@
+#include "common/counting_stream.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace shiraz {
+namespace {
+
+TEST(CountingStreambuf, CountsBlockWrites) {
+  std::ostringstream sink;
+  CountingStreambuf counter(*sink.rdbuf());
+  std::ostream out(&counter);
+  const std::string payload = "0123456789";
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  EXPECT_EQ(counter.bytes_written(), payload.size());
+  EXPECT_EQ(sink.str(), payload);
+}
+
+TEST(CountingStreambuf, CountsSingleCharacterWrites) {
+  std::ostringstream sink;
+  CountingStreambuf counter(*sink.rdbuf());
+  std::ostream out(&counter);
+  out.put('a');
+  out.put('b');
+  out << 'c';
+  EXPECT_EQ(counter.bytes_written(), 3u);
+  EXPECT_EQ(sink.str(), "abc");
+}
+
+TEST(CountingStreambuf, CountsBlockReads) {
+  std::istringstream source("0123456789");
+  CountingStreambuf counter(*source.rdbuf());
+  std::istream in(&counter);
+  char buf[4] = {};
+  in.read(buf, 4);
+  EXPECT_EQ(counter.bytes_read(), 4u);
+  EXPECT_EQ(std::string(buf, 4), "0123");
+  in.read(buf, 4);
+  EXPECT_EQ(counter.bytes_read(), 8u);
+}
+
+TEST(CountingStreambuf, CountsSingleCharacterReadsButNotPeeks) {
+  std::istringstream source("xyz");
+  CountingStreambuf counter(*source.rdbuf());
+  std::istream in(&counter);
+  EXPECT_EQ(in.peek(), 'x');
+  EXPECT_EQ(counter.bytes_read(), 0u) << "a peek consumes nothing";
+  EXPECT_EQ(in.get(), 'x');
+  EXPECT_EQ(in.get(), 'y');
+  EXPECT_EQ(counter.bytes_read(), 2u);
+}
+
+TEST(CountingStreambuf, ShortReadsCountOnlyDeliveredBytes) {
+  std::istringstream source("ab");
+  CountingStreambuf counter(*source.rdbuf());
+  std::istream in(&counter);
+  char buf[8] = {};
+  in.read(buf, 8);
+  EXPECT_TRUE(in.eof());
+  EXPECT_EQ(in.gcount(), 2);
+  EXPECT_EQ(counter.bytes_read(), 2u);
+}
+
+TEST(CountingStreambuf, TracksReadsAndWritesIndependently) {
+  std::stringstream both;
+  CountingStreambuf counter(*both.rdbuf());
+  std::ostream out(&counter);
+  out << "hello";
+  std::istream in(&counter);
+  char buf[5] = {};
+  in.read(buf, 5);
+  EXPECT_EQ(counter.bytes_written(), 5u);
+  EXPECT_EQ(counter.bytes_read(), 5u);
+  EXPECT_EQ(std::string(buf, 5), "hello");
+}
+
+TEST(CountingStreambuf, FlushForwardsToInnerBuffer) {
+  std::ostringstream sink;
+  CountingStreambuf counter(*sink.rdbuf());
+  std::ostream out(&counter);
+  out << "data" << std::flush;
+  EXPECT_TRUE(out.good());
+  EXPECT_EQ(counter.bytes_written(), 4u);
+}
+
+TEST(CountingStreambuf, LargePayloadCountsExactly) {
+  std::ostringstream sink;
+  CountingStreambuf counter(*sink.rdbuf());
+  std::ostream out(&counter);
+  const std::string chunk(64 * 1024, 'z');
+  for (int i = 0; i < 16; ++i) {
+    out.write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+  }
+  EXPECT_EQ(counter.bytes_written(), 16u * 64u * 1024u);
+  EXPECT_EQ(sink.str().size(), 16u * 64u * 1024u);
+}
+
+}  // namespace
+}  // namespace shiraz

@@ -99,6 +99,34 @@ TEST(CheckpointStore, BytesStoredSumsFiles) {
   EXPECT_EQ(store.bytes_stored(), 8u);
 }
 
+TEST(CheckpointStore, CountersAggregateRecordedIo) {
+  CheckpointStore store = CheckpointStore::make_temporary("counters");
+  EXPECT_EQ(store.counters().writes, 0u);
+  store.record_write({0.5, 1000});
+  store.record_write({0.5, 3000});
+  store.record_restore({0.25, 1000});
+  EXPECT_EQ(store.counters().writes, 2u);
+  EXPECT_EQ(store.counters().restores, 1u);
+  EXPECT_EQ(store.counters().bytes_written, 4000u);
+  EXPECT_EQ(store.counters().bytes_read, 1000u);
+  EXPECT_DOUBLE_EQ(store.counters().effective_write_bandwidth_bps(), 4000.0);
+  EXPECT_DOUBLE_EQ(store.counters().effective_read_bandwidth_bps(), 4000.0);
+  store.reset_counters();
+  EXPECT_EQ(store.counters().writes, 0u);
+  EXPECT_EQ(store.counters().bytes_written, 0u);
+}
+
+TEST(CheckpointStore, CountersCountTrafficNotResidency) {
+  // bytes_stored() reflects files on disk; counters() reflect traffic, so a
+  // discarded pending write still appears in the counters.
+  CheckpointStore store = CheckpointStore::make_temporary("traffic");
+  touch(store.pending_path_for("job"), "torn");
+  store.record_write({0.1, 4});
+  store.discard_pending("job");
+  EXPECT_EQ(store.bytes_stored(), 0u);
+  EXPECT_EQ(store.counters().bytes_written, 4u);
+}
+
 TEST(CheckpointStore, MoveTransfersOwnership) {
   fs::path dir;
   {

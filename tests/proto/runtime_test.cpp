@@ -41,6 +41,12 @@ TEST(Runtime, FailureFreeRunSealsAllSegments) {
   EXPECT_NEAR(res.jobs[0].io, 5.0, 1e-9);
   EXPECT_DOUBLE_EQ(res.jobs[0].lost, 0.0);
   EXPECT_EQ(res.jobs[0].steps, 20u);
+  // Byte accounting: 10 committed writes, no restores.
+  const apps::ProxyApp probe(ProxyKind::kCoMD, 1);
+  EXPECT_EQ(res.jobs[0].io_counters.writes, 10u);
+  EXPECT_EQ(res.jobs[0].bytes_written(), 10u * probe.state_bytes());
+  EXPECT_EQ(res.jobs[0].io_counters.restores, 0u);
+  EXPECT_EQ(res.total_bytes_read(), 0u);
 }
 
 TEST(Runtime, FailureDuringComputeWipesUnsealedWork) {
@@ -159,18 +165,92 @@ TEST(MeasureCheckpointCost, SyntheticMatchesModeledCost) {
   SyntheticBackend backend(unit_rates());
   CheckpointStore store = CheckpointStore::make_temporary("rt10");
   const ProxyApp app(ProxyKind::kCoMD, 1);
-  const Seconds cost = measure_checkpoint_cost(backend, app, store, 3);
-  EXPECT_NEAR(cost, 0.5, 1e-9);
+  const IoResult cost = measure_checkpoint_cost(backend, app, store, 3);
+  EXPECT_NEAR(cost.duration, 0.5, 1e-9);
+  EXPECT_EQ(cost.bytes, app.state_bytes());
+  // Every probe write lands in the store's lifetime counters.
+  EXPECT_EQ(store.counters().writes, 3u);
+  EXPECT_EQ(store.counters().bytes_written, 3u * app.state_bytes());
 }
 
 TEST(MeasureCheckpointCost, RealRatioTracksStateSize) {
+  // Asserted on bytes, not durations: the byte ratio is exact every run,
+  // while wall-clock ratios jitter with machine load (the seed's 3x time
+  // assertion here was the same flakiness as the old backend cost test).
   RealBackend backend;
   CheckpointStore store = CheckpointStore::make_temporary("rt11");
   const ProxyApp light(ProxyKind::kCoMD, 1);
   const ProxyApp heavy(ProxyKind::kMiniFE, 1);
-  const Seconds lc = measure_checkpoint_cost(backend, light, store, 5);
-  const Seconds hc = measure_checkpoint_cost(backend, heavy, store, 5);
-  EXPECT_GT(hc / lc, 3.0);  // ~28x state ratio; demand at least 3x in time
+  const IoResult lc = measure_checkpoint_cost(backend, light, store, 5);
+  const IoResult hc = measure_checkpoint_cost(backend, heavy, store, 5);
+  EXPECT_EQ(lc.bytes, light.state_bytes());
+  EXPECT_EQ(hc.bytes, heavy.state_bytes());
+  EXPECT_GT(static_cast<double>(hc.bytes) / static_cast<double>(lc.bytes), 30.0);
+  EXPECT_GT(lc.duration, 0.0);
+  EXPECT_GT(hc.duration, 0.0);
+}
+
+// Wraps another backend and remembers every IoResult it returned, so tests
+// can reconcile campaign totals against the exact per-operation values.
+class RecordingBackend final : public ExecutionBackend {
+ public:
+  explicit RecordingBackend(ExecutionBackend& inner) : inner_(inner) {}
+
+  Seconds run_step(apps::ProxyApp& app) override { return inner_.run_step(app); }
+
+  IoResult write_checkpoint(const apps::ProxyApp& app,
+                            const std::filesystem::path& path) override {
+    const IoResult io = inner_.write_checkpoint(app, path);
+    writes.push_back(io);
+    return io;
+  }
+
+  IoResult restore_checkpoint(apps::ProxyApp& app,
+                              const std::filesystem::path& path) override {
+    const IoResult io = inner_.restore_checkpoint(app, path);
+    restores.push_back(io);
+    return io;
+  }
+
+  std::string name() const override { return "Recording(" + inner_.name() + ")"; }
+
+  std::vector<IoResult> writes;
+  std::vector<IoResult> restores;
+
+ private:
+  ExecutionBackend& inner_;
+};
+
+TEST(Runtime, TotalBytesReconcileWithPerWriteIoResults) {
+  // Campaign-wide totals must equal the sum of the individual IoResults the
+  // backend reported — including torn writes and restores. Failures at 3.4
+  // and 4.7 (cf. the tests above) exercise both a wiped compute phase with a
+  // restore and a torn checkpoint write.
+  SyntheticBackend inner(unit_rates());
+  RecordingBackend backend(inner);
+  CheckpointStore store = CheckpointStore::make_temporary("rt12");
+  Runtime runtime(backend, store);
+  const sim::AlternateAtFailure policy;
+  const ProtoResult res =
+      runtime.run({comd_job("a", 2.0)}, policy, {3.4, 10.9}, 25.0);
+
+  Bytes written = 0;
+  for (const IoResult& io : backend.writes) written += io.bytes;
+  Bytes read = 0;
+  for (const IoResult& io : backend.restores) read += io.bytes;
+
+  const IoCounters totals = res.total_io_counters();
+  EXPECT_EQ(totals.writes, backend.writes.size());
+  EXPECT_EQ(totals.restores, backend.restores.size());
+  EXPECT_EQ(res.total_bytes_written(), written);
+  EXPECT_EQ(res.total_bytes_read(), read);
+  EXPECT_GT(totals.restores, 0u) << "the scenario must exercise restores";
+
+  // The store observed the same traffic the backend reported.
+  EXPECT_EQ(store.counters().writes, totals.writes);
+  EXPECT_EQ(store.counters().bytes_written, written);
+  EXPECT_EQ(store.counters().restores, totals.restores);
+  EXPECT_EQ(store.counters().bytes_read, read);
 }
 
 }  // namespace
