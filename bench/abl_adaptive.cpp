@@ -30,12 +30,14 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 16));
   const std::uint64_t seed = flags.get_seed("seed", 20182525);
+  const std::size_t workers = bench::workers_flag(flags);
   const core::AppSpec lw{"lw", 18.0, 1};
   const core::AppSpec hw{"hw", 1800.0, 1};
 
   bench::banner("Ablation — misestimated failure model & adaptive Shiraz",
                 "True system: Weibull beta 0.6, MTBF 5 h; campaign 4000 h; "
-                "reps=" + std::to_string(reps));
+                "reps=" + std::to_string(reps) + "; jobs=" +
+                std::to_string(workers));
 
   sim::EngineConfig ecfg;
   ecfg.t_total = hours(4000.0);
@@ -43,7 +45,7 @@ int main(int argc, char** argv) {
   const std::vector<sim::SimJob> jobs{sim::SimJob::at_oci("lw", 18.0, hours(5.0)),
                                       sim::SimJob::at_oci("hw", 1800.0, hours(5.0))};
   const sim::SimResult base =
-      engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed);
+      engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed, workers);
 
   // --- Part 1: static Shiraz with a wrong nominal MTBF ---
   Table sens({"assumed MTBF (h)", "k solved", "total gain (h)", "min app gain (h)"});
@@ -60,7 +62,7 @@ int main(int argc, char** argv) {
       continue;
     }
     const sim::ShirazPairScheduler policy(*sol.k);
-    const sim::SimResult r = engine.run_many(jobs, policy, reps, seed);
+    const sim::SimResult r = engine.run_many(jobs, policy, reps, seed, workers);
     sens.add_row({fmt(assumed, 1), std::to_string(*sol.k),
                   fmt(as_hours(r.total_useful() - base.total_useful()), 1),
                   fmt(as_hours(min_gain(r, base)), 1)});
@@ -76,7 +78,8 @@ int main(int argc, char** argv) {
   acfg.estimator.window = 256;
   acfg.estimator.min_samples = 16;
   const adaptive::AdaptiveShirazScheduler adaptive_policy(lw, hw, acfg);
-  const sim::SimResult r_adapt = engine.run_many(jobs, adaptive_policy, reps, seed);
+  const sim::SimResult r_adapt =
+      engine.run_many(jobs, adaptive_policy, reps, seed, workers);
   std::printf("\nAdaptive (prior MTBF 20 h, true 5 h): total gain %.1f h, "
               "min app gain %.1f h, final k = %d after %zu re-solves.\n",
               as_hours(r_adapt.total_useful() - base.total_useful()),
@@ -92,7 +95,7 @@ int main(int argc, char** argv) {
   };
   const sim::Engine aging_engine(aging, ecfg);
   const sim::SimResult a_base =
-      aging_engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed);
+      aging_engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed, workers);
 
   Table aging_table({"policy", "total gain (h)", "min app gain (h)"});
   core::ModelConfig mid;
@@ -104,9 +107,9 @@ int main(int argc, char** argv) {
       solve_switch_point(core::ShirazModel(mid), lw, hw, opts);
   const sim::ShirazPairScheduler static_policy(static_sol.k.value_or(1));
   const sim::SimResult a_static =
-      aging_engine.run_many(jobs, static_policy, reps, seed);
+      aging_engine.run_many(jobs, static_policy, reps, seed, workers);
   const sim::SimResult a_adapt =
-      aging_engine.run_many(jobs, adaptive_policy, reps, seed);
+      aging_engine.run_many(jobs, adaptive_policy, reps, seed, workers);
   aging_table.add_row({"static k (lifetime-average MTBF)",
                        fmt(as_hours(a_static.total_useful() - a_base.total_useful()), 1),
                        fmt(as_hours(min_gain(a_static, a_base)), 1)});

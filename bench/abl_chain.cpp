@@ -22,11 +22,13 @@ int main(int argc, char** argv) {
   // cancel their variance — use generous repetitions.
   const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 128));
   const std::uint64_t seed = flags.get_seed("seed", 20183636);
+  const std::size_t workers = bench::workers_flag(flags);
   const double mtbf_hours = flags.get_double("mtbf", 5.0);
 
   bench::banner("Ablation — 3-app within-gap chain vs pair rotation",
                 "Apps: delta 10 s / 300 s / 1800 s; MTBF " + fmt(mtbf_hours, 0) +
-                    " h; campaign 1000 h; reps=" + std::to_string(reps));
+                    " h; campaign 1000 h; reps=" + std::to_string(reps) +
+                    "; jobs=" + std::to_string(workers));
 
   core::ModelConfig cfg;
   cfg.mtbf = hours(mtbf_hours);
@@ -50,10 +52,12 @@ int main(int argc, char** argv) {
       sim::SimJob::at_oci("mid", 300.0, hours(mtbf_hours)),
       sim::SimJob::at_oci("heavy", 1800.0, hours(mtbf_hours))};
 
-  const sim::SimResult base =
-      engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed);
-  const sim::SimResult chained =
-      engine.run_many(jobs, sim::MultiSwitchScheduler{chain.ks}, reps, seed);
+  const sim::CampaignSummary base_s = engine.run_campaign(
+      jobs, sim::AlternateAtFailure{}, reps, seed, workers);
+  const sim::CampaignSummary chained_s = engine.run_campaign(
+      jobs, sim::MultiSwitchScheduler{chain.ks}, reps, seed, workers);
+  const sim::SimResult& base = base_s.mean;
+  const sim::SimResult& chained = chained_s.mean;
 
   // The paper's scheme on the same mix: pair the extremes (light+heavy) and
   // leave mid alone; rotate "pairs" of (light,heavy) and (mid) at failures.
@@ -68,12 +72,13 @@ int main(int argc, char** argv) {
   const core::SwitchSolution pair =
       solve_switch_point(model, apps[0], apps[2], popts);
 
-  Table table({"policy", "total useful (h)", "gain vs baseline (h)",
+  Table table({"policy", "total useful (h, +-95CI)", "gain vs baseline (h)",
                "light gain (h)", "mid gain (h)", "heavy gain (h)"});
-  table.add_row({"baseline (switch at failure)", fmt(as_hours(base.total_useful()), 1),
+  table.add_row({"baseline (switch at failure)",
+                 bench::fmt_hours_ci(base_s.total_useful, 1),
                  "0.0", "0.0", "0.0", "0.0"});
   table.add_row({"3-app chain",
-                 fmt(as_hours(chained.total_useful()), 1),
+                 bench::fmt_hours_ci(chained_s.total_useful, 1),
                  fmt(as_hours(chained.total_useful() - base.total_useful()), 1),
                  fmt(as_hours(chained.apps[0].useful - base.apps[0].useful), 1),
                  fmt(as_hours(chained.apps[1].useful - base.apps[1].useful), 1),

@@ -18,11 +18,13 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 24));
   const std::uint64_t seed = flags.get_seed("seed", 20184747);
+  const std::size_t workers = bench::workers_flag(flags);
   const double mtbf_hours = flags.get_double("mtbf", 5.0);
 
   bench::banner("Ablation — Shiraz+ vs Lazy Checkpointing (DSN'14)",
                 "Pair delta 18 s / 1800 s, MTBF " + fmt(mtbf_hours, 0) +
-                    " h, campaign 1000 h, reps=" + std::to_string(reps));
+                    " h, campaign 1000 h, reps=" + std::to_string(reps) +
+                    ", jobs=" + std::to_string(workers));
 
   const Seconds mtbf = hours(mtbf_hours);
   core::ModelConfig cfg;
@@ -50,25 +52,32 @@ int main(int argc, char** argv) {
   const sim::AlternateAtFailure alternate;
   const sim::ShirazPairScheduler shiraz(k);
 
-  const sim::SimResult base = engine.run_many(oci_jobs, alternate, reps, seed);
-  const sim::SimResult lazy = engine.run_many(lazy_jobs, alternate, reps, seed);
-  const sim::SimResult sz = engine.run_many(oci_jobs, shiraz, reps, seed);
-  const sim::SimResult plus = engine.run_many(plus_jobs, shiraz, reps, seed);
+  const sim::CampaignSummary base_s =
+      engine.run_campaign(oci_jobs, alternate, reps, seed, workers);
+  const sim::CampaignSummary lazy_s =
+      engine.run_campaign(lazy_jobs, alternate, reps, seed, workers);
+  const sim::CampaignSummary sz_s =
+      engine.run_campaign(oci_jobs, shiraz, reps, seed, workers);
+  const sim::CampaignSummary plus_s =
+      engine.run_campaign(plus_jobs, shiraz, reps, seed, workers);
+  const sim::SimResult& base = base_s.mean;
 
-  Table table({"policy", "useful (h)", "ckpt ovhd (h)", "useful vs base",
-               "ckpt reduction", "equidistant ckpts"});
-  auto row = [&](const std::string& name, const sim::SimResult& r, bool equidistant) {
-    table.add_row({name, fmt(as_hours(r.total_useful()), 1),
-                   fmt(as_hours(r.total_io()), 1),
+  Table table({"policy", "useful (h, +-95CI)", "ckpt ovhd (h, +-95CI)",
+               "useful vs base", "ckpt reduction", "equidistant ckpts"});
+  auto row = [&](const std::string& name, const sim::CampaignSummary& s,
+                 bool equidistant) {
+    const sim::SimResult& r = s.mean;
+    table.add_row({name, bench::fmt_hours_ci(s.total_useful, 1),
+                   bench::fmt_hours_ci(s.total_io, 1),
                    fmt_percent((r.total_useful() - base.total_useful()) /
                                base.total_useful()),
                    fmt_percent((base.total_io() - r.total_io()) / base.total_io()),
                    equidistant ? "yes" : "no"});
   };
-  row("baseline (OCI, switch at failure)", base, true);
-  row("Lazy checkpointing (per-app)", lazy, false);
-  row("Shiraz (k=" + std::to_string(k) + ")", sz, true);
-  row("Shiraz+ (3x stretch)", plus, true);
+  row("baseline (OCI, switch at failure)", base_s, true);
+  row("Lazy checkpointing (per-app)", lazy_s, false);
+  row("Shiraz (k=" + std::to_string(k) + ")", sz_s, true);
+  row("Shiraz+ (3x stretch)", plus_s, true);
   bench::print_table(table, flags);
 
   bench::note("\nPaper Section 6's argument, quantified: Lazy cuts checkpoint "

@@ -18,11 +18,13 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 32));
   const std::uint64_t seed = flags.get_seed("seed", 20186969);
+  const std::size_t workers = bench::workers_flag(flags);
   const double mtbf_hours = flags.get_double("mtbf", 5.0);
 
   bench::banner("Ablation — within-gap switch cost",
                 "Pair delta 18 s / 1800 s, MTBF " + fmt(mtbf_hours, 0) +
-                    " h, campaign 1000 h, reps=" + std::to_string(reps));
+                    " h, campaign 1000 h, reps=" + std::to_string(reps) +
+                    ", jobs=" + std::to_string(workers));
 
   core::ModelConfig cfg;
   cfg.mtbf = hours(mtbf_hours);
@@ -42,8 +44,8 @@ int main(int argc, char** argv) {
   const sim::AlternateAtFailure baseline;
   const sim::ShirazPairScheduler shiraz(k);
 
-  Table table({"switch cost (s)", "switches", "shiraz gain (h)",
-               "gain retained vs free"});
+  Table table({"switch cost (s)", "switches", "shiraz useful (h, +-95CI)",
+               "shiraz gain (h)", "gain retained vs free"});
   double free_gain = 0.0;
   for (const double cost : {0.0, 10.0, 60.0, 300.0, 900.0, 1800.0}) {
     sim::EngineConfig ecfg;
@@ -51,11 +53,13 @@ int main(int argc, char** argv) {
     ecfg.switch_cost = cost;
     const sim::Engine engine(
         reliability::Weibull::from_mtbf(0.6, hours(mtbf_hours)), ecfg);
-    const sim::SimResult base = engine.run_many(jobs, baseline, reps, seed);
-    const sim::SimResult sz = engine.run_many(jobs, shiraz, reps, seed);
-    const double gain = sz.total_useful() - base.total_useful();
+    const sim::SimResult base = engine.run_many(jobs, baseline, reps, seed, workers);
+    const sim::CampaignSummary szs =
+        engine.run_campaign(jobs, shiraz, reps, seed, workers);
+    const double gain = szs.mean.total_useful() - base.total_useful();
     if (cost == 0.0) free_gain = gain;
-    table.add_row({fmt(cost, 0), std::to_string(sz.switches),
+    table.add_row({fmt(cost, 0), std::to_string(szs.mean.switches),
+                   bench::fmt_hours_ci(szs.total_useful, 1),
                    fmt(as_hours(gain), 1),
                    free_gain > 0.0 ? fmt_percent(gain / free_gain - 1.0) : "-"});
   }

@@ -8,9 +8,11 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "common/cli.h"
 #include "common/table.h"
+#include "sim/metrics.h"
 
 namespace shiraz::bench {
 
@@ -29,5 +31,27 @@ inline void print_table(const Table& table, const Flags& flags) {
 }
 
 inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+/// Worker threads for parallel Monte-Carlo campaigns: `--jobs=N` (default 1,
+/// `--jobs=0` = all hardware threads). Campaign output is bit-identical for
+/// every value, so this only changes wall-clock time — but don't run builds
+/// concurrently with the wall-clock benches (fig03/fig16) either way.
+inline std::size_t workers_flag(const Flags& flags) {
+  const std::int64_t n = flags.get_int("jobs", 1);
+  if (n > 0) return static_cast<std::size_t>(n);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// "123.4 +- 5.6" cell for a mean and its 95% CI half-width (ASCII so the
+/// byte-width table alignment stays exact).
+inline std::string fmt_mean_ci(double mean, double ci95, int digits = 1) {
+  return fmt(mean, digits) + " +- " + fmt(ci95, digits);
+}
+
+/// fmt_mean_ci over a MetricSummary holding seconds, rendered in hours.
+inline std::string fmt_hours_ci(const sim::MetricSummary& m, int digits = 1) {
+  return fmt_mean_ci(as_hours(m.mean), as_hours(m.ci95), digits);
+}
 
 }  // namespace shiraz::bench

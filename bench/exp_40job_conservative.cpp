@@ -16,10 +16,13 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 32));
   const std::uint64_t seed = flags.get_seed("seed", 20184040);
+  const std::size_t workers = bench::workers_flag(flags);
 
   bench::banner("Conservative 40-job experiment (Section 5)",
                 "5 heavy + 35 light jobs (from the 3 lightest Table-1 apps), "
-                "one year, reps=" + std::to_string(reps));
+                "one year, reps=" + std::to_string(reps) + ", jobs=" +
+                std::to_string(workers) +
+                "; useful columns are mean +- 95% CI");
 
   const auto catalog = apps::table1_catalog();
   const auto heavy5 = apps::heaviest(catalog, 5);
@@ -61,14 +64,15 @@ int main(int argc, char** argv) {
     sim::EngineConfig ecfg;
     ecfg.t_total = horizon;
     const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
-    const sim::SimResult base =
-        engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed);
-    const sim::SimResult sz =
-        engine.run_many(jobs, sim::PairRotationScheduler{ks}, reps, seed);
-    const double gain = as_hours(sz.total_useful() - base.total_useful());
+    const sim::CampaignSummary base = engine.run_campaign(
+        jobs, sim::AlternateAtFailure{}, reps, seed, workers);
+    const sim::CampaignSummary sz = engine.run_campaign(
+        jobs, sim::PairRotationScheduler{ks}, reps, seed, workers);
+    const double gain =
+        as_hours(sz.mean.total_useful() - base.mean.total_useful());
     table.add_row({mtbf_hours == 5.0 ? "Exascale (5h)" : "Petascale (20h)",
-                   fmt(as_hours(base.total_useful()), 1),
-                   fmt(as_hours(sz.total_useful()), 1), fmt(gain, 1),
+                   bench::fmt_hours_ci(base.total_useful, 1),
+                   bench::fmt_hours_ci(sz.total_useful, 1), fmt(gain, 1),
                    mtbf_hours == 5.0 ? "89" : "57"});
   }
   bench::print_table(table, flags);

@@ -21,7 +21,7 @@ namespace {
 // Reproduces the conservative 40-job yearly gain (the figure the paper's
 // dollar numbers are computed from).
 double simulated_yearly_gain_hours(double mtbf_hours, std::size_t reps,
-                                   std::uint64_t seed) {
+                                   std::uint64_t seed, std::size_t workers) {
   const Seconds mtbf = hours(mtbf_hours);
   const Seconds horizon = years(1.0);
   core::ModelConfig cfg;
@@ -53,9 +53,9 @@ double simulated_yearly_gain_hours(double mtbf_hours, std::size_t reps,
   ecfg.t_total = horizon;
   const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
   const sim::SimResult base =
-      engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed);
+      engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed, workers);
   const sim::SimResult sz = engine.run_many(jobs, sim::PairRotationScheduler{ks},
-                                            reps, seed);
+                                            reps, seed, workers);
   return as_hours(sz.total_useful() - base.total_useful());
 }
 
@@ -65,10 +65,12 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 24));
   const std::uint64_t seed = flags.get_seed("seed", 20185050);
+  const std::size_t workers = bench::workers_flag(flags);
 
   bench::banner("Energy & monetary savings (Section 5)",
                 "Yearly gains from the conservative 40-job campaign, priced at "
-                "$0.1/kWh over a 5-year lifetime.");
+                "$0.1/kWh over a 5-year lifetime. jobs=" +
+                std::to_string(workers));
 
   Table table({"system", "gain (h/yr)", "energy (MWh/yr)", "$/year", "$/5 years",
                "burst-buffer payback", "paper $/5yr"});
@@ -76,7 +78,7 @@ int main(int argc, char** argv) {
     const bool peta = mtbf_hours == 20.0;
     core::EnergyModelConfig ecfg;
     ecfg.system_power_megawatts = peta ? 10.0 : 20.0;
-    const double gain = simulated_yearly_gain_hours(mtbf_hours, reps, seed);
+    const double gain = simulated_yearly_gain_hours(mtbf_hours, reps, seed, workers);
     const core::EnergySavings s = core::energy_savings(gain, ecfg);
     table.add_row({peta ? "Petascale (20h, 10MW)" : "Exascale (5h, 20MW)",
                    fmt(gain, 1), fmt(s.megawatt_hours_per_year, 0),

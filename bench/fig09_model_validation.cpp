@@ -16,10 +16,13 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 48));
   const std::uint64_t seed = flags.get_seed("seed", 20180909);
+  const std::size_t workers = bench::workers_flag(flags);
 
   bench::banner("Figure 9 — model vs discrete-event simulation",
                 "Useful work / checkpoint overhead at varying switch times, "
-                "reps=" + std::to_string(reps) + ", seed=" + std::to_string(seed));
+                "reps=" + std::to_string(reps) + ", seed=" + std::to_string(seed) +
+                ", jobs=" + std::to_string(workers) +
+                "; sim columns are mean +- 95% CI over reps");
 
   for (const double mtbf_hours : {5.0, 20.0}) {
     for (const double delta : {30.0, 300.0}) {
@@ -45,11 +48,13 @@ int main(int argc, char** argv) {
         const core::Components m =
             model.first_app(app, model.switch_time(app, k), hours(1000.0));
         const sim::FirstAppScheduler policy(static_cast<std::size_t>(k));
-        const sim::SimResult s = engine.run_many({job}, policy, reps, seed + k);
+        const sim::CampaignSummary s =
+            engine.run_campaign({job}, policy, reps, seed + k, workers);
         first.add_row({fmt(model.switch_time(app, k) / hours(mtbf_hours), 2),
                        std::to_string(k), fmt(as_hours(m.useful), 1),
-                       fmt(as_hours(s.apps[0].useful), 1), fmt(as_hours(m.io), 2),
-                       fmt(as_hours(s.apps[0].io), 2)});
+                       bench::fmt_hours_ci(s.apps[0].useful, 1),
+                       fmt(as_hours(m.io), 2),
+                       bench::fmt_hours_ci(s.apps[0].io, 2)});
       }
       std::printf("First application (runs from failure, switched out after k "
                   "checkpoints):\n");
@@ -61,11 +66,12 @@ int main(int argc, char** argv) {
         const Seconds t0 = frac * hours(mtbf_hours);
         const core::Components m = model.second_app(app, t0, hours(1000.0));
         const sim::SecondAppScheduler policy(t0);
-        const sim::SimResult s =
-            engine.run_many({job}, policy, reps, seed + 1000 + (int)(frac * 100));
+        const sim::CampaignSummary s = engine.run_campaign(
+            {job}, policy, reps, seed + 1000 + (int)(frac * 100), workers);
         second.add_row({fmt(frac, 1), fmt(as_hours(m.useful), 1),
-                        fmt(as_hours(s.apps[0].useful), 1), fmt(as_hours(m.io), 2),
-                        fmt(as_hours(s.apps[0].io), 2)});
+                        bench::fmt_hours_ci(s.apps[0].useful, 1),
+                        fmt(as_hours(m.io), 2),
+                        bench::fmt_hours_ci(s.apps[0].io, 2)});
       }
       std::printf("Second application (switched in at t, runs to next failure):\n");
       bench::print_table(second, flags);

@@ -20,10 +20,12 @@ int main(int argc, char** argv) {
   const double factor = flags.get_double("delta-factor", 100.0);
   const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 32));
   const std::uint64_t seed = flags.get_seed("seed", 20181010);
+  const std::size_t workers = bench::workers_flag(flags);
 
   bench::banner("Figure 10 — optimal switching point and region of interest",
                 "MTBF " + fmt(mtbf_hours, 0) + " h, delta-factor " +
-                    fmt(factor, 0) + "x, heavy checkpoint 0.5 h, campaign 1000 h");
+                    fmt(factor, 0) + "x, heavy checkpoint 0.5 h, campaign 1000 h"
+                    ", jobs=" + std::to_string(workers));
 
   core::ModelConfig cfg;
   cfg.mtbf = hours(mtbf_hours);
@@ -90,7 +92,7 @@ int main(int argc, char** argv) {
     const sim::SimJob hwj = sim::SimJob::at_oci("HW", hw.delta, hours(mtbf_hours));
     const auto sim_start = std::chrono::steady_clock::now();
     const sim::SimSwitchSolution ss = sim::find_fair_k_by_simulation(
-        engine, lwj, hwj, std::max(1, *sol.k - 6), *sol.k + 6, reps, seed);
+        engine, lwj, hwj, std::max(1, *sol.k - 6), *sol.k + 6, reps, seed, workers);
     const double sim_secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - sim_start)
             .count();

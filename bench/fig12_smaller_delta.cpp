@@ -12,12 +12,13 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 32));
   const std::uint64_t seed = flags.get_seed("seed", 20181212);
+  const std::size_t workers = bench::workers_flag(flags);
   const double delta_hw_hours = flags.get_double("delta-hw", 0.25);
   const double factor = flags.get_double("delta-factor", 25.0);
 
   bench::banner("Figure 12 — smaller heavy-weight checkpoint (0.25 h)",
                 "delta-factor " + fmt(factor, 0) + "x, campaign 1000 h, reps=" +
-                    std::to_string(reps));
+                    std::to_string(reps) + ", jobs=" + std::to_string(workers));
 
   Table table({"MTBF (h)", "k*", "model dTotal (h)", "sim dTotal (h)",
                "paper dTotal (h)"});
@@ -39,7 +40,8 @@ int main(int argc, char** argv) {
           reliability::Weibull::from_mtbf(0.6, hours(mtbf_hours)), ecfg);
       const sim::SimSwitchCandidate c = sim::simulate_switch_point(
           engine, sim::SimJob::at_oci("LW", lw.delta, hours(mtbf_hours)),
-          sim::SimJob::at_oci("HW", hw.delta, hours(mtbf_hours)), *sol.k, reps, seed);
+          sim::SimJob::at_oci("HW", hw.delta, hours(mtbf_hours)), *sol.k, reps,
+          seed, workers);
       sim_gain = fmt(as_hours(c.delta_total), 1);
     }
     table.add_row({fmt(mtbf_hours, 0),

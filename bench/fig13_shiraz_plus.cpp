@@ -21,11 +21,13 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 24));
   const std::uint64_t seed = flags.get_seed("seed", 20181313);
+  const std::size_t workers = bench::workers_flag(flags);
   const bool with_sim = flags.get_bool("sim", true);
 
   bench::banner("Figure 13 — Shiraz+ checkpoint-overhead reduction",
                 "OCI-stretch 2x-4x at the Shiraz fair switch point; relative "
-                "to the switch-at-every-failure baseline.");
+                "to the switch-at-every-failure baseline. reps=" +
+                std::to_string(reps) + ", jobs=" + std::to_string(workers));
 
   double io_sum = 0.0;
   int io_n = 0;
@@ -65,10 +67,10 @@ int main(int argc, char** argv) {
           const std::vector<sim::SimJob> plus_jobs{
               sim::SimJob::at_oci("LW", lw.delta, hours(mtbf_hours)),
               sim::SimJob::at_oci("HW", hw.delta, hours(mtbf_hours), o.stretch)};
-          const sim::SimResult base =
-              engine.run_many(base_jobs, sim::AlternateAtFailure{}, reps, seed);
+          const sim::SimResult base = engine.run_many(
+              base_jobs, sim::AlternateAtFailure{}, reps, seed, workers);
           const sim::SimResult plus = engine.run_many(
-              plus_jobs, sim::ShirazPairScheduler{o.k}, reps, seed);
+              plus_jobs, sim::ShirazPairScheduler{o.k}, reps, seed, workers);
           sim_io = fmt_percent((base.total_io() - plus.total_io()) / base.total_io());
           sim_useful = fmt_percent(
               (plus.total_useful() - base.total_useful()) / base.total_useful());

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 48));
   const std::uint64_t seed = flags.get_seed("seed", 20181414);
+  const std::size_t workers = bench::workers_flag(flags);
   const std::string strategy_name = flags.get("pairing", "random");
   const core::PairingStrategy strategy = strategy_name == "extreme"
                                              ? core::PairingStrategy::kExtreme
@@ -42,7 +43,8 @@ int main(int argc, char** argv) {
   bench::banner("Figure 14 — year-long multi-application campaign",
                 "10 Table-1 applications, " + strategy_name + " pairing, 8700 h, "
                     "reps=" + std::to_string(reps) + " (paper: 15000), seed=" +
-                    std::to_string(seed));
+                    std::to_string(seed) + ", jobs=" + std::to_string(workers) +
+                    "; useful-work columns are mean +- 95% CI");
 
   for (const double mtbf_hours : {5.0, 20.0}) {
     const Seconds mtbf = hours(mtbf_hours);
@@ -67,10 +69,10 @@ int main(int argc, char** argv) {
     sim::EngineConfig ecfg;
     ecfg.t_total = horizon;
     const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
-    const sim::SimResult base =
-        engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed);
-    const sim::SimResult sz =
-        engine.run_many(jobs, sim::PairRotationScheduler{ks}, reps, seed);
+    const sim::CampaignSummary base = engine.run_campaign(
+        jobs, sim::AlternateAtFailure{}, reps, seed, workers);
+    const sim::CampaignSummary sz = engine.run_campaign(
+        jobs, sim::PairRotationScheduler{ks}, reps, seed, workers);
 
     std::printf("\n--- MTBF %.0f hours (%s) ---\n", mtbf_hours,
                 mtbf_hours == 5.0 ? "exascale" : "petascale");
@@ -85,11 +87,12 @@ int main(int argc, char** argv) {
                  "shiraz useful (h)", "improvement (h)"});
     double total_gain = 0.0;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      const double gain = as_hours(sz.apps[i].useful - base.apps[i].useful);
+      const double gain =
+          as_hours(sz.mean.apps[i].useful - base.mean.apps[i].useful);
       total_gain += gain;
       table.add_row({jobs[i].name, fmt(jobs[i].delta, 1),
-                     fmt(as_hours(base.apps[i].useful), 1),
-                     fmt(as_hours(sz.apps[i].useful), 1), fmt(gain, 1)});
+                     bench::fmt_hours_ci(base.apps[i].useful, 1),
+                     bench::fmt_hours_ci(sz.apps[i].useful, 1), fmt(gain, 1)});
     }
     bench::print_table(table, flags);
     std::printf("\nTotal useful-work improvement: %.1f h (avg %.1f h per app). "
@@ -109,13 +112,14 @@ int main(int argc, char** argv) {
             pairs[p].heavy.name, pairs[p].heavy.checkpoint_cost, mtbf,
             pairs[p].k ? stretch : 1));
       }
-      const sim::SimResult plus =
-          engine.run_many(plus_jobs, sim::PairRotationScheduler{ks}, reps, seed);
+      const sim::SimResult plus = engine.run_many(
+          plus_jobs, sim::PairRotationScheduler{ks}, reps, seed, workers);
       plus_table.add_row(
           {std::to_string(stretch) + "x",
-           fmt_percent((plus.total_useful() - base.total_useful()) /
-                       base.total_useful()),
-           fmt_percent((base.total_io() - plus.total_io()) / base.total_io())});
+           fmt_percent((plus.total_useful() - base.mean.total_useful()) /
+                       base.mean.total_useful()),
+           fmt_percent((base.mean.total_io() - plus.total_io()) /
+                       base.mean.total_io())});
     }
     std::printf("\nShiraz+ on the mix (vs baseline):\n");
     bench::print_table(plus_table, flags);

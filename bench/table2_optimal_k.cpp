@@ -14,12 +14,14 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 96));
   const std::uint64_t seed = flags.get_seed("seed", 20180222);
+  const std::size_t workers = bench::workers_flag(flags);
   const int window = static_cast<int>(flags.get_int("window", 5));
 
   bench::banner("Table 2 — model vs simulation optimal switching point",
                 "Simulated search scans k in [model k* - " + std::to_string(window) +
                     ", model k* + " + std::to_string(window) + "], reps=" +
-                    std::to_string(reps) + ", seed=" + std::to_string(seed));
+                    std::to_string(reps) + ", seed=" + std::to_string(seed) +
+                    ", jobs=" + std::to_string(workers));
 
   struct PaperRow {
     const char* system;
@@ -59,7 +61,8 @@ int main(int argc, char** argv) {
       const sim::SimJob hwj =
           sim::SimJob::at_oci("HW", hw.delta, hours(row.mtbf_hours));
       const sim::SimSwitchSolution ss = sim::find_fair_k_by_simulation(
-          engine, lwj, hwj, std::max(1, *ms.k - window), *ms.k + window, reps, seed);
+          engine, lwj, hwj, std::max(1, *ms.k - window), *ms.k + window, reps,
+          seed, workers);
       if (ss.beneficial()) sim_k = std::to_string(*ss.k);
     }
     table.add_row({row.system, fmt(row.factor, 0) + "x",

@@ -36,6 +36,10 @@ class AdaptiveShirazScheduler final : public sim::Scheduler {
   void reset() const override;
   sim::Decision on_gap_start(const sim::SchedContext& ctx) const override;
   sim::Decision on_checkpoint(const sim::SchedContext& ctx) const override;
+  /// Stateful (mutable estimator/k), so parallel repetitions each get a copy.
+  std::unique_ptr<sim::Scheduler> clone() const override {
+    return std::make_unique<AdaptiveShirazScheduler>(*this);
+  }
   std::string name() const override;
 
   /// The switch point currently in force (0 while no beneficial switch).

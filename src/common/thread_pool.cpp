@@ -1,0 +1,38 @@
+#include "common/thread_pool.h"
+
+namespace shiraz::common {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  SHIRAZ_REQUIRE(workers >= 1, "thread pool needs at least one worker");
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Workers exit only once the queue is drained, so every submitted
+      // future is fulfilled even when destruction races pending tasks.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace shiraz::common

@@ -1,0 +1,89 @@
+// Fixed-size worker pool for embarrassingly parallel campaign work.
+//
+// The simulator's Monte-Carlo loops fork one independent RNG stream per
+// repetition, so repetitions can run on any worker in any order and still
+// produce bit-identical output as long as results are merged in repetition
+// order — parallel_for_indexed writes fn(i) results into caller-owned slots,
+// which keeps that property trivial.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace shiraz::common {
+
+/// Fixed set of worker threads draining one task queue. submit() returns a
+/// std::future carrying the task's result or exception; the destructor drains
+/// the queue and joins every worker (RAII — no detached threads). Tasks may
+/// submit further tasks, but must not block on a future of a task queued
+/// behind them (the classic pool self-deadlock).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns its future. An exception thrown by `fn` is
+  /// captured and rethrown from future::get() in the caller.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    // shared_ptr keeps the queue entry copyable, as std::function requires.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      SHIRAZ_REQUIRE(!stopping_, "submit on a stopping ThreadPool");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(0) .. fn(n-1) on the pool and blocks until all have finished.
+/// Rethrows the lowest-index task exception after every task completed (so
+/// captured references stay valid for still-running tasks). n == 0 is a no-op.
+template <typename Fn>
+void parallel_for_indexed(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool.submit([&fn, i] { fn(i); }));
+  }
+  std::exception_ptr first;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace shiraz::common

@@ -1,8 +1,10 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace shiraz::sim {
 
@@ -152,16 +154,46 @@ SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& schedule
 }
 
 SimResult Engine::run_many(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
-                           std::size_t reps, std::uint64_t seed) const {
+                           std::size_t reps, std::uint64_t seed,
+                           std::size_t workers) const {
+  return run_campaign(jobs, scheduler, reps, seed, workers).mean;
+}
+
+CampaignSummary Engine::run_campaign(const std::vector<SimJob>& jobs,
+                                     const Scheduler& scheduler, std::size_t reps,
+                                     std::uint64_t seed,
+                                     std::size_t workers) const {
   SHIRAZ_REQUIRE(reps >= 1, "need at least one repetition");
-  std::vector<SimResult> results;
-  results.reserve(reps);
-  Rng master(seed);
-  for (std::size_t r = 0; r < reps; ++r) {
-    Rng rng = master.fork(r);
-    results.push_back(run(jobs, scheduler, rng));
+  const Rng master(seed);
+  std::vector<SimResult> results(reps);
+
+  if (workers <= 1 || reps == 1) {
+    for (std::size_t r = 0; r < reps; ++r) {
+      Rng rng = master.fork(r);
+      results[r] = run(jobs, scheduler, rng);
+    }
+    return summarize_campaign(results);
   }
-  return average(results);
+
+  // Stateful policies get a private clone per repetition (cloned up front, on
+  // this thread, so no worker ever copies an instance another worker is
+  // mutating). The caller's instance runs the last repetition: reset() wipes
+  // run state at every run start, so the serial path's post-campaign
+  // observable state is also exactly the last repetition's — diagnostics like
+  // the adaptive scheduler's final k stay worker-count-invariant.
+  std::vector<std::unique_ptr<Scheduler>> clones(reps);
+  if (std::unique_ptr<Scheduler> probe = scheduler.clone()) {
+    clones[0] = std::move(probe);
+    for (std::size_t r = 1; r + 1 < reps; ++r) clones[r] = scheduler.clone();
+  }
+
+  common::ThreadPool pool(std::min(workers, reps));
+  common::parallel_for_indexed(pool, reps, [&](std::size_t r) {
+    Rng rng = master.fork(r);
+    const Scheduler& policy = clones[r] ? *clones[r] : scheduler;
+    results[r] = run(jobs, policy, rng);
+  });
+  return summarize_campaign(results);
 }
 
 }  // namespace shiraz::sim

@@ -54,9 +54,23 @@ class Engine {
                 Rng& rng) const;
 
   /// Runs `reps` campaigns with independent failure streams forked from
-  /// `seed` and returns the element-wise average.
+  /// `seed` and returns the element-wise average. `workers` > 1 dispatches
+  /// repetitions onto a thread pool; repetition `r` always draws from stream
+  /// `Rng(seed).fork(r)` and results merge in repetition order, so the output
+  /// is bit-identical for every worker count (workers == 1 runs inline and
+  /// reproduces the historical serial loop exactly).
   SimResult run_many(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
-                     std::size_t reps, std::uint64_t seed) const;
+                     std::size_t reps, std::uint64_t seed,
+                     std::size_t workers = 1) const;
+
+  /// run_many plus per-repetition spread: mean, stddev, 95% CI and range of
+  /// every headline metric (see CampaignSummary). Same determinism guarantee.
+  /// Stateful schedulers (clone() != nullptr) get a private copy per parallel
+  /// repetition; the caller's instance runs the last repetition so
+  /// post-campaign diagnostics match the serial path.
+  CampaignSummary run_campaign(const std::vector<SimJob>& jobs,
+                               const Scheduler& scheduler, std::size_t reps,
+                               std::uint64_t seed, std::size_t workers = 1) const;
 
   const EngineConfig& config() const { return config_; }
 

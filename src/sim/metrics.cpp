@@ -1,6 +1,7 @@
 #include "sim/metrics.h"
 
 #include "common/error.h"
+#include "common/statistics.h"
 
 namespace shiraz::sim {
 
@@ -70,6 +71,69 @@ SimResult average(const std::vector<SimResult>& results) {
   mean.failures = static_cast<std::size_t>(static_cast<double>(mean.failures) / n);
   mean.switches = static_cast<std::size_t>(static_cast<double>(mean.switches) / n);
   return mean;
+}
+
+namespace {
+MetricSummary to_summary(const RunningStats& stats) {
+  MetricSummary s;
+  s.mean = stats.mean();
+  s.stddev = stats.stddev();
+  s.ci95 = ci95_halfwidth(stats);
+  s.min = stats.min();
+  s.max = stats.max();
+  return s;
+}
+}  // namespace
+
+const AppSummary& CampaignSummary::app(const std::string& name) const {
+  for (const auto& a : apps) {
+    if (a.name == name) return a;
+  }
+  throw InvalidArgument("no app named " + name + " in campaign summary");
+}
+
+CampaignSummary summarize_campaign(const std::vector<SimResult>& per_rep) {
+  SHIRAZ_REQUIRE(!per_rep.empty(), "cannot summarize zero repetitions");
+  const std::size_t num_apps = per_rep.front().apps.size();
+  struct AppAccum {
+    RunningStats useful, io, lost, restart;
+  };
+  std::vector<AppAccum> app_accum(num_apps);
+  RunningStats total_useful, total_io, total_lost, idle, failures, switches;
+  for (const SimResult& r : per_rep) {
+    SHIRAZ_REQUIRE(r.apps.size() == num_apps, "result layouts differ");
+    for (std::size_t i = 0; i < num_apps; ++i) {
+      app_accum[i].useful.add(r.apps[i].useful);
+      app_accum[i].io.add(r.apps[i].io);
+      app_accum[i].lost.add(r.apps[i].lost);
+      app_accum[i].restart.add(r.apps[i].restart);
+    }
+    total_useful.add(r.total_useful());
+    total_io.add(r.total_io());
+    total_lost.add(r.total_lost());
+    idle.add(r.idle);
+    failures.add(static_cast<double>(r.failures));
+    switches.add(static_cast<double>(r.switches));
+  }
+
+  CampaignSummary s;
+  s.reps = per_rep.size();
+  s.mean = average(per_rep);
+  s.apps.resize(num_apps);
+  for (std::size_t i = 0; i < num_apps; ++i) {
+    s.apps[i].name = per_rep.front().apps[i].name;
+    s.apps[i].useful = to_summary(app_accum[i].useful);
+    s.apps[i].io = to_summary(app_accum[i].io);
+    s.apps[i].lost = to_summary(app_accum[i].lost);
+    s.apps[i].restart = to_summary(app_accum[i].restart);
+  }
+  s.total_useful = to_summary(total_useful);
+  s.total_io = to_summary(total_io);
+  s.total_lost = to_summary(total_lost);
+  s.idle = to_summary(idle);
+  s.failures = to_summary(failures);
+  s.switches = to_summary(switches);
+  return s;
 }
 
 }  // namespace shiraz::sim

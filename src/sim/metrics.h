@@ -42,4 +42,48 @@ struct SimResult {
 /// Element-wise mean of several results (same app layout required).
 SimResult average(const std::vector<SimResult>& results);
 
+/// Mean and spread of one scalar metric across campaign repetitions.
+/// Well-defined for a single repetition: stddev and ci95 are exactly 0 (a
+/// degenerate interval), never NaN.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< unbiased sample standard deviation
+  double ci95 = 0.0;    ///< 95% normal confidence half-width of the mean
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Per-application spread across repetitions (seconds, like AppMetrics).
+struct AppSummary {
+  std::string name;
+  MetricSummary useful;
+  MetricSummary io;
+  MetricSummary lost;
+  MetricSummary restart;
+};
+
+/// Variance-aware aggregate of a Monte-Carlo campaign: the element-wise mean
+/// (bit-identical to average(), so existing point-estimate consumers are
+/// unchanged) plus the per-repetition spread of every headline metric.
+/// All spreads are accumulated in repetition order, so the summary is
+/// identical no matter how many workers produced the repetitions.
+struct CampaignSummary {
+  std::size_t reps = 0;
+  SimResult mean;  ///< == average(per_rep)
+  std::vector<AppSummary> apps;
+  MetricSummary total_useful;  ///< per-rep sum over apps, seconds
+  MetricSummary total_io;
+  MetricSummary total_lost;
+  MetricSummary idle;
+  MetricSummary failures;  ///< per-rep event counts
+  MetricSummary switches;
+
+  const AppSummary& app(const std::string& name) const;
+};
+
+/// Aggregates per-repetition results into a CampaignSummary. Throws when
+/// `per_rep` is empty; a single repetition yields zero spread (see
+/// MetricSummary).
+CampaignSummary summarize_campaign(const std::vector<SimResult>& per_rep);
+
 }  // namespace shiraz::sim

@@ -9,15 +9,15 @@ namespace shiraz::sim {
 
 SimSwitchCandidate simulate_switch_point(const Engine& engine, const SimJob& lw,
                                          const SimJob& hw, int k, std::size_t reps,
-                                         std::uint64_t seed) {
+                                         std::uint64_t seed, std::size_t workers) {
   const std::vector<SimJob> jobs{lw, hw};
   const AlternateAtFailure baseline_policy;
   const ShirazPairScheduler shiraz_policy(k);
   // Same seed => same failure streams for both policies (the engine draws
   // failures identically regardless of policy), so the difference is pure
   // policy effect.
-  const SimResult base = engine.run_many(jobs, baseline_policy, reps, seed);
-  const SimResult sz = engine.run_many(jobs, shiraz_policy, reps, seed);
+  const SimResult base = engine.run_many(jobs, baseline_policy, reps, seed, workers);
+  const SimResult sz = engine.run_many(jobs, shiraz_policy, reps, seed, workers);
   SimSwitchCandidate c;
   c.k = k;
   c.delta_lw = sz.apps[0].useful - base.apps[0].useful;
@@ -28,11 +28,12 @@ SimSwitchCandidate simulate_switch_point(const Engine& engine, const SimJob& lw,
 
 SimSwitchSolution find_fair_k_by_simulation(const Engine& engine, const SimJob& lw,
                                             const SimJob& hw, int k_lo, int k_hi,
-                                            std::size_t reps, std::uint64_t seed) {
+                                            std::size_t reps, std::uint64_t seed,
+                                            std::size_t workers) {
   SHIRAZ_REQUIRE(k_lo >= 1 && k_hi >= k_lo, "invalid k range");
   const std::vector<SimJob> jobs{lw, hw};
   const AlternateAtFailure baseline_policy;
-  const SimResult base = engine.run_many(jobs, baseline_policy, reps, seed);
+  const SimResult base = engine.run_many(jobs, baseline_policy, reps, seed, workers);
 
   SimSwitchSolution sol;
   // Same fairness criterion the model solver applies: the k nearest the
@@ -43,7 +44,7 @@ SimSwitchSolution find_fair_k_by_simulation(const Engine& engine, const SimJob& 
   bool have_candidate = false;
   for (int k = k_lo; k <= k_hi; ++k) {
     const ShirazPairScheduler policy(k);
-    const SimResult sz = engine.run_many(jobs, policy, reps, seed);
+    const SimResult sz = engine.run_many(jobs, policy, reps, seed, workers);
     SimSwitchCandidate c;
     c.k = k;
     c.delta_lw = sz.apps[0].useful - base.apps[0].useful;

@@ -33,14 +33,20 @@ struct SimSwitchSolution {
   bool beneficial() const { return k.has_value(); }
 };
 
-/// Baseline-vs-Shiraz comparison for a light/heavy pair at one k.
+/// Baseline-vs-Shiraz comparison for a light/heavy pair at one k. `workers`
+/// parallelizes each campaign's repetitions (see Engine::run_many); the
+/// result is bit-identical for every worker count.
 SimSwitchCandidate simulate_switch_point(const Engine& engine, const SimJob& lw,
                                          const SimJob& hw, int k, std::size_t reps,
-                                         std::uint64_t seed);
+                                         std::uint64_t seed,
+                                         std::size_t workers = 1);
 
-/// Scans k in [k_lo, k_hi] and returns the simulated fair switch point.
+/// Scans k in [k_lo, k_hi] and returns the simulated fair switch point. Each
+/// candidate's baseline+Shiraz campaign pair dispatches its repetitions onto
+/// `workers` threads; the sweep and the chosen k are worker-count-invariant.
 SimSwitchSolution find_fair_k_by_simulation(const Engine& engine, const SimJob& lw,
                                             const SimJob& hw, int k_lo, int k_hi,
-                                            std::size_t reps, std::uint64_t seed);
+                                            std::size_t reps, std::uint64_t seed,
+                                            std::size_t workers = 1);
 
 }  // namespace shiraz::sim

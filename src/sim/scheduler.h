@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -69,6 +70,12 @@ class Scheduler {
 
   /// Called when app `ctx.current` completes a checkpoint.
   virtual Decision on_checkpoint(const SchedContext& ctx) const = 0;
+
+  /// Copy hook for parallel Monte-Carlo dispatch: policies with mutable run
+  /// state MUST override this to return a private copy, so each concurrent
+  /// repetition mutates its own instance. Stateless policies (everything in
+  /// this header) return nullptr, meaning "share me freely across threads".
+  virtual std::unique_ptr<Scheduler> clone() const { return nullptr; }
 
   virtual std::string name() const = 0;
 };

@@ -98,5 +98,21 @@ TEST(Rng, SeedAccessorReturnsConstructorValue) {
   EXPECT_EQ(Rng(12345).seed(), 12345u);
 }
 
+// Regression for the parallel campaign layer: repetition r draws from
+// fork(r), so adjacent fork indices must yield streams whose prefixes never
+// collide — a raw-engine collision would mean two "independent" repetitions
+// partially replay each other's failure history.
+TEST(Rng, AdjacentForkStreamsShareNoPrefixValues) {
+  const Rng master(20182018);
+  constexpr std::uint64_t kStreams = 9;
+  constexpr int kPrefix = 16;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t s = 0; s < kStreams; ++s) {
+    Rng fork = master.fork(s);
+    for (int i = 0; i < kPrefix; ++i) seen.insert(fork.engine()());
+  }
+  EXPECT_EQ(seen.size(), kStreams * kPrefix);
+}
+
 }  // namespace
 }  // namespace shiraz

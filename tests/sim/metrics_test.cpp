@@ -1,5 +1,8 @@
 #include "sim/metrics.h"
 
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/error.h"
@@ -45,8 +48,10 @@ TEST(Metrics, AccountedSumsBusyIdleTruncated) {
 }
 
 TEST(Metrics, BusyIsPerAppSum) {
-  const AppMetrics& a = make_result(1.0).apps[0];
-  EXPECT_DOUBLE_EQ(a.busy(), 95.0);
+  // Bind the result, not apps[0] of a temporary: operator[] defeats lifetime
+  // extension, so a reference would dangle (caught by the ASan CI job).
+  const SimResult r = make_result(1.0);
+  EXPECT_DOUBLE_EQ(r.apps[0].busy(), 95.0);
 }
 
 TEST(Metrics, AppLookupByName) {
@@ -80,6 +85,40 @@ TEST(Metrics, AverageRejectsEmptyAndMismatched) {
   b.name = "b";
   two_apps.apps.push_back(b);
   EXPECT_THROW(average({make_result(1.0), two_apps}), InvalidArgument);
+}
+
+TEST(Metrics, SummarizeCampaignMeanMatchesAverage) {
+  const std::vector<SimResult> per_rep{make_result(1.0), make_result(3.0)};
+  const CampaignSummary s = summarize_campaign(per_rep);
+  const SimResult avg = average(per_rep);
+  EXPECT_EQ(s.reps, 2u);
+  EXPECT_EQ(s.mean.apps[0].useful, avg.apps[0].useful);
+  EXPECT_EQ(s.mean.idle, avg.idle);
+  EXPECT_EQ(s.mean.failures, avg.failures);
+  EXPECT_DOUBLE_EQ(s.total_useful.mean, 120.0);
+  EXPECT_DOUBLE_EQ(s.total_useful.min, 60.0);
+  EXPECT_DOUBLE_EQ(s.total_useful.max, 180.0);
+  // Unbiased sample stddev of {60, 180} and its 95% normal half-width.
+  const double stddev = std::sqrt((60.0 * 60.0) * 2.0);
+  EXPECT_DOUBLE_EQ(s.total_useful.stddev, stddev);
+  EXPECT_DOUBLE_EQ(s.total_useful.ci95, 1.96 * stddev / std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(s.app("a").useful.mean, 120.0);
+  EXPECT_THROW(s.app("nope"), InvalidArgument);
+}
+
+TEST(Metrics, SummarizeCampaignSingleRepHasZeroSpread) {
+  const CampaignSummary s = summarize_campaign({make_result(2.0)});
+  EXPECT_EQ(s.reps, 1u);
+  EXPECT_DOUBLE_EQ(s.total_useful.mean, 120.0);
+  EXPECT_EQ(s.total_useful.stddev, 0.0);
+  EXPECT_EQ(s.total_useful.ci95, 0.0);
+  EXPECT_FALSE(std::isnan(s.apps[0].lost.stddev));
+  EXPECT_EQ(s.apps[0].lost.ci95, 0.0);
+  EXPECT_EQ(s.total_useful.min, s.total_useful.max);
+}
+
+TEST(Metrics, SummarizeCampaignRejectsEmpty) {
+  EXPECT_THROW(summarize_campaign({}), InvalidArgument);
 }
 
 }  // namespace

@@ -1,0 +1,227 @@
+// Determinism of the parallel Monte-Carlo layer: repetition r always draws
+// from Rng(seed).fork(r) and results merge in repetition order, so run_many /
+// run_campaign must be bit-identical for every worker count — and workers == 1
+// must reproduce the historical serial loop exactly.
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/adaptive_scheduler.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+#include "sim/optimizer.h"
+
+namespace shiraz::sim {
+namespace {
+
+constexpr std::uint64_t kSeed = 20180707;
+constexpr std::size_t kReps = 12;
+constexpr double kMtbfHours = 5.0;
+
+Engine make_engine() {
+  EngineConfig cfg;
+  cfg.t_total = hours(200.0);
+  return Engine(reliability::Weibull::from_mtbf(0.6, hours(kMtbfHours)), cfg);
+}
+
+// The pre-thread-pool serial run_many, kept verbatim as the reference.
+SimResult serial_reference(const Engine& engine, const std::vector<SimJob>& jobs,
+                           const Scheduler& scheduler, std::size_t reps,
+                           std::uint64_t seed) {
+  const Rng master(seed);
+  std::vector<SimResult> results;
+  results.reserve(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    Rng rng = master.fork(r);
+    results.push_back(engine.run(jobs, scheduler, rng));
+  }
+  return average(results);
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  ASSERT_EQ(a.apps.size(), b.apps.size());
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_EQ(a.apps[i].name, b.apps[i].name);
+    EXPECT_EQ(a.apps[i].useful, b.apps[i].useful) << "app " << i;
+    EXPECT_EQ(a.apps[i].io, b.apps[i].io) << "app " << i;
+    EXPECT_EQ(a.apps[i].lost, b.apps[i].lost) << "app " << i;
+    EXPECT_EQ(a.apps[i].restart, b.apps[i].restart) << "app " << i;
+    EXPECT_EQ(a.apps[i].checkpoints, b.apps[i].checkpoints) << "app " << i;
+    EXPECT_EQ(a.apps[i].failures_hit, b.apps[i].failures_hit) << "app " << i;
+  }
+  EXPECT_EQ(a.wall, b.wall);
+  EXPECT_EQ(a.idle, b.idle);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.switches, b.switches);
+}
+
+enum class Policy { kBaseline, kShiraz, kShirazPlus };
+
+struct Campaign {
+  std::vector<SimJob> jobs;
+  std::unique_ptr<Scheduler> scheduler;
+};
+
+Campaign make_campaign(Policy policy) {
+  const Seconds mtbf = hours(kMtbfHours);
+  Campaign c;
+  switch (policy) {
+    case Policy::kBaseline:
+      c.jobs = {SimJob::at_oci("lw", 18.0, mtbf), SimJob::at_oci("hw", 1800.0, mtbf)};
+      c.scheduler = std::make_unique<AlternateAtFailure>();
+      break;
+    case Policy::kShiraz:
+      c.jobs = {SimJob::at_oci("lw", 18.0, mtbf), SimJob::at_oci("hw", 1800.0, mtbf)};
+      c.scheduler = std::make_unique<ShirazPairScheduler>(26);
+      break;
+    case Policy::kShirazPlus:
+      c.jobs = {SimJob::at_oci("lw", 18.0, mtbf),
+                SimJob::at_oci("hw", 1800.0, mtbf, /*stretch=*/3)};
+      c.scheduler = std::make_unique<ShirazPairScheduler>(26);
+      break;
+  }
+  return c;
+}
+
+class ParallelCampaignTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Policy>> {};
+
+TEST_P(ParallelCampaignTest, RunManyMatchesSerialReferenceBitForBit) {
+  const auto [workers, policy] = GetParam();
+  const Engine engine = make_engine();
+  const Campaign c = make_campaign(policy);
+  const SimResult reference =
+      serial_reference(engine, c.jobs, *c.scheduler, kReps, kSeed);
+
+  const SimResult parallel =
+      engine.run_many(c.jobs, *c.scheduler, kReps, kSeed, workers);
+  expect_identical(parallel, reference);
+
+  const CampaignSummary summary =
+      engine.run_campaign(c.jobs, *c.scheduler, kReps, kSeed, workers);
+  EXPECT_EQ(summary.reps, kReps);
+  expect_identical(summary.mean, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkerCountsAndPolicies, ParallelCampaignTest,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}, std::size_t{8}),
+                       ::testing::Values(Policy::kBaseline, Policy::kShiraz,
+                                         Policy::kShirazPlus)),
+    [](const ::testing::TestParamInfo<std::tuple<std::size_t, Policy>>& info) {
+      const Policy policy = std::get<1>(info.param);
+      const char* name = policy == Policy::kBaseline ? "Baseline"
+                         : policy == Policy::kShiraz ? "Shiraz"
+                                                     : "ShirazPlus";
+      return std::string(name) + "Jobs" + std::to_string(std::get<0>(info.param));
+    });
+
+TEST(ParallelCampaign, SummarySpreadIsWorkerCountInvariant) {
+  const Engine engine = make_engine();
+  const Campaign c = make_campaign(Policy::kShiraz);
+  const CampaignSummary serial =
+      engine.run_campaign(c.jobs, *c.scheduler, kReps, kSeed, 1);
+  const CampaignSummary parallel =
+      engine.run_campaign(c.jobs, *c.scheduler, kReps, kSeed, 4);
+  EXPECT_EQ(serial.total_useful.mean, parallel.total_useful.mean);
+  EXPECT_EQ(serial.total_useful.stddev, parallel.total_useful.stddev);
+  EXPECT_EQ(serial.total_useful.ci95, parallel.total_useful.ci95);
+  EXPECT_EQ(serial.total_useful.min, parallel.total_useful.min);
+  EXPECT_EQ(serial.total_useful.max, parallel.total_useful.max);
+  ASSERT_EQ(serial.apps.size(), parallel.apps.size());
+  for (std::size_t i = 0; i < serial.apps.size(); ++i) {
+    EXPECT_EQ(serial.apps[i].useful.stddev, parallel.apps[i].useful.stddev);
+    EXPECT_EQ(serial.apps[i].io.ci95, parallel.apps[i].io.ci95);
+  }
+}
+
+TEST(ParallelCampaign, MoreWorkersThanRepsIsFine) {
+  const Engine engine = make_engine();
+  const Campaign c = make_campaign(Policy::kBaseline);
+  const SimResult reference = serial_reference(engine, c.jobs, *c.scheduler, 3, kSeed);
+  expect_identical(engine.run_many(c.jobs, *c.scheduler, 3, kSeed, 16), reference);
+}
+
+TEST(ParallelCampaign, SingleRepSummaryIsDegenerateNotNaN) {
+  const Engine engine = make_engine();
+  const Campaign c = make_campaign(Policy::kBaseline);
+  const Rng master(kSeed);
+  Rng rng = master.fork(0);
+  const SimResult only = engine.run(c.jobs, *c.scheduler, rng);
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    const CampaignSummary s =
+        engine.run_campaign(c.jobs, *c.scheduler, 1, kSeed, workers);
+    EXPECT_EQ(s.reps, 1u);
+    expect_identical(s.mean, only);
+    EXPECT_EQ(s.total_useful.mean, only.total_useful());
+    EXPECT_EQ(s.total_useful.stddev, 0.0);
+    EXPECT_EQ(s.total_useful.ci95, 0.0);
+    EXPECT_EQ(s.total_useful.min, s.total_useful.max);
+    for (const AppSummary& app : s.apps) {
+      EXPECT_FALSE(std::isnan(app.useful.stddev));
+      EXPECT_EQ(app.useful.stddev, 0.0);
+      EXPECT_EQ(app.useful.ci95, 0.0);
+    }
+  }
+}
+
+TEST(ParallelCampaign, OptimizerSweepIsWorkerCountInvariant) {
+  const Engine engine = make_engine();
+  const Seconds mtbf = hours(kMtbfHours);
+  const SimJob lw = SimJob::at_oci("lw", 18.0, mtbf);
+  const SimJob hw = SimJob::at_oci("hw", 1800.0, mtbf);
+
+  const SimSwitchSolution serial =
+      find_fair_k_by_simulation(engine, lw, hw, 1, 12, 6, kSeed, 1);
+  const SimSwitchSolution parallel =
+      find_fair_k_by_simulation(engine, lw, hw, 1, 12, 6, kSeed, 4);
+
+  EXPECT_EQ(serial.k, parallel.k);
+  EXPECT_EQ(serial.delta_lw, parallel.delta_lw);
+  EXPECT_EQ(serial.delta_hw, parallel.delta_hw);
+  EXPECT_EQ(serial.delta_total, parallel.delta_total);
+  ASSERT_EQ(serial.sweep.size(), parallel.sweep.size());
+  for (std::size_t i = 0; i < serial.sweep.size(); ++i) {
+    EXPECT_EQ(serial.sweep[i].k, parallel.sweep[i].k);
+    EXPECT_EQ(serial.sweep[i].delta_lw, parallel.sweep[i].delta_lw);
+    EXPECT_EQ(serial.sweep[i].delta_hw, parallel.sweep[i].delta_hw);
+    EXPECT_EQ(serial.sweep[i].delta_total, parallel.sweep[i].delta_total);
+  }
+}
+
+TEST(ParallelCampaign, StatefulSchedulerCloneKeepsDiagnosticsSerial) {
+  // The adaptive policy mutates run state; parallel repetitions must each get
+  // a private clone, and the caller's instance runs the last repetition so
+  // post-campaign diagnostics (current_k, resolves) match the serial path.
+  const Engine engine = make_engine();
+  const Seconds mtbf = hours(kMtbfHours);
+  const std::vector<SimJob> jobs{SimJob::at_oci("lw", 18.0, mtbf),
+                                 SimJob::at_oci("hw", 1800.0, mtbf)};
+  const core::AppSpec lw{"lw", 18.0, 1};
+  const core::AppSpec hw{"hw", 1800.0, 1};
+  adaptive::AdaptiveConfig acfg;
+  acfg.estimator.prior_mtbf = hours(20.0);
+  acfg.estimator.window = 64;
+  acfg.estimator.min_samples = 8;
+
+  const adaptive::AdaptiveShirazScheduler serial_policy(lw, hw, acfg);
+  const SimResult serial = engine.run_many(jobs, serial_policy, kReps, kSeed, 1);
+
+  const adaptive::AdaptiveShirazScheduler parallel_policy(lw, hw, acfg);
+  const SimResult parallel =
+      engine.run_many(jobs, parallel_policy, kReps, kSeed, 4);
+
+  expect_identical(parallel, serial);
+  EXPECT_EQ(parallel_policy.current_k(), serial_policy.current_k());
+  EXPECT_EQ(parallel_policy.resolves(), serial_policy.resolves());
+}
+
+}  // namespace
+}  // namespace shiraz::sim
