@@ -28,7 +28,7 @@ double min_gain(const sim::SimResult& r, const sim::SimResult& base) {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 16));
+  const std::size_t reps = flags.get_count("reps", 16);
   const std::uint64_t seed = flags.get_seed("seed", 20182525);
   const std::size_t workers = bench::workers_flag(flags);
   const core::AppSpec lw{"lw", 18.0, 1};

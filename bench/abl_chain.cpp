@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   // Per-app deltas are differences of two large per-app shares whose gap
   // ownership differs between policies, so common random numbers do not
   // cancel their variance — use generous repetitions.
-  const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 128));
+  const std::size_t reps = flags.get_count("reps", 128);
   const std::uint64_t seed = flags.get_seed("seed", 20183636);
   const std::size_t workers = bench::workers_flag(flags);
   const double mtbf_hours = flags.get_double("mtbf", 5.0);

@@ -1,0 +1,159 @@
+// Ablation: what is a failure predictor worth, and does it compose with
+// Shiraz?
+//
+// Sweeps predictor quality (precision x recall x lead) with the oracle
+// predictor at both paper MTBFs and reports the useful-work delta of
+// checkpoint-on-alarm over its non-predictive counterpart — ProactiveCkpt vs
+// the alternate-at-failure baseline, and PredictiveShiraz vs plain Shiraz at
+// the model's switch point — plus the realized predictor quality. A second
+// table validates the first-order analytical model (predict/prediction_model.h)
+// against the simulator on the single-app setting it describes.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/switch_solver.h"
+#include "predict/oracle.h"
+#include "predict/policies.h"
+#include "predict/prediction_model.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+
+using namespace shiraz;
+
+namespace {
+
+struct Quality {
+  double precision;
+  double recall;
+  Seconds lead;
+};
+
+constexpr Quality kGrid[] = {
+    {1.0, 1.0, minutes(10.0)}, {0.9, 0.95, minutes(10.0)},
+    {0.9, 0.8, minutes(10.0)}, {0.9, 0.5, minutes(10.0)},
+    {0.7, 0.8, minutes(10.0)}, {0.9, 0.8, minutes(2.0)},
+    {0.9, 0.8, minutes(30.0)}, {0.7, 0.5, minutes(2.0)},
+};
+
+predict::OraclePredictor make_oracle(const Quality& q, Seconds mtbf) {
+  predict::OracleConfig cfg;
+  cfg.precision = q.precision;
+  cfg.recall = q.recall;
+  cfg.lead = q.lead;
+  cfg.mtbf = mtbf;
+  return predict::OraclePredictor(cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t reps = flags.get_count("reps", 32);
+  const std::uint64_t seed = flags.get_seed("seed", 20187474);
+  const std::size_t workers = bench::workers_flag(flags);
+
+  bench::banner("Ablation — failure prediction with proactive checkpoints",
+                "Oracle predictor sweep, pair delta 18 s / 1800 s, campaign "
+                "1000 h, reps=" + std::to_string(reps) +
+                    ", seed=" + std::to_string(seed) +
+                    ", jobs=" + std::to_string(workers));
+
+  for (const double mtbf_hours : {5.0, 20.0}) {
+    const Seconds mtbf = hours(mtbf_hours);
+    core::ModelConfig mcfg;
+    mcfg.mtbf = mtbf;
+    mcfg.t_total = hours(1000.0);
+    const core::ShirazModel model(mcfg);
+    core::SolverOptions opts;
+    opts.keep_sweep = false;
+    const core::SwitchSolution sol = solve_switch_point(
+        model, core::AppSpec{"lw", 18.0, 1}, core::AppSpec{"hw", 1800.0, 1}, opts);
+    const int k = sol.k.value_or(0);
+
+    sim::EngineConfig ecfg;
+    ecfg.t_total = hours(1000.0);
+    const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
+    const std::vector<sim::SimJob> jobs{sim::SimJob::at_oci("lw", 18.0, mtbf),
+                                        sim::SimJob::at_oci("hw", 1800.0, mtbf)};
+
+    const sim::AlternateAtFailure baseline;
+    const sim::ShirazPairScheduler shiraz(k);
+    const sim::CampaignSummary base =
+        engine.run_campaign(jobs, baseline, reps, seed, workers);
+    const sim::CampaignSummary shz =
+        engine.run_campaign(jobs, shiraz, reps, seed, workers);
+
+    std::printf("\nMTBF %.0f h (Shiraz switch point k = %d): baseline useful "
+                "%s h, Shiraz useful %s h.\n",
+                mtbf_hours, k, bench::fmt_hours_ci(base.total_useful).c_str(),
+                bench::fmt_hours_ci(shz.total_useful).c_str());
+
+    Table table({"p", "r", "lead (s)", "realized p/r",
+                 "proactive/alarms", "Duseful vs base (h, +-95CI)",
+                 "Duseful vs shiraz (h, +-95CI)"});
+    for (const Quality& q : kGrid) {
+      const predict::OraclePredictor oracle = make_oracle(q, mtbf);
+      const predict::ProactiveCkptScheduler proactive;
+      const sim::CampaignSummary pc =
+          engine.run_campaign(jobs, proactive, reps, seed, workers, &oracle);
+      const std::string realized =
+          fmt(oracle.stats().precision(), 2) + "/" + fmt(oracle.stats().recall(), 2);
+
+      const predict::PredictiveShirazScheduler pshiraz(k);
+      const sim::CampaignSummary ps =
+          engine.run_campaign(jobs, pshiraz, reps, seed, workers, &oracle);
+
+      table.add_row(
+          {fmt(q.precision, 2), fmt(q.recall, 2), fmt(q.lead, 0), realized,
+           std::to_string(ps.mean.proactive_checkpoints) + "/" +
+               std::to_string(ps.mean.alarms),
+           bench::fmt_mean_ci(as_hours(pc.total_useful.mean - base.total_useful.mean),
+                              as_hours(pc.total_useful.ci95), 2),
+           bench::fmt_mean_ci(as_hours(ps.total_useful.mean - shz.total_useful.mean),
+                              as_hours(ps.total_useful.ci95), 2)});
+    }
+    bench::print_table(table, flags);
+  }
+
+  std::printf("\nModel validation — single app at its OCI, checkpoint-on-alarm "
+              "(waste = checkpoint I/O + lost work):\n");
+  Table check({"mtbf (h)", "delta (s)", "p", "r", "lead (s)",
+               "model waste (h)", "sim waste (h)", "error"});
+  for (const double mtbf_hours : {5.0, 20.0}) {
+    const Seconds mtbf = hours(mtbf_hours);
+    sim::EngineConfig ecfg;
+    ecfg.t_total = hours(1000.0);
+    const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
+    predict::PredictionModelConfig pcfg;
+    pcfg.mtbf = mtbf;
+    const predict::PredictionModel pmodel(pcfg);
+    for (const double delta : {18.0, 180.0}) {
+      for (const Quality& q : {Quality{1.0, 1.0, minutes(10.0)},
+                               Quality{0.8, 0.8, minutes(10.0)},
+                               Quality{0.9, 0.5, minutes(20.0)}}) {
+        const predict::PredictionEstimate est =
+            pmodel.single_app(delta, {q.precision, q.recall, q.lead});
+        const predict::OraclePredictor oracle = make_oracle(q, mtbf);
+        const predict::ProactiveCkptScheduler proactive;
+        const std::vector<sim::SimJob> solo{sim::SimJob::at_oci("app", delta, mtbf)};
+        const sim::SimResult sim_res =
+            engine.run_many(solo, proactive, reps, seed, workers, &oracle);
+        const double sim_waste = sim_res.total_io() + sim_res.total_lost();
+        check.add_row({fmt(mtbf_hours, 0), fmt(delta, 0), fmt(q.precision, 1),
+                       fmt(q.recall, 1), fmt(q.lead, 0),
+                       fmt(as_hours(est.waste()), 2), fmt(as_hours(sim_waste), 2),
+                       fmt_percent(est.waste() / sim_waste - 1.0)});
+      }
+    }
+  }
+  bench::print_table(check, flags);
+
+  bench::note("\nTakeaway: a credible alarm turns a failure's epsilon*segment "
+              "loss into one early checkpoint write, so useful work climbs "
+              "with recall and lead (once the lead covers delta) and degrades "
+              "gracefully with false alarms — and the gain stacks on top of "
+              "Shiraz's k-switch, which keys on scheduled checkpoints only. "
+              "The first-order model tracks the simulator within a few "
+              "percent across the quality grid.");
+  return 0;
+}

@@ -37,8 +37,8 @@ inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
 /// every value, so this only changes wall-clock time — but don't run builds
 /// concurrently with the wall-clock benches (fig03/fig16) either way.
 inline std::size_t workers_flag(const Flags& flags) {
-  const std::int64_t n = flags.get_int("jobs", 1);
-  if (n > 0) return static_cast<std::size_t>(n);
+  const std::size_t n = flags.get_count("jobs", 1);
+  if (n > 0) return n;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }

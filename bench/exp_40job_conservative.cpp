@@ -14,7 +14,7 @@ using namespace shiraz;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 32));
+  const std::size_t reps = flags.get_count("reps", 32);
   const std::uint64_t seed = flags.get_seed("seed", 20184040);
   const std::size_t workers = bench::workers_flag(flags);
 

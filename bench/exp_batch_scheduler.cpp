@@ -15,7 +15,7 @@ using namespace shiraz::sched;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 12));
+  const std::size_t reps = flags.get_count("reps", 12);
   const std::uint64_t seed = flags.get_seed("seed", 20185858);
   const double mtbf_hours = flags.get_double("mtbf", 5.0);
 

@@ -63,7 +63,7 @@ double simulated_yearly_gain_hours(double mtbf_hours, std::size_t reps,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 24));
+  const std::size_t reps = flags.get_count("reps", 24);
   const std::uint64_t seed = flags.get_seed("seed", 20185050);
   const std::size_t workers = bench::workers_flag(flags);
 

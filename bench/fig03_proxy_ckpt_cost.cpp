@@ -16,7 +16,7 @@ using namespace shiraz::apps;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t samples = static_cast<std::size_t>(flags.get_int("samples", 9));
+  const std::size_t samples = flags.get_count("samples", 9);
   // Opt-in durability: fsync each checkpoint so durations reflect device I/O
   // instead of a page-cache copy. Byte columns are identical either way.
   const bool fsync = flags.get_bool("fsync", false);

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const double mtbf_hours = flags.get_double("mtbf", 5.0);
   const double factor = flags.get_double("delta-factor", 100.0);
-  const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 32));
+  const std::size_t reps = flags.get_count("reps", 32);
   const std::uint64_t seed = flags.get_seed("seed", 20181010);
   const std::size_t workers = bench::workers_flag(flags);
 

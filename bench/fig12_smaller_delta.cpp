@@ -10,7 +10,7 @@ using namespace shiraz;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 32));
+  const std::size_t reps = flags.get_count("reps", 32);
   const std::uint64_t seed = flags.get_seed("seed", 20181212);
   const std::size_t workers = bench::workers_flag(flags);
   const double delta_hw_hours = flags.get_double("delta-hw", 0.25);

@@ -32,7 +32,7 @@ std::vector<apps::AppProfile> ten_app_mix() {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 48));
+  const std::size_t reps = flags.get_count("reps", 48);
   const std::uint64_t seed = flags.get_seed("seed", 20181414);
   const std::size_t workers = bench::workers_flag(flags);
   const std::string strategy_name = flags.get("pairing", "random");

@@ -12,7 +12,7 @@ using namespace shiraz;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 96));
+  const std::size_t reps = flags.get_count("reps", 96);
   const std::uint64_t seed = flags.get_seed("seed", 20180222);
   const std::size_t workers = bench::workers_flag(flags);
   const int window = static_cast<int>(flags.get_int("window", 5));

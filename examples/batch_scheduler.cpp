@@ -17,8 +17,8 @@ using namespace shiraz::sched;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const double mtbf_hours = flags.get_double("mtbf-hours", 5.0);
-  const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 8));
-  const unsigned stretch = static_cast<unsigned>(flags.get_int("stretch", 2));
+  const std::size_t reps = flags.get_count("reps", 8);
+  const unsigned stretch = static_cast<unsigned>(flags.get_count("stretch", 2));
 
   // A morning's submissions: climate (heavy checkpoints) interleaved with
   // molecular dynamics (light checkpoints).

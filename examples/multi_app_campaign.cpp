@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const Seconds mtbf = hours(flags.get_double("mtbf-hours", 5.0));
   const std::string strategy_name = flags.get("pairing", "extreme");
-  const std::size_t reps = static_cast<std::size_t>(flags.get_int("reps", 24));
+  const std::size_t reps = flags.get_count("reps", 24);
   const std::uint64_t seed = flags.get_seed("seed", 1);
 
   // Build the mix: Table 1's nine applications plus a CoMD-class tenth.

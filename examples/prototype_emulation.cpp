@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const Seconds horizon = flags.get_double("seconds", 8.0);
   const std::uint64_t seed = flags.get_seed("seed", 11);
-  const unsigned stretch = static_cast<unsigned>(flags.get_int("stretch", 2));
+  const unsigned stretch = static_cast<unsigned>(flags.get_count("stretch", 2));
 
   RealBackend backend;
   CheckpointStore store = CheckpointStore::make_temporary("example");

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   const Seconds delta_hw = hours(flags.get_double("delta-hw-hours", 0.5));
   const double factor = flags.get_double("delta-factor", 25.0);
   const unsigned max_stretch =
-      static_cast<unsigned>(flags.get_int("max-stretch", 6));
+      static_cast<unsigned>(flags.get_count("max-stretch", 6));
 
   core::ModelConfig cfg;
   cfg.mtbf = mtbf;

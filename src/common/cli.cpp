@@ -1,11 +1,26 @@
 #include "common/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 
 #include "common/error.h"
 
 namespace shiraz {
+
+namespace {
+
+/// Shared checks for the strto* family: the value must be non-empty, fully
+/// consumed, and in range — otherwise `--jobs=abc` silently reads as 0.
+void require_consumed(const std::string& name, const std::string& text,
+                      const char* end) {
+  SHIRAZ_REQUIRE(!text.empty() && end == text.c_str() + text.size(),
+                 "flag --" + name + " has malformed numeric value: '" + text + "'");
+  SHIRAZ_REQUIRE(errno != ERANGE,
+                 "flag --" + name + " is out of range: '" + text + "'");
+}
+
+}  // namespace
 
 Flags::Flags(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
@@ -31,25 +46,52 @@ std::string Flags::get(const std::string& name, const std::string& def) const {
 double Flags::get_double(const std::string& name, double def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtod(it->second.c_str(), nullptr);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  require_consumed(name, it->second, end);
+  return value;
 }
 
 std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  require_consumed(name, it->second, end);
+  return value;
+}
+
+std::size_t Flags::get_count(const std::string& name, std::size_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::int64_t value = get_int(name, 0);
+  SHIRAZ_REQUIRE(value >= 0, "flag --" + name + " must be non-negative, got: " +
+                                 it->second);
+  return static_cast<std::size_t>(value);
 }
 
 std::uint64_t Flags::get_seed(const std::string& name, std::uint64_t def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return std::strtoull(it->second.c_str(), nullptr, 10);
+  // strtoull happily wraps "-1" to 2^64-1; a negative seed is always a typo.
+  SHIRAZ_REQUIRE(it->second.find('-') == std::string::npos,
+                 "flag --" + name + " must be non-negative, got: " + it->second);
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(it->second.c_str(), &end, 10);
+  require_consumed(name, it->second, end);
+  return value;
 }
 
 bool Flags::get_bool(const std::string& name, bool def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw InvalidArgument("flag --" + name + " expects a boolean, got: '" + v + "'");
 }
 
 }  // namespace shiraz

@@ -8,7 +8,9 @@
 namespace shiraz {
 
 /// Parses flags of the form `--name=value` (or bare `--name` for booleans).
-/// Unknown positional arguments raise InvalidArgument so typos surface early.
+/// Unknown positional arguments raise InvalidArgument so typos surface early,
+/// and the numeric getters reject malformed or out-of-range values
+/// (`--jobs=abc`, `--reps=-3`) instead of silently reading 0.
 class Flags {
  public:
   Flags(int argc, const char* const* argv);
@@ -17,6 +19,8 @@ class Flags {
   std::string get(const std::string& name, const std::string& def) const;
   double get_double(const std::string& name, double def) const;
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  /// Non-negative counts (reps, jobs, samples): get_int plus a >= 0 check.
+  std::size_t get_count(const std::string& name, std::size_t def) const;
   std::uint64_t get_seed(const std::string& name, std::uint64_t def) const;
   bool get_bool(const std::string& name, bool def) const;
 

@@ -1,0 +1,57 @@
+#include "predict/hazard.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::predict {
+
+HazardThresholdPredictor::HazardThresholdPredictor(const HazardConfig& config)
+    : Predictor(PredictorStats(2.0 * std::max(config.lead, minutes(1.0)))),
+      config_(config),
+      estimator_(config.estimator) {
+  SHIRAZ_REQUIRE(config.threshold_per_hour > 0.0,
+                 "hazard threshold must be positive");
+  SHIRAZ_REQUIRE(config.eval_period > 0.0, "evaluation period must be positive");
+  SHIRAZ_REQUIRE(config.lead >= 0.0, "claimed lead must be non-negative");
+  SHIRAZ_REQUIRE(config.max_alarms_per_gap > 0,
+                 "need room for at least one alarm per gap");
+}
+
+std::vector<sim::Alarm> HazardThresholdPredictor::emit(Seconds gap_start,
+                                                       Seconds gap_length,
+                                                       Rng&) const {
+  std::vector<sim::Alarm> out;
+  const adaptive::FailureEstimate est = estimator_.estimate();
+  const reliability::Weibull fit =
+      reliability::Weibull::from_mtbf(est.shape, est.mtbf);
+  const double threshold = config_.threshold_per_hour / hours(1.0);
+
+  // Walk the evaluation grid from the gap start; with shape < 1 the fitted
+  // hazard decays monotonically, so stopping at the first sub-threshold point
+  // alarms exactly the prefix of the gap the fit deems risky. The hazard is
+  // sampled at each interval's midpoint: the analytic hazard diverges at 0
+  // for shape < 1 but pdf(0) is clamped to 0, so the left edge of the first
+  // interval would read as perfectly safe.
+  for (std::size_t j = 0; out.size() < config_.max_alarms_per_gap; ++j) {
+    const Seconds offset = static_cast<double>(j) * config_.eval_period;
+    if (offset >= gap_length) break;
+    if (fit.hazard(offset + 0.5 * config_.eval_period) < threshold) break;
+    out.push_back({gap_start + offset, config_.lead});
+  }
+
+  // Only now does the true gap length become training data — the honesty
+  // boundary between this predictor and the oracle.
+  estimator_.observe(gap_length);
+  return out;
+}
+
+std::string HazardThresholdPredictor::name() const {
+  std::ostringstream os;
+  os << "HazardThreshold(" << config_.threshold_per_hour << "/h)";
+  return os.str();
+}
+
+}  // namespace shiraz::predict

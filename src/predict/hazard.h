@@ -1,0 +1,59 @@
+// Honest failure predictor built on the repo's online Weibull estimator.
+//
+// Shiraz's own premise (paper Section 2) is that failures recur: with Weibull
+// shape < 1 the hazard rate is highest right after a failure and decays until
+// the next one. This predictor operationalizes that as alarms: it keeps the
+// adaptive module's sliding-window Weibull MLE of the observed gaps and, at
+// the start of each new gap, raises alarms on a fixed evaluation grid while
+// the fitted hazard still exceeds a threshold. Unlike the oracle it never
+// looks at the gap's true length before emitting — only after, as the next
+// training sample — so its realized precision/recall are genuine measurements.
+#pragma once
+
+#include <memory>
+
+#include "adaptive/online_estimator.h"
+#include "predict/predictor.h"
+
+namespace shiraz::predict {
+
+struct HazardConfig {
+  /// Sliding-window Weibull MLE configuration (prior MTBF/shape, window).
+  adaptive::EstimatorConfig estimator;
+  /// Alarm while the fitted hazard (failures per hour) is at or above this.
+  /// With shape < 1 the hazard decays monotonically within a gap, so raising
+  /// the threshold can only shorten the alarmed prefix of each gap.
+  double threshold_per_hour = 0.3;
+  /// Spacing of the evaluation grid within a gap.
+  Seconds eval_period = minutes(10.0);
+  /// Claimed time-to-failure attached to every alarm.
+  Seconds lead = minutes(10.0);
+  /// Cap on alarms per gap (the hazard of a fresh Weibull fit with shape < 1
+  /// diverges at 0, so the first grid point almost always alarms).
+  std::size_t max_alarms_per_gap = 4;
+};
+
+class HazardThresholdPredictor final : public Predictor {
+ public:
+  explicit HazardThresholdPredictor(const HazardConfig& config);
+
+  const HazardConfig& config() const { return config_; }
+  /// Current fit (prior until the estimator warms up).
+  adaptive::FailureEstimate estimate() const { return estimator_.estimate(); }
+
+  std::string name() const override;
+  std::unique_ptr<sim::AlarmSource> clone() const override {
+    return std::make_unique<HazardThresholdPredictor>(*this);
+  }
+
+ protected:
+  std::vector<sim::Alarm> emit(Seconds gap_start, Seconds gap_length,
+                               Rng& rng) const override;
+  void on_reset() const override { estimator_.reset(); }
+
+ private:
+  HazardConfig config_;
+  mutable adaptive::OnlineWeibullEstimator estimator_;  ///< run state
+};
+
+}  // namespace shiraz::predict

@@ -1,0 +1,62 @@
+#include "predict/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace shiraz::predict {
+
+OraclePredictor::OraclePredictor(const OracleConfig& config)
+    : Predictor(PredictorStats(2.0 * std::max(config.lead, minutes(1.0)))),
+      config_(config),
+      false_rate_(config.recall * (1.0 - config.precision) /
+                  (config.precision * config.mtbf)) {
+  SHIRAZ_REQUIRE(config.precision > 0.0 && config.precision <= 1.0,
+                 "oracle precision must be in (0, 1]");
+  SHIRAZ_REQUIRE(config.recall >= 0.0 && config.recall <= 1.0,
+                 "oracle recall must be in [0, 1]");
+  SHIRAZ_REQUIRE(config.lead >= 0.0, "oracle lead must be non-negative");
+  SHIRAZ_REQUIRE(config.mtbf > 0.0, "oracle mtbf must be positive");
+}
+
+std::vector<sim::Alarm> OraclePredictor::emit(Seconds gap_start, Seconds gap_length,
+                                              Rng& rng) const {
+  std::vector<sim::Alarm> out;
+  const Seconds fail = gap_start + gap_length;
+
+  // One true alarm per failure, kept with probability `recall`. The draw
+  // happens unconditionally so the stream advances identically across recall
+  // settings.
+  const bool hit = rng.uniform() < config_.recall;
+  if (hit) {
+    const Seconds t = std::max(gap_start, fail - config_.lead);
+    out.push_back({t, fail - t});
+  }
+
+  // False alarms: exponential inter-arrivals via inversion (portable across
+  // standard libraries, unlike std::poisson_distribution). Each claims the
+  // configured lead; the claimed failure never materializes — unless the
+  // alarm happens to land within `lead` of the real failure, in which case
+  // the base class rightly scores it true (realized precision runs a hair
+  // above target; the tests budget for it).
+  if (false_rate_ > 0.0) {
+    Seconds t = gap_start;
+    for (;;) {
+      t += -std::log1p(-rng.uniform()) / false_rate_;
+      if (t >= fail) break;
+      out.push_back({t, config_.lead});
+    }
+  }
+  return out;
+}
+
+std::string OraclePredictor::name() const {
+  std::ostringstream os;
+  os << "Oracle(p=" << config_.precision << ",r=" << config_.recall
+     << ",lead=" << config_.lead << "s)";
+  return os.str();
+}
+
+}  // namespace shiraz::predict

@@ -1,0 +1,54 @@
+// Oracle predictor: thins the true failure sequence to a target quality.
+//
+// The simulator tells an AlarmSource each gap's true length, and the oracle
+// exploits that to place alarms with *configured* precision and recall — the
+// standard way to study "what is a predictor of quality (p, r, lead) worth?"
+// without committing to a prediction method (Aupy et al., JPDC 2014; Gainaru
+// et al., IJHPCA 2013). Honest predictors (hazard.h) ignore the gap length.
+#pragma once
+
+#include <memory>
+
+#include "predict/predictor.h"
+
+namespace shiraz::predict {
+
+struct OracleConfig {
+  /// Target fraction of alarms that are true predictions, in (0, 1].
+  double precision = 0.8;
+  /// Target fraction of failures that receive a true alarm, in [0, 1].
+  double recall = 0.8;
+  /// True alarms fire this long before the failure (clamped to the gap start
+  /// for gaps shorter than the lead; the claimed lead stays truthful).
+  Seconds lead = minutes(10.0);
+  /// Expected inter-failure gap of the system under study; sets the false
+  /// alarm rate so the *realized* precision matches the target.
+  Seconds mtbf = hours(5.0);
+};
+
+/// Emits one true alarm per failure with probability `recall`, plus false
+/// alarms as a Poisson stream whose rate  recall * (1 - precision) /
+/// (precision * mtbf)  makes the long-run true:false ratio p : (1-p). All
+/// draws come from the engine's dedicated prediction stream, so campaigns are
+/// bit-identical for every --jobs value and the failure sequence is untouched.
+class OraclePredictor final : public Predictor {
+ public:
+  explicit OraclePredictor(const OracleConfig& config);
+
+  const OracleConfig& config() const { return config_; }
+
+  std::string name() const override;
+  std::unique_ptr<sim::AlarmSource> clone() const override {
+    return std::make_unique<OraclePredictor>(*this);
+  }
+
+ protected:
+  std::vector<sim::Alarm> emit(Seconds gap_start, Seconds gap_length,
+                               Rng& rng) const override;
+
+ private:
+  OracleConfig config_;
+  double false_rate_;  ///< false alarms per second
+};
+
+}  // namespace shiraz::predict

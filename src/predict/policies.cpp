@@ -1,0 +1,22 @@
+#include "predict/policies.h"
+
+#include <sstream>
+
+namespace shiraz::predict {
+
+sim::AlarmAction checkpoint_on_credible_alarm(const sim::SchedContext& ctx) {
+  if (ctx.alarm_lead < ctx.current_delta) return sim::AlarmAction::ignore();
+  // Start the write so it completes exactly at the claimed failure time:
+  // every second of compute up to the write start is sealed, and an accurate
+  // alarm loses nothing (the engine treats a write finishing at the failure
+  // instant as sealed).
+  return sim::AlarmAction::checkpoint_after(ctx.alarm_lead - ctx.current_delta);
+}
+
+std::string PredictiveShirazScheduler::name() const {
+  std::ostringstream os;
+  os << "PredictiveShiraz(k=" << k() << ")";
+  return os.str();
+}
+
+}  // namespace shiraz::predict

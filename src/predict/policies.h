@@ -1,0 +1,65 @@
+// Prediction-aware scheduling policies.
+//
+// Both policies wrap a non-predictive scheduler and add exactly one behavior:
+// on a credible alarm (claimed lead covers the running app's checkpoint cost)
+// they order a proactive checkpoint timed to *complete* at the predicted
+// failure, so a correct prediction loses zero work while a pessimistic one
+// merely writes delta early. Run with a NullPredictor they reproduce their
+// wrapped policy bit for bit (tested invariant): the composition is strictly
+// additive.
+#pragma once
+
+#include "sim/scheduler.h"
+
+namespace shiraz::predict {
+
+/// Shared alarm response: checkpoint-on-alarm with the write aimed at the
+/// predicted failure (start = alarm + lead - delta); alarms whose lead cannot
+/// cover a write are ignored.
+sim::AlarmAction checkpoint_on_credible_alarm(const sim::SchedContext& ctx);
+
+/// Baseline alternation (sim::AlternateAtFailure) + checkpoint-on-alarm: the
+/// paper's Fig. 4 policy made prediction-aware. The single-app case is the
+/// setting the analytical model (prediction_model.h) describes.
+class ProactiveCkptScheduler final : public sim::Scheduler {
+ public:
+  sim::Decision on_gap_start(const sim::SchedContext& ctx) const override {
+    return base_.on_gap_start(ctx);
+  }
+  sim::Decision on_checkpoint(const sim::SchedContext& ctx) const override {
+    return base_.on_checkpoint(ctx);
+  }
+  sim::AlarmAction on_alarm(const sim::SchedContext& ctx) const override {
+    return checkpoint_on_credible_alarm(ctx);
+  }
+  std::string name() const override { return "ProactiveCkpt"; }
+
+ private:
+  sim::AlternateAtFailure base_;
+};
+
+/// Shiraz's k-switch (sim::ShirazPairScheduler) + checkpoint-on-alarm: the
+/// co-scheduling gain and the prediction gain compose. Proactive checkpoints
+/// do not count toward the per-gap checkpoint tally (see AlarmAction), so the
+/// k-th-checkpoint switch fires exactly where plain Shiraz would switch.
+class PredictiveShirazScheduler final : public sim::Scheduler {
+ public:
+  explicit PredictiveShirazScheduler(int k) : base_(k) {}
+
+  int k() const { return base_.k(); }
+  sim::Decision on_gap_start(const sim::SchedContext& ctx) const override {
+    return base_.on_gap_start(ctx);
+  }
+  sim::Decision on_checkpoint(const sim::SchedContext& ctx) const override {
+    return base_.on_checkpoint(ctx);
+  }
+  sim::AlarmAction on_alarm(const sim::SchedContext& ctx) const override {
+    return checkpoint_on_credible_alarm(ctx);
+  }
+  std::string name() const override;
+
+ private:
+  sim::ShirazPairScheduler base_;
+};
+
+}  // namespace shiraz::predict

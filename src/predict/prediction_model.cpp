@@ -1,0 +1,101 @@
+#include "predict/prediction_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::predict {
+
+PredictionModel::PredictionModel(const PredictionModelConfig& config)
+    : config_(config) {
+  SHIRAZ_REQUIRE(config.mtbf > 0.0, "MTBF must be positive");
+  SHIRAZ_REQUIRE(config.weibull_shape > 0.0, "Weibull shape must be positive");
+  SHIRAZ_REQUIRE(config.epsilon > 0.0 && config.epsilon < 1.0,
+                 "epsilon must be in (0, 1)");
+  SHIRAZ_REQUIRE(config.t_total > 0.0, "horizon must be positive");
+}
+
+PredictionEstimate PredictionModel::single_app(Seconds delta,
+                                               const PredictorSpec& spec) const {
+  SHIRAZ_REQUIRE(delta > 0.0, "checkpoint cost must be positive");
+  SHIRAZ_REQUIRE(spec.precision > 0.0 && spec.precision <= 1.0,
+                 "precision must be in (0, 1]");
+  SHIRAZ_REQUIRE(spec.recall >= 0.0 && spec.recall <= 1.0,
+                 "recall must be in [0, 1]");
+  SHIRAZ_REQUIRE(spec.lead >= 0.0, "lead must be non-negative");
+
+  const Seconds tau =
+      checkpoint::optimal_interval(config_.mtbf, delta, config_.oci_formula);
+  const Seconds seg = tau + delta;
+  const double failures = config_.t_total / config_.mtbf;
+  // Fraction of gaps too short for even an instant proactive write: the
+  // truthful (clamped) alarm lead in such a gap is below delta, so the
+  // policy ignores the alarm.
+  const double short_gap =
+      reliability::Weibull::from_mtbf(config_.weibull_shape, config_.mtbf)
+          .cdf(delta);
+
+  double lost_per_failure = config_.epsilon * seg;
+  double proactive_per_failure = 0.0;
+  if (spec.lead >= delta && spec.recall > 0.0) {
+    const double write_frac = delta / seg;
+    // A true alarm aims its proactive write to complete exactly at the
+    // failure; the simulator keeps at most one pending proactive and a later
+    // alarm replaces it, so a false alarm landing *after* the true one aims
+    // the pending past the failure and spoils the rescue.
+    const double false_rate =
+        spec.recall * (1.0 - spec.precision) / (spec.precision * config_.mtbf);
+    const double spoiled = 1.0 - std::exp(-false_rate * spec.lead);
+    const double predicted_long = spec.recall * (1.0 - short_gap);
+    // Rescued failures: write completes at the failure instant — lossless —
+    // unless it collides with a scheduled write window (probability
+    // write_frac); then the scheduled write seals the segment instead and
+    // only the fresh compute after it (at most delta, delta/2 on average)
+    // is lost.
+    const double handled = predicted_long * (1.0 - spoiled);
+    // Predicted but the gap is shorter than delta: nothing can be sealed;
+    // the whole short gap (at most delta of work) is lost.
+    const double short_pred = spec.recall * short_gap;
+    lost_per_failure = handled * write_frac * (delta / 2.0) +
+                       predicted_long * spoiled * config_.epsilon * seg +
+                       short_pred * (delta / 2.0) +
+                       (1.0 - spec.recall) * config_.epsilon * seg;
+    // Proactive writes: one per rescue that escapes the write-window
+    // collision, plus the acted-on false alarms — recall * (1-p)/p per
+    // failure by the oracle's construction, same collision discount.
+    const double false_per_failure =
+        spec.recall * (1.0 - spec.precision) / spec.precision;
+    proactive_per_failure =
+        (handled + false_per_failure) * (1.0 - write_frac) * delta;
+  }
+
+  PredictionEstimate est;
+  est.lost = failures * lost_per_failure;
+  est.proactive_io = failures * proactive_per_failure;
+  // Every executed proactive write cuts a segment short: the compute it seals
+  // (on average half an interval, the alarm being uniform over the cycle)
+  // becomes useful work that never pays a *scheduled* checkpoint, so it must
+  // not go through the tau:delta ratio split below.
+  const double sealed_tails =
+      delta > 0.0 ? est.proactive_io / delta * (tau / 2.0) : 0.0;
+  // Whatever the failures and proactive writes leave behind is spent walking
+  // regular segments: tau useful + delta I/O per segment.
+  const double available = std::max(
+      0.0, config_.t_total - est.lost - est.proactive_io - sealed_tails);
+  est.useful = sealed_tails + available * (tau / seg);
+  est.io = available * (delta / seg) + est.proactive_io;
+  return est;
+}
+
+Seconds optimal_interval_with_recall(Seconds mtbf, Seconds delta, double recall) {
+  SHIRAZ_REQUIRE(mtbf > 0.0, "MTBF must be positive");
+  SHIRAZ_REQUIRE(delta > 0.0, "checkpoint cost must be positive");
+  SHIRAZ_REQUIRE(recall >= 0.0 && recall < 1.0,
+                 "recall must be in [0, 1) — a perfect predictor needs no "
+                 "periodic checkpoints");
+  return std::sqrt(2.0 * mtbf * delta / (1.0 - recall));
+}
+
+}  // namespace shiraz::predict

@@ -1,0 +1,66 @@
+// First-order analytical model of checkpointing under an imperfect predictor.
+//
+// Extends the repo's epsilon-style waste accounting (core/analytical_model.h)
+// to a single application guarded by a predictor of quality (precision p,
+// recall r, lead l), in the spirit of Aupy, Robert, Vivien & Zaidouni (JPDC
+// 2014): a predicted failure whose alarm arrives at least one checkpoint cost
+// ahead can be made lossless by a proactive checkpoint timed to complete at
+// the predicted moment; everything else pays the usual epsilon * segment.
+// Validated against the discrete-event simulator in
+// tests/predict/prediction_model_test.cpp (waste within 5%).
+#pragma once
+
+#include "checkpoint/oci.h"
+#include "common/units.h"
+
+namespace shiraz::predict {
+
+/// System-wide parameters, mirroring core::ModelConfig.
+struct PredictionModelConfig {
+  Seconds mtbf = hours(5.0);
+  double weibull_shape = 0.6;
+  /// Average fraction of a segment lost per unhandled failure (paper's 0.45).
+  double epsilon = 0.45;
+  Seconds t_total = hours(1000.0);
+  checkpoint::OciFormula oci_formula = checkpoint::OciFormula::kYoung;
+};
+
+/// Predictor quality as the model sees it (matches OracleConfig's targets).
+struct PredictorSpec {
+  double precision = 1.0;  ///< in (0, 1]
+  double recall = 1.0;     ///< in [0, 1]
+  Seconds lead = 0.0;      ///< alarm-to-failure distance for true alarms
+};
+
+/// Expected execution decomposition over t_total, all in seconds.
+struct PredictionEstimate {
+  double useful = 0.0;
+  double io = 0.0;            ///< scheduled + proactive checkpoint writes
+  double lost = 0.0;
+  double proactive_io = 0.0;  ///< proactive share, already included in io
+
+  double waste() const { return io + lost; }
+};
+
+class PredictionModel {
+ public:
+  explicit PredictionModel(const PredictionModelConfig& config);
+
+  const PredictionModelConfig& config() const { return config_; }
+
+  /// Expected decomposition for one app with checkpoint cost `delta` running
+  /// at its OCI the whole campaign, guarded by `spec` with checkpoint-on-alarm
+  /// (the ProactiveCkptScheduler policy). recall = 0 or lead < delta
+  /// degenerates to the non-predictive estimate.
+  PredictionEstimate single_app(Seconds delta, const PredictorSpec& spec) const;
+
+ private:
+  PredictionModelConfig config_;
+};
+
+/// Aupy et al.'s first-order optimal compute interval when a predictor
+/// removes fraction `recall` of the failures: sqrt(2 * M * delta / (1 - r)).
+/// Requires recall < 1 (a perfect predictor needs no periodic checkpoints).
+Seconds optimal_interval_with_recall(Seconds mtbf, Seconds delta, double recall);
+
+}  // namespace shiraz::predict

@@ -1,0 +1,36 @@
+#include "predict/predictor.h"
+
+#include <algorithm>
+
+namespace shiraz::predict {
+
+std::vector<sim::Alarm> Predictor::alarms_in_gap(Seconds gap_start,
+                                                 Seconds gap_length,
+                                                 Rng& rng) const {
+  std::vector<sim::Alarm> out = emit(gap_start, gap_length, rng);
+  const Seconds fail = gap_start + gap_length;
+  std::erase_if(out, [&](const sim::Alarm& a) {
+    return a.time < gap_start || a.time >= fail || a.lead < 0.0;
+  });
+  std::sort(out.begin(), out.end(),
+            [](const sim::Alarm& a, const sim::Alarm& b) { return a.time < b.time; });
+
+  std::size_t true_alarms = 0;
+  std::vector<Seconds> true_leads;
+  for (const sim::Alarm& a : out) {
+    const Seconds actual = fail - a.time;
+    if (actual <= a.lead * (1.0 + kLeadSlackRel) + kLeadSlackAbs) {
+      ++true_alarms;
+      true_leads.push_back(actual);
+    }
+  }
+  stats_.record_gap(true_alarms, out.size() - true_alarms, true_leads);
+  return out;
+}
+
+void Predictor::reset() const {
+  stats_.reset();
+  on_reset();
+}
+
+}  // namespace shiraz::predict

@@ -1,0 +1,79 @@
+// Failure predictors: concrete sim::AlarmSource implementations.
+//
+// The base class owns the bookkeeping every predictor needs — sanitizing the
+// emitted alarms and scoring them against the gap-ending failure into a
+// PredictorStats — so concrete predictors only implement emit(): "given this
+// gap, which alarms fire?". Stats live in a mutable member following the
+// AlarmSource run-state idiom (reset() wipes them, clone() copies them), which
+// is why even the stateless-looking NullPredictor overrides clone().
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "predict/stats.h"
+#include "sim/alarm.h"
+
+namespace shiraz::predict {
+
+/// Abstract predictor. alarms_in_gap is final: it delegates alarm generation
+/// to emit(), then classifies each alarm as true/false against the known
+/// gap-ending failure and folds the outcome into stats().
+class Predictor : public sim::AlarmSource {
+ public:
+  /// An alarm is scored true when the failure arrives within its claimed lead
+  /// window, stretched by this relative slack plus one second of absolute
+  /// slack (floating-point clamping at gap edges must not flip a genuine
+  /// prediction to false).
+  static constexpr double kLeadSlackRel = 0.05;
+  static constexpr Seconds kLeadSlackAbs = 1.0;
+
+  /// Emits, sanitizes (drops alarms outside the gap or with negative lead),
+  /// sorts by time, scores against the failure at gap_start + gap_length, and
+  /// records the gap into stats().
+  std::vector<sim::Alarm> alarms_in_gap(Seconds gap_start, Seconds gap_length,
+                                        Rng& rng) const final;
+
+  void reset() const final;
+
+  /// Realized quality over the current run. After a parallel campaign the
+  /// caller's instance holds the last repetition's stats (the engine runs it
+  /// for the final repetition), matching the serial path bit for bit.
+  const PredictorStats& stats() const { return stats_; }
+
+ protected:
+  explicit Predictor(const PredictorStats& initial = PredictorStats())
+      : stats_(initial) {}
+
+  /// Produces the alarms for one gap; may be unsorted and may overshoot the
+  /// gap (the base class filters). `rng` is the dedicated prediction stream.
+  virtual std::vector<sim::Alarm> emit(Seconds gap_start, Seconds gap_length,
+                                       Rng& rng) const = 0;
+
+  /// Hook for per-run predictor state (e.g. the hazard predictor's online
+  /// estimator); called by reset() after the stats are wiped.
+  virtual void on_reset() const {}
+
+ private:
+  mutable PredictorStats stats_;
+};
+
+/// Emits no alarms ever. With this source, any prediction-aware policy must
+/// reproduce its non-predictive counterpart bit for bit (tested invariant) —
+/// the null case of the composition.
+class NullPredictor final : public Predictor {
+ public:
+  NullPredictor() = default;
+
+  std::string name() const override { return "Null"; }
+  std::unique_ptr<sim::AlarmSource> clone() const override {
+    return std::make_unique<NullPredictor>(*this);
+  }
+
+ protected:
+  std::vector<sim::Alarm> emit(Seconds, Seconds, Rng&) const override {
+    return {};
+  }
+};
+
+}  // namespace shiraz::predict

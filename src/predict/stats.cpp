@@ -1,0 +1,33 @@
+#include "predict/stats.h"
+
+#include "common/error.h"
+
+namespace shiraz::predict {
+
+PredictorStats::PredictorStats(Seconds max_lead, std::size_t bins)
+    : max_lead_(max_lead), bins_(bins), lead_times_(0.0, max_lead, bins) {
+  SHIRAZ_REQUIRE(max_lead > 0.0, "lead-time histogram needs a positive range");
+}
+
+void PredictorStats::record_gap(std::size_t true_alarms, std::size_t false_alarms,
+                                const std::vector<Seconds>& true_leads) {
+  ++gaps_;
+  true_alarms_ += true_alarms;
+  false_alarms_ += false_alarms;
+  if (true_alarms > 0) ++predicted_failures_;
+  lead_times_.add_all(true_leads);
+}
+
+void PredictorStats::reset() { *this = PredictorStats(max_lead_, bins_); }
+
+double PredictorStats::precision() const {
+  const std::size_t total = alarms();
+  return total == 0 ? 1.0 : static_cast<double>(true_alarms_) / static_cast<double>(total);
+}
+
+double PredictorStats::recall() const {
+  return gaps_ == 0 ? 1.0
+                    : static_cast<double>(predicted_failures_) / static_cast<double>(gaps_);
+}
+
+}  // namespace shiraz::predict

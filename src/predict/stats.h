@@ -1,0 +1,67 @@
+// Realized quality of a failure predictor over one simulation run.
+//
+// The Predictor base class (predictor.h) classifies every emitted alarm
+// against the gap-ending failure it was asked about and accumulates the
+// outcome here, so benches and shirazctl can report the precision/recall a
+// predictor actually achieved — which for the oracle should track its
+// configured targets, and for honest predictors is the headline result.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/units.h"
+
+namespace shiraz::predict {
+
+/// Counters accumulated per simulation run (reset() clears them). A "true"
+/// alarm is one whose claimed lead window covers the gap-ending failure; see
+/// Predictor::alarms_in_gap for the exact tolerance.
+class PredictorStats {
+ public:
+  /// `max_lead` / `bins` size the lead-time histogram (actual time-to-failure
+  /// of every true alarm; longer leads land in the overflow bin).
+  explicit PredictorStats(Seconds max_lead = hours(1.0), std::size_t bins = 12);
+
+  /// Records one armed gap: the alarms the predictor emitted for it had
+  /// `true_alarms` hits (with the given actual leads) and `false_alarms`
+  /// misses. Called by the Predictor base class only.
+  void record_gap(std::size_t true_alarms, std::size_t false_alarms,
+                  const std::vector<Seconds>& true_leads);
+
+  /// Drops all counters (new run).
+  void reset();
+
+  std::size_t gaps() const { return gaps_; }
+  /// Gap-ending failures observed == gaps() (the last gap of a run may end at
+  /// the horizon instead of a failure; the one-gap overcount is deliberate —
+  /// the predictor cannot know the horizon — and vanishes over long runs).
+  std::size_t failures() const { return gaps_; }
+  std::size_t true_alarms() const { return true_alarms_; }
+  std::size_t false_alarms() const { return false_alarms_; }
+  std::size_t alarms() const { return true_alarms_ + false_alarms_; }
+  /// Failures covered by at least one true alarm.
+  std::size_t predicted_failures() const { return predicted_failures_; }
+  std::size_t missed_failures() const { return gaps_ - predicted_failures_; }
+
+  /// true_alarms / alarms; 1 when no alarm fired (vacuously, nothing cried
+  /// wolf). Never NaN.
+  double precision() const;
+  /// predicted_failures / failures; 1 when no failure was observed. Never NaN.
+  double recall() const;
+
+  /// Actual time-to-failure of every true alarm.
+  const Histogram& lead_times() const { return lead_times_; }
+
+ private:
+  Seconds max_lead_;
+  std::size_t bins_;
+  std::size_t gaps_ = 0;
+  std::size_t true_alarms_ = 0;
+  std::size_t false_alarms_ = 0;
+  std::size_t predicted_failures_ = 0;
+  Histogram lead_times_;
+};
+
+}  // namespace shiraz::predict

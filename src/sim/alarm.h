@@ -1,0 +1,64 @@
+// Failure alarms: the simulator-facing contract of a failure predictor.
+//
+// An AlarmSource is consulted by the engine every time it arms a new
+// inter-failure gap and returns the alarms that will fire inside that gap —
+// true predictions placed ahead of the gap-ending failure plus any false
+// alarms. The engine delivers each alarm to the scheduling policy through
+// Scheduler::on_alarm, which may respond with a proactive checkpoint (see
+// AlarmAction in scheduler.h). Concrete predictors live in src/predict; the
+// interface lives here so the simulator does not depend on that module.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace shiraz::sim {
+
+/// One predicted failure.
+struct Alarm {
+  /// Absolute simulated time at which the alarm fires.
+  Seconds time = 0.0;
+  /// Claimed time-to-failure at `time`. For a true prediction the failure
+  /// arrives `lead` seconds after the alarm; a false alarm's claimed failure
+  /// never materializes.
+  Seconds lead = 0.0;
+};
+
+/// Produces the alarms for one inter-failure gap. Called once per armed gap
+/// with the gap's true length, which lets oracle-style predictors thin the
+/// real failure sequence to a configured precision/recall; honest predictors
+/// must derive alarms from previously observed gaps only.
+///
+/// Follows the Scheduler mutability idiom: engines hold sources by const
+/// pointer across runs, so stateful sources keep run state in mutable members,
+/// reset() wipes it at the start of every run, and clone() returns a private
+/// copy for each parallel Monte-Carlo repetition (nullptr = stateless, share
+/// freely across worker threads).
+class AlarmSource {
+ public:
+  virtual ~AlarmSource() = default;
+
+  /// Called once per simulation run before any gap; clears run state.
+  virtual void reset() const {}
+
+  /// Alarms for the gap starting at `gap_start` whose failure arrives
+  /// `gap_length` seconds later. Alarms outside [gap_start, gap_start +
+  /// gap_length) are discarded by the engine. `rng` is a dedicated prediction
+  /// stream forked off the repetition's RNG, so drawing from it never
+  /// perturbs the failure sequence.
+  virtual std::vector<Alarm> alarms_in_gap(Seconds gap_start, Seconds gap_length,
+                                           Rng& rng) const = 0;
+
+  /// Copy hook for parallel Monte-Carlo dispatch, mirroring
+  /// Scheduler::clone(): sources with mutable run state MUST return a private
+  /// copy; nullptr means "share me freely across threads".
+  virtual std::unique_ptr<AlarmSource> clone() const { return nullptr; }
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace shiraz::sim

@@ -1,7 +1,9 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
+#include <optional>
 
 #include "common/error.h"
 #include "common/thread_pool.h"
@@ -14,6 +16,10 @@ void validate_config(const EngineConfig& config) {
   SHIRAZ_REQUIRE(config.restart_cost >= 0.0, "restart cost must be non-negative");
   SHIRAZ_REQUIRE(config.switch_cost >= 0.0, "switch cost must be non-negative");
 }
+
+/// Sub-stream id for the prediction RNG: Rng::fork derives from the seed (not
+/// the generator state), so alarm draws never perturb the failure sequence.
+constexpr std::uint64_t kAlarmStream = 0x70726564696374ULL;  // "predict"
 }  // namespace
 
 Engine::Engine(const reliability::Distribution& failure_dist, const EngineConfig& config)
@@ -33,7 +39,7 @@ Engine::Engine(GapSampler sampler, const EngineConfig& config)
 }
 
 SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
-                      Rng& rng) const {
+                      Rng& rng, const AlarmSource* alarms) const {
   SHIRAZ_REQUIRE(!jobs.empty(), "need at least one job");
   for (const SimJob& job : jobs) {
     SHIRAZ_REQUIRE(job.delta > 0.0, "job checkpoint cost must be positive");
@@ -46,15 +52,37 @@ SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& schedule
   for (std::size_t i = 0; i < jobs.size(); ++i) res.apps[i].name = jobs[i].name;
 
   const Seconds horizon = config_.t_total;
+  constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
   std::vector<std::size_t> ckpts_gap(jobs.size(), 0);
   Seconds now = 0.0;
   Seconds gap_start = 0.0;
   Seconds next_fail = gap_sampler_(rng, 0.0);
 
+  // Prediction state: the alarms of the currently armed gap (sorted, filtered
+  // to [gap_start, min(next_fail, horizon))), a cursor over them, and at most
+  // one pending proactive checkpoint (a later alarm replaces it).
+  Rng alarm_rng = rng.fork(kAlarmStream);
+  std::vector<Alarm> gap_alarms;
+  std::size_t alarm_next = 0;
+  std::optional<Seconds> pending_ckpt;
+  auto arm_alarms = [&]() {
+    gap_alarms.clear();
+    alarm_next = 0;
+    pending_ckpt.reset();
+    if (alarms == nullptr) return;
+    gap_alarms = alarms->alarms_in_gap(gap_start, next_fail - gap_start, alarm_rng);
+    const Seconds cutoff = std::min(next_fail, horizon);
+    std::erase_if(gap_alarms, [&](const Alarm& a) {
+      return a.time < gap_start || a.time >= cutoff;
+    });
+    std::sort(gap_alarms.begin(), gap_alarms.end(),
+              [](const Alarm& a, const Alarm& b) { return a.time < b.time; });
+  };
+
   Seconds last_gap_length = 0.0;
-  auto make_ctx = [&](std::size_t current) {
+  auto make_ctx = [&](std::size_t current, Seconds at) {
     SchedContext ctx;
-    ctx.now = now;
+    ctx.now = at;
     ctx.gap_start = gap_start;
     ctx.num_apps = jobs.size();
     ctx.current = current;
@@ -65,10 +93,12 @@ SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& schedule
   };
 
   // Handles the failure at `now`; charges nothing (time already charged by
-  // the caller), re-arms the failure clock, applies the restart downtime, and
-  // asks the scheduler who runs next.
+  // the caller), re-arms the failure clock and the gap's alarms, applies the
+  // restart downtime, and asks the scheduler who runs next.
+  if (alarms != nullptr) alarms->reset();
   scheduler.reset();
-  Decision decision = scheduler.on_gap_start(make_ctx(0));
+  arm_alarms();
+  Decision decision = scheduler.on_gap_start(make_ctx(0, now));
   auto handle_failure = [&](std::optional<std::size_t> hit) {
     ++res.failures;
     if (hit) ++res.apps[*hit].failures_hit;
@@ -76,7 +106,8 @@ SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& schedule
     gap_start = now;
     next_fail = now + gap_sampler_(rng, now);
     std::fill(ckpts_gap.begin(), ckpts_gap.end(), 0);
-    decision = scheduler.on_gap_start(make_ctx(0));
+    arm_alarms();
+    decision = scheduler.on_gap_start(make_ctx(0, now));
     if (config_.restart_cost > 0.0 && decision.app) {
       // Non-preemptible restart window charged to the resuming app. A failure
       // striking inside it is handled by the main loop (the window is modeled
@@ -86,11 +117,19 @@ SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& schedule
       now = end;
     }
   };
+  // Alarms that fire while nothing runs are dropped: there is no in-flight
+  // compute to protect.
+  auto drop_alarms_before = [&](Seconds t) {
+    while (alarm_next < gap_alarms.size() && gap_alarms[alarm_next].time < t) {
+      ++alarm_next;
+    }
+  };
 
   while (now < horizon) {
     // Resolve idling (no app, or an app with a delayed start).
     if (!decision.app) {
       const Seconds until = std::min(next_fail, horizon);
+      drop_alarms_before(until);
       res.idle += until - now;
       now = until;
       if (now >= horizon) break;
@@ -102,6 +141,7 @@ SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& schedule
     const Seconds start_time = gap_start + decision.not_before_elapsed;
     if (start_time > now) {
       const Seconds until = std::min({start_time, next_fail, horizon});
+      drop_alarms_before(until);
       res.idle += until - now;
       now = until;
       if (now >= horizon) break;
@@ -111,43 +151,105 @@ SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& schedule
       }
     }
 
-    // Run one segment (compute interval + checkpoint write) of app `ai`.
+    // Run one segment (compute interval + checkpoint write) of app `ai`,
+    // interruptible by alarms and by a pending proactive checkpoint. With no
+    // alarm source the interrupt times stay at infinity and the segment
+    // resolves through exactly the prediction-free three-way comparison.
     const SimJob& job = jobs[ai];
     const Seconds tau = job.schedule->next_interval(now - gap_start);
     SHIRAZ_REQUIRE(tau > 0.0, "schedule produced a non-positive interval");
-    const Seconds seg_end = now + tau + job.delta;
+    const Seconds seg_start = now;
+    const Seconds write_start = now + tau;
+    const Seconds seg_end = write_start + job.delta;
 
-    if (horizon <= std::min(seg_end, next_fail)) {
-      // Horizon cuts the segment: neither checkpointed nor failure-wiped.
-      res.truncated += horizon - now;
-      now = horizon;
-      break;
-    }
-    if (next_fail < seg_end) {
-      // Failure wipes the in-flight segment (compute + partial checkpoint).
-      res.apps[ai].lost += next_fail - now;
-      now = next_fail;
-      handle_failure(ai);
-      continue;
-    }
-    // Segment completes: the interval becomes useful work, sealed by delta of
-    // checkpoint I/O.
-    res.apps[ai].useful += tau;
-    res.apps[ai].io += job.delta;
-    ++res.apps[ai].checkpoints;
-    ++ckpts_gap[ai];
-    now = seg_end;
-    decision = scheduler.on_checkpoint(make_ctx(ai));
-    // A within-gap hand-off (Shiraz's switch) may cost drain/launch downtime,
-    // charged to the incoming application.
-    if (decision.app && *decision.app != ai) {
-      ++res.switches;
-      if (config_.switch_cost > 0.0) {
-        const Seconds end =
-            std::min({now + config_.switch_cost, next_fail, horizon});
-        res.apps[*decision.app].restart += end - now;
-        now = end;
+    for (;;) {
+      const Seconds resolve_at = std::min({seg_end, next_fail, horizon});
+      // Alarms delivered late (their time fell inside a restart window) fire
+      // as soon as the app is back on the machine.
+      const Seconds alarm_at =
+          alarm_next < gap_alarms.size()
+              ? std::max(gap_alarms[alarm_next].time, seg_start)
+              : kNever;
+      const Seconds pending_at =
+          pending_ckpt ? std::max(*pending_ckpt, seg_start) : kNever;
+
+      if (alarm_at < resolve_at && alarm_at <= pending_at) {
+        SchedContext ctx = make_ctx(ai, alarm_at);
+        ctx.alarm_lead = gap_alarms[alarm_next].lead;
+        ctx.current_delta = job.delta;
+        const AlarmAction action = scheduler.on_alarm(ctx);
+        ++alarm_next;
+        ++res.alarms;
+        if (action.take_checkpoint) {
+          pending_ckpt = alarm_at + std::max(0.0, action.checkpoint_delay);
+        }
+        continue;
       }
+      if (pending_at < resolve_at) {
+        if (pending_at >= write_start) {
+          // The scheduled write is already sealing this segment; the
+          // proactive checkpoint would be redundant.
+          pending_ckpt.reset();
+          continue;
+        }
+        // Proactive write [pending_at, pending_at + delta) sealing the
+        // compute done since the segment started.
+        const Seconds proactive_end = pending_at + job.delta;
+        pending_ckpt.reset();
+        if (horizon <= std::min(proactive_end, next_fail)) {
+          res.truncated += horizon - now;
+          now = horizon;
+          break;
+        }
+        if (next_fail < proactive_end) {
+          // Failure wipes the in-flight segment (compute + partial write).
+          res.apps[ai].lost += next_fail - now;
+          now = next_fail;
+          handle_failure(ai);
+          break;
+        }
+        res.apps[ai].useful += pending_at - seg_start;
+        res.apps[ai].io += job.delta;
+        ++res.apps[ai].proactive_checkpoints;
+        ++res.proactive_checkpoints;
+        now = proactive_end;
+        // The decision is unchanged: the app resumes its regular schedule.
+        break;
+      }
+
+      if (horizon <= std::min(seg_end, next_fail)) {
+        // Horizon cuts the segment: neither checkpointed nor failure-wiped.
+        res.truncated += horizon - now;
+        now = horizon;
+        break;
+      }
+      if (next_fail < seg_end) {
+        // Failure wipes the in-flight segment (compute + partial checkpoint).
+        res.apps[ai].lost += next_fail - now;
+        now = next_fail;
+        handle_failure(ai);
+        break;
+      }
+      // Segment completes: the interval becomes useful work, sealed by delta
+      // of checkpoint I/O.
+      res.apps[ai].useful += tau;
+      res.apps[ai].io += job.delta;
+      ++res.apps[ai].checkpoints;
+      ++ckpts_gap[ai];
+      now = seg_end;
+      decision = scheduler.on_checkpoint(make_ctx(ai, now));
+      // A within-gap hand-off (Shiraz's switch) may cost drain/launch
+      // downtime, charged to the incoming application.
+      if (decision.app && *decision.app != ai) {
+        ++res.switches;
+        if (config_.switch_cost > 0.0) {
+          const Seconds end =
+              std::min({now + config_.switch_cost, next_fail, horizon});
+          res.apps[*decision.app].restart += end - now;
+          now = end;
+        }
+      }
+      break;
     }
   }
   return res;
@@ -155,14 +257,14 @@ SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& schedule
 
 SimResult Engine::run_many(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
                            std::size_t reps, std::uint64_t seed,
-                           std::size_t workers) const {
-  return run_campaign(jobs, scheduler, reps, seed, workers).mean;
+                           std::size_t workers, const AlarmSource* alarms) const {
+  return run_campaign(jobs, scheduler, reps, seed, workers, alarms).mean;
 }
 
 CampaignSummary Engine::run_campaign(const std::vector<SimJob>& jobs,
                                      const Scheduler& scheduler, std::size_t reps,
-                                     std::uint64_t seed,
-                                     std::size_t workers) const {
+                                     std::uint64_t seed, std::size_t workers,
+                                     const AlarmSource* alarms) const {
   SHIRAZ_REQUIRE(reps >= 1, "need at least one repetition");
   const Rng master(seed);
   std::vector<SimResult> results(reps);
@@ -170,28 +272,37 @@ CampaignSummary Engine::run_campaign(const std::vector<SimJob>& jobs,
   if (workers <= 1 || reps == 1) {
     for (std::size_t r = 0; r < reps; ++r) {
       Rng rng = master.fork(r);
-      results[r] = run(jobs, scheduler, rng);
+      results[r] = run(jobs, scheduler, rng, alarms);
     }
     return summarize_campaign(results);
   }
 
-  // Stateful policies get a private clone per repetition (cloned up front, on
-  // this thread, so no worker ever copies an instance another worker is
-  // mutating). The caller's instance runs the last repetition: reset() wipes
-  // run state at every run start, so the serial path's post-campaign
-  // observable state is also exactly the last repetition's — diagnostics like
-  // the adaptive scheduler's final k stay worker-count-invariant.
+  // Stateful policies and alarm sources get a private clone per repetition
+  // (cloned up front, on this thread, so no worker ever copies an instance
+  // another worker is mutating). The caller's instances run the last
+  // repetition: reset() wipes run state at every run start, so the serial
+  // path's post-campaign observable state is also exactly the last
+  // repetition's — diagnostics like the adaptive scheduler's final k and a
+  // predictor's stats stay worker-count-invariant.
   std::vector<std::unique_ptr<Scheduler>> clones(reps);
   if (std::unique_ptr<Scheduler> probe = scheduler.clone()) {
     clones[0] = std::move(probe);
     for (std::size_t r = 1; r + 1 < reps; ++r) clones[r] = scheduler.clone();
+  }
+  std::vector<std::unique_ptr<AlarmSource>> alarm_clones(reps);
+  if (alarms != nullptr) {
+    if (std::unique_ptr<AlarmSource> probe = alarms->clone()) {
+      alarm_clones[0] = std::move(probe);
+      for (std::size_t r = 1; r + 1 < reps; ++r) alarm_clones[r] = alarms->clone();
+    }
   }
 
   common::ThreadPool pool(std::min(workers, reps));
   common::parallel_for_indexed(pool, reps, [&](std::size_t r) {
     Rng rng = master.fork(r);
     const Scheduler& policy = clones[r] ? *clones[r] : scheduler;
-    results[r] = run(jobs, policy, rng);
+    const AlarmSource* source = alarm_clones[r] ? alarm_clones[r].get() : alarms;
+    results[r] = run(jobs, policy, rng, source);
   });
   return summarize_campaign(results);
 }

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "common/units.h"
 #include "reliability/distribution.h"
+#include "sim/alarm.h"
 #include "sim/job.h"
 #include "sim/metrics.h"
 #include "sim/scheduler.h"
@@ -50,8 +51,14 @@ class Engine {
   /// scheduler sees. The RNG drives only the failure process, so two runs
   /// with the same seed see identical failure times regardless of policy —
   /// common-random-numbers variance reduction for policy comparisons.
+  ///
+  /// `alarms`, when non-null, is consulted once per armed gap and its alarms
+  /// are delivered to the scheduler via on_alarm (see alarm.h); predictors
+  /// draw from a dedicated stream forked off `rng`, so the failure sequence
+  /// is identical with and without an alarm source, and a source emitting no
+  /// alarms reproduces the prediction-free run bit for bit.
   SimResult run(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
-                Rng& rng) const;
+                Rng& rng, const AlarmSource* alarms = nullptr) const;
 
   /// Runs `reps` campaigns with independent failure streams forked from
   /// `seed` and returns the element-wise average. `workers` > 1 dispatches
@@ -61,16 +68,19 @@ class Engine {
   /// reproduces the historical serial loop exactly).
   SimResult run_many(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
                      std::size_t reps, std::uint64_t seed,
-                     std::size_t workers = 1) const;
+                     std::size_t workers = 1,
+                     const AlarmSource* alarms = nullptr) const;
 
   /// run_many plus per-repetition spread: mean, stddev, 95% CI and range of
   /// every headline metric (see CampaignSummary). Same determinism guarantee.
-  /// Stateful schedulers (clone() != nullptr) get a private copy per parallel
-  /// repetition; the caller's instance runs the last repetition so
-  /// post-campaign diagnostics match the serial path.
+  /// Stateful schedulers and alarm sources (clone() != nullptr) get a private
+  /// copy per parallel repetition; the caller's instances run the last
+  /// repetition so post-campaign diagnostics (and predictor stats) match the
+  /// serial path.
   CampaignSummary run_campaign(const std::vector<SimJob>& jobs,
                                const Scheduler& scheduler, std::size_t reps,
-                               std::uint64_t seed, std::size_t workers = 1) const;
+                               std::uint64_t seed, std::size_t workers = 1,
+                               const AlarmSource* alarms = nullptr) const;
 
   const EngineConfig& config() const { return config_; }
 

@@ -49,12 +49,15 @@ SimResult average(const std::vector<SimResult>& results) {
       mean.apps[i].lost += x.apps[i].lost;
       mean.apps[i].restart += x.apps[i].restart;
       mean.apps[i].checkpoints += x.apps[i].checkpoints;
+      mean.apps[i].proactive_checkpoints += x.apps[i].proactive_checkpoints;
       mean.apps[i].failures_hit += x.apps[i].failures_hit;
     }
     mean.idle += x.idle;
     mean.truncated += x.truncated;
     mean.failures += x.failures;
     mean.switches += x.switches;
+    mean.alarms += x.alarms;
+    mean.proactive_checkpoints += x.proactive_checkpoints;
     mean.wall += x.wall;
   }
   for (auto& a : mean.apps) {
@@ -63,6 +66,8 @@ SimResult average(const std::vector<SimResult>& results) {
     a.lost /= n;
     a.restart /= n;
     a.checkpoints = static_cast<std::size_t>(static_cast<double>(a.checkpoints) / n);
+    a.proactive_checkpoints =
+        static_cast<std::size_t>(static_cast<double>(a.proactive_checkpoints) / n);
     a.failures_hit = static_cast<std::size_t>(static_cast<double>(a.failures_hit) / n);
   }
   mean.idle /= n;
@@ -70,6 +75,9 @@ SimResult average(const std::vector<SimResult>& results) {
   mean.wall /= n;
   mean.failures = static_cast<std::size_t>(static_cast<double>(mean.failures) / n);
   mean.switches = static_cast<std::size_t>(static_cast<double>(mean.switches) / n);
+  mean.alarms = static_cast<std::size_t>(static_cast<double>(mean.alarms) / n);
+  mean.proactive_checkpoints =
+      static_cast<std::size_t>(static_cast<double>(mean.proactive_checkpoints) / n);
   return mean;
 }
 

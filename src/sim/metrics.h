@@ -16,7 +16,11 @@ struct AppMetrics {
   Seconds io = 0.0;       ///< time spent writing completed checkpoints
   Seconds lost = 0.0;     ///< compute/partial-checkpoint time wiped by failures
   Seconds restart = 0.0;  ///< downtime charged to this app after its failures
-  std::size_t checkpoints = 0;
+  std::size_t checkpoints = 0;   ///< scheduled checkpoints completed
+  /// Alarm-triggered checkpoints completed (prediction-aware policies only;
+  /// their io is included in `io` but they do not count toward `checkpoints`
+  /// or the per-gap counts Shiraz's k-switch logic reads).
+  std::size_t proactive_checkpoints = 0;
   std::size_t failures_hit = 0;  ///< failures that struck while this app ran
 
   Seconds busy() const { return useful + io + lost + restart; }
@@ -29,6 +33,8 @@ struct SimResult {
   Seconds truncated = 0.0;        ///< partial segment cut off by the horizon
   std::size_t failures = 0;       ///< total failures over the horizon
   std::size_t switches = 0;       ///< within-gap application switches
+  std::size_t alarms = 0;         ///< failure alarms delivered to the policy
+  std::size_t proactive_checkpoints = 0;  ///< Σ apps[i].proactive_checkpoints
 
   Seconds total_useful() const;
   Seconds total_io() const;

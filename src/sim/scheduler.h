@@ -1,12 +1,14 @@
 // Scheduling policies for the discrete-event simulator.
 //
-// The engine consults the scheduler at exactly two kinds of points — right
-// after a failure (gap start) and right after a completed checkpoint — which
-// is sufficient for every policy in the paper: the baseline alternates at
-// failures, Shiraz switches at the light-weight app's k-th checkpoint, the
-// naive strategy switches at a wall-clock threshold (rounded up to the next
-// checkpoint boundary), and the multi-application scheme rotates pairs at
-// failures.
+// The engine consults the scheduler at three kinds of points — right after a
+// failure (gap start), right after a completed checkpoint, and when a failure
+// alarm fires (only when the engine runs with an AlarmSource; see alarm.h).
+// The first two are sufficient for every policy in the paper: the baseline
+// alternates at failures, Shiraz switches at the light-weight app's k-th
+// checkpoint, the naive strategy switches at a wall-clock threshold (rounded
+// up to the next checkpoint boundary), and the multi-application scheme
+// rotates pairs at failures. The alarm hook powers the prediction-aware
+// policies in src/predict, which respond with proactive checkpoints.
 #pragma once
 
 #include <cstddef>
@@ -33,6 +35,11 @@ struct SchedContext {
   /// on_gap_start after a failure; 0 at campaign start). Lets adaptive
   /// policies learn the failure process online.
   Seconds last_gap_length = 0.0;
+  /// Claimed time-to-failure of the alarm being delivered (on_alarm only).
+  Seconds alarm_lead = 0.0;
+  /// Checkpoint cost of app `current` (on_alarm only), so prediction-aware
+  /// policies can tell whether the lead time covers a proactive write.
+  Seconds current_delta = 0.0;
 
   Seconds elapsed_in_gap() const { return now - gap_start; }
 };
@@ -50,6 +57,22 @@ struct Decision {
     return Decision{index, elapsed};
   }
   static Decision idle() { return Decision{std::nullopt, 0.0}; }
+};
+
+/// Response to a failure alarm (Scheduler::on_alarm). A proactive checkpoint
+/// seals the running app's in-flight compute with an unscheduled write of its
+/// checkpoint cost; `checkpoint_delay` lets the policy aim the write to
+/// complete right at the predicted failure (start = alarm time + delay). The
+/// app keeps computing until the write starts and resumes its regular
+/// schedule afterwards. Proactive checkpoints do not count toward
+/// checkpoints_this_gap, so Shiraz's k-switch logic is unaffected.
+struct AlarmAction {
+  bool take_checkpoint = false;
+  /// Seconds after the alarm at which the proactive write starts.
+  Seconds checkpoint_delay = 0.0;
+
+  static AlarmAction ignore() { return {}; }
+  static AlarmAction checkpoint_after(Seconds delay) { return {true, delay}; }
 };
 
 /// A scheduling policy. The engine calls reset() at the start of every run,
@@ -70,6 +93,14 @@ class Scheduler {
 
   /// Called when app `ctx.current` completes a checkpoint.
   virtual Decision on_checkpoint(const SchedContext& ctx) const = 0;
+
+  /// Called when a failure alarm fires while app `ctx.current` runs (only
+  /// when the engine was given an AlarmSource; ctx.alarm_lead carries the
+  /// claimed time-to-failure and ctx.current_delta the running app's
+  /// checkpoint cost). Default: ignore the alarm.
+  virtual AlarmAction on_alarm(const SchedContext&) const {
+    return AlarmAction::ignore();
+  }
 
   /// Copy hook for parallel Monte-Carlo dispatch: policies with mutable run
   /// state MUST override this to return a private copy, so each concurrent

@@ -51,6 +51,44 @@ TEST(Flags, RejectsPositionalArguments) {
   EXPECT_THROW(make_flags({"positional"}), InvalidArgument);
 }
 
+TEST(Flags, RejectsMalformedNumericValues) {
+  EXPECT_THROW(make_flags({"--jobs=abc"}).get_int("jobs", 1), InvalidArgument);
+  EXPECT_THROW(make_flags({"--jobs="}).get_int("jobs", 1), InvalidArgument);
+  EXPECT_THROW(make_flags({"--reps=12x"}).get_int("reps", 1), InvalidArgument);
+  EXPECT_THROW(make_flags({"--mtbf=5..5"}).get_double("mtbf", 1.0),
+               InvalidArgument);
+  EXPECT_THROW(make_flags({"--mtbf=five"}).get_double("mtbf", 1.0),
+               InvalidArgument);
+  // A bare `--jobs` parses as the boolean "true" — still not a number.
+  EXPECT_THROW(make_flags({"--jobs"}).get_int("jobs", 1), InvalidArgument);
+}
+
+TEST(Flags, RejectsOutOfRangeNumericValues) {
+  EXPECT_THROW(make_flags({"--reps=99999999999999999999"}).get_int("reps", 1),
+               InvalidArgument);
+  EXPECT_THROW(
+      make_flags({"--seed=99999999999999999999"}).get_seed("seed", 1),
+      InvalidArgument);
+}
+
+TEST(Flags, CountRejectsNegativesButKeepsZero) {
+  EXPECT_THROW(make_flags({"--reps=-3"}).get_count("reps", 1), InvalidArgument);
+  EXPECT_THROW(make_flags({"--jobs=-1"}).get_count("jobs", 1), InvalidArgument);
+  EXPECT_EQ(make_flags({"--jobs=0"}).get_count("jobs", 1), 0u);
+  EXPECT_EQ(make_flags({"--reps=8"}).get_count("reps", 1), 8u);
+  EXPECT_EQ(make_flags({}).get_count("reps", 17), 17u);
+}
+
+TEST(Flags, SeedRejectsNegatives) {
+  // strtoull would silently wrap -1 to 2^64-1; that is never an intended seed.
+  EXPECT_THROW(make_flags({"--seed=-1"}).get_seed("seed", 1), InvalidArgument);
+}
+
+TEST(Flags, BoolRejectsUnknownSpellings) {
+  EXPECT_THROW(make_flags({"--csv=maybe"}).get_bool("csv", false),
+               InvalidArgument);
+}
+
 TEST(Flags, LastValueWinsOnRepeat) {
   const Flags f = make_flags({"--k=1", "--k=2"});
   EXPECT_EQ(f.get_int("k", 0), 2);

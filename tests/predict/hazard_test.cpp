@@ -1,0 +1,121 @@
+// HazardThresholdPredictor: deterministic, threshold-monotone, honest.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "predict/hazard.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::predict {
+namespace {
+
+constexpr std::uint64_t kSeed = 20180712;
+
+/// One simulated campaign's worth of gaps, fed the way the engine would.
+std::size_t total_alarms(const HazardThresholdPredictor& predictor,
+                         std::size_t gaps, Seconds mtbf, std::uint64_t seed) {
+  const reliability::Weibull failures = reliability::Weibull::from_mtbf(0.6, mtbf);
+  Rng fail_rng(seed);
+  Rng alarm_rng = fail_rng.fork(1);
+  predictor.reset();
+  Seconds now = 0.0;
+  std::size_t count = 0;
+  for (std::size_t g = 0; g < gaps; ++g) {
+    const Seconds gap = failures.sample(fail_rng);
+    count += predictor.alarms_in_gap(now, gap, alarm_rng).size();
+    now += gap;
+  }
+  return count;
+}
+
+HazardConfig make_config(double threshold_per_hour) {
+  HazardConfig cfg;
+  cfg.estimator.prior_mtbf = hours(5.0);
+  cfg.estimator.prior_shape = 0.6;
+  cfg.threshold_per_hour = threshold_per_hour;
+  cfg.eval_period = minutes(10.0);
+  cfg.lead = minutes(10.0);
+  return cfg;
+}
+
+TEST(HazardThresholdPredictor, AlarmCountIsMonotoneInTheThreshold) {
+  // The estimator's evolution is threshold-independent (it trains on every
+  // gap regardless), and within a gap the fitted hazard decays monotonically
+  // (shape < 1), so raising the threshold can only shrink each gap's alarmed
+  // prefix — and therefore the campaign's total alarm count.
+  std::size_t previous = SIZE_MAX;
+  for (const double threshold : {0.05, 0.15, 0.3, 0.6, 1.2, 5.0}) {
+    const HazardThresholdPredictor predictor(make_config(threshold));
+    const std::size_t count = total_alarms(predictor, 600, hours(5.0), kSeed);
+    EXPECT_LE(count, previous) << "threshold " << threshold << "/h";
+    previous = count;
+  }
+}
+
+TEST(HazardThresholdPredictor, EmissionIsDeterministic) {
+  const HazardThresholdPredictor predictor(make_config(0.3));
+  const std::size_t a = total_alarms(predictor, 300, hours(5.0), kSeed);
+  const std::size_t b = total_alarms(predictor, 300, hours(5.0), kSeed);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HazardThresholdPredictor, RespectsThePerGapAlarmCap) {
+  HazardConfig cfg = make_config(1e-9);  // effectively always above threshold
+  cfg.max_alarms_per_gap = 3;
+  const HazardThresholdPredictor predictor(cfg);
+  predictor.reset();
+  Rng rng(kSeed);
+  EXPECT_EQ(predictor.alarms_in_gap(0.0, hours(20.0), rng).size(), 3u);
+}
+
+TEST(HazardThresholdPredictor, AlarmsFormAPrefixOfTheGrid) {
+  // With a diverging hazard at 0, the first alarm sits exactly at the gap
+  // start and subsequent ones at eval_period spacing.
+  HazardConfig cfg = make_config(1e-9);
+  cfg.max_alarms_per_gap = 4;
+  const HazardThresholdPredictor predictor(cfg);
+  predictor.reset();
+  Rng rng(kSeed);
+  const Seconds gap_start = hours(13.0);
+  const auto alarms = predictor.alarms_in_gap(gap_start, hours(10.0), rng);
+  ASSERT_EQ(alarms.size(), 4u);
+  for (std::size_t j = 0; j < alarms.size(); ++j) {
+    EXPECT_DOUBLE_EQ(alarms[j].time,
+                     gap_start + static_cast<double>(j) * cfg.eval_period);
+    EXPECT_DOUBLE_EQ(alarms[j].lead, cfg.lead);
+  }
+}
+
+TEST(HazardThresholdPredictor, ResetRestoresThePrior) {
+  const HazardThresholdPredictor predictor(make_config(0.3));
+  total_alarms(predictor, 200, hours(1.0), kSeed);  // train on short gaps
+  EXPECT_GT(predictor.estimate().samples, 0u);
+  predictor.reset();
+  EXPECT_EQ(predictor.estimate().samples, 0u);
+  EXPECT_DOUBLE_EQ(predictor.estimate().mtbf, hours(5.0));  // prior again
+}
+
+TEST(HazardThresholdPredictor, CloneTrainsIndependently) {
+  const HazardThresholdPredictor predictor(make_config(0.3));
+  const auto copy = predictor.clone();
+  ASSERT_NE(copy, nullptr);
+  copy->reset();
+  Rng rng(kSeed);
+  copy->alarms_in_gap(0.0, hours(2.0), rng);
+  EXPECT_EQ(predictor.estimate().samples, 0u);
+  EXPECT_EQ(predictor.stats().gaps(), 0u);
+}
+
+TEST(HazardThresholdPredictor, RejectsOutOfRangeConfiguration) {
+  EXPECT_THROW(HazardThresholdPredictor{make_config(0.0)}, InvalidArgument);
+  HazardConfig cfg = make_config(0.3);
+  cfg.eval_period = 0.0;
+  EXPECT_THROW(HazardThresholdPredictor{cfg}, InvalidArgument);
+  cfg = make_config(0.3);
+  cfg.max_alarms_per_gap = 0;
+  EXPECT_THROW(HazardThresholdPredictor{cfg}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::predict

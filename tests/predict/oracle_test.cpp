@@ -1,0 +1,155 @@
+// OraclePredictor: realized precision/recall track the configured targets,
+// alarms are truthful, and emission is deterministic in the seed.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "predict/oracle.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::predict {
+namespace {
+
+constexpr std::uint64_t kSeed = 20180711;
+
+/// Feeds `gaps` Weibull inter-failure gaps to the predictor the way the
+/// engine would (one alarms_in_gap call per armed gap) and returns it ready
+/// for stats inspection.
+void drive(const OraclePredictor& oracle, std::size_t gaps, Seconds mtbf,
+           std::uint64_t seed) {
+  const reliability::Weibull failures = reliability::Weibull::from_mtbf(0.6, mtbf);
+  Rng fail_rng(seed);
+  Rng alarm_rng = fail_rng.fork(1);
+  oracle.reset();
+  Seconds now = 0.0;
+  for (std::size_t g = 0; g < gaps; ++g) {
+    const Seconds gap = failures.sample(fail_rng);
+    oracle.alarms_in_gap(now, gap, alarm_rng);
+    now += gap;
+  }
+}
+
+TEST(OraclePredictor, RealizedQualityTracksConfiguredTargets) {
+  OracleConfig cfg;
+  cfg.precision = 0.8;
+  cfg.recall = 0.7;
+  cfg.lead = minutes(10.0);
+  cfg.mtbf = hours(5.0);
+  const OraclePredictor oracle(cfg);
+  drive(oracle, 4000, cfg.mtbf, kSeed);
+
+  const PredictorStats& s = oracle.stats();
+  EXPECT_EQ(s.gaps(), 4000u);
+  // Lucky false alarms (landing within the lead of the real failure) push the
+  // realized numbers slightly above target; budget 3% either way.
+  EXPECT_NEAR(s.recall(), cfg.recall, 0.03);
+  EXPECT_NEAR(s.precision(), cfg.precision, 0.03);
+}
+
+TEST(OraclePredictor, PerfectOracleIsPerfect) {
+  OracleConfig cfg;
+  cfg.precision = 1.0;
+  cfg.recall = 1.0;
+  cfg.lead = minutes(10.0);
+  cfg.mtbf = hours(5.0);
+  const OraclePredictor oracle(cfg);
+  drive(oracle, 1000, cfg.mtbf, kSeed);
+
+  const PredictorStats& s = oracle.stats();
+  EXPECT_DOUBLE_EQ(s.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 1.0);
+  EXPECT_EQ(s.false_alarms(), 0u);
+  EXPECT_EQ(s.true_alarms(), 1000u);  // exactly one alarm per failure
+}
+
+TEST(OraclePredictor, AlarmsAreTruthfulAndClampedToTheGap) {
+  OracleConfig cfg;
+  cfg.precision = 1.0;
+  cfg.recall = 1.0;
+  cfg.lead = minutes(10.0);
+  const OraclePredictor oracle(cfg);
+  oracle.reset();
+  Rng rng(kSeed);
+
+  // Long gap: the alarm fires exactly `lead` ahead.
+  const Seconds gap_start = hours(3.0);
+  auto alarms = oracle.alarms_in_gap(gap_start, hours(2.0), rng);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_DOUBLE_EQ(alarms[0].time, gap_start + hours(2.0) - minutes(10.0));
+  EXPECT_DOUBLE_EQ(alarms[0].lead, minutes(10.0));
+
+  // Short gap: the alarm clamps to the gap start and claims the (shorter)
+  // truthful lead.
+  alarms = oracle.alarms_in_gap(gap_start, minutes(2.0), rng);
+  ASSERT_EQ(alarms.size(), 1u);
+  EXPECT_DOUBLE_EQ(alarms[0].time, gap_start);
+  EXPECT_DOUBLE_EQ(alarms[0].lead, minutes(2.0));
+}
+
+TEST(OraclePredictor, ZeroRecallEmitsNoTrueAlarmsAndNoFalseOnes) {
+  OracleConfig cfg;
+  cfg.precision = 0.5;
+  cfg.recall = 0.0;  // the false-alarm rate scales with recall: silent predictor
+  const OraclePredictor oracle(cfg);
+  drive(oracle, 500, cfg.mtbf, kSeed);
+  EXPECT_EQ(oracle.stats().alarms(), 0u);
+  EXPECT_DOUBLE_EQ(oracle.stats().recall(), 0.0);
+}
+
+TEST(OraclePredictor, EmissionIsDeterministicInTheSeed) {
+  OracleConfig cfg;
+  cfg.precision = 0.7;
+  cfg.recall = 0.6;
+  const OraclePredictor oracle(cfg);
+
+  Rng rng_a(kSeed);
+  oracle.reset();
+  const auto first = oracle.alarms_in_gap(0.0, hours(7.0), rng_a);
+
+  Rng rng_b(kSeed);
+  oracle.reset();
+  const auto second = oracle.alarms_in_gap(0.0, hours(7.0), rng_b);
+
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].time, second[i].time);
+    EXPECT_EQ(first[i].lead, second[i].lead);
+  }
+}
+
+TEST(OraclePredictor, CloneIsIndependent) {
+  OracleConfig cfg;
+  cfg.precision = 0.8;
+  cfg.recall = 0.8;
+  const OraclePredictor oracle(cfg);
+  const auto copy = oracle.clone();
+  ASSERT_NE(copy, nullptr);
+
+  Rng rng(kSeed);
+  copy->reset();
+  copy->alarms_in_gap(0.0, hours(4.0), rng);
+  // Driving the clone never touches the original's stats.
+  EXPECT_EQ(oracle.stats().gaps(), 0u);
+}
+
+TEST(OraclePredictor, RejectsOutOfRangeConfiguration) {
+  OracleConfig cfg;
+  cfg.precision = 0.0;
+  EXPECT_THROW(OraclePredictor{cfg}, InvalidArgument);
+  cfg.precision = 1.5;
+  EXPECT_THROW(OraclePredictor{cfg}, InvalidArgument);
+  cfg.precision = 0.8;
+  cfg.recall = -0.1;
+  EXPECT_THROW(OraclePredictor{cfg}, InvalidArgument);
+  cfg.recall = 0.8;
+  cfg.lead = -1.0;
+  EXPECT_THROW(OraclePredictor{cfg}, InvalidArgument);
+  cfg.lead = 60.0;
+  cfg.mtbf = 0.0;
+  EXPECT_THROW(OraclePredictor{cfg}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::predict

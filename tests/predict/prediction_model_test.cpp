@@ -1,0 +1,127 @@
+// The first-order prediction model vs the discrete-event simulator: expected
+// waste (checkpoint I/O + lost work) must agree within 5% across the quality
+// grid the ablation bench sweeps.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/oci.h"
+#include "common/error.h"
+#include "predict/oracle.h"
+#include "predict/policies.h"
+#include "predict/prediction_model.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+
+namespace shiraz::predict {
+namespace {
+
+constexpr std::uint64_t kSeed = 20180713;
+constexpr std::size_t kReps = 24;
+
+struct GridPoint {
+  Seconds mtbf;
+  Seconds delta;
+  PredictorSpec spec;
+};
+
+sim::SimResult simulate(const GridPoint& g) {
+  sim::EngineConfig cfg;
+  cfg.t_total = hours(1000.0);
+  const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, g.mtbf), cfg);
+  const std::vector<sim::SimJob> jobs{sim::SimJob::at_oci("app", g.delta, g.mtbf)};
+  const ProactiveCkptScheduler policy;
+  OracleConfig ocfg;
+  ocfg.precision = g.spec.precision;
+  ocfg.recall = g.spec.recall;
+  ocfg.lead = g.spec.lead;
+  ocfg.mtbf = g.mtbf;
+  const OraclePredictor oracle(ocfg);
+  return engine.run_many(jobs, policy, kReps, kSeed, 1, &oracle);
+}
+
+class PredictionModelGrid : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(PredictionModelGrid, WasteMatchesSimulationWithin5Percent) {
+  const GridPoint g = GetParam();
+  PredictionModelConfig mcfg;
+  mcfg.mtbf = g.mtbf;
+  const PredictionModel model(mcfg);
+  const PredictionEstimate est = model.single_app(g.delta, g.spec);
+
+  const sim::SimResult sim = simulate(g);
+  const double sim_waste = sim.total_io() + sim.total_lost();
+  ASSERT_GT(sim_waste, 0.0);
+  EXPECT_NEAR(est.waste() / sim_waste, 1.0, 0.05)
+      << "model waste " << est.waste() << " s vs simulated " << sim_waste << " s";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QualityGrid, PredictionModelGrid,
+    ::testing::Values(
+        // The bench's anchor points: lw-scale checkpoint costs at both MTBFs.
+        GridPoint{hours(5.0), 18.0, {1.0, 1.0, minutes(10.0)}},
+        GridPoint{hours(5.0), 18.0, {0.8, 0.8, minutes(10.0)}},
+        GridPoint{hours(5.0), 18.0, {0.9, 0.5, minutes(10.0)}},
+        GridPoint{hours(5.0), 18.0, {0.6, 0.9, minutes(5.0)}},
+        GridPoint{hours(5.0), 180.0, {0.8, 0.8, minutes(20.0)}},
+        GridPoint{hours(20.0), 18.0, {0.8, 0.8, minutes(10.0)}},
+        GridPoint{hours(20.0), 180.0, {0.9, 0.7, minutes(20.0)}},
+        // Degenerate corners: lead too short to act on, and a mute predictor.
+        GridPoint{hours(5.0), 180.0, {0.8, 0.8, 30.0}},
+        GridPoint{hours(5.0), 18.0, {0.8, 0.0, minutes(10.0)}}),
+    [](const ::testing::TestParamInfo<GridPoint>& info) {
+      const GridPoint& g = info.param;
+      return "M" + std::to_string(static_cast<int>(as_hours(g.mtbf))) + "d" +
+             std::to_string(static_cast<int>(g.delta)) + "p" +
+             std::to_string(static_cast<int>(100.0 * g.spec.precision)) + "r" +
+             std::to_string(static_cast<int>(100.0 * g.spec.recall)) + "l" +
+             std::to_string(static_cast<int>(g.spec.lead));
+    });
+
+TEST(PredictionModel, UselessLeadDegeneratesToTheSilentEstimate) {
+  const PredictionModel model(PredictionModelConfig{});
+  const PredictionEstimate silent = model.single_app(180.0, {0.8, 0.0, minutes(10.0)});
+  const PredictionEstimate blunt = model.single_app(180.0, {0.8, 0.8, 30.0});
+  EXPECT_DOUBLE_EQ(silent.waste(), blunt.waste());
+  EXPECT_DOUBLE_EQ(silent.proactive_io, 0.0);
+  EXPECT_DOUBLE_EQ(blunt.proactive_io, 0.0);
+}
+
+TEST(PredictionModel, BetterPredictorsWasteLess) {
+  const PredictionModel model(PredictionModelConfig{});
+  const Seconds delta = 18.0;
+  const Seconds lead = minutes(10.0);
+  double previous = model.single_app(delta, {0.9, 0.0, lead}).waste();
+  for (const double recall : {0.3, 0.6, 0.9, 1.0}) {
+    const double waste = model.single_app(delta, {0.9, recall, lead}).waste();
+    EXPECT_LT(waste, previous) << "recall " << recall;
+    previous = waste;
+  }
+}
+
+TEST(PredictionModel, RejectsOutOfRangeInputs) {
+  const PredictionModel model(PredictionModelConfig{});
+  EXPECT_THROW(model.single_app(0.0, {1.0, 1.0, 60.0}), InvalidArgument);
+  EXPECT_THROW(model.single_app(18.0, {0.0, 1.0, 60.0}), InvalidArgument);
+  EXPECT_THROW(model.single_app(18.0, {1.0, 1.5, 60.0}), InvalidArgument);
+  PredictionModelConfig bad;
+  bad.epsilon = 1.0;
+  EXPECT_THROW(PredictionModel{bad}, InvalidArgument);
+}
+
+TEST(OptimalIntervalWithRecall, ExtendsYoungByTheRecallFactor) {
+  const Seconds mtbf = hours(5.0);
+  const Seconds delta = 18.0;
+  EXPECT_DOUBLE_EQ(optimal_interval_with_recall(mtbf, delta, 0.0),
+                   checkpoint::optimal_interval(mtbf, delta));
+  // r = 0.75 leaves a quarter of the failures: the period doubles.
+  EXPECT_DOUBLE_EQ(optimal_interval_with_recall(mtbf, delta, 0.75),
+                   2.0 * checkpoint::optimal_interval(mtbf, delta));
+  EXPECT_THROW(optimal_interval_with_recall(mtbf, delta, 1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::predict

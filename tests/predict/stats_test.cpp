@@ -1,0 +1,64 @@
+// PredictorStats bookkeeping: counter accumulation, 0-safe ratios, reset.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "predict/stats.h"
+
+namespace shiraz::predict {
+namespace {
+
+TEST(PredictorStats, FreshStatsAreVacuouslyPerfect) {
+  const PredictorStats s;
+  EXPECT_EQ(s.gaps(), 0u);
+  EXPECT_EQ(s.alarms(), 0u);
+  EXPECT_EQ(s.missed_failures(), 0u);
+  EXPECT_DOUBLE_EQ(s.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 1.0);
+}
+
+TEST(PredictorStats, AccumulatesAcrossGaps) {
+  PredictorStats s;
+  s.record_gap(2, 1, {minutes(5.0), minutes(8.0)});  // predicted, 1 FP
+  s.record_gap(0, 3, {});                            // missed, noisy
+  s.record_gap(1, 0, {minutes(2.0)});                // predicted, clean
+  s.record_gap(0, 0, {});                            // missed, silent
+
+  EXPECT_EQ(s.gaps(), 4u);
+  EXPECT_EQ(s.failures(), 4u);
+  EXPECT_EQ(s.true_alarms(), 3u);
+  EXPECT_EQ(s.false_alarms(), 4u);
+  EXPECT_EQ(s.alarms(), 7u);
+  EXPECT_EQ(s.predicted_failures(), 2u);
+  EXPECT_EQ(s.missed_failures(), 2u);
+  EXPECT_DOUBLE_EQ(s.precision(), 3.0 / 7.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 0.5);
+  EXPECT_EQ(s.lead_times().total(), 3u);
+}
+
+TEST(PredictorStats, ResetRestoresTheFreshState) {
+  PredictorStats s(minutes(30.0), 6);
+  s.record_gap(1, 2, {minutes(4.0)});
+  s.reset();
+  EXPECT_EQ(s.gaps(), 0u);
+  EXPECT_EQ(s.alarms(), 0u);
+  EXPECT_DOUBLE_EQ(s.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 1.0);
+  EXPECT_EQ(s.lead_times().total(), 0u);
+  EXPECT_EQ(s.lead_times().bin_count(), 6u);
+}
+
+TEST(PredictorStats, LeadHistogramUsesConfiguredRange) {
+  PredictorStats s(minutes(10.0), 10);
+  s.record_gap(3, 0, {minutes(0.5), minutes(9.5), hours(2.0)});
+  EXPECT_EQ(s.lead_times().total(), 3u);
+  EXPECT_EQ(s.lead_times().overflow(), 1u);  // the 2 h lead
+  EXPECT_EQ(s.lead_times().count(0), 1u);
+  EXPECT_EQ(s.lead_times().count(9), 1u);
+}
+
+TEST(PredictorStats, RejectsNonPositiveHistogramRange) {
+  EXPECT_THROW(PredictorStats(0.0, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::predict

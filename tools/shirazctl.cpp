@@ -6,6 +6,7 @@
 //   pairs     pair a catalog of applications and solve every pair
 //   fit       fit a Weibull to a failure trace file, with bootstrap CIs
 //   simulate  validate a switch point against the discrete-event simulator
+//   predict   drive a failure predictor over synthetic gaps, report its stats
 //
 // Examples:
 //   shirazctl solve --mtbf-hours=5 --delta-lw=18 --delta-hw=1800
@@ -13,7 +14,9 @@
 //   shirazctl pairs --mtbf-hours=5 --strategy=extreme
 //   shirazctl fit --trace=failures.txt
 //   shirazctl simulate --mtbf-hours=5 --delta-lw=18 --delta-hw=1800 --k=26
+//   shirazctl predict --predictor=oracle --precision=0.9 --recall=0.8
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "apps/catalog.h"
@@ -23,6 +26,9 @@
 #include "core/pairing.h"
 #include "core/shiraz_plus.h"
 #include "core/switch_solver.h"
+#include "predict/hazard.h"
+#include "predict/oracle.h"
+#include "predict/predictor.h"
 #include "reliability/bootstrap.h"
 #include "reliability/fitting.h"
 #include "reliability/trace.h"
@@ -80,7 +86,7 @@ int cmd_stretch(const Flags& flags) {
   const core::ShirazModel model = model_from(flags);
   const core::AppSpec lw = lw_from(flags);
   const core::AppSpec hw = hw_from(flags);
-  const auto max_stretch = static_cast<unsigned>(flags.get_int("max-stretch", 6));
+  const auto max_stretch = static_cast<unsigned>(flags.get_count("max-stretch", 6));
   std::vector<unsigned> stretches;
   for (unsigned s = 1; s <= max_stretch; ++s) stretches.push_back(s);
   const auto outcomes = evaluate_shiraz_plus(model, lw, hw, stretches);
@@ -160,7 +166,7 @@ int cmd_simulate(const Flags& flags) {
       ecfg);
   const sim::SimJob lwj = sim::SimJob::at_oci("light", lw.delta, model.config().mtbf);
   const sim::SimJob hwj = sim::SimJob::at_oci("heavy", hw.delta, model.config().mtbf);
-  const auto reps = static_cast<std::size_t>(flags.get_int("reps", 32));
+  const auto reps = flags.get_count("reps", 32);
   const auto c = sim::simulate_switch_point(engine, lwj, hwj, k, reps,
                                             flags.get_seed("seed", 7));
   std::printf("Simulated (reps=%zu) at k = %d: light %+.1f h, heavy %+.1f h, "
@@ -169,14 +175,76 @@ int cmd_simulate(const Flags& flags) {
   return 0;
 }
 
+int cmd_predict(const Flags& flags) {
+  const Seconds mtbf = hours(flags.get_double("mtbf-hours", 5.0));
+  const double beta = flags.get_double("beta", 0.6);
+  const std::size_t gaps = flags.get_count("gaps", 2000);
+  SHIRAZ_REQUIRE(gaps > 0, "predict requires --gaps >= 1");
+  const std::string kind = flags.get("predictor", "oracle");
+
+  std::unique_ptr<predict::Predictor> predictor;
+  if (kind == "oracle") {
+    predict::OracleConfig cfg;
+    cfg.precision = flags.get_double("precision", 0.8);
+    cfg.recall = flags.get_double("recall", 0.8);
+    cfg.lead = minutes(flags.get_double("lead-minutes", 10.0));
+    cfg.mtbf = mtbf;
+    predictor = std::make_unique<predict::OraclePredictor>(cfg);
+  } else if (kind == "hazard") {
+    predict::HazardConfig cfg;
+    cfg.estimator.prior_mtbf = mtbf;
+    cfg.estimator.prior_shape = beta;
+    cfg.threshold_per_hour = flags.get_double("threshold", 0.3);
+    cfg.lead = minutes(flags.get_double("lead-minutes", 10.0));
+    predictor = std::make_unique<predict::HazardThresholdPredictor>(cfg);
+  } else {
+    throw InvalidArgument("unknown --predictor '" + kind +
+                          "' (expected oracle or hazard)");
+  }
+
+  // Feed the predictor synthetic inter-failure gaps exactly the way the
+  // simulation engine arms it: one alarms_in_gap call per gap, alarm draws on
+  // a stream forked off the failure stream.
+  const reliability::Weibull failures = reliability::Weibull::from_mtbf(beta, mtbf);
+  Rng fail_rng(flags.get_seed("seed", 20180718));
+  Rng alarm_rng = fail_rng.fork(1);
+  Seconds now = 0.0;
+  for (std::size_t g = 0; g < gaps; ++g) {
+    const Seconds gap = failures.sample(fail_rng);
+    predictor->alarms_in_gap(now, gap, alarm_rng);
+    now += gap;
+  }
+
+  const predict::PredictorStats& s = predictor->stats();
+  std::printf("%s over %zu gaps (MTBF %.1f h, beta %.2f):\n",
+              predictor->name().c_str(), s.gaps(), as_hours(mtbf), beta);
+  Table table({"metric", "value"});
+  table.add_row({"alarms", std::to_string(s.alarms())});
+  table.add_row({"true alarms", std::to_string(s.true_alarms())});
+  table.add_row({"false alarms", std::to_string(s.false_alarms())});
+  table.add_row({"predicted failures", std::to_string(s.predicted_failures())});
+  table.add_row({"missed failures", std::to_string(s.missed_failures())});
+  table.add_row({"precision", fmt(s.precision(), 3)});
+  table.add_row({"recall", fmt(s.recall(), 3)});
+  std::printf("%s", table.render().c_str());
+  if (s.true_alarms() > 0) {
+    std::printf("\nActual lead time of true alarms (s):\n%s",
+                s.lead_times().render().c_str());
+  }
+  return 0;
+}
+
 void usage() {
-  std::printf(
-      "shirazctl <solve|stretch|pairs|fit|simulate> [--flags]\n"
+  std::fprintf(
+      stderr,
+      "shirazctl <solve|stretch|pairs|fit|simulate|predict> [--flags]\n"
       "  common flags: --mtbf-hours=5 --beta=0.6 --epsilon=0.45 --t-total-hours=1000\n"
       "  solve/stretch/simulate: --delta-lw=18 --delta-hw=1800 [--k=] [--reps=]\n"
       "  stretch: --max-stretch=6 --floor=0.0\n"
       "  pairs: --strategy=extreme|random --seed=1\n"
-      "  fit: --trace=<failure-trace file>\n");
+      "  fit: --trace=<failure-trace file>\n"
+      "  predict: --predictor=oracle|hazard --precision=0.8 --recall=0.8\n"
+      "           --lead-minutes=10 --threshold=0.3 --gaps=2000 --seed=...\n");
 }
 
 }  // namespace
@@ -194,6 +262,8 @@ int main(int argc, char** argv) {
     if (command == "pairs") return cmd_pairs(flags);
     if (command == "fit") return cmd_fit(flags);
     if (command == "simulate") return cmd_simulate(flags);
+    if (command == "predict") return cmd_predict(flags);
+    std::fprintf(stderr, "shirazctl: unknown command '%s'\n", command.c_str());
     usage();
     return 2;
   } catch (const Error& e) {
