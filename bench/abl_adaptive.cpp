@@ -44,8 +44,13 @@ int main(int argc, char** argv) {
   const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, hours(5.0)), ecfg);
   const std::vector<sim::SimJob> jobs{sim::SimJob::at_oci("lw", 18.0, hours(5.0)),
                                       sim::SimJob::at_oci("hw", 1800.0, hours(5.0))};
+  // Sample each machine's failure streams once (stationary here, aging below)
+  // and replay them across the baseline and every policy, on one pool.
+  bench::BenchCampaigns campaigns(workers, reps);
+  const sim::TraceStore traces(engine, seed);
+  const sim::CampaignOptions copts = campaigns.replay(traces);
   const sim::SimResult base =
-      engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed, workers);
+      engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed, copts);
 
   // --- Part 1: static Shiraz with a wrong nominal MTBF ---
   Table sens({"assumed MTBF (h)", "k solved", "total gain (h)", "min app gain (h)"});
@@ -62,7 +67,7 @@ int main(int argc, char** argv) {
       continue;
     }
     const sim::ShirazPairScheduler policy(*sol.k);
-    const sim::SimResult r = engine.run_many(jobs, policy, reps, seed, workers);
+    const sim::SimResult r = engine.run_many(jobs, policy, reps, seed, copts);
     sens.add_row({fmt(assumed, 1), std::to_string(*sol.k),
                   fmt(as_hours(r.total_useful() - base.total_useful()), 1),
                   fmt(as_hours(min_gain(r, base)), 1)});
@@ -79,7 +84,7 @@ int main(int argc, char** argv) {
   acfg.estimator.min_samples = 16;
   const adaptive::AdaptiveShirazScheduler adaptive_policy(lw, hw, acfg);
   const sim::SimResult r_adapt =
-      engine.run_many(jobs, adaptive_policy, reps, seed, workers);
+      engine.run_many(jobs, adaptive_policy, reps, seed, copts);
   std::printf("\nAdaptive (prior MTBF 20 h, true 5 h): total gain %.1f h, "
               "min app gain %.1f h, final k = %d after %zu re-solves.\n",
               as_hours(r_adapt.total_useful() - base.total_useful()),
@@ -94,8 +99,13 @@ int main(int argc, char** argv) {
     return reliability::Weibull::from_mtbf(beta, mtbf).sample(rng);
   };
   const sim::Engine aging_engine(aging, ecfg);
+  // The aging sampler builds a Weibull per draw; memoizing its trace pays
+  // even more than for the stationary engine. Non-stationarity replays
+  // soundly: gap starts are policy-independent prefix sums of the gaps.
+  const sim::TraceStore aging_traces(aging_engine, seed);
+  const sim::CampaignOptions aopts = campaigns.replay(aging_traces);
   const sim::SimResult a_base =
-      aging_engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed, workers);
+      aging_engine.run_many(jobs, sim::AlternateAtFailure{}, reps, seed, aopts);
 
   Table aging_table({"policy", "total gain (h)", "min app gain (h)"});
   core::ModelConfig mid;
@@ -107,9 +117,9 @@ int main(int argc, char** argv) {
       solve_switch_point(core::ShirazModel(mid), lw, hw, opts);
   const sim::ShirazPairScheduler static_policy(static_sol.k.value_or(1));
   const sim::SimResult a_static =
-      aging_engine.run_many(jobs, static_policy, reps, seed, workers);
+      aging_engine.run_many(jobs, static_policy, reps, seed, aopts);
   const sim::SimResult a_adapt =
-      aging_engine.run_many(jobs, adaptive_policy, reps, seed, workers);
+      aging_engine.run_many(jobs, adaptive_policy, reps, seed, aopts);
   aging_table.add_row({"static k (lifetime-average MTBF)",
                        fmt(as_hours(a_static.total_useful() - a_base.total_useful()), 1),
                        fmt(as_hours(min_gain(a_static, a_base)), 1)});

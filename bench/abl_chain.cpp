@@ -52,10 +52,14 @@ int main(int argc, char** argv) {
       sim::SimJob::at_oci("mid", 300.0, hours(mtbf_hours)),
       sim::SimJob::at_oci("heavy", 1800.0, hours(mtbf_hours))};
 
+  // Sample the failure streams once; both policies replay them on one pool.
+  bench::BenchCampaigns campaigns(workers, reps);
+  const sim::TraceStore traces(engine, seed);
+  const sim::CampaignOptions copts = campaigns.replay(traces);
   const sim::CampaignSummary base_s = engine.run_campaign(
-      jobs, sim::AlternateAtFailure{}, reps, seed, workers);
+      jobs, sim::AlternateAtFailure{}, reps, seed, copts);
   const sim::CampaignSummary chained_s = engine.run_campaign(
-      jobs, sim::MultiSwitchScheduler{chain.ks}, reps, seed, workers);
+      jobs, sim::MultiSwitchScheduler{chain.ks}, reps, seed, copts);
   const sim::SimResult& base = base_s.mean;
   const sim::SimResult& chained = chained_s.mean;
 

@@ -52,14 +52,19 @@ int main(int argc, char** argv) {
   const sim::AlternateAtFailure alternate;
   const sim::ShirazPairScheduler shiraz(k);
 
+  // Four campaigns over the same failure process: sample the streams once
+  // and replay them across every job mix and policy, on one pool.
+  bench::BenchCampaigns campaigns(workers, reps);
+  const sim::TraceStore traces(engine, seed);
+  const sim::CampaignOptions copts = campaigns.replay(traces);
   const sim::CampaignSummary base_s =
-      engine.run_campaign(oci_jobs, alternate, reps, seed, workers);
+      engine.run_campaign(oci_jobs, alternate, reps, seed, copts);
   const sim::CampaignSummary lazy_s =
-      engine.run_campaign(lazy_jobs, alternate, reps, seed, workers);
+      engine.run_campaign(lazy_jobs, alternate, reps, seed, copts);
   const sim::CampaignSummary sz_s =
-      engine.run_campaign(oci_jobs, shiraz, reps, seed, workers);
+      engine.run_campaign(oci_jobs, shiraz, reps, seed, copts);
   const sim::CampaignSummary plus_s =
-      engine.run_campaign(plus_jobs, shiraz, reps, seed, workers);
+      engine.run_campaign(plus_jobs, shiraz, reps, seed, copts);
   const sim::SimResult& base = base_s.mean;
 
   Table table({"policy", "useful (h, +-95CI)", "ckpt ovhd (h, +-95CI)",

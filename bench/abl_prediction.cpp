@@ -58,6 +58,26 @@ int main(int argc, char** argv) {
                     ", seed=" + std::to_string(seed) +
                     ", jobs=" + std::to_string(workers));
 
+  // Both report sections simulate the same two failure processes (MTBF 5 h
+  // and 20 h at the seed above): one engine + trace store per MTBF, sampled
+  // once and replayed by every campaign in the bench, on one pool. Alarm
+  // draws come from a stream forked off the seed — never off generator
+  // state — so replay composes with the oracle predictor bit for bit.
+  sim::EngineConfig ecfg;
+  ecfg.t_total = hours(1000.0);
+  const sim::Engine engine5(reliability::Weibull::from_mtbf(0.6, hours(5.0)), ecfg);
+  const sim::Engine engine20(
+      reliability::Weibull::from_mtbf(0.6, hours(20.0)), ecfg);
+  const sim::TraceStore traces5(engine5, seed);
+  const sim::TraceStore traces20(engine20, seed);
+  bench::BenchCampaigns campaigns(workers, reps);
+  const auto engine_for = [&](double mtbf_hours) -> const sim::Engine& {
+    return mtbf_hours == 5.0 ? engine5 : engine20;
+  };
+  const auto traces_for = [&](double mtbf_hours) -> const sim::TraceStore& {
+    return mtbf_hours == 5.0 ? traces5 : traces20;
+  };
+
   for (const double mtbf_hours : {5.0, 20.0}) {
     const Seconds mtbf = hours(mtbf_hours);
     core::ModelConfig mcfg;
@@ -70,18 +90,17 @@ int main(int argc, char** argv) {
         model, core::AppSpec{"lw", 18.0, 1}, core::AppSpec{"hw", 1800.0, 1}, opts);
     const int k = sol.k.value_or(0);
 
-    sim::EngineConfig ecfg;
-    ecfg.t_total = hours(1000.0);
-    const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
+    const sim::Engine& engine = engine_for(mtbf_hours);
+    const sim::CampaignOptions copts = campaigns.replay(traces_for(mtbf_hours));
     const std::vector<sim::SimJob> jobs{sim::SimJob::at_oci("lw", 18.0, mtbf),
                                         sim::SimJob::at_oci("hw", 1800.0, mtbf)};
 
     const sim::AlternateAtFailure baseline;
     const sim::ShirazPairScheduler shiraz(k);
     const sim::CampaignSummary base =
-        engine.run_campaign(jobs, baseline, reps, seed, workers);
+        engine.run_campaign(jobs, baseline, reps, seed, copts);
     const sim::CampaignSummary shz =
-        engine.run_campaign(jobs, shiraz, reps, seed, workers);
+        engine.run_campaign(jobs, shiraz, reps, seed, copts);
 
     std::printf("\nMTBF %.0f h (Shiraz switch point k = %d): baseline useful "
                 "%s h, Shiraz useful %s h.\n",
@@ -93,15 +112,17 @@ int main(int argc, char** argv) {
                  "Duseful vs shiraz (h, +-95CI)"});
     for (const Quality& q : kGrid) {
       const predict::OraclePredictor oracle = make_oracle(q, mtbf);
+      const sim::CampaignOptions aopts =
+          campaigns.replay(traces_for(mtbf_hours), &oracle);
       const predict::ProactiveCkptScheduler proactive;
       const sim::CampaignSummary pc =
-          engine.run_campaign(jobs, proactive, reps, seed, workers, &oracle);
+          engine.run_campaign(jobs, proactive, reps, seed, aopts);
       const std::string realized =
           fmt(oracle.stats().precision(), 2) + "/" + fmt(oracle.stats().recall(), 2);
 
       const predict::PredictiveShirazScheduler pshiraz(k);
       const sim::CampaignSummary ps =
-          engine.run_campaign(jobs, pshiraz, reps, seed, workers, &oracle);
+          engine.run_campaign(jobs, pshiraz, reps, seed, aopts);
 
       table.add_row(
           {fmt(q.precision, 2), fmt(q.recall, 2), fmt(q.lead, 0), realized,
@@ -121,9 +142,7 @@ int main(int argc, char** argv) {
                "model waste (h)", "sim waste (h)", "error"});
   for (const double mtbf_hours : {5.0, 20.0}) {
     const Seconds mtbf = hours(mtbf_hours);
-    sim::EngineConfig ecfg;
-    ecfg.t_total = hours(1000.0);
-    const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
+    const sim::Engine& engine = engine_for(mtbf_hours);
     predict::PredictionModelConfig pcfg;
     pcfg.mtbf = mtbf;
     const predict::PredictionModel pmodel(pcfg);
@@ -136,8 +155,9 @@ int main(int argc, char** argv) {
         const predict::OraclePredictor oracle = make_oracle(q, mtbf);
         const predict::ProactiveCkptScheduler proactive;
         const std::vector<sim::SimJob> solo{sim::SimJob::at_oci("app", delta, mtbf)};
-        const sim::SimResult sim_res =
-            engine.run_many(solo, proactive, reps, seed, workers, &oracle);
+        const sim::SimResult sim_res = engine.run_many(
+            solo, proactive, reps, seed,
+            campaigns.replay(traces_for(mtbf_hours), &oracle));
         const double sim_waste = sim_res.total_io() + sim_res.total_lost();
         check.add_row({fmt(mtbf_hours, 0), fmt(delta, 0), fmt(q.precision, 1),
                        fmt(q.recall, 1), fmt(q.lead, 0),

@@ -44,6 +44,14 @@ int main(int argc, char** argv) {
   const sim::AlternateAtFailure baseline;
   const sim::ShirazPairScheduler shiraz(k);
 
+  // The switch cost never touches the failure process, so every per-cost
+  // engine replays one trace store: the streams are sampled once and shared
+  // across all six costs and both policies, on one pool.
+  const reliability::Weibull dist =
+      reliability::Weibull::from_mtbf(0.6, hours(mtbf_hours));
+  bench::BenchCampaigns campaigns(workers, reps);
+  std::optional<sim::TraceStore> traces;
+
   Table table({"switch cost (s)", "switches", "shiraz useful (h, +-95CI)",
                "shiraz gain (h)", "gain retained vs free"});
   double free_gain = 0.0;
@@ -51,11 +59,12 @@ int main(int argc, char** argv) {
     sim::EngineConfig ecfg;
     ecfg.t_total = hours(1000.0);
     ecfg.switch_cost = cost;
-    const sim::Engine engine(
-        reliability::Weibull::from_mtbf(0.6, hours(mtbf_hours)), ecfg);
-    const sim::SimResult base = engine.run_many(jobs, baseline, reps, seed, workers);
+    const sim::Engine engine(dist, ecfg);
+    if (!traces) traces.emplace(engine, seed);
+    const sim::CampaignOptions copts = campaigns.replay(*traces);
+    const sim::SimResult base = engine.run_many(jobs, baseline, reps, seed, copts);
     const sim::CampaignSummary szs =
-        engine.run_campaign(jobs, shiraz, reps, seed, workers);
+        engine.run_campaign(jobs, shiraz, reps, seed, copts);
     const double gain = szs.mean.total_useful() - base.total_useful();
     if (cost == 0.0) free_gain = gain;
     table.add_row({fmt(cost, 0), std::to_string(szs.mean.switches),

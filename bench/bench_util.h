@@ -6,13 +6,18 @@
 // CSV (--csv) for replotting.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <thread>
 
 #include "common/cli.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
+#include "sim/engine.h"
 #include "sim/metrics.h"
+#include "sim/trace.h"
 
 namespace shiraz::bench {
 
@@ -42,6 +47,34 @@ inline std::size_t workers_flag(const Flags& flags) {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
+
+/// Shared campaign plumbing for replay-based benches: one thread pool for the
+/// whole bench (spawned only when --jobs > 1 and reps > 1) plus a
+/// CampaignOptions factory binding a failure-trace store — and optionally an
+/// alarm source — to it. Sweep benches sample each repetition's failure
+/// stream once into a sim::TraceStore and replay it across every policy they
+/// compare; replay is bit-identical to live sampling, so no reported number
+/// changes.
+class BenchCampaigns {
+ public:
+  BenchCampaigns(std::size_t workers, std::size_t reps) : workers_(workers) {
+    if (workers > 1 && reps > 1) pool_.emplace(std::min(workers, reps));
+  }
+
+  sim::CampaignOptions replay(const sim::TraceStore& traces,
+                              const sim::AlarmSource* alarms = nullptr) {
+    sim::CampaignOptions opts;
+    opts.workers = workers_;
+    opts.alarms = alarms;
+    opts.traces = &traces;
+    opts.pool = pool_ ? &*pool_ : nullptr;
+    return opts;
+  }
+
+ private:
+  std::size_t workers_;
+  std::optional<common::ThreadPool> pool_;
+};
 
 /// "123.4 +- 5.6" cell for a mean and its 95% CI half-width (ASCII so the
 /// byte-width table alignment stays exact).

@@ -28,6 +28,10 @@ int main(int argc, char** argv) {
   const auto heavy5 = apps::heaviest(catalog, 5);
   const auto light3 = apps::lightest(catalog, 3);
 
+  // One trace store per MTBF: baseline and Shiraz replay the same sampled
+  // year-long failure streams, on one pool.
+  bench::BenchCampaigns campaigns(workers, reps);
+
   Table table({"system", "baseline useful (h)", "shiraz useful (h)",
                "improvement (h)", "paper (h)"});
   for (const double mtbf_hours : {20.0, 5.0}) {
@@ -64,10 +68,12 @@ int main(int argc, char** argv) {
     sim::EngineConfig ecfg;
     ecfg.t_total = horizon;
     const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
+    const sim::TraceStore traces(engine, seed);
+    const sim::CampaignOptions copts = campaigns.replay(traces);
     const sim::CampaignSummary base = engine.run_campaign(
-        jobs, sim::AlternateAtFailure{}, reps, seed, workers);
+        jobs, sim::AlternateAtFailure{}, reps, seed, copts);
     const sim::CampaignSummary sz = engine.run_campaign(
-        jobs, sim::PairRotationScheduler{ks}, reps, seed, workers);
+        jobs, sim::PairRotationScheduler{ks}, reps, seed, copts);
     const double gain =
         as_hours(sz.mean.total_useful() - base.mean.total_useful());
     table.add_row({mtbf_hours == 5.0 ? "Exascale (5h)" : "Petascale (20h)",

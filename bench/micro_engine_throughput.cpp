@@ -1,0 +1,222 @@
+// Engine throughput micro-benchmark: what is the failure-trace replay cache
+// worth on the fig10-shaped switch-point sweep?
+//
+// The workload is the paper's working point (MTBF 5 h Weibull beta=0.6,
+// campaign 1000 h, pair delta 18 s / 1800 s at OCI) swept over the baseline
+// plus k in [20, 32] — one baseline campaign and 13 Shiraz campaigns over the
+// same `reps` failure streams. Three evaluation modes, all bit-identical
+// (checked here and enforced by tests/sim/trace_replay_test.cpp):
+//
+//   sampled   every campaign re-samples its failure streams draw by draw
+//             (the historical path: per-draw dispatch, per-campaign pools)
+//   replayed  a sim::TraceStore samples each stream once (build time is
+//             charged to this mode) and every campaign replays plain arrays
+//   sweep     TraceStore + sim::replay_pair_sweep — the whole k range in one
+//             replayed pass sharing each gap's light-weight prefix
+//
+// Reported: wall seconds, campaigns/s (campaign = one policy x one rep run)
+// and effective gaps/s (failure draws the equivalent sampled campaigns
+// perform). `--json=FILE` dumps the numbers for CI trend tracking.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "reliability/weibull.h"
+#include "sim/optimizer.h"
+
+using namespace shiraz;
+
+namespace {
+
+struct SweepUsefulByK {
+  double baseline_lw = 0.0;
+  double baseline_hw = 0.0;
+  std::vector<sim::SweepUseful> by_k;
+};
+
+struct ModeResult {
+  const char* name;
+  double secs = 0.0;
+  SweepUsefulByK useful;
+};
+
+double now_secs() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool identical(const SweepUsefulByK& a, const SweepUsefulByK& b) {
+  if (a.baseline_lw != b.baseline_lw || a.baseline_hw != b.baseline_hw) {
+    return false;
+  }
+  if (a.by_k.size() != b.by_k.size()) return false;
+  for (std::size_t i = 0; i < a.by_k.size(); ++i) {
+    if (a.by_k[i].lw != b.by_k[i].lw || a.by_k[i].hw != b.by_k[i].hw) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const double mtbf_hours = flags.get_double("mtbf", 5.0);
+  const std::size_t reps = flags.get_count("reps", 200);
+  const std::uint64_t seed = flags.get_seed("seed", 20181111);
+  const std::size_t workers = bench::workers_flag(flags);
+  const int k_lo = static_cast<int>(flags.get_int("k-lo", 20));
+  const int k_hi = static_cast<int>(flags.get_int("k-hi", 32));
+  const std::string json_path = flags.get("json", "");
+  SHIRAZ_REQUIRE(1 <= k_lo && k_lo <= k_hi, "need 1 <= k-lo <= k-hi");
+
+  const std::size_t n_k = static_cast<std::size_t>(k_hi - k_lo + 1);
+  const std::size_t campaigns_per_sweep = (n_k + 1) * reps;
+
+  bench::banner(
+      "Micro — engine throughput, sampled vs trace-replayed sweeps",
+      "fig10 working point: MTBF " + fmt(mtbf_hours, 0) +
+          " h, campaign 1000 h, delta 18 s / 1800 s, baseline + k in [" +
+          std::to_string(k_lo) + ", " + std::to_string(k_hi) +
+          "], reps=" + std::to_string(reps) + ", seed=" + std::to_string(seed) +
+          ", jobs=" + std::to_string(workers));
+
+  const Seconds mtbf = hours(mtbf_hours);
+  sim::EngineConfig ecfg;
+  ecfg.t_total = hours(1000.0);
+  const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
+  const sim::SimJob lw = sim::SimJob::at_oci("lw", 18.0, mtbf);
+  const sim::SimJob hw = sim::SimJob::at_oci("hw", 1800.0, mtbf);
+  const std::vector<sim::SimJob> jobs{lw, hw};
+  const sim::AlternateAtFailure baseline;
+
+  bench::BenchCampaigns campaigns(workers, reps);
+  std::vector<ModeResult> modes;
+
+  {  // -- sampled: the historical per-draw path, fresh pool per campaign.
+    ModeResult m{"sampled"};
+    const double t0 = now_secs();
+    const sim::SimResult base = engine.run_many(jobs, baseline, reps, seed, workers);
+    m.useful.baseline_lw = base.apps[0].useful;
+    m.useful.baseline_hw = base.apps[1].useful;
+    for (int k = k_lo; k <= k_hi; ++k) {
+      const sim::ShirazPairScheduler shiraz(k);
+      const sim::SimResult r = engine.run_many(jobs, shiraz, reps, seed, workers);
+      m.useful.by_k.push_back({r.apps[0].useful, r.apps[1].useful});
+    }
+    m.secs = now_secs() - t0;
+    modes.push_back(m);
+  }
+
+  std::size_t gaps_per_rep_total = 0;
+  {  // -- replayed: sample once into a store (build time charged here),
+     //    then run the same campaigns as array walks on one shared pool.
+    ModeResult m{"replayed"};
+    const double t0 = now_secs();
+    const sim::TraceStore traces(engine, seed);
+    const sim::CampaignOptions copts = campaigns.replay(traces);
+    const sim::SimResult base = engine.run_many(jobs, baseline, reps, seed, copts);
+    m.useful.baseline_lw = base.apps[0].useful;
+    m.useful.baseline_hw = base.apps[1].useful;
+    for (int k = k_lo; k <= k_hi; ++k) {
+      const sim::ShirazPairScheduler shiraz(k);
+      const sim::SimResult r = engine.run_many(jobs, shiraz, reps, seed, copts);
+      m.useful.by_k.push_back({r.apps[0].useful, r.apps[1].useful});
+    }
+    m.secs = now_secs() - t0;
+    gaps_per_rep_total = traces.total_gaps();
+    modes.push_back(m);
+  }
+
+  {  // -- sweep: store + one replayed pass over the whole k range.
+    ModeResult m{"sweep"};
+    const double t0 = now_secs();
+    const sim::TraceStore traces(engine, seed);
+    const sim::CampaignOptions copts = campaigns.replay(traces);
+    const sim::SimResult base = engine.run_many(jobs, baseline, reps, seed, copts);
+    m.useful.baseline_lw = base.apps[0].useful;
+    m.useful.baseline_hw = base.apps[1].useful;
+    m.useful.by_k = sim::replay_pair_sweep(engine, lw, hw, k_lo, k_hi, reps,
+                                           traces, workers, copts.pool);
+    m.secs = now_secs() - t0;
+    modes.push_back(m);
+  }
+
+  // Every mode must produce the same bits — replay is an optimization, never
+  // an approximation.
+  bool bit_identical = true;
+  for (std::size_t i = 1; i < modes.size(); ++i) {
+    if (!identical(modes[i].useful, modes[0].useful)) {
+      bit_identical = false;
+      std::printf("BIT-IDENTITY FAILURE: mode '%s' diverges from 'sampled'\n",
+                  modes[i].name);
+    }
+  }
+
+  const double gaps_per_sweep =
+      static_cast<double>(gaps_per_rep_total) * static_cast<double>(n_k + 1);
+  Table table({"mode", "time (s)", "campaigns/s", "eff. gaps/s", "speedup"});
+  for (const ModeResult& m : modes) {
+    table.add_row({m.name, fmt(m.secs, 3),
+                   fmt(static_cast<double>(campaigns_per_sweep) / m.secs, 0),
+                   fmt(gaps_per_sweep / m.secs, 0),
+                   fmt(modes[0].secs / m.secs, 2) + "x"});
+  }
+  bench::print_table(table, flags);
+
+  const double speedup_replay = modes[0].secs / modes[1].secs;
+  const double speedup_sweep = modes[0].secs / modes[2].secs;
+  const double speedup_store = std::max(speedup_replay, speedup_sweep);
+  std::printf("\n%zu campaigns (%zu policies x %zu reps), %zu gaps per "
+              "repetition set; bit-identity across modes: %s.\n",
+              campaigns_per_sweep, n_k + 1, reps, gaps_per_rep_total,
+              bit_identical ? "OK" : "FAILED");
+  bench::note("Replay removes the per-draw dispatch and RNG work; the sweep "
+              "evaluator additionally shares each gap's light-weight prefix "
+              "across the whole k range.");
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"micro_engine_throughput\",\n"
+                 "  \"config\": {\"mtbf_hours\": %g, \"horizon_hours\": 1000, "
+                 "\"delta_lw_s\": 18, \"delta_hw_s\": 1800, \"k_lo\": %d, "
+                 "\"k_hi\": %d, \"reps\": %zu, \"jobs\": %zu, \"seed\": %llu},\n"
+                 "  \"campaigns_per_sweep\": %zu,\n"
+                 "  \"gaps_per_rep_set\": %zu,\n"
+                 "  \"modes\": [\n",
+                 mtbf_hours, k_lo, k_hi, reps, workers,
+                 static_cast<unsigned long long>(seed), campaigns_per_sweep,
+                 gaps_per_rep_total);
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      const ModeResult& m = modes[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"seconds\": %.6f, "
+                   "\"campaigns_per_sec\": %.1f, \"gaps_per_sec\": %.0f}%s\n",
+                   m.name, m.secs,
+                   static_cast<double>(campaigns_per_sweep) / m.secs,
+                   gaps_per_sweep / m.secs, i + 1 < modes.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"speedup_replay_vs_sampled\": %.3f,\n"
+                 "  \"speedup_sweep_vs_sampled\": %.3f,\n"
+                 "  \"speedup_store_vs_sampled\": %.3f,\n"
+                 "  \"bit_identical\": %s\n"
+                 "}\n",
+                 speedup_replay, speedup_sweep, speedup_store,
+                 bit_identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("Wrote %s.\n", json_path.c_str());
+  }
+
+  return bit_identical ? 0 : 1;
+}

@@ -52,6 +52,8 @@ int main(int argc, char** argv) {
 
     std::string sim_k = "-";
     if (ms.beneficial()) {
+      // find_fair_k_by_simulation samples each row's failure streams once
+      // and replays them across the baseline and the whole k window.
       sim::EngineConfig ecfg;
       ecfg.t_total = hours(1000.0);
       const sim::Engine engine(

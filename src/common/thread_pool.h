@@ -15,6 +15,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -63,6 +64,23 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+};
+
+/// Borrows `external` when non-null, otherwise owns a freshly spawned pool of
+/// `workers` threads. Lets sweep hot paths hoist thread construction out of
+/// per-candidate loops: the caller spawns one pool and every campaign in the
+/// sweep borrows it, instead of each campaign spawning (and joining) its own.
+class PoolHandle {
+ public:
+  PoolHandle(ThreadPool* external, std::size_t workers) : external_(external) {
+    if (external_ == nullptr) owned_.emplace(workers);
+  }
+
+  ThreadPool& get() { return external_ != nullptr ? *external_ : *owned_; }
+
+ private:
+  ThreadPool* external_;
+  std::optional<ThreadPool> owned_;
 };
 
 /// Runs fn(0) .. fn(n-1) on the pool and blocks until all have finished.

@@ -10,4 +10,14 @@ double Distribution::hazard(Seconds t) const {
   return pdf(t) / s;
 }
 
+void Distribution::sample_gaps(Rng& rng, Seconds horizon,
+                               std::vector<Seconds>& out) const {
+  Seconds t = 0.0;
+  while (t < horizon) {
+    const Seconds gap = sample(rng);
+    out.push_back(gap);
+    t += gap;
+  }
+}
+
 }  // namespace shiraz::reliability

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
@@ -41,6 +42,15 @@ class Distribution {
 
   /// Deep copy (distributions are cheap value-like objects).
   virtual std::unique_ptr<Distribution> clone() const = 0;
+
+  /// Appends inter-arrival gaps to `out` until their running sum reaches
+  /// `horizon` (the final gap is the first one crossing it). Draws exactly
+  /// the values the equivalent sample() loop would draw, in the same order —
+  /// the contract trace replay relies on (see sim/trace.h). Overrides exist
+  /// to batch the per-draw virtual dispatch and hoist loop-invariant
+  /// parameter work; they must preserve bit-identical output.
+  virtual void sample_gaps(Rng& rng, Seconds horizon,
+                           std::vector<Seconds>& out) const;
 
   /// Survival S(t) = 1 - cdf(t).
   double survival(Seconds t) const { return 1.0 - cdf(t); }

@@ -36,4 +36,14 @@ std::string Exponential::name() const {
 
 DistributionPtr Exponential::clone() const { return std::make_unique<Exponential>(*this); }
 
+void Exponential::sample_gaps(Rng& rng, Seconds horizon,
+                              std::vector<Seconds>& out) const {
+  Seconds t = 0.0;
+  while (t < horizon) {
+    const Seconds gap = -mean_ * std::log1p(-rng.uniform());
+    out.push_back(gap);
+    t += gap;
+  }
+}
+
 }  // namespace shiraz::reliability

@@ -23,6 +23,11 @@ class Exponential final : public Distribution {
   std::string name() const override;
   DistributionPtr clone() const override;
 
+  /// Batched draw without the per-draw virtual dispatch; bit-identical to
+  /// repeated sample() calls (same closed-form inverse transform).
+  void sample_gaps(Rng& rng, Seconds horizon,
+                   std::vector<Seconds>& out) const override;
+
  private:
   Seconds mean_;
 };

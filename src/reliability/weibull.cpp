@@ -51,4 +51,15 @@ std::string Weibull::name() const {
 
 DistributionPtr Weibull::clone() const { return std::make_unique<Weibull>(*this); }
 
+void Weibull::sample_gaps(Rng& rng, Seconds horizon,
+                          std::vector<Seconds>& out) const {
+  const double inv_shape = 1.0 / shape_;
+  Seconds t = 0.0;
+  while (t < horizon) {
+    const Seconds gap = scale_ * std::pow(-std::log1p(-rng.uniform()), inv_shape);
+    out.push_back(gap);
+    t += gap;
+  }
+}
+
 }  // namespace shiraz::reliability

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "sim/trace.h"
 
 namespace shiraz::sim {
 
@@ -23,13 +24,11 @@ constexpr std::uint64_t kAlarmStream = 0x70726564696374ULL;  // "predict"
 }  // namespace
 
 Engine::Engine(const reliability::Distribution& failure_dist, const EngineConfig& config)
-    : config_(config) {
+    : dist_(failure_dist.clone()), config_(config) {
   validate_config(config);
-  // shared_ptr keeps the lambda copyable, as std::function requires.
-  gap_sampler_ = [dist = std::shared_ptr<const reliability::Distribution>(
-                      failure_dist.clone())](Rng& rng, Seconds) {
-    return dist->sample(rng);
-  };
+  // shared_ptr keeps the lambda copyable, as std::function requires; the
+  // engine keeps its own handle so trace stores can batch-sample directly.
+  gap_sampler_ = [dist = dist_](Rng& rng, Seconds) { return dist->sample(rng); };
 }
 
 Engine::Engine(GapSampler sampler, const EngineConfig& config)
@@ -40,6 +39,27 @@ Engine::Engine(GapSampler sampler, const EngineConfig& config)
 
 SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
                       Rng& rng, const AlarmSource* alarms) const {
+  return run_impl(jobs, scheduler, rng, nullptr, alarms);
+}
+
+SimResult Engine::replay(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
+                         const FailureTrace& trace) const {
+  // Without an alarm source no RNG stream is consumed at all.
+  Rng unused(0);
+  return replay(jobs, scheduler, trace, unused, nullptr);
+}
+
+SimResult Engine::replay(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
+                         const FailureTrace& trace, Rng& rng,
+                         const AlarmSource* alarms) const {
+  SHIRAZ_REQUIRE(trace.horizon() >= config_.t_total,
+                 "trace horizon does not cover the engine horizon");
+  return run_impl(jobs, scheduler, rng, &trace, alarms);
+}
+
+SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
+                           Rng& rng, const FailureTrace* trace,
+                           const AlarmSource* alarms) const {
   SHIRAZ_REQUIRE(!jobs.empty(), "need at least one job");
   for (const SimJob& job : jobs) {
     SHIRAZ_REQUIRE(job.delta > 0.0, "job checkpoint cost must be positive");
@@ -56,21 +76,33 @@ SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& schedule
   std::vector<std::size_t> ckpts_gap(jobs.size(), 0);
   Seconds now = 0.0;
   Seconds gap_start = 0.0;
-  Seconds next_fail = gap_sampler_(rng, 0.0);
+
+  // Failure clock: live runs sample the next gap; replays walk a
+  // materialized trace with a cursor. Both reconstruct failure times with
+  // the same `now + gap` additions, so replay is bit-identical.
+  std::size_t trace_cursor = 0;
+  auto next_gap = [&](Seconds at) {
+    return trace != nullptr ? trace->gap(trace_cursor++) : gap_sampler_(rng, at);
+  };
+  Seconds next_fail = next_gap(0.0);
 
   // Prediction state: the alarms of the currently armed gap (sorted, filtered
   // to [gap_start, min(next_fail, horizon))), a cursor over them, and at most
-  // one pending proactive checkpoint (a later alarm replaces it).
-  Rng alarm_rng = rng.fork(kAlarmStream);
+  // one pending proactive checkpoint (a later alarm replaces it). With no
+  // alarm source the whole machinery is skipped — including the fork, which
+  // derives from the seed rather than generator state, so skipping it cannot
+  // perturb the failure sequence (regression-tested in trace_replay_test).
+  std::optional<Rng> alarm_rng;
+  if (alarms != nullptr) alarm_rng.emplace(rng.fork(kAlarmStream));
   std::vector<Alarm> gap_alarms;
   std::size_t alarm_next = 0;
   std::optional<Seconds> pending_ckpt;
   auto arm_alarms = [&]() {
+    if (alarms == nullptr) return;
     gap_alarms.clear();
     alarm_next = 0;
     pending_ckpt.reset();
-    if (alarms == nullptr) return;
-    gap_alarms = alarms->alarms_in_gap(gap_start, next_fail - gap_start, alarm_rng);
+    gap_alarms = alarms->alarms_in_gap(gap_start, next_fail - gap_start, *alarm_rng);
     const Seconds cutoff = std::min(next_fail, horizon);
     std::erase_if(gap_alarms, [&](const Alarm& a) {
       return a.time < gap_start || a.time >= cutoff;
@@ -104,7 +136,7 @@ SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& schedule
     if (hit) ++res.apps[*hit].failures_hit;
     last_gap_length = now - gap_start;
     gap_start = now;
-    next_fail = now + gap_sampler_(rng, now);
+    next_fail = now + next_gap(now);
     std::fill(ckpts_gap.begin(), ckpts_gap.end(), 0);
     arm_alarms();
     decision = scheduler.on_gap_start(make_ctx(0, now));
@@ -258,22 +290,55 @@ SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& schedule
 SimResult Engine::run_many(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
                            std::size_t reps, std::uint64_t seed,
                            std::size_t workers, const AlarmSource* alarms) const {
-  return run_campaign(jobs, scheduler, reps, seed, workers, alarms).mean;
+  CampaignOptions opts;
+  opts.workers = workers;
+  opts.alarms = alarms;
+  return run_campaign(jobs, scheduler, reps, seed, opts).mean;
+}
+
+SimResult Engine::run_many(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
+                           std::size_t reps, std::uint64_t seed,
+                           const CampaignOptions& opts) const {
+  return run_campaign(jobs, scheduler, reps, seed, opts).mean;
 }
 
 CampaignSummary Engine::run_campaign(const std::vector<SimJob>& jobs,
                                      const Scheduler& scheduler, std::size_t reps,
                                      std::uint64_t seed, std::size_t workers,
                                      const AlarmSource* alarms) const {
+  CampaignOptions opts;
+  opts.workers = workers;
+  opts.alarms = alarms;
+  return run_campaign(jobs, scheduler, reps, seed, opts);
+}
+
+CampaignSummary Engine::run_campaign(const std::vector<SimJob>& jobs,
+                                     const Scheduler& scheduler, std::size_t reps,
+                                     std::uint64_t seed,
+                                     const CampaignOptions& opts) const {
   SHIRAZ_REQUIRE(reps >= 1, "need at least one repetition");
+  const TraceStore* traces = opts.traces;
+  if (traces != nullptr) {
+    SHIRAZ_REQUIRE(traces->seed() == seed,
+                   "trace store was built for a different seed");
+    SHIRAZ_REQUIRE(traces->horizon() >= config_.t_total,
+                   "trace store horizon does not cover the engine horizon");
+    // Materialize up front so parallel repetitions only read the cache.
+    traces->ensure(reps);
+  }
+  const AlarmSource* alarms = opts.alarms;
   const Rng master(seed);
   std::vector<SimResult> results(reps);
 
-  if (workers <= 1 || reps == 1) {
-    for (std::size_t r = 0; r < reps; ++r) {
-      Rng rng = master.fork(r);
-      results[r] = run(jobs, scheduler, rng, alarms);
-    }
+  auto run_rep = [&](std::size_t r, const Scheduler& policy,
+                     const AlarmSource* source) {
+    Rng rng = master.fork(r);
+    const FailureTrace* trace = traces != nullptr ? &traces->trace(r) : nullptr;
+    results[r] = run_impl(jobs, policy, rng, trace, source);
+  };
+
+  if ((opts.workers <= 1 && opts.pool == nullptr) || reps == 1) {
+    for (std::size_t r = 0; r < reps; ++r) run_rep(r, scheduler, alarms);
     return summarize_campaign(results);
   }
 
@@ -297,12 +362,11 @@ CampaignSummary Engine::run_campaign(const std::vector<SimJob>& jobs,
     }
   }
 
-  common::ThreadPool pool(std::min(workers, reps));
-  common::parallel_for_indexed(pool, reps, [&](std::size_t r) {
-    Rng rng = master.fork(r);
+  common::PoolHandle pool(opts.pool, std::min(opts.workers, reps));
+  common::parallel_for_indexed(pool.get(), reps, [&](std::size_t r) {
     const Scheduler& policy = clones[r] ? *clones[r] : scheduler;
     const AlarmSource* source = alarm_clones[r] ? alarm_clones[r].get() : alarms;
-    results[r] = run(jobs, policy, rng, source);
+    run_rep(r, policy, source);
   });
   return summarize_campaign(results);
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -19,7 +20,14 @@
 #include "sim/metrics.h"
 #include "sim/scheduler.h"
 
+namespace shiraz::common {
+class ThreadPool;
+}  // namespace shiraz::common
+
 namespace shiraz::sim {
+
+class FailureTrace;
+class TraceStore;
 
 struct EngineConfig {
   /// Simulated horizon.
@@ -38,6 +46,24 @@ struct EngineConfig {
 /// the gap's start — the hook for non-stationary failure processes (e.g. an
 /// aging system whose MTBF shrinks over the campaign).
 using GapSampler = std::function<Seconds(Rng& rng, Seconds gap_start)>;
+
+/// Shared campaign plumbing for sweeps that run many campaigns over the same
+/// repetitions (see run_many/run_campaign overloads below). Defaults
+/// reproduce the plain positional overloads.
+struct CampaignOptions {
+  /// Repetitions dispatch onto this many threads (1 = inline serial loop).
+  std::size_t workers = 1;
+  /// Consulted once per armed gap when non-null (see run()).
+  const AlarmSource* alarms = nullptr;
+  /// When non-null, repetition r replays `traces->trace(r)` instead of
+  /// sampling gaps — bit-identical output, one sampling pass amortized over
+  /// every campaign sharing the store. Must have been built for the same
+  /// seed and a horizon covering this engine's (both SHIRAZ_REQUIREd).
+  const TraceStore* traces = nullptr;
+  /// When non-null, parallel repetitions borrow this pool instead of
+  /// spawning (and joining) a fresh one per campaign.
+  common::ThreadPool* pool = nullptr;
+};
 
 class Engine {
  public:
@@ -60,6 +86,22 @@ class Engine {
   SimResult run(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
                 Rng& rng, const AlarmSource* alarms = nullptr) const;
 
+  /// Replays one campaign from a materialized failure trace instead of
+  /// sampling: the engine walks the trace with a cursor and reconstructs
+  /// failure times with the same `now + gap` additions the live run
+  /// performs, so the result is bit-identical to run() with the RNG the
+  /// trace was sampled from. The trace's horizon must cover the engine's.
+  SimResult replay(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
+                   const FailureTrace& trace) const;
+
+  /// Replay with an alarm source: `rng` seeds only the prediction stream,
+  /// which forks off the seed exactly as in run() (never off generator
+  /// state), so a replayed predictive campaign matches its sampled
+  /// counterpart bit for bit.
+  SimResult replay(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
+                   const FailureTrace& trace, Rng& rng,
+                   const AlarmSource* alarms) const;
+
   /// Runs `reps` campaigns with independent failure streams forked from
   /// `seed` and returns the element-wise average. `workers` > 1 dispatches
   /// repetitions onto a thread pool; repetition `r` always draws from stream
@@ -70,6 +112,15 @@ class Engine {
                      std::size_t reps, std::uint64_t seed,
                      std::size_t workers = 1,
                      const AlarmSource* alarms = nullptr) const;
+
+  /// run_many with shared campaign plumbing: an optional trace store to
+  /// replay (repetition r replays trace r — bit-identical to sampling) and
+  /// an optional borrowed pool. Sweeps pass the same CampaignOptions to
+  /// every campaign so the failure streams are sampled once and the threads
+  /// spawned once.
+  SimResult run_many(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
+                     std::size_t reps, std::uint64_t seed,
+                     const CampaignOptions& opts) const;
 
   /// run_many plus per-repetition spread: mean, stddev, 95% CI and range of
   /// every headline metric (see CampaignSummary). Same determinism guarantee.
@@ -82,10 +133,31 @@ class Engine {
                                std::uint64_t seed, std::size_t workers = 1,
                                const AlarmSource* alarms = nullptr) const;
 
+  /// run_campaign with shared campaign plumbing (see CampaignOptions).
+  CampaignSummary run_campaign(const std::vector<SimJob>& jobs,
+                               const Scheduler& scheduler, std::size_t reps,
+                               std::uint64_t seed,
+                               const CampaignOptions& opts) const;
+
   const EngineConfig& config() const { return config_; }
 
+  /// The gap sampler driving the failure process (trace materialization).
+  const GapSampler& gap_sampler() const { return gap_sampler_; }
+
+  /// The distribution behind the sampler when the engine was constructed
+  /// from one, else nullptr — lets TraceStore take the batched
+  /// Distribution::sample_gaps entry point instead of the per-draw hook.
+  std::shared_ptr<const reliability::Distribution> failure_distribution() const {
+    return dist_;
+  }
+
  private:
+  SimResult run_impl(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
+                     Rng& rng, const FailureTrace* trace,
+                     const AlarmSource* alarms) const;
+
   GapSampler gap_sampler_;
+  std::shared_ptr<const reliability::Distribution> dist_;
   EngineConfig config_;
 };
 

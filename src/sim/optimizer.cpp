@@ -1,29 +1,120 @@
 #include "sim/optimizer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
+#include "sim/trace.h"
 
 namespace shiraz::sim {
+
+namespace {
+
+SimSwitchCandidate candidate_from(int k, double lw_useful, double hw_useful,
+                                  const SimResult& base) {
+  SimSwitchCandidate c;
+  c.k = k;
+  c.delta_lw = lw_useful - base.apps[0].useful;
+  c.delta_hw = hw_useful - base.apps[1].useful;
+  c.delta_total = c.delta_lw + c.delta_hw;
+  return c;
+}
+
+/// One repetition of the shared-prefix k sweep. Mirrors Engine::run for
+/// ShirazPairScheduler under the free-restart/free-switch configuration and
+/// accumulates, per candidate, exactly the useful-work additions the engine
+/// performs in exactly its chronological order — the per-app accumulators see
+/// the same doubles added in the same sequence, so the per-repetition totals
+/// are bit-identical to engine replays of the same trace.
+void sweep_one_rep(const SimJob& lw, const SimJob& hw, int k_lo, int k_hi,
+                   Seconds horizon, const FailureTrace& trace,
+                   std::vector<SweepUseful>& acc) {
+  const std::size_t n = acc.size();
+  // Completed light-weight segments of the current gap: interval lengths and
+  // segment-end times, shared by every candidate that has not switched yet.
+  std::vector<Seconds> seg_tau;
+  std::vector<Seconds> seg_end_at;
+  seg_tau.reserve(static_cast<std::size_t>(k_hi));
+  seg_end_at.reserve(static_cast<std::size_t>(k_hi));
+
+  std::size_t cursor = 0;
+  Seconds gap_start = 0.0;
+  Seconds next_fail = trace.gap(cursor++);
+  for (;;) {
+    // Light-weight prefix: segments complete until the gap ends (failure or
+    // horizon) or every candidate has switched (k_hi checkpoints). The
+    // three-way resolution matches the engine's comparisons verbatim.
+    seg_tau.clear();
+    seg_end_at.clear();
+    Seconds now = gap_start;
+    while (static_cast<int>(seg_tau.size()) < k_hi) {
+      const Seconds tau = lw.schedule->next_interval(now - gap_start);
+      const Seconds seg_end = now + tau + lw.delta;
+      if (horizon <= std::min(seg_end, next_fail)) break;
+      if (next_fail < seg_end) break;
+      seg_tau.push_back(tau);
+      seg_end_at.push_back(seg_end);
+      now = seg_end;
+    }
+    const std::size_t completed = seg_tau.size();
+
+    // Per candidate: useful light-weight work up to its switch point, then
+    // its heavy-weight tail until the gap ends. The tail re-runs per
+    // candidate, but it is short (the k-th checkpoint sits deep in the gap
+    // by design) while the prefix — the bulk of the event work — is shared.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t k = static_cast<std::size_t>(k_lo) + i;
+      const std::size_t credited = std::min(k, completed);
+      for (std::size_t j = 0; j < credited; ++j) acc[i].lw += seg_tau[j];
+      if (k > completed) continue;  // still light-weight when the gap ended
+      Seconds t = seg_end_at[k - 1];
+      for (;;) {
+        const Seconds tau = hw.schedule->next_interval(t - gap_start);
+        const Seconds seg_end = t + tau + hw.delta;
+        if (horizon <= std::min(seg_end, next_fail)) break;
+        if (next_fail < seg_end) break;
+        acc[i].hw += tau;
+        t = seg_end;
+      }
+    }
+
+    if (next_fail >= horizon) break;
+    gap_start = next_fail;
+    next_fail = gap_start + trace.gap(cursor++);
+  }
+}
+
+}  // namespace
 
 SimSwitchCandidate simulate_switch_point(const Engine& engine, const SimJob& lw,
                                          const SimJob& hw, int k, std::size_t reps,
                                          std::uint64_t seed, std::size_t workers) {
-  const std::vector<SimJob> jobs{lw, hw};
-  const AlternateAtFailure baseline_policy;
-  const ShirazPairScheduler shiraz_policy(k);
   // Same seed => same failure streams for both policies (the engine draws
   // failures identically regardless of policy), so the difference is pure
-  // policy effect.
-  const SimResult base = engine.run_many(jobs, baseline_policy, reps, seed, workers);
-  const SimResult sz = engine.run_many(jobs, shiraz_policy, reps, seed, workers);
-  SimSwitchCandidate c;
-  c.k = k;
-  c.delta_lw = sz.apps[0].useful - base.apps[0].useful;
-  c.delta_hw = sz.apps[1].useful - base.apps[1].useful;
-  c.delta_total = c.delta_lw + c.delta_hw;
-  return c;
+  // policy effect; the store makes the sharing explicit and samples once.
+  TraceStore traces(engine, seed);
+  traces.ensure(reps);
+  CampaignOptions opts;
+  opts.workers = workers;
+  opts.traces = &traces;
+  const std::vector<SimJob> jobs{lw, hw};
+  const AlternateAtFailure baseline_policy;
+  const SimResult base = engine.run_many(jobs, baseline_policy, reps, seed, opts);
+  return simulate_switch_point(engine, lw, hw, k, base, reps, seed, opts);
+}
+
+SimSwitchCandidate simulate_switch_point(const Engine& engine, const SimJob& lw,
+                                         const SimJob& hw, int k,
+                                         const SimResult& baseline,
+                                         std::size_t reps, std::uint64_t seed,
+                                         const CampaignOptions& opts) {
+  const std::vector<SimJob> jobs{lw, hw};
+  const ShirazPairScheduler shiraz_policy(k);
+  const SimResult sz = engine.run_many(jobs, shiraz_policy, reps, seed, opts);
+  return candidate_from(k, sz.apps[0].useful, sz.apps[1].useful, baseline);
 }
 
 SimSwitchSolution find_fair_k_by_simulation(const Engine& engine, const SimJob& lw,
@@ -32,8 +123,20 @@ SimSwitchSolution find_fair_k_by_simulation(const Engine& engine, const SimJob& 
                                             std::size_t workers) {
   SHIRAZ_REQUIRE(k_lo >= 1 && k_hi >= k_lo, "invalid k range");
   const std::vector<SimJob> jobs{lw, hw};
+
+  // Sample every repetition's failure stream once and spawn threads once:
+  // the baseline and all candidates replay the same store on the same pool.
+  TraceStore traces(engine, seed);
+  traces.ensure(reps);
+  std::optional<common::ThreadPool> pool;
+  if (workers > 1 && reps > 1) pool.emplace(std::min(workers, reps));
+  CampaignOptions opts;
+  opts.workers = workers;
+  opts.traces = &traces;
+  opts.pool = pool ? &*pool : nullptr;
+
   const AlternateAtFailure baseline_policy;
-  const SimResult base = engine.run_many(jobs, baseline_policy, reps, seed, workers);
+  const SimResult base = engine.run_many(jobs, baseline_policy, reps, seed, opts);
 
   SimSwitchSolution sol;
   // Same fairness criterion the model solver applies: the k nearest the
@@ -42,14 +145,7 @@ SimSwitchSolution find_fair_k_by_simulation(const Engine& engine, const SimJob& 
   double best_gap = std::numeric_limits<double>::infinity();
   SimSwitchCandidate best;
   bool have_candidate = false;
-  for (int k = k_lo; k <= k_hi; ++k) {
-    const ShirazPairScheduler policy(k);
-    const SimResult sz = engine.run_many(jobs, policy, reps, seed, workers);
-    SimSwitchCandidate c;
-    c.k = k;
-    c.delta_lw = sz.apps[0].useful - base.apps[0].useful;
-    c.delta_hw = sz.apps[1].useful - base.apps[1].useful;
-    c.delta_total = c.delta_lw + c.delta_hw;
+  auto consider = [&](const SimSwitchCandidate& c) {
     sol.sweep.push_back(c);
     const double gap = std::fabs(c.delta_lw - c.delta_hw);
     if (gap < best_gap) {
@@ -57,7 +153,24 @@ SimSwitchSolution find_fair_k_by_simulation(const Engine& engine, const SimJob& 
       best = c;
       have_candidate = true;
     }
+  };
+
+  if (engine.config().restart_cost == 0.0 && engine.config().switch_cost == 0.0) {
+    // Free restarts and switches (the paper's model setting): one replayed
+    // pass evaluates the whole range, sharing each gap's light-weight prefix
+    // across candidates — bit-identical to the per-candidate campaigns.
+    const std::vector<SweepUseful> sweep = replay_pair_sweep(
+        engine, lw, hw, k_lo, k_hi, reps, traces, workers, opts.pool);
+    for (int k = k_lo; k <= k_hi; ++k) {
+      const SweepUseful& u = sweep[static_cast<std::size_t>(k - k_lo)];
+      consider(candidate_from(k, u.lw, u.hw, base));
+    }
+  } else {
+    for (int k = k_lo; k <= k_hi; ++k) {
+      consider(simulate_switch_point(engine, lw, hw, k, base, reps, seed, opts));
+    }
   }
+
   const double materiality = 1e-4 * (base.apps[0].useful + base.apps[1].useful);
   if (have_candidate && best.delta_total > materiality) {
     sol.k = best.k;
@@ -66,6 +179,54 @@ SimSwitchSolution find_fair_k_by_simulation(const Engine& engine, const SimJob& 
     sol.delta_total = best.delta_total;
   }
   return sol;
+}
+
+std::vector<SweepUseful> replay_pair_sweep(const Engine& engine, const SimJob& lw,
+                                           const SimJob& hw, int k_lo, int k_hi,
+                                           std::size_t reps, const TraceStore& traces,
+                                           std::size_t workers,
+                                           common::ThreadPool* pool) {
+  SHIRAZ_REQUIRE(k_lo >= 1 && k_hi >= k_lo, "invalid k range");
+  SHIRAZ_REQUIRE(reps >= 1, "need at least one repetition");
+  SHIRAZ_REQUIRE(
+      engine.config().restart_cost == 0.0 && engine.config().switch_cost == 0.0,
+      "replay_pair_sweep models free restarts and switches");
+  SHIRAZ_REQUIRE(lw.delta > 0.0 && hw.delta > 0.0,
+                 "job checkpoint cost must be positive");
+  SHIRAZ_REQUIRE(lw.schedule != nullptr && hw.schedule != nullptr,
+                 "job needs an interval schedule");
+  SHIRAZ_REQUIRE(traces.horizon() >= engine.config().t_total,
+                 "trace store horizon does not cover the engine horizon");
+  traces.ensure(reps);
+
+  const Seconds horizon = engine.config().t_total;
+  const std::size_t n = static_cast<std::size_t>(k_hi - k_lo + 1);
+  std::vector<std::vector<SweepUseful>> per_rep(reps, std::vector<SweepUseful>(n));
+  auto one_rep = [&](std::size_t r) {
+    sweep_one_rep(lw, hw, k_lo, k_hi, horizon, traces.trace(r), per_rep[r]);
+  };
+  if ((workers <= 1 && pool == nullptr) || reps == 1) {
+    for (std::size_t r = 0; r < reps; ++r) one_rep(r);
+  } else {
+    common::PoolHandle handle(pool, std::min(workers, reps));
+    common::parallel_for_indexed(handle.get(), reps, one_rep);
+  }
+
+  // Merge in repetition order with sim::average's exact accumulation (sum in
+  // order, then divide), so the means match run_many's bit for bit.
+  std::vector<SweepUseful> mean = per_rep.front();
+  const double dn = static_cast<double>(reps);
+  for (std::size_t r = 1; r < reps; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      mean[i].lw += per_rep[r][i].lw;
+      mean[i].hw += per_rep[r][i].hw;
+    }
+  }
+  for (SweepUseful& u : mean) {
+    u.lw /= dn;
+    u.hw /= dn;
+  }
+  return mean;
 }
 
 }  // namespace shiraz::sim

@@ -1,0 +1,80 @@
+#include "sim/trace.h"
+
+namespace shiraz::sim {
+
+FailureTrace::FailureTrace(std::vector<Seconds> gaps, Seconds horizon)
+    : gaps_(std::move(gaps)), horizon_(horizon) {
+  SHIRAZ_REQUIRE(horizon_ > 0.0, "trace horizon must be positive");
+  SHIRAZ_REQUIRE(!gaps_.empty(), "trace needs at least one gap");
+  // The gaps must be exactly the draws a live run consumes: the running sum
+  // crosses the horizon at the last gap and not before.
+  Seconds t = 0.0;
+  for (std::size_t i = 0; i + 1 < gaps_.size(); ++i) t += gaps_[i];
+  SHIRAZ_REQUIRE(t < horizon_, "trace has draws past the horizon");
+  SHIRAZ_REQUIRE(t + gaps_.back() >= horizon_, "trace stops short of the horizon");
+}
+
+TraceStore::TraceStore(const Engine& engine, std::uint64_t seed)
+    : TraceStore(engine, seed, engine.config().t_total) {}
+
+TraceStore::TraceStore(const Engine& engine, std::uint64_t seed, Seconds horizon)
+    : sampler_(engine.gap_sampler()),
+      dist_(engine.failure_distribution()),
+      seed_(seed),
+      horizon_(horizon) {
+  SHIRAZ_REQUIRE(horizon_ > 0.0, "trace horizon must be positive");
+}
+
+void TraceStore::ensure(std::size_t reps) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (traces_.size() < reps) traces_.resize(reps);
+  for (std::size_t r = 0; r < reps; ++r) {
+    if (!traces_[r]) traces_[r] = materialize(r);
+  }
+}
+
+const FailureTrace& TraceStore::trace(std::size_t rep) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (traces_.size() <= rep) traces_.resize(rep + 1);
+  if (!traces_[rep]) traces_[rep] = materialize(rep);
+  return *traces_[rep];
+}
+
+std::size_t TraceStore::materialized() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const std::unique_ptr<FailureTrace>& t : traces_) {
+    if (t) ++n;
+  }
+  return n;
+}
+
+std::size_t TraceStore::total_gaps() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const std::unique_ptr<FailureTrace>& t : traces_) {
+    if (t) n += t->size();
+  }
+  return n;
+}
+
+std::unique_ptr<FailureTrace> TraceStore::materialize(std::size_t rep) const {
+  // The stream campaigns assign to repetition `rep` (see Engine::run_campaign).
+  Rng rng = Rng(seed_).fork(rep);
+  std::vector<Seconds> gaps;
+  if (dist_ != nullptr) {
+    dist_->sample_gaps(rng, horizon_, gaps);
+  } else {
+    // Non-stationary sampler: feed it the same policy-independent failure
+    // times (prefix sums of the gaps) a live run passes as gap_start.
+    Seconds t = 0.0;
+    while (t < horizon_) {
+      const Seconds gap = sampler_(rng, t);
+      gaps.push_back(gap);
+      t += gap;
+    }
+  }
+  return std::make_unique<FailureTrace>(std::move(gaps), horizon_);
+}
+
+}  // namespace shiraz::sim

@@ -1,0 +1,97 @@
+// Failure-trace memoization: sample each failure stream once, replay it
+// everywhere.
+//
+// Engine::run draws failures identically for a given seed regardless of
+// policy (common random numbers), yet a switch-point sweep re-derives that
+// identical stream draw by draw — a std::function call, a virtual
+// Distribution::sample and a pow/log1p inverse transform per gap, times reps,
+// times every candidate k. A FailureTrace materializes one repetition's
+// inter-failure gaps up to the horizon in a single batched pass
+// (reliability::Distribution::sample_gaps hoists the per-draw dispatch); a
+// TraceStore caches one trace per repetition, keyed by (seed, rep), so every
+// campaign over the same seed replays plain arrays instead.
+//
+// Replay is bit-identical to live sampling (tests/sim/trace_replay_test.cpp):
+// the trace stores gaps, the engine reconstructs failure times with the same
+// `now + gap` additions it performs live, and alarm RNGs fork from the seed —
+// not from generator state — so prediction runs replay unchanged too.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace shiraz::sim {
+
+/// One repetition's inter-failure gaps, materialized up to a horizon. The
+/// last gap is the first whose running sum crosses the horizon — exactly the
+/// draws a live Engine::run consumes, no more and no fewer.
+class FailureTrace {
+ public:
+  FailureTrace(std::vector<Seconds> gaps, Seconds horizon);
+
+  /// The i-th gap; replay cursors walk this in order.
+  Seconds gap(std::size_t i) const {
+    SHIRAZ_REQUIRE(i < gaps_.size(), "failure trace exhausted before the horizon");
+    return gaps_[i];
+  }
+
+  std::size_t size() const { return gaps_.size(); }
+  Seconds horizon() const { return horizon_; }
+
+ private:
+  std::vector<Seconds> gaps_;
+  Seconds horizon_;
+};
+
+/// Lazily materialized per-repetition traces for one (engine, seed) pair.
+/// Repetition r samples with `Rng(seed).fork(r)` — the stream Engine
+/// campaigns assign to repetition r — via the engine's distribution's batched
+/// sample_gaps when the engine was built from a Distribution, or its
+/// GapSampler otherwise (non-stationary processes memoize just as well: the
+/// gap-start argument is the same policy-independent prefix sum either way).
+///
+/// Thread-safe; campaigns call ensure() up front so parallel repetitions only
+/// read. Slots are stable (unique_ptr), so returned references survive later
+/// growth.
+class TraceStore {
+ public:
+  /// Traces for `engine`'s failure process up to `engine.config().t_total`.
+  TraceStore(const Engine& engine, std::uint64_t seed);
+
+  /// Same, with an explicit horizon (e.g. to share one store across engines
+  /// that differ only in costs, or to pre-sample past the longest horizon).
+  TraceStore(const Engine& engine, std::uint64_t seed, Seconds horizon);
+
+  std::uint64_t seed() const { return seed_; }
+  Seconds horizon() const { return horizon_; }
+
+  /// Materializes repetitions [0, reps) that are not yet cached.
+  void ensure(std::size_t reps) const;
+
+  /// The trace of repetition `rep`, materializing it on first use.
+  const FailureTrace& trace(std::size_t rep) const;
+
+  /// How many repetitions are currently materialized (laziness observable).
+  std::size_t materialized() const;
+
+  /// Total gaps across materialized repetitions (throughput accounting).
+  std::size_t total_gaps() const;
+
+ private:
+  std::unique_ptr<FailureTrace> materialize(std::size_t rep) const;
+
+  GapSampler sampler_;
+  std::shared_ptr<const reliability::Distribution> dist_;
+  std::uint64_t seed_;
+  Seconds horizon_;
+  mutable std::mutex mu_;
+  mutable std::vector<std::unique_ptr<FailureTrace>> traces_;
+};
+
+}  // namespace shiraz::sim

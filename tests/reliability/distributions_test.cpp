@@ -195,5 +195,48 @@ TEST(GammaDist, ShapeOneIsExponential) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Batched sampling (trace materialization).
+// ---------------------------------------------------------------------------
+
+// sample_gaps must consume the RNG exactly like repeated sample() calls and
+// produce bit-identical gaps — the overrides (Weibull, Exponential) hoist the
+// per-draw dispatch but must not change a single bit, or trace replay would
+// diverge from live simulation.
+TEST_P(DistributionProperty, SampleGapsMatchesPerDrawSamplingBitForBit) {
+  const Distribution& d = *dist_;
+  const Seconds horizon = hours(500.0);
+
+  Rng batched_rng(42);
+  std::vector<Seconds> batched;
+  d.sample_gaps(batched_rng, horizon, batched);
+
+  Rng loop_rng(42);
+  std::vector<Seconds> looped;
+  Seconds t = 0.0;
+  while (t < horizon) {
+    const Seconds gap = d.sample(loop_rng);
+    looped.push_back(gap);
+    t += gap;
+  }
+
+  ASSERT_EQ(batched.size(), looped.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i], looped[i]) << "gap " << i;
+  }
+  // Both paths must leave the generators in the same state.
+  EXPECT_EQ(batched_rng.uniform(), loop_rng.uniform());
+}
+
+TEST(SampleGaps, AppendsToExistingBuffer) {
+  const Exponential e(hours(5.0));
+  Rng rng(7);
+  std::vector<Seconds> gaps{1.0, 2.0};
+  e.sample_gaps(rng, hours(50.0), gaps);
+  ASSERT_GT(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], 1.0);
+  EXPECT_EQ(gaps[1], 2.0);
+}
+
 }  // namespace
 }  // namespace shiraz::reliability
