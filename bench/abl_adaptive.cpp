@@ -28,9 +28,8 @@ double min_gain(const sim::SimResult& r, const sim::SimResult& base) {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = flags.get_count("reps", 16);
-  const std::uint64_t seed = flags.get_seed("seed", 20182525);
-  const std::size_t workers = bench::workers_flag(flags);
+  const bench::RunFlags run = bench::run_flags(flags, 16, 20182525);
+  const auto& [reps, seed, workers] = run;
   const core::AppSpec lw{"lw", 18.0, 1};
   const core::AppSpec hw{"hw", 1800.0, 1};
 

@@ -20,9 +20,8 @@ int main(int argc, char** argv) {
   // Per-app deltas are differences of two large per-app shares whose gap
   // ownership differs between policies, so common random numbers do not
   // cancel their variance — use generous repetitions.
-  const std::size_t reps = flags.get_count("reps", 128);
-  const std::uint64_t seed = flags.get_seed("seed", 20183636);
-  const std::size_t workers = bench::workers_flag(flags);
+  const bench::RunFlags run = bench::run_flags(flags, 128, 20183636);
+  const auto& [reps, seed, workers] = run;
   const double mtbf_hours = flags.get_double("mtbf", 5.0);
 
   bench::banner("Ablation — 3-app within-gap chain vs pair rotation",

@@ -16,9 +16,8 @@ using namespace shiraz;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = flags.get_count("reps", 24);
-  const std::uint64_t seed = flags.get_seed("seed", 20184747);
-  const std::size_t workers = bench::workers_flag(flags);
+  const bench::RunFlags run = bench::run_flags(flags, 24, 20184747);
+  const auto& [reps, seed, workers] = run;
   const double mtbf_hours = flags.get_double("mtbf", 5.0);
 
   bench::banner("Ablation — Shiraz+ vs Lazy Checkpointing (DSN'14)",

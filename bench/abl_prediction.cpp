@@ -48,15 +48,16 @@ predict::OraclePredictor make_oracle(const Quality& q, Seconds mtbf) {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = flags.get_count("reps", 32);
-  const std::uint64_t seed = flags.get_seed("seed", 20187474);
-  const std::size_t workers = bench::workers_flag(flags);
+  const bench::RunFlags run = bench::run_flags(flags, 32, 20187474);
+  const auto& [reps, seed, workers] = run;
+  bench::BenchJson json("abl_prediction", run);
+  json.config("delta_lw_s", 18.0);
+  json.config("delta_hw_s", 1800.0);
+  json.config("horizon_hours", 1000.0);
 
   bench::banner("Ablation — failure prediction with proactive checkpoints",
                 "Oracle predictor sweep, pair delta 18 s / 1800 s, campaign "
-                "1000 h, reps=" + std::to_string(reps) +
-                    ", seed=" + std::to_string(seed) +
-                    ", jobs=" + std::to_string(workers));
+                "1000 h, " + run.describe());
 
   // Both report sections simulate the same two failure processes (MTBF 5 h
   // and 20 h at the seed above): one engine + trace store per MTBF, sampled
@@ -106,6 +107,9 @@ int main(int argc, char** argv) {
                 "%s h, Shiraz useful %s h.\n",
                 mtbf_hours, k, bench::fmt_hours_ci(base.total_useful).c_str(),
                 bench::fmt_hours_ci(shz.total_useful).c_str());
+    const std::string mtag = "mtbf" + fmt(mtbf_hours, 0);
+    json.metric("baseline_useful/" + mtag, "seconds", base.total_useful);
+    json.metric("shiraz_useful/" + mtag, "seconds", shz.total_useful);
 
     Table table({"p", "r", "lead (s)", "realized p/r",
                  "proactive/alarms", "Duseful vs base (h, +-95CI)",
@@ -123,6 +127,11 @@ int main(int argc, char** argv) {
       const predict::PredictiveShirazScheduler pshiraz(k);
       const sim::CampaignSummary ps =
           engine.run_campaign(jobs, pshiraz, reps, seed, aopts);
+
+      const std::string qtag = mtag + "_p" + fmt(q.precision, 2) + "_r" +
+                               fmt(q.recall, 2) + "_l" + fmt(q.lead, 0);
+      json.metric("predictive_shiraz_useful/" + qtag, "seconds",
+                  ps.total_useful);
 
       table.add_row(
           {fmt(q.precision, 2), fmt(q.recall, 2), fmt(q.lead, 0), realized,
@@ -175,5 +184,5 @@ int main(int argc, char** argv) {
               "Shiraz's k-switch, which keys on scheduled checkpoints only. "
               "The first-order model tracks the simulator within a few "
               "percent across the quality grid.");
-  return 0;
+  return json.write(flags) ? 0 : 1;
 }

@@ -7,12 +7,16 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <optional>
 #include <string>
 #include <thread>
+#include <variant>
+#include <vector>
 
 #include "common/cli.h"
+#include "common/json.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "sim/engine.h"
@@ -47,6 +51,131 @@ inline std::size_t workers_flag(const Flags& flags) {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
+
+/// The repetition flags every Monte-Carlo bench takes, parsed in one place:
+/// `--reps=N`, `--seed=S`, `--jobs=N` (see workers_flag). Benches used to
+/// hand-roll this triple; run_flags() keeps defaults per bench but the
+/// spelling, validation and banner suffix shared.
+struct RunFlags {
+  std::size_t reps;
+  std::uint64_t seed;
+  std::size_t workers;
+
+  /// "reps=N, seed=S, jobs=J" — the banner suffix every bench prints.
+  std::string describe() const {
+    return "reps=" + std::to_string(reps) + ", seed=" + std::to_string(seed) +
+           ", jobs=" + std::to_string(workers);
+  }
+};
+
+inline RunFlags run_flags(const Flags& flags, std::size_t default_reps,
+                          std::uint64_t default_seed) {
+  return RunFlags{flags.get_count("reps", default_reps),
+                  flags.get_seed("seed", default_seed), workers_flag(flags)};
+}
+
+/// Unified machine-readable telemetry: `--json=FILE` dumps a
+/// "shiraz-bench-v1" document with the bench id, repetition flags, bench
+/// parameters, wall-clock, and one mean/stddev/ci95 record per headline
+/// metric. CI runs every --json bench and trends the BENCH_*.json artifacts;
+/// keep metric names stable.
+class BenchJson {
+ public:
+  BenchJson(std::string bench, const RunFlags& run)
+      : bench_(std::move(bench)), run_(run),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// Records a bench parameter for the "config" object (numbers or strings).
+  void config(const std::string& key, double v) { config_.emplace_back(key, v); }
+  void config(const std::string& key, std::int64_t v) { config_.emplace_back(key, v); }
+  void config(const std::string& key, int v) { config(key, static_cast<std::int64_t>(v)); }
+  void config(const std::string& key, std::string v) {
+    config_.emplace_back(key, std::move(v));
+  }
+
+  /// Records one metric record. The MetricSummary form is the common case;
+  /// scalars (model outputs, wall-clock splits) pass stddev = ci95 = 0.
+  void metric(const std::string& name, const std::string& unit,
+              const sim::MetricSummary& m) {
+    metrics_.push_back({name, unit, m.mean, m.stddev, m.ci95});
+  }
+  void metric(const std::string& name, const std::string& unit, double mean,
+              double stddev = 0.0, double ci95 = 0.0) {
+    metrics_.push_back({name, unit, mean, stddev, ci95});
+  }
+
+  /// Writes the document to --json=FILE when the flag is set (no-op
+  /// otherwise). Returns false — after printing a diagnostic — only when the
+  /// file cannot be written, so benches can forward it into their exit code.
+  bool write(const Flags& flags) const {
+    const std::string path = flags.get("json", "");
+    if (path.empty()) return true;
+    const std::string doc = render();
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    const bool ok = n == doc.size() && std::fclose(f) == 0;
+    if (ok) std::printf("Wrote %s.\n", path.c_str());
+    else std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return ok;
+  }
+
+  /// The document itself (tests consume this without touching the
+  /// filesystem).
+  std::string render() const {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "shiraz-bench-v1");
+    w.kv("bench", bench_);
+    w.kv("seed", run_.seed);
+    w.kv("reps", static_cast<std::uint64_t>(run_.reps));
+    w.kv("jobs", static_cast<std::uint64_t>(run_.workers));
+    w.kv("wall_seconds", wall);
+    w.key("config").begin_object();
+    for (const auto& [key, v] : config_) {
+      w.key(key);
+      if (const double* d = std::get_if<double>(&v)) w.value(*d);
+      else if (const std::int64_t* i = std::get_if<std::int64_t>(&v)) w.value(*i);
+      else w.value(std::get<std::string>(v));
+    }
+    w.end_object();
+    w.key("metrics").begin_array();
+    for (const Metric& m : metrics_) {
+      w.begin_object();
+      w.kv("name", m.name);
+      w.kv("unit", m.unit);
+      w.kv("mean", m.mean);
+      w.kv("stddev", m.stddev);
+      w.kv("ci95", m.ci95);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    std::string unit;
+    double mean;
+    double stddev;
+    double ci95;
+  };
+  using ConfigValue = std::variant<double, std::int64_t, std::string>;
+
+  std::string bench_;
+  RunFlags run_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, ConfigValue>> config_;
+  std::vector<Metric> metrics_;
+};
 
 /// Shared campaign plumbing for replay-based benches: one thread pool for the
 /// whole bench (spawned only when --jobs > 1 and reps > 1) plus a

@@ -14,9 +14,8 @@ using namespace shiraz;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = flags.get_count("reps", 32);
-  const std::uint64_t seed = flags.get_seed("seed", 20184040);
-  const std::size_t workers = bench::workers_flag(flags);
+  const bench::RunFlags run = bench::run_flags(flags, 32, 20184040);
+  const auto& [reps, seed, workers] = run;
 
   bench::banner("Conservative 40-job experiment (Section 5)",
                 "5 heavy + 35 light jobs (from the 3 lightest Table-1 apps), "

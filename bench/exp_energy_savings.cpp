@@ -63,9 +63,8 @@ double simulated_yearly_gain_hours(double mtbf_hours, std::size_t reps,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = flags.get_count("reps", 24);
-  const std::uint64_t seed = flags.get_seed("seed", 20185050);
-  const std::size_t workers = bench::workers_flag(flags);
+  const bench::RunFlags run = bench::run_flags(flags, 24, 20185050);
+  const auto& [reps, seed, workers] = run;
 
   bench::banner("Energy & monetary savings (Section 5)",
                 "Yearly gains from the conservative 40-job campaign, priced at "

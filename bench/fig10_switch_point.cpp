@@ -18,14 +18,17 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const double mtbf_hours = flags.get_double("mtbf", 5.0);
   const double factor = flags.get_double("delta-factor", 100.0);
-  const std::size_t reps = flags.get_count("reps", 32);
-  const std::uint64_t seed = flags.get_seed("seed", 20181010);
-  const std::size_t workers = bench::workers_flag(flags);
+  const bench::RunFlags run = bench::run_flags(flags, 32, 20181010);
+  const auto& [reps, seed, workers] = run;
+  bench::BenchJson json("fig10_switch_point", run);
+  json.config("mtbf_hours", mtbf_hours);
+  json.config("delta_factor", factor);
+  json.config("horizon_hours", 1000.0);
 
   bench::banner("Figure 10 — optimal switching point and region of interest",
                 "MTBF " + fmt(mtbf_hours, 0) + " h, delta-factor " +
                     fmt(factor, 0) + "x, heavy checkpoint 0.5 h, campaign 1000 h"
-                    ", jobs=" + std::to_string(workers));
+                    ", " + run.describe());
 
   core::ModelConfig cfg;
   cfg.mtbf = hours(mtbf_hours);
@@ -82,6 +85,9 @@ int main(int argc, char** argv) {
                 sol.region_hi.value_or(0), model_secs);
     bench::note("Paper: k* = 26, region ~[24, 28], ~33 h gain at MTBF 5 h / "
                 "factor 100.");
+    json.metric("model_k_star", "checkpoints", *sol.k);
+    json.metric("model_gain", "hours", as_hours(sol.delta_total));
+    json.metric("model_solve_time", "seconds", model_secs);
 
     // Simulation confirmation around the model optimum. The search samples
     // each repetition's failure stream once (sim::TraceStore) and evaluates
@@ -104,6 +110,9 @@ int main(int argc, char** argv) {
                   "(searched k in [%d, %d] in %.3f s).\n",
                   reps, *ss.k, as_hours(ss.delta_total), std::max(1, *sol.k - 6),
                   *sol.k + 6, sim_secs);
+      json.metric("sim_k_star", "checkpoints", *ss.k);
+      json.metric("sim_gain", "hours", as_hours(ss.delta_total));
+      json.metric("sim_search_time", "seconds", sim_secs);
       std::printf("At the paper's statistical scale (15000 repetitions, full k "
                   "range) the same search costs ~%.0f minutes of CPU — versus "
                   "seconds for the model.\n",
@@ -113,5 +122,5 @@ int main(int argc, char** argv) {
   } else {
     bench::note("Model found no beneficial switch point for these parameters.");
   }
-  return 0;
+  return json.write(flags) ? 0 : 1;
 }

@@ -10,9 +10,8 @@ using namespace shiraz;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = flags.get_count("reps", 32);
-  const std::uint64_t seed = flags.get_seed("seed", 20181212);
-  const std::size_t workers = bench::workers_flag(flags);
+  const bench::RunFlags run = bench::run_flags(flags, 32, 20181212);
+  const auto& [reps, seed, workers] = run;
   const double delta_hw_hours = flags.get_double("delta-hw", 0.25);
   const double factor = flags.get_double("delta-factor", 25.0);
 

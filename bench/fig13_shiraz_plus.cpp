@@ -19,9 +19,8 @@ using namespace shiraz;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = flags.get_count("reps", 24);
-  const std::uint64_t seed = flags.get_seed("seed", 20181313);
-  const std::size_t workers = bench::workers_flag(flags);
+  const bench::RunFlags run = bench::run_flags(flags, 24, 20181313);
+  const auto& [reps, seed, workers] = run;
   const bool with_sim = flags.get_bool("sim", true);
 
   bench::banner("Figure 13 — Shiraz+ checkpoint-overhead reduction",

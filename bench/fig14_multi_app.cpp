@@ -32,9 +32,8 @@ std::vector<apps::AppProfile> ten_app_mix() {
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = flags.get_count("reps", 48);
-  const std::uint64_t seed = flags.get_seed("seed", 20181414);
-  const std::size_t workers = bench::workers_flag(flags);
+  const bench::RunFlags run = bench::run_flags(flags, 48, 20181414);
+  const auto& [reps, seed, workers] = run;
   const std::string strategy_name = flags.get("pairing", "random");
   const core::PairingStrategy strategy = strategy_name == "extreme"
                                              ? core::PairingStrategy::kExtreme

@@ -65,9 +65,8 @@ bool identical(const SweepUsefulByK& a, const SweepUsefulByK& b) {
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const double mtbf_hours = flags.get_double("mtbf", 5.0);
-  const std::size_t reps = flags.get_count("reps", 200);
-  const std::uint64_t seed = flags.get_seed("seed", 20181111);
-  const std::size_t workers = bench::workers_flag(flags);
+  const bench::RunFlags run = bench::run_flags(flags, 200, 20181111);
+  const auto& [reps, seed, workers] = run;
   const int k_lo = static_cast<int>(flags.get_int("k-lo", 20));
   const int k_hi = static_cast<int>(flags.get_int("k-hi", 32));
   const std::string json_path = flags.get("json", "");
@@ -80,9 +79,8 @@ int main(int argc, char** argv) {
       "Micro — engine throughput, sampled vs trace-replayed sweeps",
       "fig10 working point: MTBF " + fmt(mtbf_hours, 0) +
           " h, campaign 1000 h, delta 18 s / 1800 s, baseline + k in [" +
-          std::to_string(k_lo) + ", " + std::to_string(k_hi) +
-          "], reps=" + std::to_string(reps) + ", seed=" + std::to_string(seed) +
-          ", jobs=" + std::to_string(workers));
+          std::to_string(k_lo) + ", " + std::to_string(k_hi) + "], " +
+          run.describe());
 
   const Seconds mtbf = hours(mtbf_hours);
   sim::EngineConfig ecfg;
@@ -179,42 +177,53 @@ int main(int argc, char** argv) {
               "across the whole k range.");
 
   if (!json_path.empty()) {
+    // Historical document shape (BENCH_engine.json predates the shared
+    // "shiraz-bench-v1" schema): the top-level keys below are trended by CI,
+    // so they stay as they are; only the rendering moved to JsonWriter.
+    JsonWriter w;
+    w.begin_object();
+    w.kv("bench", "micro_engine_throughput");
+    w.key("config").begin_object();
+    w.kv("mtbf_hours", mtbf_hours);
+    w.kv("horizon_hours", 1000);
+    w.kv("delta_lw_s", 18);
+    w.kv("delta_hw_s", 1800);
+    w.kv("k_lo", k_lo);
+    w.kv("k_hi", k_hi);
+    w.kv("reps", static_cast<std::uint64_t>(reps));
+    w.kv("jobs", static_cast<std::uint64_t>(workers));
+    w.kv("seed", seed);
+    w.end_object();
+    w.kv("campaigns_per_sweep", static_cast<std::uint64_t>(campaigns_per_sweep));
+    w.kv("gaps_per_rep_set", static_cast<std::uint64_t>(gaps_per_rep_total));
+    w.key("modes").begin_array();
+    for (const ModeResult& m : modes) {
+      w.begin_object();
+      w.kv("name", m.name);
+      w.kv("seconds", m.secs);
+      w.kv("campaigns_per_sec", static_cast<double>(campaigns_per_sweep) / m.secs);
+      w.kv("gaps_per_sec", gaps_per_sweep / m.secs);
+      w.end_object();
+    }
+    w.end_array();
+    w.kv("speedup_replay_vs_sampled", speedup_replay);
+    w.kv("speedup_sweep_vs_sampled", speedup_sweep);
+    w.kv("speedup_store_vs_sampled", speedup_store);
+    w.kv("bit_identical", bit_identical);
+    w.end_object();
+
+    const std::string& doc = w.str();
     FILE* f = std::fopen(json_path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
-    std::fprintf(f,
-                 "{\n"
-                 "  \"bench\": \"micro_engine_throughput\",\n"
-                 "  \"config\": {\"mtbf_hours\": %g, \"horizon_hours\": 1000, "
-                 "\"delta_lw_s\": 18, \"delta_hw_s\": 1800, \"k_lo\": %d, "
-                 "\"k_hi\": %d, \"reps\": %zu, \"jobs\": %zu, \"seed\": %llu},\n"
-                 "  \"campaigns_per_sweep\": %zu,\n"
-                 "  \"gaps_per_rep_set\": %zu,\n"
-                 "  \"modes\": [\n",
-                 mtbf_hours, k_lo, k_hi, reps, workers,
-                 static_cast<unsigned long long>(seed), campaigns_per_sweep,
-                 gaps_per_rep_total);
-    for (std::size_t i = 0; i < modes.size(); ++i) {
-      const ModeResult& m = modes[i];
-      std::fprintf(f,
-                   "    {\"name\": \"%s\", \"seconds\": %.6f, "
-                   "\"campaigns_per_sec\": %.1f, \"gaps_per_sec\": %.0f}%s\n",
-                   m.name, m.secs,
-                   static_cast<double>(campaigns_per_sweep) / m.secs,
-                   gaps_per_sweep / m.secs, i + 1 < modes.size() ? "," : "");
+    const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
+    if (n != doc.size() || std::fclose(f) != 0) {
+      std::fprintf(stderr, "short write to %s\n", json_path.c_str());
+      return 1;
     }
-    std::fprintf(f,
-                 "  ],\n"
-                 "  \"speedup_replay_vs_sampled\": %.3f,\n"
-                 "  \"speedup_sweep_vs_sampled\": %.3f,\n"
-                 "  \"speedup_store_vs_sampled\": %.3f,\n"
-                 "  \"bit_identical\": %s\n"
-                 "}\n",
-                 speedup_replay, speedup_sweep, speedup_store,
-                 bit_identical ? "true" : "false");
-    std::fclose(f);
     std::printf("Wrote %s.\n", json_path.c_str());
   }
 

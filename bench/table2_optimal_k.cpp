@@ -12,16 +12,17 @@ using namespace shiraz;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t reps = flags.get_count("reps", 96);
-  const std::uint64_t seed = flags.get_seed("seed", 20180222);
-  const std::size_t workers = bench::workers_flag(flags);
+  const bench::RunFlags run = bench::run_flags(flags, 96, 20180222);
+  const auto& [reps, seed, workers] = run;
   const int window = static_cast<int>(flags.get_int("window", 5));
+  bench::BenchJson json("table2_optimal_k", run);
+  json.config("window", window);
+  json.config("horizon_hours", 1000.0);
 
   bench::banner("Table 2 — model vs simulation optimal switching point",
                 "Simulated search scans k in [model k* - " + std::to_string(window) +
-                    ", model k* + " + std::to_string(window) + "], reps=" +
-                    std::to_string(reps) + ", seed=" + std::to_string(seed) +
-                    ", jobs=" + std::to_string(workers));
+                    ", model k* + " + std::to_string(window) + "], " +
+                    run.describe());
 
   struct PaperRow {
     const char* system;
@@ -66,6 +67,13 @@ int main(int argc, char** argv) {
           engine, lwj, hwj, std::max(1, *ms.k - window), *ms.k + window, reps,
           seed, workers);
       if (ss.beneficial()) sim_k = std::to_string(*ss.k);
+      const std::string cell = std::string(row.system) + "_" +
+                               fmt(row.factor, 0) + "x";
+      json.metric("model_k_star/" + cell, "checkpoints", *ms.k);
+      if (ss.beneficial()) {
+        json.metric("sim_k_star/" + cell, "checkpoints", *ss.k);
+      }
+      json.metric("model_gain/" + cell, "hours", as_hours(ms.delta_total));
     }
     table.add_row({row.system, fmt(row.factor, 0) + "x",
                    ms.beneficial() ? std::to_string(*ms.k) : "inf", sim_k,
@@ -76,5 +84,5 @@ int main(int argc, char** argv) {
   bench::note("\nPaper-shape check: model k* within +-1 of the paper's values "
               "everywhere, and the simulated optimum within the paper's own "
               "model-vs-sim tolerance of 2.");
-  return 0;
+  return json.write(flags) ? 0 : 1;
 }

@@ -1,0 +1,170 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace shiraz {
+
+JsonWriter::JsonWriter(int indent) : indent_(indent) {
+  SHIRAZ_REQUIRE(indent >= 0, "indent must be non-negative");
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ == 0) return;
+  out_.push_back('\n');
+  out_.append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+void JsonWriter::begin_value() {
+  SHIRAZ_REQUIRE(!done_, "document already complete");
+  if (stack_.empty()) {
+    // Top level: exactly one value, no key.
+    SHIRAZ_REQUIRE(!have_key_, "dangling key at top level");
+    return;
+  }
+  Level& top = stack_.back();
+  if (top.ctx == Ctx::kObject) {
+    SHIRAZ_REQUIRE(have_key_, "object member needs a key before its value");
+    have_key_ = false;
+    return;  // key() already handled comma/indent
+  }
+  if (!top.first) out_.push_back(',');
+  top.first = false;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  SHIRAZ_REQUIRE(!done_, "document already complete");
+  SHIRAZ_REQUIRE(!stack_.empty() && stack_.back().ctx == Ctx::kObject,
+                 "key() outside an object");
+  SHIRAZ_REQUIRE(!have_key_, "two keys in a row");
+  Level& top = stack_.back();
+  if (!top.first) out_.push_back(',');
+  top.first = false;
+  newline_indent();
+  out_.push_back('"');
+  out_.append(escape(k));
+  out_.append(indent_ > 0 ? "\": " : "\":");
+  have_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  out_.push_back('{');
+  stack_.push_back({Ctx::kObject});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  SHIRAZ_REQUIRE(!stack_.empty() && stack_.back().ctx == Ctx::kObject,
+                 "end_object() without matching begin_object()");
+  SHIRAZ_REQUIRE(!have_key_, "object ends with a dangling key");
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  out_.push_back('}');
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  out_.push_back('[');
+  stack_.push_back({Ctx::kArray});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  SHIRAZ_REQUIRE(!stack_.empty() && stack_.back().ctx == Ctx::kArray,
+                 "end_array() without matching begin_array()");
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  out_.push_back(']');
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  begin_value();
+  out_.push_back('"');
+  out_.append(escape(v));
+  out_.push_back('"');
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return value_null();  // JSON has no NaN/inf
+  begin_value();
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  SHIRAZ_REQUIRE(ec == std::errc(), "double does not fit the buffer");
+  out_.append(buf, ptr);
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  begin_value();
+  out_.append(std::to_string(v));
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  begin_value();
+  out_.append(std::to_string(v));
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  begin_value();
+  out_.append(v ? "true" : "false");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  begin_value();
+  out_.append("null");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  SHIRAZ_REQUIRE(done_ && stack_.empty(), "document is incomplete");
+  return out_;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\b': out.append("\\b"); break;
+      case '\f': out.append("\\f"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      case '\t': out.append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out.append(buf);
+        } else {
+          out.push_back(c);  // UTF-8 passes through untouched
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace shiraz

@@ -1,0 +1,78 @@
+// Minimal streaming JSON writer — no third-party dependencies.
+//
+// Backs the unified bench telemetry (`bench::BenchJson`, the `BENCH_*.json`
+// artifacts CI trends) and the Perfetto trace export (`obs::PerfettoWriter`).
+// The writer is strictly validating: emitting a value where the grammar does
+// not allow one (value without a key inside an object, a second top-level
+// value, unbalanced end_*) throws InvalidArgument, so malformed documents are
+// impossible rather than merely unlikely. Doubles render in shortest
+// round-trip form via std::to_chars; non-finite values (JSON has no NaN/inf)
+// render as null.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shiraz {
+
+class JsonWriter {
+ public:
+  /// `indent` > 0 pretty-prints with that many spaces per nesting level;
+  /// 0 emits the compact single-line form. Both parse identically.
+  explicit JsonWriter(int indent = 2);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be directly inside an object and must be
+  /// followed by exactly one value (or container).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value_null();
+
+  /// key(k) + value(v) in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The finished document. Throws unless exactly one complete top-level
+  /// value has been written and every container is closed.
+  const std::string& str() const;
+
+  /// JSON string-escapes `s` (quotes, backslash, control characters).
+  /// Returns the escaped body without surrounding quotes.
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Ctx : std::uint8_t { kObject, kArray };
+  struct Level {
+    Ctx ctx;
+    bool first = true;
+  };
+
+  /// Comma/indent bookkeeping shared by every value and container opening.
+  void begin_value();
+  void newline_indent();
+
+  std::string out_;
+  std::vector<Level> stack_;
+  bool have_key_ = false;
+  bool done_ = false;
+  int indent_;
+};
+
+}  // namespace shiraz

@@ -1,0 +1,46 @@
+// Bridge between the InvariantAuditor and sim::SimResult.
+//
+// Header-only so shiraz_obs stays below shiraz_sim in the library dependency
+// order (the engine emits obs events; obs must not link the engine). Any
+// translation unit using these helpers links shiraz_sim anyway — tests,
+// benches, and tools all do.
+#pragma once
+
+#include "obs/audit.h"
+#include "sim/metrics.h"
+
+namespace shiraz::obs {
+
+/// Flattens a SimResult into the auditor's expected-value form.
+inline ExpectedTotals expected_totals(const sim::SimResult& result) {
+  ExpectedTotals e;
+  e.apps.reserve(result.apps.size());
+  for (const sim::AppMetrics& a : result.apps) {
+    ExpectedTotals::App app;
+    app.useful = a.useful;
+    app.io = a.io;
+    app.lost = a.lost;
+    app.restart = a.restart;
+    app.checkpoints = a.checkpoints;
+    app.proactive_checkpoints = a.proactive_checkpoints;
+    app.failures_hit = a.failures_hit;
+    e.apps.push_back(app);
+  }
+  e.wall = result.wall;
+  e.idle = result.idle;
+  e.truncated = result.truncated;
+  e.failures = result.failures;
+  e.switches = result.switches;
+  e.alarms = result.alarms;
+  e.proactive_checkpoints = result.proactive_checkpoints;
+  return e;
+}
+
+/// Audits `auditor`'s recorded stream against `result`; throws AuditError on
+/// any divergence.
+inline void verify_against(const InvariantAuditor& auditor,
+                           const sim::SimResult& result) {
+  auditor.verify(expected_totals(result));
+}
+
+}  // namespace shiraz::obs

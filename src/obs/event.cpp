@@ -1,0 +1,21 @@
+#include "obs/event.h"
+
+namespace shiraz::obs {
+
+const char* kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kFailure: return "failure";
+    case EventKind::kRestart: return "restart";
+    case EventKind::kCheckpointBegin: return "checkpoint-begin";
+    case EventKind::kCheckpointCommit: return "checkpoint-commit";
+    case EventKind::kSegmentWiped: return "segment-wiped";
+    case EventKind::kProactiveCheckpoint: return "proactive-checkpoint";
+    case EventKind::kAppSwitch: return "app-switch";
+    case EventKind::kAlarmDelivered: return "alarm-delivered";
+    case EventKind::kAlarmExpired: return "alarm-expired";
+    case EventKind::kHorizonTruncated: return "horizon-truncated";
+  }
+  return "unknown";
+}
+
+}  // namespace shiraz::obs

@@ -1,0 +1,166 @@
+#include "obs/perfetto.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+#include "common/error.h"
+#include "common/json.h"
+
+namespace shiraz::obs {
+
+namespace {
+
+constexpr double kMicrosPerSecond = 1e6;
+
+std::string app_label(const std::vector<std::string>& names, std::int32_t app) {
+  const auto i = static_cast<std::size_t>(app);
+  if (i < names.size()) return names[i];
+  return "app " + std::to_string(app);
+}
+
+/// Opens one traceEvents entry with the fields every event shares. pid is
+/// rep + 1, tid 0 is the per-rep failure/alarm instant track and tid app + 1
+/// the application track. Caller adds event-specific fields and closes.
+void open_entry(JsonWriter& w, const char* name, const char* ph,
+                std::uint32_t rep, std::int32_t tid, double ts_us) {
+  w.begin_object();
+  w.kv("name", name);
+  w.kv("ph", ph);
+  w.kv("pid", static_cast<std::int64_t>(rep) + 1);
+  w.kv("tid", static_cast<std::int64_t>(tid));
+  w.kv("ts", ts_us);
+}
+
+void span(JsonWriter& w, const char* name, const Event& e, double start,
+          double dur) {
+  open_entry(w, name, "X", e.rep, e.app + 1, start * kMicrosPerSecond);
+  w.kv("dur", dur * kMicrosPerSecond);
+  w.end_object();
+}
+
+void instant(JsonWriter& w, const char* name, const Event& e, std::int32_t tid) {
+  open_entry(w, name, "i", e.rep, tid, e.time * kMicrosPerSecond);
+  w.kv("s", "t");  // thread-scoped instant
+  w.end_object();
+}
+
+void metadata(JsonWriter& w, const char* kind, std::int64_t pid,
+              std::int64_t tid, const std::string& label) {
+  w.begin_object();
+  w.kv("name", kind);
+  w.kv("ph", "M");
+  w.kv("pid", pid);
+  if (tid >= 0) w.kv("tid", tid);
+  w.key("args").begin_object().kv("name", label).end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string perfetto_trace_json(const std::vector<Event>& events,
+                                const std::vector<std::string>& app_names) {
+  // Name every (rep, track) pair that actually occurs.
+  std::set<std::uint32_t> reps;
+  std::set<std::pair<std::uint32_t, std::int32_t>> app_tracks;
+  bool any_instants = false;
+  for (const Event& e : events) {
+    reps.insert(e.rep);
+    if (e.app != kNoApp) app_tracks.insert({e.rep, e.app});
+    if (e.kind == EventKind::kFailure || e.kind == EventKind::kAlarmDelivered ||
+        e.kind == EventKind::kAlarmExpired) {
+      any_instants = true;
+    }
+  }
+
+  JsonWriter w(0);  // compact: traces are large and machine-consumed
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+
+  for (const std::uint32_t rep : reps) {
+    const std::int64_t pid = static_cast<std::int64_t>(rep) + 1;
+    metadata(w, "process_name", pid, -1, "rep " + std::to_string(rep));
+    if (any_instants) metadata(w, "thread_name", pid, 0, "failures/alarms");
+  }
+  for (const auto& [rep, app] : app_tracks) {
+    metadata(w, "thread_name", static_cast<std::int64_t>(rep) + 1, app + 1,
+             app_label(app_names, app));
+  }
+
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kFailure: {
+        open_entry(w, "failure", "i", e.rep, 0, e.time * kMicrosPerSecond);
+        w.kv("s", "p");  // process-scoped: spans all tracks of the rep
+        if (e.app != kNoApp) {
+          w.key("args").begin_object().kv("hit", app_label(app_names, e.app))
+              .end_object();
+        }
+        w.end_object();
+        break;
+      }
+      case EventKind::kRestart:
+        span(w, "restart", e, e.time, e.duration);
+        break;
+      case EventKind::kCheckpointBegin:
+        // Redundant with the commit/wipe spans; skip to keep traces lean.
+        break;
+      case EventKind::kCheckpointCommit:
+        span(w, "compute", e, e.time - e.duration - e.value, e.value);
+        span(w, "checkpoint", e, e.time - e.duration, e.duration);
+        break;
+      case EventKind::kSegmentWiped:
+        span(w, "lost", e, e.time, e.duration);
+        break;
+      case EventKind::kProactiveCheckpoint:
+        span(w, "compute", e, e.time - e.duration - e.value, e.value);
+        span(w, "proactive checkpoint", e, e.time - e.duration, e.duration);
+        break;
+      case EventKind::kAppSwitch:
+        if (e.duration > 0.0) {
+          span(w, "switch-in", e, e.time, e.duration);
+        } else {
+          instant(w, "switch-in", e, e.app + 1);
+        }
+        break;
+      case EventKind::kAlarmDelivered: {
+        open_entry(w, "alarm", "i", e.rep, 0, e.time * kMicrosPerSecond);
+        w.kv("s", "t");
+        w.key("args").begin_object().kv("lead_s", e.value).end_object();
+        w.end_object();
+        break;
+      }
+      case EventKind::kAlarmExpired:
+        instant(w, "alarm (expired)", e, 0);
+        break;
+      case EventKind::kHorizonTruncated:
+        if (e.app != kNoApp) {
+          span(w, "truncated", e, e.time, e.duration);
+        } else {
+          instant(w, "truncated", e, 0);
+        }
+        break;
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void write_perfetto_trace(const std::string& path,
+                          const std::vector<Event>& events,
+                          const std::vector<std::string>& app_names) {
+  const std::string doc = perfetto_trace_json(events, app_names);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw IoError("cannot open " + path + " for writing");
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != doc.size() || close_err != 0) {
+    throw IoError("short write to " + path);
+  }
+}
+
+}  // namespace shiraz::obs

@@ -1,0 +1,51 @@
+// Chrome/Perfetto trace_event JSON export of an obs::Event stream.
+//
+// The emitted document follows the Trace Event Format's JSON Object Format
+// ({"traceEvents": [...]}) using only complete ("X"), instant ("i") and
+// metadata ("M") events, which both chrome://tracing and ui.perfetto.dev
+// load. Each campaign repetition renders as one process (pid = rep + 1);
+// within it, every application gets its own named track (tid = app + 1)
+// carrying compute / checkpoint / lost / restart spans, and track 0 carries
+// the failure and alarm instants. Timestamps are simulated microseconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace shiraz::obs {
+
+/// Renders `events` as a complete trace_event JSON document. `app_names`
+/// labels the per-app tracks (apps beyond the list are named "app N").
+std::string perfetto_trace_json(const std::vector<Event>& events,
+                                const std::vector<std::string>& app_names = {});
+
+/// perfetto_trace_json + write to `path`; throws IoError when the file
+/// cannot be written.
+void write_perfetto_trace(const std::string& path,
+                          const std::vector<Event>& events,
+                          const std::vector<std::string>& app_names = {});
+
+/// Sink form: record a run (or a merged campaign stream), then render() or
+/// write() the trace.
+class PerfettoWriter final : public EventSink {
+ public:
+  explicit PerfettoWriter(std::vector<std::string> app_names = {})
+      : app_names_(std::move(app_names)) {}
+
+  void on_event(const Event& event) override { events_.push_back(event); }
+
+  std::string render() const { return perfetto_trace_json(events_, app_names_); }
+  void write(const std::string& path) const {
+    write_perfetto_trace(path, events_, app_names_);
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  std::vector<Event> events_;
+  std::vector<std::string> app_names_;
+};
+
+}  // namespace shiraz::obs

@@ -1,0 +1,158 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace shiraz::obs {
+
+namespace {
+
+/// Later paints win only when their glyph outranks what is already in the
+/// cell, so a one-cell checkpoint write is not erased by the surrounding
+/// compute span and losses stay visible over everything else.
+int rank(char glyph) {
+  switch (glyph) {
+    case ' ': return -1;
+    case '.': return 0;
+    case '=': return 1;
+    case '~': return 2;
+    case 's': return 3;
+    case 'C': return 4;
+    case 'P': return 5;
+    case 'r': return 6;
+    case 'x': return 7;
+    default: return 8;
+  }
+}
+
+class Lane {
+ public:
+  Lane(std::size_t width, Seconds wall, char fill)
+      : cells_(width, fill), wall_(wall) {}
+
+  void paint(Seconds from, Seconds to, char glyph) {
+    if (to < from) return;
+    std::size_t lo = cell(from);
+    std::size_t hi = cell(to);
+    for (std::size_t i = lo; i <= hi; ++i) {
+      if (rank(glyph) > rank(cells_[i])) cells_[i] = glyph;
+    }
+  }
+
+  void mark(Seconds at, char glyph) { paint(at, at, glyph); }
+
+  const std::string& str() const { return cells_; }
+
+ private:
+  std::size_t cell(Seconds t) const {
+    const double frac = std::clamp(t / wall_, 0.0, 1.0);
+    const auto i = static_cast<std::size_t>(frac * static_cast<double>(cells_.size()));
+    return std::min(i, cells_.size() - 1);
+  }
+
+  std::string cells_;
+  Seconds wall_;
+};
+
+std::string label(const TimelineOptions& opts, std::size_t app) {
+  if (app < opts.app_names.size()) return opts.app_names[app];
+  return "app " + std::to_string(app);
+}
+
+}  // namespace
+
+std::string render_timeline(const std::vector<Event>& events,
+                            const TimelineOptions& opts) {
+  SHIRAZ_REQUIRE(opts.wall > 0.0, "timeline needs a positive wall");
+  SHIRAZ_REQUIRE(opts.width >= 8, "timeline needs at least 8 columns");
+
+  std::size_t n_apps = 0;
+  for (const Event& e : events) {
+    if (e.rep == opts.rep && e.app != kNoApp) {
+      n_apps = std::max(n_apps, static_cast<std::size_t>(e.app) + 1);
+    }
+  }
+
+  Lane event_lane(opts.width, opts.wall, ' ');
+  std::vector<Lane> lanes(n_apps, Lane(opts.width, opts.wall, '.'));
+
+  for (const Event& e : events) {
+    if (e.rep != opts.rep) continue;
+    switch (e.kind) {
+      case EventKind::kFailure:
+        event_lane.mark(e.time, '|');
+        break;
+      case EventKind::kRestart:
+        lanes[static_cast<std::size_t>(e.app)].paint(e.time, e.time + e.duration, 'r');
+        break;
+      case EventKind::kCheckpointBegin:
+        break;
+      case EventKind::kCheckpointCommit: {
+        Lane& l = lanes[static_cast<std::size_t>(e.app)];
+        l.paint(e.time - e.duration - e.value, e.time - e.duration, '=');
+        l.paint(e.time - e.duration, e.time, 'C');
+        break;
+      }
+      case EventKind::kSegmentWiped:
+        lanes[static_cast<std::size_t>(e.app)].paint(e.time, e.time + e.duration, 'x');
+        break;
+      case EventKind::kProactiveCheckpoint: {
+        Lane& l = lanes[static_cast<std::size_t>(e.app)];
+        l.paint(e.time - e.duration - e.value, e.time - e.duration, '=');
+        l.paint(e.time - e.duration, e.time, 'P');
+        break;
+      }
+      case EventKind::kAppSwitch:
+        if (e.duration > 0.0) {
+          lanes[static_cast<std::size_t>(e.app)].paint(e.time, e.time + e.duration, 's');
+        } else {
+          lanes[static_cast<std::size_t>(e.app)].mark(e.time, 's');
+        }
+        break;
+      case EventKind::kAlarmDelivered:
+        event_lane.mark(e.time, '!');
+        break;
+      case EventKind::kAlarmExpired:
+        event_lane.mark(e.time, ':');
+        break;
+      case EventKind::kHorizonTruncated:
+        if (e.app != kNoApp) {
+          lanes[static_cast<std::size_t>(e.app)].paint(e.time, e.time + e.duration, '~');
+        }
+        break;
+    }
+  }
+
+  std::size_t name_width = 6;  // "events"
+  for (std::size_t i = 0; i < n_apps; ++i) {
+    name_width = std::max(name_width, label(opts, i).size());
+  }
+
+  std::ostringstream os;
+  const auto row = [&](const std::string& name, const std::string& cells) {
+    os << name << std::string(name_width - name.size() + 2, ' ') << cells
+       << '\n';
+  };
+  row("events", event_lane.str());
+  for (std::size_t i = 0; i < n_apps; ++i) row(label(opts, i), lanes[i].str());
+
+  if (opts.legend) {
+    char right[32];
+    std::snprintf(right, sizeof right, "%gh", as_hours(opts.wall));
+    const std::size_t rlen = std::string(right).size();
+    std::ostringstream scale;
+    scale << "0h";
+    const std::size_t pad = opts.width > 2 + rlen ? opts.width - 2 - rlen : 1;
+    scale << std::string(pad, ' ') << right;
+    row("", scale.str());
+    os << "legend: = compute  C checkpoint  P proactive  x lost  r restart"
+          "  s switch  ~ truncated  . idle  | failure  ! alarm  : expired\n";
+  }
+  return os.str();
+}
+
+}  // namespace shiraz::obs

@@ -1,0 +1,44 @@
+// ASCII timeline rendering of an obs::Event stream.
+//
+// Renders one repetition of a traced run as fixed-width character lanes —
+// one lane per application plus an event lane for failures and alarms — so a
+// schedule can be eyeballed in a terminal or a test log without loading the
+// Perfetto trace in a browser. `shirazctl trace` prints this next to the
+// trace file it writes.
+//
+//   events   |        !     |                          |
+//   lw       ==C==C==xr==C==C==C==C==xr==C==C==C==C==~
+//   hw       .....=====C....=====C.....
+//
+// Legend: '=' compute, 'C' checkpoint write, 'P' proactive write, 'x' lost
+// (wiped) work, 'r' restart, 's' switch-in, '~' horizon-truncated, '.' idle;
+// event lane: '|' failure, '!' alarm delivered, ':' alarm expired.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/event.h"
+
+namespace shiraz::obs {
+
+struct TimelineOptions {
+  /// Number of character cells the horizon maps onto.
+  std::size_t width = 96;
+  /// Horizon (seconds). Events past it are clamped into the last cell.
+  Seconds wall = 0.0;
+  /// Lane labels; apps beyond the list are labelled "app N".
+  std::vector<std::string> app_names;
+  /// Repetition to render — campaign streams interleave many.
+  std::uint32_t rep = 0;
+  /// Append the legend and a time-scale line after the lanes.
+  bool legend = true;
+};
+
+/// Renders the events of `opts.rep` as one string (trailing newline
+/// included). Requires opts.wall > 0 and opts.width >= 8.
+std::string render_timeline(const std::vector<Event>& events,
+                            const TimelineOptions& opts);
+
+}  // namespace shiraz::obs

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 
+#include "common/json.h"
 #include "common/units.h"
 
 namespace shiraz::proto {
@@ -68,6 +69,23 @@ struct IoCounters {
     write_seconds += other.write_seconds;
     read_seconds += other.read_seconds;
     return *this;
+  }
+
+  /// Emits the counters as one JSON object (an in-progress `w` positioned
+  /// where a value is expected — e.g. after key()). Byte counts are exact
+  /// integers, never floats, so trend diffs are bit-stable; used by the
+  /// prototype benches' --json telemetry.
+  void write_json(JsonWriter& w) const {
+    w.begin_object();
+    w.kv("writes", static_cast<std::uint64_t>(writes));
+    w.kv("restores", static_cast<std::uint64_t>(restores));
+    w.kv("bytes_written", static_cast<std::uint64_t>(bytes_written));
+    w.kv("bytes_read", static_cast<std::uint64_t>(bytes_read));
+    w.kv("write_seconds", write_seconds);
+    w.kv("read_seconds", read_seconds);
+    w.kv("effective_write_bandwidth_bps", effective_write_bandwidth_bps());
+    w.kv("effective_read_bandwidth_bps", effective_read_bandwidth_bps());
+    w.end_object();
   }
 
   /// Counter delta since an earlier snapshot of the same counters (used by

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "obs/event.h"
 #include "sim/trace.h"
 
 namespace shiraz::sim {
@@ -39,7 +40,7 @@ Engine::Engine(GapSampler sampler, const EngineConfig& config)
 
 SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
                       Rng& rng, const AlarmSource* alarms) const {
-  return run_impl(jobs, scheduler, rng, nullptr, alarms);
+  return run_impl(jobs, scheduler, rng, nullptr, alarms, config_.sink);
 }
 
 SimResult Engine::replay(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
@@ -54,12 +55,12 @@ SimResult Engine::replay(const std::vector<SimJob>& jobs, const Scheduler& sched
                          const AlarmSource* alarms) const {
   SHIRAZ_REQUIRE(trace.horizon() >= config_.t_total,
                  "trace horizon does not cover the engine horizon");
-  return run_impl(jobs, scheduler, rng, &trace, alarms);
+  return run_impl(jobs, scheduler, rng, &trace, alarms, config_.sink);
 }
 
 SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
                            Rng& rng, const FailureTrace* trace,
-                           const AlarmSource* alarms) const {
+                           const AlarmSource* alarms, obs::EventSink* sink) const {
   SHIRAZ_REQUIRE(!jobs.empty(), "need at least one job");
   for (const SimJob& job : jobs) {
     SHIRAZ_REQUIRE(job.delta > 0.0, "job checkpoint cost must be positive");
@@ -73,6 +74,23 @@ SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& sch
 
   const Seconds horizon = config_.t_total;
   constexpr Seconds kNever = std::numeric_limits<Seconds>::infinity();
+
+  // Event narration. Sinks are pure observers (no RNG, no simulator state),
+  // so the traced and untraced runs are bit-identical; a null sink costs one
+  // pointer compare per would-be event. Event::rep stays 0 here — campaign
+  // merges stamp it.
+  const auto emit = [&](obs::EventKind kind, Seconds time, Seconds duration,
+                        std::int32_t app, Seconds value = 0.0) {
+    if (sink == nullptr) return;
+    obs::Event e;
+    e.kind = kind;
+    e.time = time;
+    e.duration = duration;
+    e.app = app;
+    e.value = value;
+    sink->on_event(e);
+  };
+  const auto app_id = [](std::size_t i) { return static_cast<std::int32_t>(i); };
   std::vector<std::size_t> ckpts_gap(jobs.size(), 0);
   Seconds now = 0.0;
   Seconds gap_start = 0.0;
@@ -134,6 +152,7 @@ SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& sch
   auto handle_failure = [&](std::optional<std::size_t> hit) {
     ++res.failures;
     if (hit) ++res.apps[*hit].failures_hit;
+    emit(obs::EventKind::kFailure, now, 0.0, hit ? app_id(*hit) : obs::kNoApp);
     last_gap_length = now - gap_start;
     gap_start = now;
     next_fail = now + next_gap(now);
@@ -146,6 +165,7 @@ SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& sch
       // as part of the app's first interval start offset).
       const Seconds end = std::min({now + config_.restart_cost, next_fail, horizon});
       res.apps[*decision.app].restart += end - now;
+      emit(obs::EventKind::kRestart, now, end - now, app_id(*decision.app));
       now = end;
     }
   };
@@ -153,6 +173,8 @@ SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& sch
   // compute to protect.
   auto drop_alarms_before = [&](Seconds t) {
     while (alarm_next < gap_alarms.size() && gap_alarms[alarm_next].time < t) {
+      emit(obs::EventKind::kAlarmExpired, gap_alarms[alarm_next].time, 0.0,
+           obs::kNoApp, gap_alarms[alarm_next].lead);
       ++alarm_next;
     }
   };
@@ -210,6 +232,8 @@ SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& sch
         ctx.alarm_lead = gap_alarms[alarm_next].lead;
         ctx.current_delta = job.delta;
         const AlarmAction action = scheduler.on_alarm(ctx);
+        emit(obs::EventKind::kAlarmDelivered, alarm_at, 0.0, app_id(ai),
+             gap_alarms[alarm_next].lead);
         ++alarm_next;
         ++res.alarms;
         if (action.take_checkpoint) {
@@ -230,12 +254,14 @@ SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& sch
         pending_ckpt.reset();
         if (horizon <= std::min(proactive_end, next_fail)) {
           res.truncated += horizon - now;
+          emit(obs::EventKind::kHorizonTruncated, now, horizon - now, app_id(ai));
           now = horizon;
           break;
         }
         if (next_fail < proactive_end) {
           // Failure wipes the in-flight segment (compute + partial write).
           res.apps[ai].lost += next_fail - now;
+          emit(obs::EventKind::kSegmentWiped, now, next_fail - now, app_id(ai));
           now = next_fail;
           handle_failure(ai);
           break;
@@ -244,6 +270,8 @@ SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& sch
         res.apps[ai].io += job.delta;
         ++res.apps[ai].proactive_checkpoints;
         ++res.proactive_checkpoints;
+        emit(obs::EventKind::kProactiveCheckpoint, proactive_end, job.delta,
+             app_id(ai), pending_at - seg_start);
         now = proactive_end;
         // The decision is unchanged: the app resumes its regular schedule.
         break;
@@ -252,12 +280,20 @@ SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& sch
       if (horizon <= std::min(seg_end, next_fail)) {
         // Horizon cuts the segment: neither checkpointed nor failure-wiped.
         res.truncated += horizon - now;
+        if (horizon > write_start) {
+          emit(obs::EventKind::kCheckpointBegin, write_start, 0.0, app_id(ai));
+        }
+        emit(obs::EventKind::kHorizonTruncated, now, horizon - now, app_id(ai));
         now = horizon;
         break;
       }
       if (next_fail < seg_end) {
         // Failure wipes the in-flight segment (compute + partial checkpoint).
         res.apps[ai].lost += next_fail - now;
+        if (next_fail > write_start) {
+          emit(obs::EventKind::kCheckpointBegin, write_start, 0.0, app_id(ai));
+        }
+        emit(obs::EventKind::kSegmentWiped, now, next_fail - now, app_id(ai));
         now = next_fail;
         handle_failure(ai);
         break;
@@ -268,18 +304,22 @@ SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& sch
       res.apps[ai].io += job.delta;
       ++res.apps[ai].checkpoints;
       ++ckpts_gap[ai];
+      emit(obs::EventKind::kCheckpointBegin, write_start, 0.0, app_id(ai));
+      emit(obs::EventKind::kCheckpointCommit, seg_end, job.delta, app_id(ai), tau);
       now = seg_end;
       decision = scheduler.on_checkpoint(make_ctx(ai, now));
       // A within-gap hand-off (Shiraz's switch) may cost drain/launch
       // downtime, charged to the incoming application.
       if (decision.app && *decision.app != ai) {
         ++res.switches;
+        Seconds switch_end = now;
         if (config_.switch_cost > 0.0) {
-          const Seconds end =
-              std::min({now + config_.switch_cost, next_fail, horizon});
-          res.apps[*decision.app].restart += end - now;
-          now = end;
+          switch_end = std::min({now + config_.switch_cost, next_fail, horizon});
+          res.apps[*decision.app].restart += switch_end - now;
         }
+        emit(obs::EventKind::kAppSwitch, now, switch_end - now,
+             app_id(*decision.app), static_cast<double>(ai));
+        now = switch_end;
       }
       break;
     }
@@ -327,18 +367,36 @@ CampaignSummary Engine::run_campaign(const std::vector<SimJob>& jobs,
     traces->ensure(reps);
   }
   const AlarmSource* alarms = opts.alarms;
+  obs::EventSink* sink = opts.sink != nullptr ? opts.sink : config_.sink;
   const Rng master(seed);
   std::vector<SimResult> results(reps);
+  // Traced campaigns buffer per repetition: repetitions may run on any worker
+  // in any order, so each records privately and the buffers merge — stamped
+  // with their repetition id — after the runs. The serial path goes through
+  // the same buffers, so the delivered stream is identical for every worker
+  // count.
+  std::vector<obs::EventRecorder> recorders(sink != nullptr ? reps : 0);
 
   auto run_rep = [&](std::size_t r, const Scheduler& policy,
                      const AlarmSource* source) {
     Rng rng = master.fork(r);
     const FailureTrace* trace = traces != nullptr ? &traces->trace(r) : nullptr;
-    results[r] = run_impl(jobs, policy, rng, trace, source);
+    results[r] = run_impl(jobs, policy, rng, trace, source,
+                          sink != nullptr ? &recorders[r] : nullptr);
+  };
+  auto merge_events = [&] {
+    if (sink == nullptr) return;
+    for (std::size_t r = 0; r < reps; ++r) {
+      for (obs::Event e : recorders[r].events()) {
+        e.rep = static_cast<std::uint32_t>(r);
+        sink->on_event(e);
+      }
+    }
   };
 
   if ((opts.workers <= 1 && opts.pool == nullptr) || reps == 1) {
     for (std::size_t r = 0; r < reps; ++r) run_rep(r, scheduler, alarms);
+    merge_events();
     return summarize_campaign(results);
   }
 
@@ -368,6 +426,7 @@ CampaignSummary Engine::run_campaign(const std::vector<SimJob>& jobs,
     const AlarmSource* source = alarm_clones[r] ? alarm_clones[r].get() : alarms;
     run_rep(r, policy, source);
   });
+  merge_events();
   return summarize_campaign(results);
 }
 

@@ -24,6 +24,10 @@ namespace shiraz::common {
 class ThreadPool;
 }  // namespace shiraz::common
 
+namespace shiraz::obs {
+class EventSink;
+}  // namespace shiraz::obs
+
 namespace shiraz::sim {
 
 class FailureTrace;
@@ -40,6 +44,12 @@ struct EngineConfig {
   /// bench/abl_switch_cost probes how much of Shiraz's gain that assumption
   /// is worth. Charged to the incoming application's restart time.
   Seconds switch_cost = 0.0;
+  /// When non-null, every run narrates itself as a typed event stream (see
+  /// obs/event.h). Sinks are pure observers — no RNG access — so arming one
+  /// is bit-identical to an untraced run; a null sink costs one pointer
+  /// compare per would-be event. Single runs stream events as they happen;
+  /// run_campaign buffers per repetition and merges in repetition order.
+  obs::EventSink* sink = nullptr;
 };
 
 /// Samples the next inter-failure gap given the RNG and the absolute time of
@@ -63,6 +73,11 @@ struct CampaignOptions {
   /// When non-null, parallel repetitions borrow this pool instead of
   /// spawning (and joining) a fresh one per campaign.
   common::ThreadPool* pool = nullptr;
+  /// Campaign event sink (overrides EngineConfig::sink for this campaign).
+  /// Events buffer per repetition and are delivered rep by rep — stamped with
+  /// Event::rep — after the runs, so the merged stream is identical for every
+  /// worker count.
+  obs::EventSink* sink = nullptr;
 };
 
 class Engine {
@@ -154,7 +169,7 @@ class Engine {
  private:
   SimResult run_impl(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
                      Rng& rng, const FailureTrace* trace,
-                     const AlarmSource* alarms) const;
+                     const AlarmSource* alarms, obs::EventSink* sink) const;
 
   GapSampler gap_sampler_;
   std::shared_ptr<const reliability::Distribution> dist_;

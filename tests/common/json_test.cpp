@@ -1,0 +1,180 @@
+// JsonWriter: the single JSON emitter behind the bench telemetry and the
+// Perfetto traces. Structure is checked by round-tripping documents through
+// the tests' minimal parser; the grammar-validation contract (malformed
+// documents throw, never render) is pinned directly.
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "../support/mini_json.h"
+
+namespace shiraz {
+namespace {
+
+using testing::JsonValue;
+using testing::parse_json;
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter obj;
+  obj.begin_object().end_object();
+  EXPECT_EQ(obj.str(), "{}");
+
+  JsonWriter arr;
+  arr.begin_array().end_array();
+  EXPECT_EQ(arr.str(), "[]");
+}
+
+TEST(JsonWriter, CompactAndPrettyParseIdentically) {
+  const auto build = [](JsonWriter& w) {
+    w.begin_object();
+    w.kv("name", "shiraz");
+    w.key("ks").begin_array().value(1).value(2).value(3).end_array();
+    w.key("nested").begin_object().kv("ok", true).end_object();
+    w.end_object();
+  };
+  JsonWriter compact(0);
+  build(compact);
+  JsonWriter pretty(2);
+  build(pretty);
+  EXPECT_EQ(compact.str().find('\n'), std::string::npos);
+  EXPECT_NE(pretty.str().find('\n'), std::string::npos);
+
+  const JsonValue a = parse_json(compact.str());
+  const JsonValue b = parse_json(pretty.str());
+  EXPECT_EQ(a.at("name").string, "shiraz");
+  EXPECT_EQ(b.at("name").string, "shiraz");
+  ASSERT_EQ(a.at("ks").array.size(), 3u);
+  EXPECT_EQ(a.at("ks").at(2).number, 3.0);
+  EXPECT_EQ(b.at("ks").at(2).number, 3.0);
+  EXPECT_TRUE(a.at("nested").at("ok").boolean);
+  EXPECT_TRUE(b.at("nested").at("ok").boolean);
+}
+
+TEST(JsonWriter, EscapesControlCharactersAndRoundTrips) {
+  const std::string nasty = "quote \" backslash \\ newline \n tab \t bell \x07";
+  JsonWriter w(0);
+  w.begin_object().kv("s", nasty).end_object();
+  // The raw document must not contain a bare control character or an
+  // unescaped quote inside the string body.
+  const std::string& doc = w.str();
+  for (const char c : doc) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control byte";
+  }
+  EXPECT_EQ(parse_json(doc).at("s").string, nasty);
+}
+
+TEST(JsonWriter, EscapeStaticMatchesWriter) {
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::escape("\n"), "\\n");
+}
+
+TEST(JsonWriter, DoublesRoundTripExactly) {
+  // std::to_chars shortest form: strtod of the rendering must recover the
+  // original bits for every value, including awkward ones.
+  const double values[] = {0.1,     1.0 / 3.0, 1e-9, 6.02214076e23,
+                           -2.5e-8, 1234.5678, 0.0};
+  JsonWriter w(0);
+  w.begin_array();
+  for (const double v : values) w.value(v);
+  w.end_array();
+  const JsonValue parsed = parse_json(w.str());
+  ASSERT_EQ(parsed.array.size(), std::size(values));
+  for (std::size_t i = 0; i < std::size(values); ++i) {
+    EXPECT_EQ(parsed.at(i).number, values[i]) << "i=" << i;
+  }
+}
+
+TEST(JsonWriter, IntegersRenderExactly) {
+  JsonWriter w(0);
+  w.begin_object();
+  w.kv("u64max", std::numeric_limits<std::uint64_t>::max());
+  w.kv("i64min", std::numeric_limits<std::int64_t>::min());
+  w.kv("neg", -42);
+  w.end_object();
+  const std::string& doc = w.str();
+  // Exact decimal digits in the document — integers must not go through a
+  // double (u64 max is not representable as one).
+  EXPECT_NE(doc.find("18446744073709551615"), std::string::npos);
+  EXPECT_NE(doc.find("-9223372036854775808"), std::string::npos);
+  EXPECT_NE(doc.find("-42"), std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesRenderAsNull) {
+  JsonWriter w(0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.end_array();
+  const JsonValue parsed = parse_json(w.str());
+  ASSERT_EQ(parsed.array.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(parsed.at(i).is_null()) << "i=" << i;
+  }
+}
+
+TEST(JsonWriter, GrammarViolationsThrow) {
+  {  // value directly inside an object without a key
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), InvalidArgument);
+  }
+  {  // key inside an array
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), InvalidArgument);
+  }
+  {  // second top-level value
+    JsonWriter w;
+    w.value(1);
+    EXPECT_THROW(w.value(2), InvalidArgument);
+  }
+  {  // mismatched closers
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), InvalidArgument);
+  }
+  {  // key must be followed by a value, not a closer
+    JsonWriter w;
+    w.begin_object();
+    w.key("dangling");
+    EXPECT_THROW(w.end_object(), InvalidArgument);
+  }
+}
+
+TEST(JsonWriter, StrRequiresCompleteDocument) {
+  {  // nothing written
+    JsonWriter w;
+    EXPECT_THROW(w.str(), InvalidArgument);
+  }
+  {  // unclosed container
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), InvalidArgument);
+  }
+  {  // complete scalar document is fine
+    JsonWriter w;
+    w.value(true);
+    EXPECT_EQ(w.str(), "true");
+  }
+}
+
+TEST(MiniJson, RejectsMalformedInput) {
+  // The test parser itself must not accept garbage, or the structural tests
+  // above prove nothing.
+  EXPECT_THROW(parse_json("{"), std::runtime_error);
+  EXPECT_THROW(parse_json("{} extra"), std::runtime_error);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(parse_json("nul"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace shiraz

@@ -28,6 +28,26 @@ TEST(RunningStats, SingleSample) {
   EXPECT_DOUBLE_EQ(s.max(), 3.5);
 }
 
+TEST(RunningStats, NeverNaN) {
+  // The degenerate accumulator states feed straight into bench telemetry
+  // (MetricSummary, BENCH_*.json); none of them may poison a mean with NaN.
+  RunningStats empty;
+  EXPECT_FALSE(std::isnan(empty.mean()));
+  EXPECT_FALSE(std::isnan(empty.stddev()));
+
+  RunningStats one;
+  one.add(7.0);
+  EXPECT_FALSE(std::isnan(one.stddev()));
+  EXPECT_DOUBLE_EQ(one.stddev(), 0.0);
+
+  // Identical samples: Welford's m2 must stay exactly 0, never a tiny
+  // negative that sqrt() would turn into NaN.
+  RunningStats same;
+  for (int i = 0; i < 100; ++i) same.add(0.1);
+  EXPECT_EQ(same.variance(), 0.0);
+  EXPECT_EQ(same.stddev(), 0.0);
+}
+
 TEST(RunningStats, KnownSmallSample) {
   RunningStats s;
   for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);

@@ -1,0 +1,246 @@
+// The event-tracing contract (DESIGN.md "Observability"): arming an
+// EventSink is bit-identical to an untraced run — sinks are pure observers
+// with no RNG access — and campaign streams merge in repetition order, so
+// the trace is identical for every --jobs value. Checked for every policy
+// family the repo ships: baseline, Shiraz, Shiraz+, and predictive Shiraz
+// with a live alarm source.
+#include <cstdint>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/event.h"
+#include "predict/oracle.h"
+#include "predict/policies.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+
+namespace shiraz::obs {
+namespace {
+
+constexpr std::uint64_t kSeed = 20180555;
+constexpr std::size_t kReps = 8;
+constexpr double kMtbfHours = 5.0;
+
+sim::Engine make_engine() {
+  sim::EngineConfig cfg;
+  cfg.t_total = hours(200.0);
+  return sim::Engine(reliability::Weibull::from_mtbf(0.6, hours(kMtbfHours)),
+                     cfg);
+}
+
+void expect_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  ASSERT_EQ(a.apps.size(), b.apps.size());
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_EQ(a.apps[i].useful, b.apps[i].useful) << "app " << i;
+    EXPECT_EQ(a.apps[i].io, b.apps[i].io) << "app " << i;
+    EXPECT_EQ(a.apps[i].lost, b.apps[i].lost) << "app " << i;
+    EXPECT_EQ(a.apps[i].restart, b.apps[i].restart) << "app " << i;
+    EXPECT_EQ(a.apps[i].checkpoints, b.apps[i].checkpoints) << "app " << i;
+    EXPECT_EQ(a.apps[i].proactive_checkpoints, b.apps[i].proactive_checkpoints);
+    EXPECT_EQ(a.apps[i].failures_hit, b.apps[i].failures_hit) << "app " << i;
+  }
+  EXPECT_EQ(a.wall, b.wall);
+  EXPECT_EQ(a.idle, b.idle);
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_EQ(a.alarms, b.alarms);
+  EXPECT_EQ(a.proactive_checkpoints, b.proactive_checkpoints);
+}
+
+enum class Policy { kBaseline, kShiraz, kShirazPlus, kPredictiveShiraz };
+
+struct Campaign {
+  std::vector<sim::SimJob> jobs;
+  std::unique_ptr<sim::Scheduler> scheduler;
+  std::unique_ptr<sim::AlarmSource> alarms;  // null unless predictive
+};
+
+Campaign make_campaign(Policy policy) {
+  const Seconds mtbf = hours(kMtbfHours);
+  Campaign c;
+  c.jobs = {sim::SimJob::at_oci("lw", 18.0, mtbf),
+            sim::SimJob::at_oci("hw", 1800.0, mtbf)};
+  switch (policy) {
+    case Policy::kBaseline:
+      c.scheduler = std::make_unique<sim::AlternateAtFailure>();
+      break;
+    case Policy::kShiraz:
+      c.scheduler = std::make_unique<sim::ShirazPairScheduler>(26);
+      break;
+    case Policy::kShirazPlus:
+      c.jobs[1] = sim::SimJob::at_oci("hw", 1800.0, mtbf, /*stretch=*/3);
+      c.scheduler = std::make_unique<sim::ShirazPairScheduler>(26);
+      break;
+    case Policy::kPredictiveShiraz: {
+      predict::OracleConfig ocfg;
+      ocfg.precision = 0.9;
+      ocfg.recall = 0.8;
+      ocfg.lead = minutes(10.0);
+      ocfg.mtbf = mtbf;
+      c.scheduler = std::make_unique<predict::PredictiveShirazScheduler>(26);
+      c.alarms = std::make_unique<predict::OraclePredictor>(ocfg);
+      break;
+    }
+  }
+  return c;
+}
+
+std::vector<Event> traced_campaign(const sim::Engine& engine, const Campaign& c,
+                                   std::size_t workers,
+                                   sim::SimResult* result = nullptr) {
+  EventRecorder recorder;
+  sim::CampaignOptions opts;
+  opts.workers = workers;
+  opts.alarms = c.alarms.get();
+  opts.sink = &recorder;
+  const sim::SimResult r =
+      engine.run_many(c.jobs, *c.scheduler, kReps, kSeed, opts);
+  if (result != nullptr) *result = r;
+  return recorder.events();
+}
+
+class EventTraceTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Policy>> {};
+
+TEST_P(EventTraceTest, ArmedSinkIsBitIdenticalToUntracedRun) {
+  const auto [workers, policy] = GetParam();
+  const sim::Engine engine = make_engine();
+  const Campaign c = make_campaign(policy);
+
+  const sim::SimResult untraced = engine.run_many(
+      c.jobs, *c.scheduler, kReps, kSeed, workers, c.alarms.get());
+
+  sim::SimResult traced;
+  const std::vector<Event> events =
+      traced_campaign(engine, c, workers, &traced);
+  expect_identical(traced, untraced);
+  EXPECT_FALSE(events.empty());
+}
+
+TEST_P(EventTraceTest, StreamIsIdenticalForEveryWorkerCount) {
+  const auto [workers, policy] = GetParam();
+  const sim::Engine engine = make_engine();
+  const Campaign c = make_campaign(policy);
+
+  const std::vector<Event> serial = traced_campaign(engine, c, 1);
+  const std::vector<Event> at_param = traced_campaign(engine, c, workers);
+  ASSERT_EQ(serial.size(), at_param.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], at_param[i]) << "event " << i;
+  }
+}
+
+TEST_P(EventTraceTest, RepStampsArriveInRepetitionOrder) {
+  const auto [workers, policy] = GetParam();
+  const sim::Engine engine = make_engine();
+  const Campaign c = make_campaign(policy);
+
+  const std::vector<Event> events = traced_campaign(engine, c, workers);
+  std::uint32_t last_rep = 0;
+  std::vector<bool> seen(kReps, false);
+  for (const Event& e : events) {
+    EXPECT_GE(e.rep, last_rep) << "merge must deliver rep by rep";
+    EXPECT_LT(e.rep, kReps);
+    last_rep = e.rep;
+    seen[e.rep] = true;
+  }
+  for (std::size_t r = 0; r < kReps; ++r) {
+    EXPECT_TRUE(seen[r]) << "rep " << r << " produced no events";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkerCountsAndPolicies, EventTraceTest,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{4}),
+                       ::testing::Values(Policy::kBaseline, Policy::kShiraz,
+                                         Policy::kShirazPlus,
+                                         Policy::kPredictiveShiraz)),
+    [](const ::testing::TestParamInfo<std::tuple<std::size_t, Policy>>& info) {
+      const Policy policy = std::get<1>(info.param);
+      const char* name = policy == Policy::kBaseline     ? "Baseline"
+                         : policy == Policy::kShiraz     ? "Shiraz"
+                         : policy == Policy::kShirazPlus ? "ShirazPlus"
+                                                         : "PredictiveShiraz";
+      return std::string(name) + "Jobs" + std::to_string(std::get<0>(info.param));
+    });
+
+TEST(EventTrace, SingleRunConfigSinkStreamsAndStaysBitIdentical) {
+  const Campaign c = make_campaign(Policy::kShiraz);
+
+  sim::EngineConfig plain_cfg;
+  plain_cfg.t_total = hours(200.0);
+  const sim::Engine plain(
+      reliability::Weibull::from_mtbf(0.6, hours(kMtbfHours)), plain_cfg);
+  Rng rng_plain = Rng(kSeed).fork(0);
+  const sim::SimResult untraced = plain.run(c.jobs, *c.scheduler, rng_plain);
+
+  EventRecorder recorder;
+  sim::EngineConfig traced_cfg = plain_cfg;
+  traced_cfg.sink = &recorder;
+  const sim::Engine traced(
+      reliability::Weibull::from_mtbf(0.6, hours(kMtbfHours)), traced_cfg);
+  Rng rng_traced = Rng(kSeed).fork(0);
+  const sim::SimResult res = traced.run(c.jobs, *c.scheduler, rng_traced);
+
+  expect_identical(res, untraced);
+  ASSERT_FALSE(recorder.events().empty());
+  for (const Event& e : recorder.events()) {
+    EXPECT_EQ(e.rep, 0u) << "single runs never stamp a repetition";
+  }
+}
+
+TEST(EventTrace, CampaignSinkOverridesConfigSink) {
+  const Campaign c = make_campaign(Policy::kShiraz);
+  EventRecorder config_sink;
+  EventRecorder campaign_sink;
+
+  sim::EngineConfig cfg;
+  cfg.t_total = hours(200.0);
+  cfg.sink = &config_sink;
+  const sim::Engine engine(
+      reliability::Weibull::from_mtbf(0.6, hours(kMtbfHours)), cfg);
+
+  sim::CampaignOptions opts;
+  opts.sink = &campaign_sink;
+  engine.run_many(c.jobs, *c.scheduler, kReps, kSeed, opts);
+  EXPECT_TRUE(config_sink.events().empty());
+  EXPECT_FALSE(campaign_sink.events().empty());
+
+  // Without an override the campaign falls back to the engine's sink, still
+  // buffered and rep-stamped.
+  sim::CampaignOptions fallback;
+  engine.run_many(c.jobs, *c.scheduler, kReps, kSeed, fallback);
+  EXPECT_EQ(config_sink.events().size(), campaign_sink.events().size());
+}
+
+TEST(EventTrace, RunCampaignDeliversTheSameMergedStream) {
+  const Campaign c = make_campaign(Policy::kPredictiveShiraz);
+  const sim::Engine engine = make_engine();
+
+  const std::vector<Event> from_run_many = traced_campaign(engine, c, 4);
+
+  EventRecorder recorder;
+  sim::CampaignOptions opts;
+  opts.workers = 4;
+  opts.alarms = c.alarms.get();
+  opts.sink = &recorder;
+  engine.run_campaign(c.jobs, *c.scheduler, kReps, kSeed, opts);
+  ASSERT_EQ(recorder.events().size(), from_run_many.size());
+  for (std::size_t i = 0; i < from_run_many.size(); ++i) {
+    EXPECT_EQ(recorder.events()[i], from_run_many[i]) << "event " << i;
+  }
+}
+
+TEST(EventTrace, KindNamesAreStable) {
+  EXPECT_STREQ(kind_name(EventKind::kFailure), "failure");
+  EXPECT_STREQ(kind_name(EventKind::kCheckpointCommit), "checkpoint-commit");
+  EXPECT_STREQ(kind_name(EventKind::kProactiveCheckpoint),
+               "proactive-checkpoint");
+}
+
+}  // namespace
+}  // namespace shiraz::obs

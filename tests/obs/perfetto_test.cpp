@@ -1,0 +1,206 @@
+// Perfetto export: the emitted trace_event JSON must be structurally valid
+// (parsed with the tests' minimal parser — the same bar chrome://tracing and
+// ui.perfetto.dev set) and must map the event taxonomy onto the documented
+// track layout: pid = rep + 1, tid 0 = failures/alarms, tid = app + 1.
+#include "obs/perfetto.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "obs/event.h"
+#include "predict/oracle.h"
+#include "predict/policies.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+#include "../support/mini_json.h"
+
+namespace shiraz::obs {
+namespace {
+
+using testing::JsonValue;
+using testing::parse_json;
+
+constexpr std::uint64_t kSeed = 20180777;
+
+/// A short predictive campaign: two reps, alarms armed, so the stream covers
+/// every track the exporter renders (spans, failure instants, alarms).
+std::vector<Event> sample_stream() {
+  const Seconds mtbf = hours(5.0);
+  EventRecorder recorder;
+  sim::EngineConfig cfg;
+  cfg.t_total = hours(100.0);
+  const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), cfg);
+  const std::vector<sim::SimJob> jobs{sim::SimJob::at_oci("lw", 18.0, mtbf),
+                                      sim::SimJob::at_oci("hw", 1800.0, mtbf)};
+  predict::OracleConfig ocfg;
+  ocfg.precision = 0.9;
+  ocfg.recall = 0.8;
+  ocfg.lead = minutes(10.0);
+  ocfg.mtbf = mtbf;
+  const predict::OraclePredictor oracle(ocfg);
+  const predict::PredictiveShirazScheduler policy(26);
+
+  sim::CampaignOptions opts;
+  opts.alarms = &oracle;
+  opts.sink = &recorder;
+  engine.run_many(jobs, policy, /*reps=*/2, kSeed, opts);
+  return recorder.events();
+}
+
+TEST(Perfetto, DocumentIsStructurallyValid) {
+  const std::vector<Event> events = sample_stream();
+  ASSERT_FALSE(events.empty());
+  const JsonValue doc =
+      parse_json(perfetto_trace_json(events, {"light", "heavy"}));
+
+  ASSERT_TRUE(doc.has("traceEvents"));
+  const JsonValue& entries = doc.at("traceEvents");
+  ASSERT_EQ(entries.type, JsonValue::Type::kArray);
+  ASSERT_FALSE(entries.array.empty());
+
+  std::set<double> pids;
+  std::set<std::string> phases;
+  std::set<std::string> names;
+  for (const auto& entry_ptr : entries.array) {
+    const JsonValue& e = *entry_ptr;
+    ASSERT_TRUE(e.has("ph"));
+    ASSERT_TRUE(e.has("pid"));
+    const std::string ph = e.at("ph").string;
+    phases.insert(ph);
+    pids.insert(e.at("pid").number);
+    if (ph == "X") {
+      EXPECT_TRUE(e.has("tid"));
+      EXPECT_TRUE(e.has("ts"));
+      EXPECT_TRUE(e.has("dur"));
+      EXPECT_GE(e.at("dur").number, 0.0);
+      names.insert(e.at("name").string);
+    } else if (ph == "i") {
+      EXPECT_TRUE(e.has("tid"));
+      EXPECT_TRUE(e.has("ts"));
+      names.insert(e.at("name").string);
+    } else {
+      // Metadata names a process (no tid) or one of its tracks.
+      EXPECT_EQ(ph, "M") << "only X, i, and M events are emitted";
+    }
+  }
+  // Two reps render as processes 1 and 2.
+  EXPECT_EQ(pids, (std::set<double>{1.0, 2.0}));
+  EXPECT_TRUE(phases.count("X"));
+  EXPECT_TRUE(phases.count("i"));
+  EXPECT_TRUE(phases.count("M"));
+  EXPECT_TRUE(names.count("compute"));
+  EXPECT_TRUE(names.count("checkpoint"));
+  EXPECT_TRUE(names.count("failure"));
+}
+
+TEST(Perfetto, MetadataNamesProcessesAndTracks) {
+  const std::vector<Event> events = sample_stream();
+  const JsonValue doc =
+      parse_json(perfetto_trace_json(events, {"light", "heavy"}));
+  std::set<std::string> labels;
+  for (const auto& entry_ptr : doc.at("traceEvents").array) {
+    const JsonValue& e = *entry_ptr;
+    if (e.at("ph").string != "M") continue;
+    EXPECT_TRUE(e.at("name").string == "process_name" ||
+                e.at("name").string == "thread_name");
+    labels.insert(e.at("args").at("name").string);
+  }
+  EXPECT_TRUE(labels.count("rep 0"));
+  EXPECT_TRUE(labels.count("rep 1"));
+  EXPECT_TRUE(labels.count("light"));
+  EXPECT_TRUE(labels.count("heavy"));
+  EXPECT_TRUE(labels.count("failures/alarms"));
+}
+
+TEST(Perfetto, UnnamedAppsGetPlaceholderTracks) {
+  Event e;
+  e.kind = EventKind::kCheckpointCommit;
+  e.time = 100.0;
+  e.duration = 10.0;
+  e.value = 50.0;
+  e.app = 1;
+  const JsonValue doc = parse_json(perfetto_trace_json({e}));
+  bool found = false;
+  for (const auto& entry_ptr : doc.at("traceEvents").array) {
+    const JsonValue& m = *entry_ptr;
+    if (m.at("ph").string == "M" && m.at("name").string == "thread_name" &&
+        m.at("args").at("name").string == "app 1") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Perfetto, TimestampsAreSimulatedMicroseconds) {
+  Event commit;
+  commit.kind = EventKind::kCheckpointCommit;
+  commit.time = 2.0;       // seconds: write span [1, 2], compute [0.5, 1]
+  commit.duration = 1.0;
+  commit.value = 0.5;
+  commit.app = 0;
+  const JsonValue doc = parse_json(perfetto_trace_json({commit}));
+  bool saw_checkpoint = false;
+  for (const auto& entry_ptr : doc.at("traceEvents").array) {
+    const JsonValue& e = *entry_ptr;
+    if (e.at("ph").string == "X" && e.at("name").string == "checkpoint") {
+      EXPECT_DOUBLE_EQ(e.at("ts").number, 1e6);
+      EXPECT_DOUBLE_EQ(e.at("dur").number, 1e6);
+      saw_checkpoint = true;
+    }
+    if (e.at("ph").string == "X" && e.at("name").string == "compute") {
+      EXPECT_DOUBLE_EQ(e.at("ts").number, 0.5e6);
+      EXPECT_DOUBLE_EQ(e.at("dur").number, 0.5e6);
+    }
+  }
+  EXPECT_TRUE(saw_checkpoint);
+}
+
+TEST(Perfetto, WriteProducesALoadableFile) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() / "shiraz_perfetto_test.json").string();
+  const std::vector<Event> events = sample_stream();
+  write_perfetto_trace(path, events, {"light", "heavy"});
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = parse_json(buf.str());
+  EXPECT_FALSE(doc.at("traceEvents").array.empty());
+  fs::remove(path);
+
+  EXPECT_THROW(
+      write_perfetto_trace("/nonexistent-dir/trace.json", events), IoError);
+}
+
+TEST(Perfetto, SinkFormRecordsAndRenders) {
+  PerfettoWriter writer({"a"});
+  Event e;
+  e.kind = EventKind::kFailure;
+  e.time = 10.0;
+  writer.on_event(e);
+  EXPECT_EQ(writer.events().size(), 1u);
+  const JsonValue doc = parse_json(writer.render());
+  bool saw_failure = false;
+  for (const auto& entry_ptr : doc.at("traceEvents").array) {
+    if (entry_ptr->at("ph").string == "i" &&
+        entry_ptr->at("name").string == "failure") {
+      saw_failure = true;
+      EXPECT_DOUBLE_EQ(entry_ptr->at("ts").number, 10e6);
+      EXPECT_DOUBLE_EQ(entry_ptr->at("tid").number, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+}
+
+}  // namespace
+}  // namespace shiraz::obs

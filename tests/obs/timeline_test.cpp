@@ -1,0 +1,157 @@
+// ASCII timeline renderer: lane layout, glyph priorities, repetition
+// filtering, and the legend/scale footer.
+#include "obs/timeline.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "obs/event.h"
+
+namespace shiraz::obs {
+namespace {
+
+Event make_event(EventKind kind, Seconds time, Seconds duration = 0.0,
+                 std::int32_t app = kNoApp, Seconds value = 0.0,
+                 std::uint32_t rep = 0) {
+  Event e;
+  e.kind = kind;
+  e.time = time;
+  e.duration = duration;
+  e.app = app;
+  e.value = value;
+  e.rep = rep;
+  return e;
+}
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> lines;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Timeline, RendersLanesGlyphsAndFooter) {
+  // 100 s horizon on 50 cells: 2 s per cell. One committed segment, one
+  // failure that wipes the next segment, a restart, and an alarm.
+  const std::vector<Event> events{
+      // commit at t=40: compute [10, 38], checkpoint write [38, 40]
+      make_event(EventKind::kCheckpointCommit, 40.0, 2.0, 0, 28.0),
+      make_event(EventKind::kFailure, 60.0, 0.0, 0),
+      make_event(EventKind::kSegmentWiped, 40.0, 20.0, 0),
+      make_event(EventKind::kRestart, 60.0, 4.0, 0),
+      make_event(EventKind::kAlarmDelivered, 80.0, 0.0, 0, 600.0),
+  };
+  TimelineOptions opts;
+  opts.width = 50;
+  opts.wall = 100.0;
+  opts.app_names = {"lw"};
+  const std::string out = render_timeline(events, opts);
+
+  const std::vector<std::string> lines = lines_of(out);
+  // events lane + 1 app lane + scale + legend
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].substr(0, 6), "events");
+  EXPECT_EQ(lines[1].substr(0, 2), "lw");
+  EXPECT_NE(lines[0].find('|'), std::string::npos);
+  EXPECT_NE(lines[0].find('!'), std::string::npos);
+  EXPECT_NE(lines[1].find('='), std::string::npos);
+  EXPECT_NE(lines[1].find('C'), std::string::npos);
+  EXPECT_NE(lines[1].find('x'), std::string::npos);
+  EXPECT_NE(lines[1].find('r'), std::string::npos);
+  EXPECT_NE(lines[1].find('.'), std::string::npos);
+  EXPECT_NE(lines[2].find("0h"), std::string::npos);
+  EXPECT_EQ(lines[3].substr(0, 7), "legend:");
+}
+
+TEST(Timeline, GlyphPriorityKeepsLossesVisible) {
+  // A wiped span painted before a compute span over the same cells: the 'x'
+  // outranks '=' and must survive.
+  const std::vector<Event> events{
+      make_event(EventKind::kSegmentWiped, 0.0, 50.0, 0),
+      make_event(EventKind::kCheckpointCommit, 100.0, 2.0, 0, 98.0),
+  };
+  TimelineOptions opts;
+  opts.width = 10;
+  opts.wall = 100.0;
+  opts.legend = false;
+  const std::string out = render_timeline(events, opts);
+  const std::vector<std::string> lines = lines_of(out);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find('x'), std::string::npos)
+      << "lost work must not be painted over by compute";
+}
+
+TEST(Timeline, FiltersToTheRequestedRepetition) {
+  const std::vector<Event> events{
+      make_event(EventKind::kFailure, 10.0, 0.0, kNoApp, 0.0, /*rep=*/0),
+      make_event(EventKind::kFailure, 50.0, 0.0, kNoApp, 0.0, /*rep=*/1),
+  };
+  TimelineOptions opts;
+  opts.width = 10;
+  opts.wall = 100.0;
+  opts.legend = false;
+  opts.rep = 1;
+  const std::string out = render_timeline(events, opts);
+  const std::vector<std::string> lines = lines_of(out);
+  // Rep 1's failure lands mid-lane; rep 0's (cell 1) must be absent.
+  const std::string& lane = lines[0];
+  ASSERT_NE(lane.find('|'), std::string::npos);
+  EXPECT_EQ(lane.find('|'), lane.rfind('|')) << "exactly one failure glyph";
+}
+
+TEST(Timeline, EventsPastTheWallClampIntoTheLastCell) {
+  const std::vector<Event> events{
+      make_event(EventKind::kFailure, 250.0, 0.0),
+  };
+  TimelineOptions opts;
+  opts.width = 10;
+  opts.wall = 100.0;
+  opts.legend = false;
+  const std::string out = render_timeline(events, opts);
+  const std::string lane = lines_of(out)[0];
+  EXPECT_EQ(lane.back(), '|');
+}
+
+TEST(Timeline, LegendFlagControlsFooter) {
+  const std::vector<Event> events{make_event(EventKind::kFailure, 10.0)};
+  TimelineOptions opts;
+  opts.width = 20;
+  opts.wall = 100.0;
+  opts.legend = false;
+  EXPECT_EQ(render_timeline(events, opts).find("legend:"), std::string::npos);
+  opts.legend = true;
+  EXPECT_NE(render_timeline(events, opts).find("legend:"), std::string::npos);
+}
+
+TEST(Timeline, UnnamedAppsGetPlaceholderLabels) {
+  const std::vector<Event> events{
+      make_event(EventKind::kAppSwitch, 10.0, 0.0, 2),
+  };
+  TimelineOptions opts;
+  opts.width = 10;
+  opts.wall = 100.0;
+  opts.legend = false;
+  const std::string out = render_timeline(events, opts);
+  const std::vector<std::string> lines = lines_of(out);
+  // Apps 0..2 all get lanes; 2 is labelled "app 2" with no names given.
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[3].substr(0, 5), "app 2");
+}
+
+TEST(Timeline, ValidatesItsOptions) {
+  const std::vector<Event> events;
+  TimelineOptions opts;
+  opts.wall = 0.0;
+  EXPECT_THROW(render_timeline(events, opts), InvalidArgument);
+  opts.wall = 100.0;
+  opts.width = 4;
+  EXPECT_THROW(render_timeline(events, opts), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::obs

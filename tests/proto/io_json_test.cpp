@@ -1,0 +1,67 @@
+// IoCounters::write_json: byte counts must round-trip as exact integers so
+// CI trend diffs of the prototype benches' telemetry are bit-stable.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "proto/io_metrics.h"
+#include "../support/mini_json.h"
+
+namespace shiraz::proto {
+namespace {
+
+using shiraz::testing::JsonValue;
+using shiraz::testing::parse_json;
+
+TEST(IoJson, CountersRoundTripExactly) {
+  IoCounters c;
+  c.record_write({2.0, 1'073'741'824});  // 1 GiB in 2 s
+  c.record_write({1.0, 536'870'912});
+  c.record_restore({0.5, 268'435'456});
+
+  JsonWriter w(0);
+  c.write_json(w);
+  const JsonValue doc = parse_json(w.str());
+
+  EXPECT_EQ(doc.at("writes").number, 2.0);
+  EXPECT_EQ(doc.at("restores").number, 1.0);
+  EXPECT_EQ(doc.at("bytes_written").number, 1'610'612'736.0);
+  EXPECT_EQ(doc.at("bytes_read").number, 268'435'456.0);
+  EXPECT_DOUBLE_EQ(doc.at("write_seconds").number, 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("read_seconds").number, 0.5);
+  EXPECT_DOUBLE_EQ(doc.at("effective_write_bandwidth_bps").number,
+                   1'610'612'736.0 / 3.0);
+  EXPECT_DOUBLE_EQ(doc.at("effective_read_bandwidth_bps").number,
+                   268'435'456.0 / 0.5);
+
+  // Byte counts render as integer literals, not scientific notation.
+  EXPECT_NE(w.str().find("\"bytes_written\":1610612736"), std::string::npos);
+}
+
+TEST(IoJson, EmptyCountersAreAllZero) {
+  const IoCounters c;
+  JsonWriter w(0);
+  c.write_json(w);
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.at("writes").number, 0.0);
+  EXPECT_EQ(doc.at("bytes_written").number, 0.0);
+  EXPECT_EQ(doc.at("effective_write_bandwidth_bps").number, 0.0);
+  EXPECT_EQ(doc.at("effective_read_bandwidth_bps").number, 0.0);
+}
+
+TEST(IoJson, NestsInsideALargerDocument) {
+  IoCounters c;
+  c.record_write({1.0, 100});
+  JsonWriter w(0);
+  w.begin_object();
+  w.key("io");
+  c.write_json(w);
+  w.end_object();
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.at("io").at("writes").number, 1.0);
+  EXPECT_EQ(doc.at("io").at("bytes_written").number, 100.0);
+}
+
+}  // namespace
+}  // namespace shiraz::proto

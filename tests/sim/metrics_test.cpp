@@ -117,6 +117,21 @@ TEST(Metrics, SummarizeCampaignSingleRepHasZeroSpread) {
   EXPECT_EQ(s.total_useful.min, s.total_useful.max);
 }
 
+TEST(Metrics, SummarizeCampaignIdenticalRepsHaveExactlyZeroSpread) {
+  // Identical repetitions must summarize to stddev == ci95 == 0 exactly —
+  // not a rounding-noise residual, and certainly not NaN — so JSON telemetry
+  // of deterministic campaigns is bit-stable across runs.
+  const std::vector<SimResult> per_rep{make_result(2.0), make_result(2.0),
+                                       make_result(2.0)};
+  const CampaignSummary s = summarize_campaign(per_rep);
+  EXPECT_EQ(s.total_useful.stddev, 0.0);
+  EXPECT_EQ(s.total_useful.ci95, 0.0);
+  EXPECT_EQ(s.idle.stddev, 0.0);
+  EXPECT_EQ(s.apps[0].useful.stddev, 0.0);
+  EXPECT_EQ(s.total_useful.min, s.total_useful.max);
+  EXPECT_FALSE(std::isnan(s.failures.stddev));
+}
+
 TEST(Metrics, SummarizeCampaignRejectsEmpty) {
   EXPECT_THROW(summarize_campaign({}), InvalidArgument);
 }

@@ -1,0 +1,122 @@
+// End-to-end CLI regression tests for shirazctl. The binary path is injected
+// by CMake as SHIRAZCTL_PATH; each test spawns the real executable, so the
+// exit-code and usage contracts scripts rely on are pinned here.
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include "../support/mini_json.h"
+
+namespace {
+
+using shiraz::testing::JsonValue;
+using shiraz::testing::parse_json;
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  // stdout and stderr interleaved
+};
+
+CommandResult run_command(const std::string& args) {
+  const std::string cmd = std::string(SHIRAZCTL_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  CommandResult r;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    r.output.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+TEST(ShirazctlCli, UnknownCommandExitsTwoWithUsage) {
+  const CommandResult r = run_command("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown command 'frobnicate'"), std::string::npos);
+  EXPECT_NE(r.output.find("shirazctl <solve|"), std::string::npos)
+      << "usage must follow the error";
+}
+
+TEST(ShirazctlCli, NoCommandExitsTwoWithUsage) {
+  const CommandResult r = run_command("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("shirazctl <solve|"), std::string::npos);
+}
+
+TEST(ShirazctlCli, UsageListsTheTraceSubcommand) {
+  const CommandResult r = run_command("frobnicate");
+  EXPECT_NE(r.output.find("|trace>"), std::string::npos);
+  EXPECT_NE(r.output.find("trace: --out="), std::string::npos);
+}
+
+TEST(ShirazctlCli, BadFlagValueExitsOne) {
+  const CommandResult r = run_command("trace --reps=0");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("shirazctl:"), std::string::npos);
+}
+
+TEST(ShirazctlCli, TraceWritesALoadablePerfettoFile) {
+  namespace fs = std::filesystem;
+  const std::string out =
+      (fs::temp_directory_path() / "shirazctl_cli_trace_test.json").string();
+  fs::remove(out);
+
+  const CommandResult r = run_command(
+      "trace --k=26 --reps=2 --width=40 --t-total-hours=100 --out=" + out);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("legend:"), std::string::npos)
+      << "trace prints the ASCII timeline";
+  EXPECT_NE(r.output.find("Wrote " + out), std::string::npos);
+
+  std::ifstream in(out);
+  ASSERT_TRUE(in.good()) << "trace file missing";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = parse_json(buf.str());
+  ASSERT_TRUE(doc.has("traceEvents"));
+  EXPECT_FALSE(doc.at("traceEvents").array.empty());
+  // Both repetitions render as Perfetto processes.
+  bool saw_rep0 = false;
+  bool saw_rep1 = false;
+  for (const auto& entry : doc.at("traceEvents").array) {
+    if (entry->at("ph").string != "M") continue;
+    if (entry->at("name").string != "process_name") continue;
+    const std::string& label = entry->at("args").at("name").string;
+    saw_rep0 |= label == "rep 0";
+    saw_rep1 |= label == "rep 1";
+  }
+  EXPECT_TRUE(saw_rep0);
+  EXPECT_TRUE(saw_rep1);
+  fs::remove(out);
+}
+
+TEST(ShirazctlCli, PredictiveTracePassesItsOwnAudit) {
+  namespace fs = std::filesystem;
+  const std::string out =
+      (fs::temp_directory_path() / "shirazctl_cli_predict_trace.json").string();
+  fs::remove(out);
+
+  // cmd_trace audits every repetition against its reported totals before
+  // writing, so a zero exit is an InvariantAuditor pass on the alarm path.
+  const CommandResult r = run_command(
+      "trace --predict --k=26 --t-total-hours=100 --width=40 --out=" + out);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream in(out);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_FALSE(parse_json(buf.str()).at("traceEvents").array.empty());
+  fs::remove(out);
+}
+
+}  // namespace

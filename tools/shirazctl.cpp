@@ -7,6 +7,7 @@
 //   fit       fit a Weibull to a failure trace file, with bootstrap CIs
 //   simulate  validate a switch point against the discrete-event simulator
 //   predict   drive a failure predictor over synthetic gaps, report its stats
+//   trace     run a traced campaign: ASCII timeline + Perfetto trace file
 //
 // Examples:
 //   shirazctl solve --mtbf-hours=5 --delta-lw=18 --delta-hw=1800
@@ -15,8 +16,10 @@
 //   shirazctl fit --trace=failures.txt
 //   shirazctl simulate --mtbf-hours=5 --delta-lw=18 --delta-hw=1800 --k=26
 //   shirazctl predict --predictor=oracle --precision=0.9 --recall=0.8
+//   shirazctl trace --mtbf-hours=5 --t-total-hours=50 --out=trace.json
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "apps/catalog.h"
@@ -26,8 +29,12 @@
 #include "core/pairing.h"
 #include "core/shiraz_plus.h"
 #include "core/switch_solver.h"
+#include "obs/audit_sim.h"
+#include "obs/perfetto.h"
+#include "obs/timeline.h"
 #include "predict/hazard.h"
 #include "predict/oracle.h"
+#include "predict/policies.h"
 #include "predict/predictor.h"
 #include "reliability/bootstrap.h"
 #include "reliability/fitting.h"
@@ -234,17 +241,96 @@ int cmd_predict(const Flags& flags) {
   return 0;
 }
 
+int cmd_trace(const Flags& flags) {
+  const core::ShirazModel model = model_from(flags);
+  const core::AppSpec lw = lw_from(flags);
+  const core::AppSpec hw = hw_from(flags);
+  int k = static_cast<int>(flags.get_int("k", -1));
+  if (k < 0) {
+    const auto sol = solve_switch_point(model, lw, hw);
+    SHIRAZ_REQUIRE(sol.beneficial(), "no beneficial k; pass --k explicitly");
+    k = *sol.k;
+  }
+  const std::size_t reps = flags.get_count("reps", 1);
+  SHIRAZ_REQUIRE(reps >= 1, "trace requires --reps >= 1");
+  const std::uint64_t seed = flags.get_seed("seed", 7);
+  const std::string out = flags.get("out", "shiraz-trace.json");
+
+  // --predict arms the oracle predictor and swaps in the predictive policy,
+  // so the trace shows alarm deliveries and proactive checkpoint spans.
+  std::optional<predict::OraclePredictor> oracle;
+  std::unique_ptr<sim::Scheduler> policy;
+  if (flags.get_bool("predict", false)) {
+    predict::OracleConfig pcfg;
+    pcfg.precision = flags.get_double("precision", 0.9);
+    pcfg.recall = flags.get_double("recall", 0.8);
+    pcfg.lead = minutes(flags.get_double("lead-minutes", 10.0));
+    pcfg.mtbf = model.config().mtbf;
+    oracle.emplace(pcfg);
+    policy = std::make_unique<predict::PredictiveShirazScheduler>(k);
+  } else {
+    policy = std::make_unique<sim::ShirazPairScheduler>(k);
+  }
+
+  obs::EventRecorder recorder;
+  sim::EngineConfig ecfg;
+  ecfg.t_total = model.config().t_total;
+  ecfg.sink = &recorder;
+  const sim::Engine engine(
+      reliability::Weibull::from_mtbf(model.config().weibull_shape,
+                                      model.config().mtbf),
+      ecfg);
+  const sim::SimJob lwj = sim::SimJob::at_oci("light", lw.delta, model.config().mtbf);
+  const sim::SimJob hwj = sim::SimJob::at_oci("heavy", hw.delta, model.config().mtbf);
+
+  // Run repetition r on stream Rng(seed).fork(r) — the campaign contract —
+  // audit each stream against its own reported result, and merge rep-stamped
+  // into the Perfetto writer.
+  const std::vector<std::string> names{"light", "heavy"};
+  obs::PerfettoWriter writer(names);
+  const Rng master(seed);
+  for (std::size_t r = 0; r < reps; ++r) {
+    recorder.clear();
+    Rng rng = master.fork(r);
+    const sim::SimResult res =
+        engine.run({lwj, hwj}, *policy, rng, oracle ? &*oracle : nullptr);
+    obs::InvariantAuditor auditor;
+    for (const obs::Event& e : recorder.events()) auditor.on_event(e);
+    obs::verify_against(auditor, res);  // throws AuditError on divergence
+    for (obs::Event e : recorder.events()) {
+      e.rep = static_cast<std::uint32_t>(r);
+      writer.on_event(e);
+    }
+  }
+
+  obs::TimelineOptions topts;
+  topts.wall = model.config().t_total;
+  topts.width = flags.get_count("width", 96);
+  topts.app_names = names;
+  std::printf("Repetition 0 of %zu (k = %d, seed %llu):\n\n%s", reps, k,
+              static_cast<unsigned long long>(seed),
+              obs::render_timeline(writer.events(), topts).c_str());
+
+  writer.write(out);
+  std::printf("\nWrote %s (%zu events, %zu rep%s) — audited against the "
+              "reported totals; load in ui.perfetto.dev or chrome://tracing.\n",
+              out.c_str(), writer.events().size(), reps, reps == 1 ? "" : "s");
+  return 0;
+}
+
 void usage() {
   std::fprintf(
       stderr,
-      "shirazctl <solve|stretch|pairs|fit|simulate|predict> [--flags]\n"
+      "shirazctl <solve|stretch|pairs|fit|simulate|predict|trace> [--flags]\n"
       "  common flags: --mtbf-hours=5 --beta=0.6 --epsilon=0.45 --t-total-hours=1000\n"
       "  solve/stretch/simulate: --delta-lw=18 --delta-hw=1800 [--k=] [--reps=]\n"
       "  stretch: --max-stretch=6 --floor=0.0\n"
       "  pairs: --strategy=extreme|random --seed=1\n"
       "  fit: --trace=<failure-trace file>\n"
       "  predict: --predictor=oracle|hazard --precision=0.8 --recall=0.8\n"
-      "           --lead-minutes=10 --threshold=0.3 --gaps=2000 --seed=...\n");
+      "           --lead-minutes=10 --threshold=0.3 --gaps=2000 --seed=...\n"
+      "  trace: --out=shiraz-trace.json --reps=1 --width=96 [--k=] [--predict\n"
+      "         --precision=0.9 --recall=0.8 --lead-minutes=10] --seed=7\n");
 }
 
 }  // namespace
@@ -263,6 +349,7 @@ int main(int argc, char** argv) {
     if (command == "fit") return cmd_fit(flags);
     if (command == "simulate") return cmd_simulate(flags);
     if (command == "predict") return cmd_predict(flags);
+    if (command == "trace") return cmd_trace(flags);
     std::fprintf(stderr, "shirazctl: unknown command '%s'\n", command.c_str());
     usage();
     return 2;
