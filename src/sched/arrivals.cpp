@@ -1,0 +1,107 @@
+#include "sched/arrivals.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace shiraz::sched {
+
+namespace {
+
+/// One exponential gap with the given mean (inverse-CDF on a uniform draw;
+/// log1p keeps precision for small u).
+Seconds exponential_gap(Rng& rng, Seconds mean) {
+  return -mean * std::log1p(-rng.uniform());
+}
+
+}  // namespace
+
+const char* to_string(ArrivalRegime regime) {
+  return regime == ArrivalRegime::kPoisson ? "poisson" : "bursty";
+}
+
+std::vector<JobClass> fleet_catalog() {
+  // Checkpoint costs are Table 1's nine applications; work sizes and weights
+  // add the fleet dimension: frequent short jobs at the light end, rarer
+  // long-running campaigns at the heavy-checkpoint end.
+  return {
+      {"cesm", hours(2.0), seconds(1.5), 3.0, 0.25},
+      {"reanalysis", hours(4.0), seconds(2.0), 2.0, 0.25},
+      {"molsim", hours(8.0), seconds(6.0), 2.0, 0.25},
+      {"tfbind", hours(1.0), seconds(50.0), 3.0, 0.25},
+      {"chombo", hours(6.0), seconds(70.0), 1.5, 0.25},
+      {"climate-sef", hours(12.0), seconds(150.0), 1.0, 0.25},
+      {"lpi", hours(24.0), seconds(1800.0), 0.7, 0.25},
+      {"pba", hours(30.0), seconds(2000.0), 0.5, 0.25},
+      {"plasma", hours(40.0), seconds(2700.0), 0.3, 0.25},
+  };
+}
+
+std::vector<BatchJobSpec> generate_arrivals(const std::vector<JobClass>& catalog,
+                                            const ArrivalConfig& config,
+                                            std::size_t count, Rng& rng) {
+  SHIRAZ_REQUIRE(!catalog.empty(), "empty job catalog");
+  SHIRAZ_REQUIRE(config.mean_interarrival > 0.0,
+                 "mean inter-arrival must be positive");
+  double total_weight = 0.0;
+  for (const JobClass& c : catalog) {
+    SHIRAZ_REQUIRE(c.work > 0.0, "job class work must be positive: " + c.name);
+    SHIRAZ_REQUIRE(c.checkpoint_cost > 0.0,
+                   "job class checkpoint cost must be positive: " + c.name);
+    SHIRAZ_REQUIRE(c.weight > 0.0, "job class weight must be positive: " + c.name);
+    SHIRAZ_REQUIRE(c.work_jitter >= 0.0 && c.work_jitter < 1.0,
+                   "work jitter must be in [0, 1): " + c.name);
+    total_weight += c.weight;
+  }
+
+  // Bursty arrivals during an on-phase come `on_fraction` times faster than
+  // the long-run rate, so on/off averaging restores `mean_interarrival`.
+  Seconds on_gap_mean = config.mean_interarrival;
+  if (config.regime == ArrivalRegime::kBursty) {
+    SHIRAZ_REQUIRE(config.mean_on > 0.0 && config.mean_off > 0.0,
+                   "bursty phase durations must be positive");
+    const double on_fraction =
+        config.mean_on / (config.mean_on + config.mean_off);
+    on_gap_mean = config.mean_interarrival * on_fraction;
+  }
+
+  std::vector<BatchJobSpec> jobs;
+  jobs.reserve(count);
+  Seconds now = 0.0;
+  Seconds on_remaining = config.regime == ArrivalRegime::kBursty
+                             ? exponential_gap(rng, config.mean_on)
+                             : 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    Seconds gap = exponential_gap(rng, on_gap_mean);
+    if (config.regime == ArrivalRegime::kBursty) {
+      // Walk the gap across as many on/off cycles as it spans: off-phases
+      // advance the clock but never host an arrival.
+      while (gap >= on_remaining) {
+        gap -= on_remaining;
+        now += on_remaining + exponential_gap(rng, config.mean_off);
+        on_remaining = exponential_gap(rng, config.mean_on);
+      }
+      on_remaining -= gap;
+    }
+    now += gap;
+
+    const double pick = rng.uniform() * total_weight;
+    std::size_t cls = 0;
+    double cumulative = 0.0;
+    for (std::size_t c = 0; c < catalog.size(); ++c) {
+      cumulative += catalog[c].weight;
+      if (pick < cumulative) {
+        cls = c;
+        break;
+      }
+    }
+    const JobClass& klass = catalog[cls];
+    const double scale =
+        rng.uniform(1.0 - klass.work_jitter, 1.0 + klass.work_jitter);
+    jobs.push_back({klass.name + "#" + std::to_string(i), klass.work * scale,
+                    klass.checkpoint_cost, now});
+  }
+  return jobs;
+}
+
+}  // namespace shiraz::sched

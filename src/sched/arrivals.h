@@ -1,0 +1,72 @@
+// Seeded arrival-stream generation for fleet-scale campaigns.
+//
+// The 40-job demos hand-wrote their queues; a 10k-job campaign needs a
+// workload *generator*: a heterogeneous job catalog (classes with a work
+// requirement, a checkpoint cost, and a sampling weight) plus an arrival
+// process. Two regimes are supported and deliberately load-matched — both
+// produce the same long-run arrival rate, so comparing them isolates the
+// effect of burstiness on tail turnaround:
+//
+//  * kPoisson — exponential inter-arrival gaps with mean `mean_interarrival`;
+//  * kBursty  — an on/off (interrupted-Poisson) process: exponential on- and
+//    off-phase durations, arrivals only during on-phases at a rate scaled up
+//    by (mean_on + mean_off) / mean_on so the long-run rate matches Poisson.
+//
+// Generation is a pure function of (catalog, config, count, rng): one gap
+// draw, one class draw, one work-jitter draw per job, in that order, so a
+// given seed always produces the identical job stream.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "sched/batch_job.h"
+
+namespace shiraz::sched {
+
+enum class ArrivalRegime { kPoisson, kBursty };
+
+const char* to_string(ArrivalRegime regime);
+
+/// One class of jobs in the fleet catalog.
+struct JobClass {
+  std::string name;
+  /// Nominal useful-work requirement of one job of this class.
+  Seconds work = 0.0;
+  /// Checkpoint cost (the paper's delta) of jobs of this class.
+  Seconds checkpoint_cost = 0.0;
+  /// Relative sampling weight (> 0).
+  double weight = 1.0;
+  /// Per-job work is drawn uniformly from [1 - jitter, 1 + jitter] * work,
+  /// so no two jobs of a class are exactly alike. Must be in [0, 1).
+  double work_jitter = 0.25;
+};
+
+struct ArrivalConfig {
+  ArrivalRegime regime = ArrivalRegime::kPoisson;
+  /// Long-run mean inter-arrival gap (both regimes match it).
+  Seconds mean_interarrival = hours(10.0);
+  /// Bursty regime only: mean on-phase (arrivals flowing) and off-phase
+  /// (queue silent) durations, both exponential.
+  Seconds mean_on = hours(12.0);
+  Seconds mean_off = hours(36.0);
+};
+
+/// The default nine-class fleet catalog: Table 1's checkpoint-cost spread
+/// (1.5 s - 2700 s) crossed with a work mix skewed toward short jobs — the
+/// short-job-heavy traffic the restart-economics literature describes —
+/// while the heavy-checkpoint plasma classes run long.
+std::vector<JobClass> fleet_catalog();
+
+/// Generates `count` jobs with arrival times from `config` and specs drawn
+/// from `catalog` by weight. Jobs are returned in submit-time order, named
+/// "<class>#<index>". Throws InvalidArgument on an empty catalog or
+/// non-positive parameters.
+std::vector<BatchJobSpec> generate_arrivals(const std::vector<JobClass>& catalog,
+                                            const ArrivalConfig& config,
+                                            std::size_t count, Rng& rng);
+
+}  // namespace shiraz::sched

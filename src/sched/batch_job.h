@@ -1,6 +1,7 @@
 // Batch jobs as the workload manager sees them (paper Fig. 15's job queue).
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "common/units.h"
@@ -18,19 +19,28 @@ struct BatchJobSpec {
   Seconds submit_time = 0.0;
 };
 
-/// Per-job outcome of a campaign.
+/// Per-job outcome of a campaign. A single run holds exact values; the
+/// rep-averaged view from `run_many` holds means — counts are therefore
+/// doubles (0.4 mean failures is 0.4, not 0), and start/completion times are
+/// means over the repetitions where the job started/completed
+/// (`started_reps`/`completed_reps` say how many that was).
 struct BatchJobRecord {
   std::string name;
   Seconds submit_time = 0.0;
-  /// First time the job ran (negative = never started).
+  /// First time the job ran (negative = never started). Averaged over the
+  /// repetitions where the job started.
   Seconds start_time = -1.0;
-  /// Completion time (negative = still unfinished at the horizon).
+  /// Completion time (negative = unfinished at the horizon in every rep).
+  /// Averaged over the repetitions where the job completed.
   Seconds completion_time = -1.0;
   Seconds useful = 0.0;
   Seconds io = 0.0;
   Seconds lost = 0.0;
-  std::size_t checkpoints = 0;
-  std::size_t failures_hit = 0;
+  double checkpoints = 0.0;
+  double failures_hit = 0.0;
+  /// Repetitions in which the job started / completed (1 or 0 for one run).
+  std::size_t started_reps = 0;
+  std::size_t completed_reps = 0;
 
   bool completed() const { return completion_time >= 0.0; }
   bool started() const { return start_time >= 0.0; }

@@ -1,0 +1,64 @@
+#include "sched/distribution.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/statistics.h"
+
+namespace shiraz::sched {
+
+DistSummary summarize_samples(std::vector<double> samples) {
+  DistSummary out;
+  out.count = samples.size();
+  if (samples.empty()) return out;
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  out.mean = sum / static_cast<double>(samples.size());
+  out.max = *std::max_element(samples.begin(), samples.end());
+  std::sort(samples.begin(), samples.end());
+  out.p50 = percentile(samples, 0.50);
+  out.p95 = percentile(samples, 0.95);
+  out.p99 = percentile(samples, 0.99);
+  return out;
+}
+
+CampaignDistribution build_distribution(
+    const std::vector<BatchJobSpec>& jobs,
+    const std::vector<CampaignStats>& per_rep) {
+  SHIRAZ_REQUIRE(!per_rep.empty(), "no repetitions to summarize");
+  CampaignDistribution dist;
+  dist.reps = per_rep.size();
+  dist.job_count = jobs.size();
+
+  std::vector<double> turnaround;
+  std::vector<double> slowdown;
+  std::vector<double> makespan;
+  turnaround.reserve(jobs.size() * per_rep.size());
+  slowdown.reserve(jobs.size() * per_rep.size());
+  makespan.reserve(per_rep.size());
+
+  for (const CampaignStats& rep : per_rep) {
+    SHIRAZ_REQUIRE(rep.jobs.size() == jobs.size(),
+                   "mismatched job lists across reps");
+    makespan.push_back(rep.makespan);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const BatchJobRecord& rec = rep.jobs[j];
+      if (!rec.completed()) continue;
+      turnaround.push_back(rec.turnaround());
+      slowdown.push_back(rec.turnaround() / jobs[j].work);
+    }
+  }
+
+  const std::size_t total = jobs.size() * per_rep.size();
+  dist.completion_rate =
+      total == 0 ? 0.0
+                 : static_cast<double>(turnaround.size()) /
+                       static_cast<double>(total);
+  dist.turnaround = summarize_samples(std::move(turnaround));
+  dist.slowdown = summarize_samples(std::move(slowdown));
+  dist.makespan = summarize_samples(std::move(makespan));
+  dist.mean = mean_of_reps(per_rep);
+  return dist;
+}
+
+}  // namespace shiraz::sched

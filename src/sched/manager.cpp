@@ -1,8 +1,12 @@
 #include "sched/manager.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <map>
+#include <numeric>
+#include <optional>
+#include <utility>
 
 #include "common/error.h"
 #include "core/switch_solver.h"
@@ -19,6 +23,8 @@ WorkloadManager::WorkloadManager(const reliability::Distribution& failure_dist,
   SHIRAZ_REQUIRE(config.horizon > 0.0, "horizon must be positive");
   SHIRAZ_REQUIRE(config.nominal_mtbf > 0.0, "nominal MTBF must be positive");
   SHIRAZ_REQUIRE(config.hw_stretch >= 1, "stretch must be >= 1");
+  SHIRAZ_REQUIRE(config.restart_cost >= 0.0, "restart cost must be >= 0");
+  SHIRAZ_REQUIRE(config.fixed_pair_k >= 0, "fixed pair k must be >= 0");
 }
 
 CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
@@ -44,18 +50,32 @@ CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
         config_.nominal_mtbf, jobs[i].checkpoint_cost, config_.oci_formula);
   }
 
-  // Pending jobs in FCFS (submit-time) order.
-  std::vector<std::size_t> pending(jobs.size());
-  for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
-  std::stable_sort(pending.begin(), pending.end(), [&](std::size_t a, std::size_t b) {
-    return jobs[a].submit_time < jobs[b].submit_time;
-  });
+  // Pending jobs as a submit-sorted arrival list walked by a head cursor;
+  // `taken` marks positions activated out of order (contrast slot-fill), so
+  // queue operations stay O(1) amortized at 10k-job scale.
+  const std::size_t n = jobs.size();
+  std::vector<std::size_t> arrivals(n);
+  std::iota(arrivals.begin(), arrivals.end(), std::size_t{0});
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return jobs[a].submit_time < jobs[b].submit_time;
+                   });
+  std::vector<char> taken(n, 0);
+  std::size_t head = 0;
+  auto advance_head = [&]() {
+    while (head < n && taken[head] != 0) ++head;
+  };
 
   std::vector<std::size_t> active;  // at most two machine-sharing jobs
-  std::vector<std::size_t> ckpts_in_gap(jobs.size(), 0);
+  active.reserve(2);
   std::optional<int> pair_k;  // Shiraz switch point; nullopt = alternate
-  std::map<std::pair<std::size_t, std::size_t>, std::optional<int>> k_cache;
+  // Memoized switch-point solves keyed by the pair's checkpoint costs: a
+  // fleet stream drawn from a small catalog revisits the same signatures.
+  std::map<std::pair<double, double>, std::optional<int>> k_cache;
   std::size_t gap_index = 0;
+  // Checkpoints the pair's light member took in the current gap (the only
+  // count the k-switch consults). Reset on failures and active-set changes.
+  std::size_t gap_ckpts = 0;
 
   Seconds now = 0.0;
   Seconds next_fail = failure_dist_->sample(rng);
@@ -76,9 +96,14 @@ CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
       pair_k = std::nullopt;
       return;
     }
+    if (config_.fixed_pair_k > 0) {
+      pair_k = config_.fixed_pair_k;
+      return;
+    }
     const std::size_t lw = light_of_pair();
     const std::size_t hw = heavy_of_pair();
-    const auto key = std::make_pair(lw, hw);
+    const auto key =
+        std::make_pair(jobs[lw].checkpoint_cost, jobs[hw].checkpoint_cost);
     const auto cached = k_cache.find(key);
     if (cached != k_cache.end()) {
       pair_k = cached->second;
@@ -101,36 +126,69 @@ CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
     k_cache[key] = pair_k;
   };
 
+  auto take = [&](std::size_t pos) {
+    const std::size_t job = arrivals[pos];
+    taken[pos] = 1;
+    active.push_back(job);
+    if (!stats.jobs[job].started()) stats.jobs[job].start_time = now;
+    advance_head();
+  };
+
+  // The eligible arrival position that should fill the second machine slot,
+  // given the occupant: FCFS takes the oldest, contrast the one maximizing
+  // the checkpoint-cost ratio against the occupant (ties in queue order).
+  auto pick_second = [&]() -> std::optional<std::size_t> {
+    advance_head();
+    if (head >= n || jobs[arrivals[head]].submit_time > now) return std::nullopt;
+    if (config_.slot_fill == SlotFill::kFcfs) return head;
+    const double occupant = jobs[active[0]].checkpoint_cost;
+    std::size_t best = head;
+    double best_contrast = -1.0;
+    for (std::size_t p = head; p < n; ++p) {
+      if (taken[p] != 0) continue;
+      if (jobs[arrivals[p]].submit_time > now) break;
+      const double contrast =
+          std::abs(std::log(jobs[arrivals[p]].checkpoint_cost / occupant));
+      if (contrast > best_contrast) {
+        best_contrast = contrast;
+        best = p;
+      }
+    }
+    return best;
+  };
+
   // Fills free machine slots from the eligible pending jobs; returns true
   // when the active set changed (which resets the within-gap switch state).
   auto activate = [&]() {
     bool changed = false;
-    while (active.size() < 2 && !pending.empty() &&
-           jobs[pending.front()].submit_time <= now) {
-      const std::size_t job = pending.front();
-      pending.erase(pending.begin());
-      active.push_back(job);
-      if (!stats.jobs[job].started()) stats.jobs[job].start_time = now;
+    advance_head();
+    if (active.empty() && head < n && jobs[arrivals[head]].submit_time <= now) {
+      take(head);
       changed = true;
     }
+    if (active.size() == 1) {
+      if (const auto pos = pick_second()) {
+        take(*pos);
+        changed = true;
+      }
+    }
     if (changed) {
-      std::fill(ckpts_in_gap.begin(), ckpts_in_gap.end(), 0);
+      gap_ckpts = 0;
       resolve_pair();
     }
     return changed;
   };
 
   auto next_arrival = [&]() {
-    return pending.empty() ? kInf : jobs[pending.front()].submit_time;
+    return head < n ? jobs[arrivals[head]].submit_time : kInf;
   };
 
   // Which active job runs right now, given the within-gap state.
   auto pick_current = [&]() -> std::size_t {
     if (active.size() == 1) return active[0];
     if (policy == Policy::kShirazPairing && pair_k) {
-      const std::size_t lw = light_of_pair();
-      if (*pair_k > 0 && ckpts_in_gap[lw] < static_cast<std::size_t>(*pair_k)) {
-        return lw;
+      if (*pair_k > 0 && gap_ckpts < static_cast<std::size_t>(*pair_k)) {
+        return light_of_pair();
       }
       return heavy_of_pair();
     }
@@ -139,16 +197,29 @@ CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
   };
 
   auto handle_failure = [&](std::optional<std::size_t> hit) {
-    ++stats.failures;
+    stats.failures += 1.0;
     ++gap_index;
-    if (hit) ++stats.jobs[*hit].failures_hit;
+    gap_ckpts = 0;
     next_fail = now + failure_dist_->sample(rng);
-    std::fill(ckpts_in_gap.begin(), ckpts_in_gap.end(), 0);
+    if (hit) {
+      stats.jobs[*hit].failures_hit += 1.0;
+      // Restart downtime before the post-failure segment, charged as lost
+      // time to the job that must roll back. An idle machine (hit == nullopt)
+      // restarts nothing.
+      if (config_.restart_cost > 0.0) {
+        const Seconds until =
+            std::min(now + config_.restart_cost, config_.horizon);
+        stats.jobs[*hit].lost += until - now;
+        now = until;
+      }
+    }
   };
 
   activate();
   while (now < config_.horizon) {
     if (active.empty()) {
+      advance_head();
+      if (head == n) break;  // queue drained: no work will ever arrive again
       const Seconds until = std::min({next_arrival(), next_fail, config_.horizon});
       stats.idle += until - now;
       now = until;
@@ -160,6 +231,14 @@ CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
 
     const std::size_t job = pick_current();
     BatchJobRecord& rec = stats.jobs[job];
+
+    // A failure due now (at a segment boundary, or during restart downtime)
+    // hits whoever would run next, destroying nothing in flight.
+    if (next_fail <= now) {
+      handle_failure(job);
+      activate();
+      continue;
+    }
 
     // Shiraz+ stretches the *heavy* member of an active pair; everyone else
     // runs at their OCI.
@@ -196,68 +275,60 @@ CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
       rec.completion_time = now;
       stats.makespan = std::max(stats.makespan, now);
       active.erase(std::find(active.begin(), active.end(), job));
-      std::fill(ckpts_in_gap.begin(), ckpts_in_gap.end(), 0);
+      gap_ckpts = 0;
       activate();
       resolve_pair();
     } else {
       rec.io += delta;
-      ++rec.checkpoints;
-      ++ckpts_in_gap[job];
+      rec.checkpoints += 1.0;
+      if (active.size() == 2 && job == light_of_pair()) ++gap_ckpts;
       activate();  // a new arrival may fill an empty second slot
     }
   }
 
+  stats.elapsed = std::min(now, config_.horizon);
   // Jobs cut off by the horizon stretch the makespan to the horizon.
-  for (const BatchJobRecord& rec : stats.jobs) {
-    if (!rec.completed()) stats.makespan = config_.horizon;
+  for (BatchJobRecord& rec : stats.jobs) {
+    if (rec.started()) rec.started_reps = 1;
+    if (rec.completed()) {
+      rec.completed_reps = 1;
+    } else {
+      stats.makespan = config_.horizon;
+    }
   }
   return stats;
 }
 
+std::vector<CampaignStats> WorkloadManager::run_reps(
+    const std::vector<BatchJobSpec>& jobs, Policy policy, std::size_t reps,
+    std::uint64_t seed, const CampaignRunOptions& options) const {
+  SHIRAZ_REQUIRE(reps >= 1, "need at least one repetition");
+  std::vector<CampaignStats> per_rep(reps);
+  const Rng master(seed);
+  auto run_one = [&](std::size_t r) {
+    Rng rng = master.fork(r);
+    per_rep[r] = run(jobs, policy, rng);
+  };
+  if (options.workers <= 1 || reps == 1) {
+    for (std::size_t r = 0; r < reps; ++r) run_one(r);
+  } else {
+    common::PoolHandle pool(options.pool, std::min(options.workers, reps));
+    common::parallel_for_indexed(pool.get(), reps, run_one);
+  }
+  return per_rep;
+}
+
 CampaignStats WorkloadManager::run_many(const std::vector<BatchJobSpec>& jobs,
                                         Policy policy, std::size_t reps,
-                                        std::uint64_t seed) const {
-  SHIRAZ_REQUIRE(reps >= 1, "need at least one repetition");
-  Rng master(seed);
-  CampaignStats acc;
-  for (std::size_t r = 0; r < reps; ++r) {
-    Rng rng = master.fork(r);
-    const CampaignStats one = run(jobs, policy, rng);
-    if (r == 0) {
-      acc = one;
-      continue;
-    }
-    for (std::size_t i = 0; i < acc.jobs.size(); ++i) {
-      acc.jobs[i].useful += one.jobs[i].useful;
-      acc.jobs[i].io += one.jobs[i].io;
-      acc.jobs[i].lost += one.jobs[i].lost;
-      acc.jobs[i].checkpoints += one.jobs[i].checkpoints;
-      acc.jobs[i].failures_hit += one.jobs[i].failures_hit;
-      // Average latencies only over runs where the job completed in both.
-      if (acc.jobs[i].completed() && one.jobs[i].completed()) {
-        acc.jobs[i].completion_time += one.jobs[i].completion_time;
-      } else {
-        acc.jobs[i].completion_time = -1.0;
-      }
-    }
-    acc.failures += one.failures;
-    acc.idle += one.idle;
-    acc.makespan += one.makespan;
-  }
-  const double n = static_cast<double>(reps);
-  for (auto& rec : acc.jobs) {
-    rec.useful /= n;
-    rec.io /= n;
-    rec.lost /= n;
-    rec.checkpoints = static_cast<std::size_t>(static_cast<double>(rec.checkpoints) / n);
-    rec.failures_hit =
-        static_cast<std::size_t>(static_cast<double>(rec.failures_hit) / n);
-    if (rec.completed()) rec.completion_time /= n;
-  }
-  acc.failures = static_cast<std::size_t>(static_cast<double>(acc.failures) / n);
-  acc.idle /= n;
-  acc.makespan /= n;
-  return acc;
+                                        std::uint64_t seed,
+                                        const CampaignRunOptions& options) const {
+  return mean_of_reps(run_reps(jobs, policy, reps, seed, options));
+}
+
+CampaignDistribution WorkloadManager::run_distribution(
+    const std::vector<BatchJobSpec>& jobs, Policy policy, std::size_t reps,
+    std::uint64_t seed, const CampaignRunOptions& options) const {
+  return build_distribution(jobs, run_reps(jobs, policy, reps, seed, options));
 }
 
 }  // namespace shiraz::sched

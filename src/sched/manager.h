@@ -9,27 +9,50 @@
 //    failure the lighter-checkpoint job runs for the model's fair k
 //    checkpoints, then the heavier one runs until the next failure. The
 //    switch point is re-solved whenever the pair changes (a job completes or
-//    a new one arrives into an idle slot).
+//    a new one arrives into an idle slot) and memoized by the pair's
+//    checkpoint-cost signature, so a 10k-job stream drawn from a small
+//    catalog pays for each distinct (delta_LW, delta_HW) solve once.
+//
+// Which two jobs share the machine is the queue's pairing decision
+// (ManagerConfig::slot_fill): FCFS reproduces the paper's random pairing —
+// whoever is oldest gets the free slot — while kContrast picks the eligible
+// job whose checkpoint cost contrasts most with the current occupant's, the
+// workload-manager form of the paper's extreme pairing.
 //
 // Jobs are finite: a job completes when its accumulated *useful* work reaches
 // its requirement; the final partial interval is not checkpointed. Completion
 // latency (turnaround) is the per-job metric, system useful work per time the
-// throughput metric — the two quantities the paper's evaluation tracks.
+// throughput metric — the two quantities the paper's evaluation tracks. The
+// campaign ends when the queue drains or the horizon hits, and every run
+// satisfies useful + io + lost + idle == elapsed == min(makespan, horizon).
 #pragma once
 
-#include <optional>
+#include <cstdint>
 #include <vector>
 
 #include "checkpoint/oci.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/analytical_model.h"
 #include "reliability/distribution.h"
 #include "sched/batch_job.h"
+#include "sched/distribution.h"
 #include "sched/stats.h"
 
 namespace shiraz::sched {
 
 enum class Policy { kBaselineAlternate, kShirazPairing };
+
+/// How a freed machine slot is filled from the eligible pending jobs.
+enum class SlotFill {
+  /// Oldest eligible job — the paper's random pairing (queue order decides).
+  kFcfs,
+  /// The eligible job whose checkpoint cost contrasts most (largest
+  /// |log delta ratio|) with the job already on the machine — the paper's
+  /// extreme pairing, applied at slot-fill time. Falls back to FCFS when the
+  /// eligible backlog has a single job; ties break in queue order.
+  kContrast,
+};
 
 struct ManagerConfig {
   /// Hard stop for the campaign.
@@ -43,6 +66,26 @@ struct ManagerConfig {
   /// Heavy-weight OCI stretch applied when pairing (1 = plain Shiraz;
   /// >= 2 = Shiraz+). Ignored by the baseline policy.
   unsigned hw_stretch = 1;
+  /// Downtime charged (as lost time, to the job the failure hit) after each
+  /// failure before the post-failure segment — the manager analogue of
+  /// sim::EngineConfig::restart_cost. Default 0 keeps historical outputs
+  /// bit-identical. Failures on an idle machine restart nothing.
+  Seconds restart_cost = 0.0;
+  /// Slot-fill discipline (the pairing strategy, see SlotFill).
+  SlotFill slot_fill = SlotFill::kFcfs;
+  /// Testing/ablation hook: > 0 forces every Shiraz pair to this switch
+  /// point instead of solving the model. 0 (default) solves.
+  int fixed_pair_k = 0;
+};
+
+/// Repetition-sharding knobs for run_many / run_distribution. Results are
+/// bit-identical for every worker count: repetition r always draws from
+/// Rng(seed).fork(r) and merges in repetition order (the PR 2 contract).
+struct CampaignRunOptions {
+  /// Worker threads (<= 1 runs the serial loop inline).
+  std::size_t workers = 1;
+  /// Borrowed pool; when null and workers > 1, a private pool is spawned.
+  common::ThreadPool* pool = nullptr;
 };
 
 class WorkloadManager {
@@ -56,11 +99,25 @@ class WorkloadManager {
 
   /// Averages `reps` campaigns over independent failure streams.
   CampaignStats run_many(const std::vector<BatchJobSpec>& jobs, Policy policy,
-                         std::size_t reps, std::uint64_t seed) const;
+                         std::size_t reps, std::uint64_t seed,
+                         const CampaignRunOptions& options = {}) const;
+
+  /// Like run_many, but additionally keeps the per-(job, rep) turnaround /
+  /// slowdown and per-rep makespan samples and reports exact
+  /// p50/p95/p99/max over them (result.mean is the run_many view).
+  CampaignDistribution run_distribution(const std::vector<BatchJobSpec>& jobs,
+                                        Policy policy, std::size_t reps,
+                                        std::uint64_t seed,
+                                        const CampaignRunOptions& options = {}) const;
 
   const ManagerConfig& config() const { return config_; }
 
  private:
+  std::vector<CampaignStats> run_reps(const std::vector<BatchJobSpec>& jobs,
+                                      Policy policy, std::size_t reps,
+                                      std::uint64_t seed,
+                                      const CampaignRunOptions& options) const;
+
   reliability::DistributionPtr failure_dist_;
   ManagerConfig config_;
 };

@@ -12,6 +12,14 @@ std::size_t CampaignStats::completed_count() const {
                     [](const BatchJobRecord& j) { return j.completed(); }));
 }
 
+double CampaignStats::completion_rate() const {
+  if (jobs.empty() || reps == 0) return 0.0;
+  std::size_t completed = 0;
+  for (const auto& j : jobs) completed += j.completed_reps;
+  return static_cast<double>(completed) /
+         static_cast<double>(jobs.size() * reps);
+}
+
 Seconds CampaignStats::total_useful() const {
   Seconds t = 0.0;
   for (const auto& j : jobs) t += j.useful;
@@ -55,6 +63,67 @@ const BatchJobRecord& CampaignStats::job(const std::string& name) const {
     if (j.name == name) return j;
   }
   throw InvalidArgument("no job named " + name + " in campaign stats");
+}
+
+CampaignStats mean_of_reps(const std::vector<CampaignStats>& per_rep) {
+  SHIRAZ_REQUIRE(!per_rep.empty(), "no repetitions to average");
+  const std::size_t nj = per_rep.front().jobs.size();
+  const double n = static_cast<double>(per_rep.size());
+
+  CampaignStats out;
+  out.horizon = per_rep.front().horizon;
+  out.reps = per_rep.size();
+  out.jobs.resize(nj);
+  std::vector<Seconds> start_sum(nj, 0.0);
+  std::vector<Seconds> completion_sum(nj, 0.0);
+
+  for (const CampaignStats& rep : per_rep) {
+    SHIRAZ_REQUIRE(rep.jobs.size() == nj, "mismatched job lists across reps");
+    for (std::size_t j = 0; j < nj; ++j) {
+      BatchJobRecord& acc = out.jobs[j];
+      const BatchJobRecord& one = rep.jobs[j];
+      acc.useful += one.useful;
+      acc.io += one.io;
+      acc.lost += one.lost;
+      acc.checkpoints += one.checkpoints;
+      acc.failures_hit += one.failures_hit;
+      if (one.started()) {
+        start_sum[j] += one.start_time;
+        ++acc.started_reps;
+      }
+      if (one.completed()) {
+        completion_sum[j] += one.completion_time;
+        ++acc.completed_reps;
+      }
+    }
+    out.failures += rep.failures;
+    out.idle += rep.idle;
+    out.makespan += rep.makespan;
+    out.elapsed += rep.elapsed;
+  }
+
+  for (std::size_t j = 0; j < nj; ++j) {
+    BatchJobRecord& acc = out.jobs[j];
+    acc.name = per_rep.front().jobs[j].name;
+    acc.submit_time = per_rep.front().jobs[j].submit_time;
+    acc.useful /= n;
+    acc.io /= n;
+    acc.lost /= n;
+    acc.checkpoints /= n;
+    acc.failures_hit /= n;
+    acc.start_time = acc.started_reps == 0
+                         ? -1.0
+                         : start_sum[j] / static_cast<double>(acc.started_reps);
+    acc.completion_time =
+        acc.completed_reps == 0
+            ? -1.0
+            : completion_sum[j] / static_cast<double>(acc.completed_reps);
+  }
+  out.failures /= n;
+  out.idle /= n;
+  out.makespan /= n;
+  out.elapsed /= n;
+  return out;
 }
 
 }  // namespace shiraz::sched

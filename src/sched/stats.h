@@ -14,18 +14,35 @@ struct CampaignStats {
   /// Completion time of the last finished job (horizon if any job is cut off).
   Seconds makespan = 0.0;
   Seconds horizon = 0.0;
-  std::size_t failures = 0;
+  /// Simulated span: the campaign ends when the queue drains or the horizon
+  /// hits, so elapsed == min(makespan, horizon) for a single run (mean of
+  /// that across reps in the averaged view). The accounting invariant is
+  /// total_useful() + total_io() + total_lost() + idle == elapsed.
+  Seconds elapsed = 0.0;
+  double failures = 0.0;
   Seconds idle = 0.0;
+  /// Repetitions averaged into this view (1 for a single run).
+  std::size_t reps = 1;
 
+  /// Jobs that completed in at least one repetition.
   std::size_t completed_count() const;
+  /// Fraction of (job, repetition) samples that completed.
+  double completion_rate() const;
   Seconds total_useful() const;
   Seconds total_io() const;
   Seconds total_lost() const;
-  /// Mean turnaround across completed jobs; 0 when none completed.
+  /// Mean turnaround across jobs that completed at least once (each job
+  /// contributing its mean over the reps it completed in); 0 when none did.
   Seconds mean_turnaround() const;
   Seconds max_turnaround() const;
 
   const BatchJobRecord& job(const std::string& name) const;
 };
+
+/// Rep-order mean of per-repetition campaign stats: time fields and counts
+/// average over all reps; start/completion times average over the reps where
+/// the job started/completed (see BatchJobRecord). Throws on empty input or
+/// mismatched job lists.
+CampaignStats mean_of_reps(const std::vector<CampaignStats>& per_rep);
 
 }  // namespace shiraz::sched

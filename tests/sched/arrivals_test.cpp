@@ -1,0 +1,202 @@
+#include "sched/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace shiraz::sched {
+namespace {
+
+std::vector<JobClass> two_class_catalog() {
+  return {{"light", hours(2.0), 10.0, 9.0, 0.25},
+          {"heavy", hours(20.0), 2000.0, 1.0, 0.25}};
+}
+
+ArrivalConfig config_for(ArrivalRegime regime) {
+  ArrivalConfig cfg;
+  cfg.regime = regime;
+  cfg.mean_interarrival = hours(10.0);
+  return cfg;
+}
+
+/// Inter-arrival gaps of a generated stream (first gap measured from t = 0).
+std::vector<Seconds> gaps_of(const std::vector<BatchJobSpec>& jobs) {
+  std::vector<Seconds> gaps;
+  gaps.reserve(jobs.size());
+  Seconds prev = 0.0;
+  for (const BatchJobSpec& job : jobs) {
+    gaps.push_back(job.submit_time - prev);
+    prev = job.submit_time;
+  }
+  return gaps;
+}
+
+TEST(Arrivals, GeneratesCountInSubmitOrder) {
+  for (const ArrivalRegime regime :
+       {ArrivalRegime::kPoisson, ArrivalRegime::kBursty}) {
+    Rng rng(1);
+    const auto jobs =
+        generate_arrivals(two_class_catalog(), config_for(regime), 500, rng);
+    ASSERT_EQ(jobs.size(), 500u) << to_string(regime);
+    Seconds prev = 0.0;
+    for (const BatchJobSpec& job : jobs) {
+      EXPECT_GE(job.submit_time, prev);
+      EXPECT_GT(job.work, 0.0);
+      EXPECT_GT(job.checkpoint_cost, 0.0);
+      EXPECT_FALSE(job.name.empty());
+      prev = job.submit_time;
+    }
+  }
+}
+
+TEST(Arrivals, DeterministicPerSeed) {
+  const auto catalog = two_class_catalog();
+  const ArrivalConfig cfg = config_for(ArrivalRegime::kBursty);
+  Rng r1(42);
+  Rng r2(42);
+  Rng r3(43);
+  const auto a = generate_arrivals(catalog, cfg, 300, r1);
+  const auto b = generate_arrivals(catalog, cfg, 300, r2);
+  const auto c = generate_arrivals(catalog, cfg, 300, r3);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_DOUBLE_EQ(a[i].work, b[i].work);
+    EXPECT_EQ(a[i].name, b[i].name);
+    any_diff = any_diff || a[i].submit_time != c[i].submit_time;
+  }
+  EXPECT_TRUE(any_diff);  // a different seed produces a different stream
+}
+
+TEST(Arrivals, RegimesAreLoadMatched) {
+  // Both regimes must realize the same long-run arrival rate, so regime
+  // comparisons isolate burstiness. 20k jobs pin the mean gap tightly for
+  // Poisson; the bursty estimate is noisier (phase-length variance).
+  const std::size_t n = 20'000;
+  for (const ArrivalRegime regime :
+       {ArrivalRegime::kPoisson, ArrivalRegime::kBursty}) {
+    Rng rng(7);
+    const auto jobs =
+        generate_arrivals(two_class_catalog(), config_for(regime), n, rng);
+    const double mean_gap =
+        jobs.back().submit_time / static_cast<double>(n);
+    EXPECT_NEAR(mean_gap, hours(10.0), 0.10 * hours(10.0)) << to_string(regime);
+  }
+}
+
+TEST(Arrivals, BurstyGapsAreMoreVariable) {
+  const std::size_t n = 20'000;
+  auto cv = [&](ArrivalRegime regime) {
+    Rng rng(11);
+    const auto jobs =
+        generate_arrivals(two_class_catalog(), config_for(regime), n, rng);
+    const auto gaps = gaps_of(jobs);
+    double mean = 0.0;
+    for (const Seconds g : gaps) mean += g;
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (const Seconds g : gaps) var += (g - mean) * (g - mean);
+    var /= static_cast<double>(n - 1);
+    return std::sqrt(var) / mean;
+  };
+  const double cv_poisson = cv(ArrivalRegime::kPoisson);
+  const double cv_bursty = cv(ArrivalRegime::kBursty);
+  EXPECT_NEAR(cv_poisson, 1.0, 0.1);  // exponential gaps
+  EXPECT_GT(cv_bursty, 1.3 * cv_poisson);
+}
+
+TEST(Arrivals, WeightsBiasTheClassMix) {
+  Rng rng(3);
+  const auto jobs = generate_arrivals(two_class_catalog(),
+                                      config_for(ArrivalRegime::kPoisson),
+                                      5000, rng);
+  const auto lights = std::count_if(
+      jobs.begin(), jobs.end(), [](const BatchJobSpec& j) {
+        return j.name.rfind("light", 0) == 0;
+      });
+  const auto heavies = static_cast<long>(jobs.size()) - lights;
+  ASSERT_GT(heavies, 0);
+  EXPECT_GT(lights, 5 * heavies);  // 9:1 weights, wide margin
+}
+
+TEST(Arrivals, WorkJitterStaysInBounds) {
+  const auto catalog = two_class_catalog();
+  Rng rng(5);
+  const auto jobs = generate_arrivals(
+      catalog, config_for(ArrivalRegime::kPoisson), 2000, rng);
+  for (const BatchJobSpec& job : jobs) {
+    const JobClass& cls =
+        job.name.rfind("light", 0) == 0 ? catalog[0] : catalog[1];
+    EXPECT_GE(job.work, 0.75 * cls.work) << job.name;
+    EXPECT_LE(job.work, 1.25 * cls.work) << job.name;
+  }
+
+  // Zero jitter reproduces the class work exactly.
+  std::vector<JobClass> exact = catalog;
+  for (JobClass& cls : exact) cls.work_jitter = 0.0;
+  Rng rng2(5);
+  const auto fixed = generate_arrivals(
+      exact, config_for(ArrivalRegime::kPoisson), 200, rng2);
+  for (const BatchJobSpec& job : fixed) {
+    const JobClass& cls =
+        job.name.rfind("light", 0) == 0 ? exact[0] : exact[1];
+    EXPECT_DOUBLE_EQ(job.work, cls.work);
+  }
+}
+
+TEST(Arrivals, FleetCatalogSpansTableOne) {
+  const auto catalog = fleet_catalog();
+  ASSERT_EQ(catalog.size(), 9u);
+  double min_delta = catalog.front().checkpoint_cost;
+  double max_delta = min_delta;
+  for (const JobClass& cls : catalog) {
+    EXPECT_GT(cls.work, 0.0) << cls.name;
+    EXPECT_GT(cls.weight, 0.0) << cls.name;
+    min_delta = std::min(min_delta, cls.checkpoint_cost);
+    max_delta = std::max(max_delta, cls.checkpoint_cost);
+  }
+  EXPECT_DOUBLE_EQ(min_delta, 1.5);     // cesm
+  EXPECT_DOUBLE_EQ(max_delta, 2700.0);  // plasma
+
+  // The catalog generates cleanly at fleet scale.
+  Rng rng(9);
+  const auto jobs = generate_arrivals(
+      catalog, config_for(ArrivalRegime::kPoisson), 1000, rng);
+  EXPECT_EQ(jobs.size(), 1000u);
+}
+
+TEST(Arrivals, RejectsBadInput) {
+  Rng rng(1);
+  const ArrivalConfig ok = config_for(ArrivalRegime::kPoisson);
+  EXPECT_THROW(generate_arrivals({}, ok, 10, rng), InvalidArgument);
+
+  ArrivalConfig zero_gap = ok;
+  zero_gap.mean_interarrival = 0.0;
+  EXPECT_THROW(generate_arrivals(two_class_catalog(), zero_gap, 10, rng),
+               InvalidArgument);
+
+  ArrivalConfig bad_phase = config_for(ArrivalRegime::kBursty);
+  bad_phase.mean_on = 0.0;
+  EXPECT_THROW(generate_arrivals(two_class_catalog(), bad_phase, 10, rng),
+               InvalidArgument);
+
+  auto zero_weight = two_class_catalog();
+  zero_weight[0].weight = 0.0;
+  EXPECT_THROW(generate_arrivals(zero_weight, ok, 10, rng), InvalidArgument);
+
+  auto bad_jitter = two_class_catalog();
+  bad_jitter[0].work_jitter = 1.0;
+  EXPECT_THROW(generate_arrivals(bad_jitter, ok, 10, rng), InvalidArgument);
+
+  auto zero_work = two_class_catalog();
+  zero_work[0].work = 0.0;
+  EXPECT_THROW(generate_arrivals(zero_work, ok, 10, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::sched

@@ -1,0 +1,122 @@
+#include "sched/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace shiraz::sched {
+namespace {
+
+BatchJobRecord record(const std::string& name, Seconds submit,
+                      Seconds completion) {
+  BatchJobRecord rec;
+  rec.name = name;
+  rec.submit_time = submit;
+  rec.completion_time = completion;
+  if (completion >= 0.0) rec.start_time = submit;
+  return rec;
+}
+
+TEST(DistSummary, KnownSamples) {
+  // Percentiles interpolate at q * (n - 1) over the sorted sample.
+  const DistSummary s = summarize_samples({40.0, 10.0, 30.0, 20.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 25.0);
+  EXPECT_DOUBLE_EQ(s.max, 40.0);
+  EXPECT_DOUBLE_EQ(s.p50, 25.0);
+  EXPECT_DOUBLE_EQ(s.p95, 38.5);
+  EXPECT_DOUBLE_EQ(s.p99, 39.7);
+}
+
+TEST(DistSummary, EmptyIsAllZero) {
+  const DistSummary s = summarize_samples({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+TEST(DistSummary, SingleSample) {
+  const DistSummary s = summarize_samples({7.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.p50, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+}
+
+TEST(CampaignDistribution, HandmadeTwoRepBuild) {
+  const std::vector<BatchJobSpec> jobs{{"short", 3600.0, 30.0, 0.0},
+                                       {"long", 7200.0, 30.0, 1000.0}};
+
+  CampaignStats rep0;
+  rep0.jobs = {record("short", 0.0, 4000.0), record("long", 1000.0, 9000.0)};
+  rep0.makespan = 9000.0;
+
+  CampaignStats rep1;  // "long" hits the horizon unfinished
+  rep1.jobs = {record("short", 0.0, 5000.0), record("long", 1000.0, -1.0)};
+  rep1.makespan = 10'000.0;
+
+  const CampaignDistribution dist = build_distribution(jobs, {rep0, rep1});
+  EXPECT_EQ(dist.reps, 2u);
+  EXPECT_EQ(dist.job_count, 2u);
+  EXPECT_DOUBLE_EQ(dist.completion_rate, 0.75);
+
+  // Turnaround samples in (rep, job) order: {4000, 8000, 5000}.
+  EXPECT_EQ(dist.turnaround.count, 3u);
+  EXPECT_DOUBLE_EQ(dist.turnaround.mean, 17'000.0 / 3.0);
+  EXPECT_DOUBLE_EQ(dist.turnaround.p50, 5000.0);
+  EXPECT_DOUBLE_EQ(dist.turnaround.max, 8000.0);
+
+  // Slowdown divides each sample by its job's work requirement.
+  EXPECT_DOUBLE_EQ(dist.slowdown.max, 5000.0 / 3600.0);
+
+  // One makespan sample per repetition.
+  EXPECT_EQ(dist.makespan.count, 2u);
+  EXPECT_DOUBLE_EQ(dist.makespan.mean, 9500.0);
+  EXPECT_DOUBLE_EQ(dist.makespan.max, 10'000.0);
+
+  // The mean view is mean_of_reps of the same repetitions.
+  EXPECT_DOUBLE_EQ(dist.mean.job("short").completion_time, 4500.0);
+  EXPECT_EQ(dist.mean.job("short").completed_reps, 2u);
+  EXPECT_DOUBLE_EQ(dist.mean.job("long").completion_time, 9000.0);
+  EXPECT_EQ(dist.mean.job("long").completed_reps, 1u);
+  EXPECT_DOUBLE_EQ(dist.mean.completion_rate(), 0.75);
+}
+
+TEST(MeanOfReps, StartAndCompletionAverageOverParticipatingRepsOnly) {
+  CampaignStats rep0;
+  rep0.jobs = {record("a", 0.0, 300.0), record("never", 0.0, -1.0)};
+  rep0.jobs[0].start_time = 100.0;
+
+  CampaignStats rep1;
+  rep1.jobs = {record("a", 0.0, -1.0), record("never", 0.0, -1.0)};
+  rep1.jobs[0].start_time = -1.0;  // "a" never even started in rep 1
+
+  const CampaignStats mean = mean_of_reps({rep0, rep1});
+  EXPECT_EQ(mean.reps, 2u);
+  // start/completion average only the reps where the job started/completed.
+  EXPECT_DOUBLE_EQ(mean.job("a").start_time, 100.0);
+  EXPECT_EQ(mean.job("a").started_reps, 1u);
+  EXPECT_DOUBLE_EQ(mean.job("a").completion_time, 300.0);
+  EXPECT_EQ(mean.job("a").completed_reps, 1u);
+  // A job that never ran keeps the sentinels.
+  EXPECT_DOUBLE_EQ(mean.job("never").start_time, -1.0);
+  EXPECT_DOUBLE_EQ(mean.job("never").completion_time, -1.0);
+  EXPECT_EQ(mean.job("never").completed_reps, 0u);
+}
+
+TEST(MeanOfReps, RejectsBadInput) {
+  EXPECT_THROW(mean_of_reps({}), InvalidArgument);
+  CampaignStats one;
+  one.jobs = {record("a", 0.0, 100.0)};
+  CampaignStats two;
+  two.jobs = {record("a", 0.0, 100.0), record("b", 0.0, 100.0)};
+  EXPECT_THROW(mean_of_reps({one, two}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::sched

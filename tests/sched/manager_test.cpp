@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "checkpoint/oci.h"
 #include "common/error.h"
 #include "reliability/exponential.h"
 #include "reliability/weibull.h"
@@ -22,6 +28,37 @@ reliability::Weibull exa_failures() {
 
 /// A calm machine: failures effectively never happen.
 reliability::Exponential calm() { return reliability::Exponential(hours(1e9)); }
+
+/// Deterministic failure process replaying a fixed gap list, then going
+/// quiet — lets edge-case tests put a failure at an exact instant.
+class ScriptedGaps final : public reliability::Distribution {
+ public:
+  explicit ScriptedGaps(std::vector<Seconds> gaps) : gaps_(std::move(gaps)) {}
+
+  Seconds sample(Rng& /*rng*/) const override {
+    if (next_ < gaps_.size()) return gaps_[next_++];
+    return hours(1e9);
+  }
+  double cdf(Seconds /*t*/) const override { return 0.0; }
+  double pdf(Seconds /*t*/) const override { return 0.0; }
+  Seconds mean() const override { return hours(1e9); }
+  Seconds quantile(double /*u*/) const override { return hours(1e9); }
+  std::string name() const override { return "ScriptedGaps"; }
+  std::unique_ptr<reliability::Distribution> clone() const override {
+    auto copy = std::make_unique<ScriptedGaps>(gaps_);
+    copy->next_ = next_;
+    return copy;
+  }
+
+ private:
+  std::vector<Seconds> gaps_;
+  mutable std::size_t next_ = 0;
+};
+
+Seconds young_interval(Seconds delta) {
+  return checkpoint::optimal_interval(hours(5.0), delta,
+                                      checkpoint::OciFormula::kYoung);
+}
 
 std::vector<BatchJobSpec> mixed_pair(Seconds work = hours(100.0)) {
   return {{"light", work, 18.0, 0.0}, {"heavy", work, 1800.0, 0.0}};
@@ -68,7 +105,7 @@ TEST(WorkloadManager, FailuresCauseRollbacksAndLostWork) {
   Rng rng(4);
   const CampaignStats stats =
       mgr.run(mixed_pair(hours(200.0)), Policy::kBaselineAlternate, rng);
-  EXPECT_GT(stats.failures, 0u);
+  EXPECT_GT(stats.failures, 0.0);
   EXPECT_GT(stats.total_lost(), 0.0);
   // Completed jobs must still account exactly their required work as useful.
   for (const auto& job : stats.jobs) {
@@ -179,6 +216,316 @@ TEST(CampaignStats, TurnaroundHelpers) {
   EXPECT_DOUBLE_EQ(stats.mean_turnaround(), 150.0);
   EXPECT_DOUBLE_EQ(stats.max_turnaround(), 200.0);
   EXPECT_THROW(stats.job("missing"), InvalidArgument);
+}
+
+// --- run_many accounting regressions -------------------------------------
+// run_many used to keep repetition 0's start_time forever, truncate count
+// means to integers, and average completion times over all reps (dropping
+// unfinished reps' absence into the mean). These pin the fixed semantics
+// against manually averaged per-rep runs (rep r always draws
+// Rng(seed).fork(r), the run_many contract).
+
+TEST(WorkloadManager, RunManyAveragesStartTimesAcrossReps) {
+  const WorkloadManager mgr(exa_failures(), exa_config());
+  const std::vector<BatchJobSpec> jobs{{"a", hours(100.0), 60.0, 0.0},
+                                       {"b", hours(100.0), 900.0, 0.0},
+                                       {"late", hours(100.0), 300.0, 0.0}};
+  Rng r0 = Rng(2024).fork(0);
+  Rng r1 = Rng(2024).fork(1);
+  const CampaignStats rep0 = mgr.run(jobs, Policy::kBaselineAlternate, r0);
+  const CampaignStats rep1 = mgr.run(jobs, Policy::kBaselineAlternate, r1);
+  const CampaignStats mean =
+      mgr.run_many(jobs, Policy::kBaselineAlternate, 2, 2024);
+  // "late" starts when the first slot frees, which depends on the failure
+  // stream — so the two reps must disagree and the mean must average them.
+  ASSERT_NE(rep0.job("late").start_time, rep1.job("late").start_time);
+  EXPECT_DOUBLE_EQ(
+      mean.job("late").start_time,
+      0.5 * (rep0.job("late").start_time + rep1.job("late").start_time));
+  EXPECT_EQ(mean.job("late").started_reps, 2u);
+  EXPECT_EQ(mean.reps, 2u);
+}
+
+TEST(WorkloadManager, RunManyReportsFractionalCountMeans) {
+  const WorkloadManager mgr(exa_failures(), exa_config());
+  const auto jobs = mixed_pair(hours(150.0));
+  Rng r0 = Rng(7).fork(0);
+  Rng r1 = Rng(7).fork(1);
+  const CampaignStats rep0 = mgr.run(jobs, Policy::kShirazPairing, r0);
+  const CampaignStats rep1 = mgr.run(jobs, Policy::kShirazPairing, r1);
+  const CampaignStats mean = mgr.run_many(jobs, Policy::kShirazPairing, 2, 7);
+  EXPECT_DOUBLE_EQ(mean.failures, 0.5 * (rep0.failures + rep1.failures));
+  EXPECT_DOUBLE_EQ(
+      mean.job("light").checkpoints,
+      0.5 * (rep0.job("light").checkpoints + rep1.job("light").checkpoints));
+  EXPECT_DOUBLE_EQ(mean.job("heavy").failures_hit,
+                   0.5 * (rep0.job("heavy").failures_hit +
+                          rep1.job("heavy").failures_hit));
+  // The point of the fix: an odd failure-count sum yields a .5 mean instead
+  // of silently truncating to an integer (seed 7 gives an odd sum).
+  ASSERT_NE(rep0.failures, rep1.failures);
+  EXPECT_NE(mean.failures, std::floor(mean.failures));
+}
+
+TEST(WorkloadManager, CompletionTimeAveragesOnlyCompletedReps) {
+  ManagerConfig cfg = exa_config();
+  cfg.horizon = hours(36.0);
+  const WorkloadManager mgr(exa_failures(), cfg);
+  const std::vector<BatchJobSpec> jobs{{"solo", hours(30.0), 300.0, 0.0}};
+  const std::size_t reps = 8;
+  const std::uint64_t seed = 99;
+  double sum = 0.0;
+  std::size_t done = 0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    Rng rng = Rng(seed).fork(r);
+    const CampaignStats one = mgr.run(jobs, Policy::kBaselineAlternate, rng);
+    if (one.job("solo").completed()) {
+      sum += one.job("solo").completion_time;
+      ++done;
+    }
+  }
+  // The seed is chosen so the 36 h horizon splits the reps: some finish the
+  // 30 h job, some are cut off — the dropout case the old mean biased.
+  ASSERT_GT(done, 0u);
+  ASSERT_LT(done, reps);
+  const CampaignStats mean =
+      mgr.run_many(jobs, Policy::kBaselineAlternate, reps, seed);
+  EXPECT_EQ(mean.job("solo").completed_reps, done);
+  EXPECT_DOUBLE_EQ(mean.job("solo").completion_time,
+                   sum / static_cast<double>(done));
+  EXPECT_DOUBLE_EQ(mean.completion_rate(),
+                   static_cast<double>(done) / static_cast<double>(reps));
+}
+
+// --- restart cost ---------------------------------------------------------
+
+TEST(WorkloadManager, RestartCostChargedAsLostTime) {
+  const Seconds delta = 600.0;
+  const std::vector<BatchJobSpec> jobs{{"solo", hours(10.0), delta, 0.0}};
+  const ScriptedGaps gaps({2000.0});  // one mid-segment failure at t = 2000
+  ManagerConfig free_cfg = exa_config();
+  ManagerConfig paid_cfg = exa_config();
+  paid_cfg.restart_cost = 600.0;
+  Rng r1(1);
+  Rng r2(1);
+  const CampaignStats free_run =
+      WorkloadManager(gaps, free_cfg).run(jobs, Policy::kBaselineAlternate, r1);
+  const CampaignStats paid_run =
+      WorkloadManager(gaps, paid_cfg).run(jobs, Policy::kBaselineAlternate, r2);
+  // The failure destroys the 2000 s in flight; the paid config adds the
+  // 600 s restart downtime on top, charged to the job that rolls back.
+  EXPECT_DOUBLE_EQ(free_run.job("solo").lost, 2000.0);
+  EXPECT_DOUBLE_EQ(paid_run.job("solo").lost, 2600.0);
+  EXPECT_NEAR(paid_run.job("solo").completion_time,
+              free_run.job("solo").completion_time + 600.0, 1e-6);
+  EXPECT_DOUBLE_EQ(paid_run.job("solo").useful, free_run.job("solo").useful);
+}
+
+TEST(WorkloadManager, DefaultRestartCostKeepsOutputsBitIdentical) {
+  ManagerConfig explicit_zero = exa_config();
+  explicit_zero.restart_cost = 0.0;
+  const WorkloadManager a(exa_failures(), exa_config());
+  const WorkloadManager b(exa_failures(), explicit_zero);
+  const CampaignStats sa = a.run_many(mixed_pair(), Policy::kShirazPairing, 4, 42);
+  const CampaignStats sb = b.run_many(mixed_pair(), Policy::kShirazPairing, 4, 42);
+  EXPECT_DOUBLE_EQ(sa.makespan, sb.makespan);
+  EXPECT_DOUBLE_EQ(sa.total_lost(), sb.total_lost());
+  EXPECT_DOUBLE_EQ(sa.total_io(), sb.total_io());
+}
+
+// --- event-tie and switch-window edge cases -------------------------------
+
+TEST(WorkloadManager, FailureAtSegmentBoundaryDestroysNothing) {
+  const Seconds delta = 600.0;
+  const Seconds interval = young_interval(delta);
+  const std::vector<BatchJobSpec> jobs{{"solo", 2.0 * interval, delta, 0.0}};
+  // The failure lands exactly when the first checkpoint commits: the
+  // checkpoint wins the tie, so nothing in flight is destroyed.
+  const ScriptedGaps gaps({interval + delta});
+  const WorkloadManager mgr(gaps, exa_config());
+  Rng rng(1);
+  const CampaignStats stats = mgr.run(jobs, Policy::kBaselineAlternate, rng);
+  const BatchJobRecord& job = stats.job("solo");
+  EXPECT_DOUBLE_EQ(job.lost, 0.0);
+  EXPECT_DOUBLE_EQ(job.checkpoints, 1.0);
+  EXPECT_DOUBLE_EQ(job.useful, 2.0 * interval);
+  ASSERT_TRUE(job.completed());
+  EXPECT_NEAR(job.completion_time, 2.0 * interval + delta, 1e-6);
+  EXPECT_DOUBLE_EQ(stats.failures, 1.0);
+  EXPECT_DOUBLE_EQ(job.failures_hit, 1.0);
+}
+
+TEST(WorkloadManager, ArrivalTiedWithFailureStartsImmediately) {
+  const Seconds t_tie = 5000.0;
+  const std::vector<BatchJobSpec> jobs{{"first", hours(8.0), 300.0, 0.0},
+                                       {"tied", hours(8.0), 300.0, t_tie}};
+  const ScriptedGaps gaps({t_tie});  // failure exactly at the arrival instant
+  const WorkloadManager mgr(gaps, exa_config());
+  Rng rng(1);
+  const CampaignStats stats = mgr.run(jobs, Policy::kBaselineAlternate, rng);
+  EXPECT_DOUBLE_EQ(stats.job("tied").start_time, t_tie);
+  EXPECT_DOUBLE_EQ(stats.failures, 1.0);
+  EXPECT_EQ(stats.completed_count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.idle, 0.0);
+}
+
+TEST(WorkloadManager, PairActivationResetsSwitchWindow) {
+  const Seconds d_lw = 100.0;
+  const Seconds d_hw = 2500.0;
+  const Seconds seg = young_interval(d_lw) + d_lw;
+  // The light job runs alone for three segments; the heavy job arrives mid
+  // third segment and activates at that segment's boundary, 3 * seg.
+  const std::vector<BatchJobSpec> jobs{
+      {"light", 10.0 * young_interval(d_lw), d_lw, 0.0},
+      {"heavy", hours(1.0), d_hw, 2.5 * seg}};
+  ManagerConfig cfg = exa_config();
+  cfg.fixed_pair_k = 3;
+  const WorkloadManager mgr(calm(), cfg);
+  Rng rng(1);
+  const CampaignStats stats = mgr.run(jobs, Policy::kShirazPairing, rng);
+  // The k-window opens at activation: the light job takes k = 3 *more*
+  // checkpoints after 3 * seg before the heavy job first computes — the
+  // three it took before the pair existed don't count against the window.
+  EXPECT_NEAR(stats.job("heavy").start_time, 3.0 * seg, 1e-6);
+  EXPECT_NEAR(stats.job("heavy").completion_time, 6.0 * seg + hours(1.0), 1e-6);
+  EXPECT_DOUBLE_EQ(stats.job("heavy").lost, 0.0);
+  EXPECT_EQ(stats.completed_count(), 2u);
+}
+
+TEST(WorkloadManager, ContrastSlotFillPairsExtremes) {
+  // At t = 0 the occupant is "light" (head of queue); FCFS gives the free
+  // slot to the older "mid", contrast to the farther-apart "heavy".
+  const std::vector<BatchJobSpec> jobs{{"light", hours(20.0), 10.0, 0.0},
+                                       {"mid", hours(20.0), 200.0, 0.0},
+                                       {"heavy", hours(20.0), 3000.0, 0.0}};
+  ManagerConfig contrast = exa_config();
+  contrast.slot_fill = SlotFill::kContrast;
+  Rng r1(5);
+  Rng r2(5);
+  const CampaignStats f = WorkloadManager(calm(), exa_config())
+                              .run(jobs, Policy::kShirazPairing, r1);
+  const CampaignStats c =
+      WorkloadManager(calm(), contrast).run(jobs, Policy::kShirazPairing, r2);
+  EXPECT_DOUBLE_EQ(f.job("mid").start_time, 0.0);
+  EXPECT_GT(f.job("heavy").start_time, 0.0);
+  EXPECT_DOUBLE_EQ(c.job("heavy").start_time, 0.0);
+  EXPECT_GT(c.job("mid").start_time, 0.0);
+  EXPECT_EQ(f.completed_count(), 3u);
+  EXPECT_EQ(c.completed_count(), 3u);
+}
+
+// --- accounting invariant and worker-count invariance ----------------------
+
+struct InvariantCase {
+  Policy policy;
+  std::size_t workers;
+};
+
+std::string invariant_name(const ::testing::TestParamInfo<InvariantCase>& info) {
+  return std::string(info.param.policy == Policy::kBaselineAlternate
+                         ? "baseline"
+                         : "shiraz") +
+         "_workers" + std::to_string(info.param.workers);
+}
+
+class AccountingInvariant : public ::testing::TestWithParam<InvariantCase> {
+ protected:
+  static std::vector<BatchJobSpec> jobs() {
+    // Staggered arrivals with a long quiet stretch, so idle time shows up in
+    // the books alongside useful/io/lost.
+    return {{"a", hours(50.0), 60.0, 0.0},
+            {"b", hours(50.0), 1200.0, hours(2.0)},
+            {"c", hours(50.0), 300.0, hours(400.0)}};
+  }
+};
+
+TEST_P(AccountingInvariant, TimeIsConservedAcrossReps) {
+  const WorkloadManager mgr(exa_failures(), exa_config());
+  const CampaignRunOptions opts{GetParam().workers, nullptr};
+  const CampaignStats mean =
+      mgr.run_many(jobs(), GetParam().policy, 5, 23, opts);
+  const Seconds booked =
+      mean.total_useful() + mean.total_io() + mean.total_lost() + mean.idle;
+  EXPECT_NEAR(booked, mean.elapsed, 1e-6 * std::max(1.0, mean.elapsed));
+}
+
+TEST_P(AccountingInvariant, ElapsedIsMakespanOrHorizon) {
+  // Drained queue: the campaign ends at the last completion.
+  const WorkloadManager mgr(exa_failures(), exa_config());
+  Rng r1(29);
+  const CampaignStats drained = mgr.run(jobs(), GetParam().policy, r1);
+  EXPECT_EQ(drained.completed_count(), jobs().size());
+  EXPECT_DOUBLE_EQ(drained.elapsed, drained.makespan);
+  EXPECT_LT(drained.elapsed, drained.horizon);
+
+  // Horizon cut: the campaign (and the makespan of unfinished jobs) ends at
+  // the horizon.
+  ManagerConfig cut_cfg = exa_config();
+  cut_cfg.horizon = hours(60.0);
+  const WorkloadManager cut_mgr(exa_failures(), cut_cfg);
+  Rng r2(29);
+  const CampaignStats cut = cut_mgr.run(jobs(), GetParam().policy, r2);
+  EXPECT_LT(cut.completed_count(), jobs().size());
+  EXPECT_DOUBLE_EQ(cut.elapsed, hours(60.0));
+  EXPECT_DOUBLE_EQ(cut.makespan, hours(60.0));
+  const Seconds booked =
+      cut.total_useful() + cut.total_io() + cut.total_lost() + cut.idle;
+  EXPECT_NEAR(booked, cut.elapsed, 1e-6 * cut.elapsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyByWorkers, AccountingInvariant,
+    ::testing::Values(InvariantCase{Policy::kBaselineAlternate, 1},
+                      InvariantCase{Policy::kBaselineAlternate, 4},
+                      InvariantCase{Policy::kShirazPairing, 1},
+                      InvariantCase{Policy::kShirazPairing, 4}),
+    invariant_name);
+
+TEST(WorkloadManager, RunManyBitIdenticalAcrossWorkerCounts) {
+  const WorkloadManager mgr(exa_failures(), exa_config());
+  std::vector<BatchJobSpec> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back({"job" + std::to_string(i), hours(60.0 + 10.0 * i),
+                    30.0 * (i + 1), hours(5.0) * i});
+  }
+  const CampaignRunOptions serial{1, nullptr};
+  const CampaignRunOptions wide{4, nullptr};
+  const CampaignStats a = mgr.run_many(jobs, Policy::kShirazPairing, 6, 31, serial);
+  const CampaignStats b = mgr.run_many(jobs, Policy::kShirazPairing, 6, 31, wide);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.elapsed, b.elapsed);
+  EXPECT_DOUBLE_EQ(a.failures, b.failures);
+  EXPECT_DOUBLE_EQ(a.idle, b.idle);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_DOUBLE_EQ(a.jobs[j].useful, b.jobs[j].useful);
+    EXPECT_DOUBLE_EQ(a.jobs[j].io, b.jobs[j].io);
+    EXPECT_DOUBLE_EQ(a.jobs[j].lost, b.jobs[j].lost);
+    EXPECT_DOUBLE_EQ(a.jobs[j].checkpoints, b.jobs[j].checkpoints);
+    EXPECT_DOUBLE_EQ(a.jobs[j].start_time, b.jobs[j].start_time);
+    EXPECT_DOUBLE_EQ(a.jobs[j].completion_time, b.jobs[j].completion_time);
+    EXPECT_EQ(a.jobs[j].completed_reps, b.jobs[j].completed_reps);
+  }
+
+  const CampaignDistribution da =
+      mgr.run_distribution(jobs, Policy::kShirazPairing, 6, 31, serial);
+  const CampaignDistribution db =
+      mgr.run_distribution(jobs, Policy::kShirazPairing, 6, 31, wide);
+  EXPECT_DOUBLE_EQ(da.completion_rate, db.completion_rate);
+  EXPECT_DOUBLE_EQ(da.turnaround.p50, db.turnaround.p50);
+  EXPECT_DOUBLE_EQ(da.turnaround.p99, db.turnaround.p99);
+  EXPECT_DOUBLE_EQ(da.turnaround.max, db.turnaround.max);
+  EXPECT_DOUBLE_EQ(da.slowdown.p95, db.slowdown.p95);
+  EXPECT_DOUBLE_EQ(da.makespan.mean, db.makespan.mean);
+}
+
+TEST(WorkloadManager, RejectsBadConfigKnobs) {
+  ManagerConfig negative_restart;
+  negative_restart.restart_cost = -1.0;
+  EXPECT_THROW(WorkloadManager(calm(), negative_restart), InvalidArgument);
+  ManagerConfig negative_k;
+  negative_k.fixed_pair_k = -1;
+  EXPECT_THROW(WorkloadManager(calm(), negative_k), InvalidArgument);
 }
 
 }  // namespace

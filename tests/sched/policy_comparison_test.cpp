@@ -72,8 +72,8 @@ TEST_P(PolicyComparison, StretchReducesHeavyCheckpointCount) {
   const WorkloadManager stretched = make_manager(3);
   const CampaignStats a = plain.run_many(jobs(), Policy::kShirazPairing, 6, 19);
   const CampaignStats b = stretched.run_many(jobs(), Policy::kShirazPairing, 6, 19);
-  std::size_t heavy_a = 0;
-  std::size_t heavy_b = 0;
+  double heavy_a = 0.0;
+  double heavy_b = 0.0;
   for (const auto& j : a.jobs) {
     if (j.name.rfind("heavy", 0) == 0) heavy_a += j.checkpoints;
   }
