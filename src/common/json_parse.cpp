@@ -1,53 +1,17 @@
-// Minimal recursive-descent JSON parser for tests.
-//
-// The library ships a writer only (common/json.h); tests that need to check
-// the emitted documents structurally — the bench telemetry schema, the
-// Perfetto traces, writer round-trips — parse them with this. It supports the
-// full JSON grammar the writer can produce (objects, arrays, strings with
-// escapes, numbers, booleans, null) and throws std::runtime_error with a
-// byte offset on malformed input, which is itself an assertion: a document
-// this parser rejects is a writer bug.
-#pragma once
+#include "common/json_parse.h"
 
 #include <cctype>
 #include <cstdlib>
-#include <map>
-#include <memory>
-#include <stdexcept>
-#include <string>
-#include <vector>
 
-namespace shiraz::testing {
+#include "common/error.h"
 
-struct JsonValue;
-using JsonValuePtr = std::shared_ptr<JsonValue>;
+namespace shiraz {
 
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValuePtr> array;
-  // std::map: iteration order is key order, good enough for tests.
-  std::map<std::string, JsonValuePtr> object;
+namespace {
 
-  bool is_null() const { return type == Type::kNull; }
-  bool has(const std::string& key) const { return object.count(key) != 0; }
-  const JsonValue& at(const std::string& key) const {
-    auto it = object.find(key);
-    if (it == object.end()) throw std::runtime_error("missing key: " + key);
-    return *it->second;
-  }
-  const JsonValue& at(std::size_t i) const {
-    if (i >= array.size()) throw std::runtime_error("array index out of range");
-    return *array[i];
-  }
-};
-
-class MiniJsonParser {
+class Parser {
  public:
-  explicit MiniJsonParser(std::string text) : text_(std::move(text)) {}
+  explicit Parser(const std::string& text) : text_(text) {}
 
   JsonValue parse() {
     JsonValue v = parse_value();
@@ -58,8 +22,7 @@ class MiniJsonParser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("mini_json: " + what + " at byte " +
-                             std::to_string(pos_));
+    throw InvalidArgument("json: " + what + " at byte " + std::to_string(pos_));
   }
 
   void skip_ws() {
@@ -219,12 +182,27 @@ class MiniJsonParser {
     return v;
   }
 
-  std::string text_;
+  const std::string& text_;
   std::size_t pos_ = 0;
 };
 
-inline JsonValue parse_json(const std::string& text) {
-  return MiniJsonParser(text).parse();
+}  // namespace
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  auto it = object.find(key);
+  if (it == object.end()) throw InvalidArgument("json: missing key '" + key + "'");
+  return *it->second;
 }
 
-}  // namespace shiraz::testing
+const JsonValue& JsonValue::at(std::size_t i) const {
+  if (i >= array.size()) {
+    throw InvalidArgument("json: array index " + std::to_string(i) +
+                          " out of range (size " + std::to_string(array.size()) +
+                          ")");
+  }
+  return *array[i];
+}
+
+JsonValue parse_json(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace shiraz

@@ -1,0 +1,50 @@
+// Minimal recursive-descent JSON parser — the read side of common/json.h.
+//
+// The library long shipped a writer only; the scenario catalog
+// (src/scenario) made parsing a production concern, so the tests' former
+// support/mini_json.h grew up into this header. It supports the full JSON
+// grammar the JsonWriter can produce (objects, arrays, strings with escapes,
+// numbers, booleans, null) and throws InvalidArgument with a byte offset on
+// malformed input. Round-tripping writer output through this parser is the
+// tested contract (tests/common/json_parse_test.cpp); documents the parser
+// rejects are malformed by construction, never silently coerced.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace shiraz {
+
+struct JsonValue;
+using JsonValuePtr = std::shared_ptr<JsonValue>;
+
+/// One parsed JSON value. Numbers are doubles (the writer emits shortest
+/// round-trip doubles, so integral values up to 2^53 survive exactly).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValuePtr> array;
+  // std::map: iteration order is key order — deterministic for consumers
+  // that walk the object.
+  std::map<std::string, JsonValuePtr> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool has(const std::string& key) const { return object.count(key) != 0; }
+
+  /// Member access; throws InvalidArgument when the key is absent or the
+  /// index is out of range (strict: a missing field is a caller bug or a
+  /// malformed document, never a default).
+  const JsonValue& at(const std::string& key) const;
+  const JsonValue& at(std::size_t i) const;
+};
+
+/// Parses exactly one JSON document (trailing bytes are an error). Throws
+/// InvalidArgument naming the byte offset on any grammar violation.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace shiraz

@@ -1,0 +1,235 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/json_parse.h"
+#include "reliability/bathtub.h"
+#include "reliability/weibull.h"
+
+namespace shiraz::scenario {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Strictness backbone: every object in a scenario document lists its legal
+/// keys here, so a typo'd or stale field is a hard parse error instead of a
+/// silently ignored knob.
+void check_keys(const JsonValue& obj, const char* what,
+                std::initializer_list<const char*> allowed) {
+  SHIRAZ_REQUIRE(obj.type == JsonValue::Type::kObject,
+                 std::string("scenario: ") + what + " must be a JSON object");
+  for (const auto& [key, value] : obj.object) {
+    (void)value;
+    const bool known =
+        std::any_of(allowed.begin(), allowed.end(),
+                    [&key](const char* k) { return key == k; });
+    SHIRAZ_REQUIRE(known, "scenario: unknown key '" + key + "' in " + what);
+  }
+}
+
+double number(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = obj.at(key);
+  SHIRAZ_REQUIRE(v.type == JsonValue::Type::kNumber,
+                 "scenario: '" + key + "' must be a number");
+  return v.number;
+}
+
+double positive(const JsonValue& obj, const std::string& key) {
+  const double v = number(obj, key);
+  SHIRAZ_REQUIRE(v > 0.0, "scenario: '" + key + "' must be positive");
+  return v;
+}
+
+Seconds hours_field(const JsonValue& obj, const std::string& key) {
+  return hours(positive(obj, key));
+}
+
+std::string text(const JsonValue& obj, const std::string& key) {
+  const JsonValue& v = obj.at(key);
+  SHIRAZ_REQUIRE(v.type == JsonValue::Type::kString,
+                 "scenario: '" + key + "' must be a string");
+  SHIRAZ_REQUIRE(!v.string.empty(), "scenario: '" + key + "' must be non-empty");
+  return v.string;
+}
+
+void check_id(const std::string& id) {
+  const bool ok = !id.empty() &&
+                  std::all_of(id.begin(), id.end(), [](char c) {
+                    return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                           c == '-';
+                  }) &&
+                  id.front() != '-' && id.back() != '-';
+  SHIRAZ_REQUIRE(ok, "scenario: id '" + id + "' must match [a-z0-9-] and not "
+                     "start or end with '-'");
+}
+
+RegimeSpec parse_spec(const std::string& kind, const JsonValue& params) {
+  if (kind == "weibull") {
+    check_keys(params, "weibull params", {"shape", "mtbf_hours"});
+    return WeibullSpec{positive(params, "shape"),
+                       hours_field(params, "mtbf_hours")};
+  }
+  if (kind == "bathtub") {
+    check_keys(params, "bathtub params",
+               {"infant_shape", "infant_scale_hours", "wear_shape",
+                "wear_scale_hours"});
+    return BathtubSpec{positive(params, "infant_shape"),
+                       hours_field(params, "infant_scale_hours"),
+                       positive(params, "wear_shape"),
+                       hours_field(params, "wear_scale_hours")};
+  }
+  if (kind == "markov-burst") {
+    check_keys(params, "markov-burst params",
+               {"calm_mtbf_hours", "calm_shape", "burst_mtbf_hours",
+                "burst_shape", "p_calm_to_burst", "p_burst_to_calm"});
+    reliability::MarkovBurstRegime::Config c;
+    c.calm_mtbf = hours_field(params, "calm_mtbf_hours");
+    c.calm_shape = positive(params, "calm_shape");
+    c.burst_mtbf = hours_field(params, "burst_mtbf_hours");
+    c.burst_shape = positive(params, "burst_shape");
+    c.p_calm_to_burst = positive(params, "p_calm_to_burst");
+    c.p_burst_to_calm = positive(params, "p_burst_to_calm");
+    return c;
+  }
+  if (kind == "cluster-outage") {
+    check_keys(params, "cluster-outage params",
+               {"primary_mtbf_hours", "primary_shape", "group_size_mean",
+                "spread_hours"});
+    reliability::ClusterOutageRegime::Config c;
+    c.primary_mtbf = hours_field(params, "primary_mtbf_hours");
+    c.primary_shape = positive(params, "primary_shape");
+    c.group_size_mean = positive(params, "group_size_mean");
+    c.spread = hours_field(params, "spread_hours");
+    return c;
+  }
+  if (kind == "hetero-pools") {
+    check_keys(params, "hetero-pools params", {"pools"});
+    const JsonValue& arr = params.at("pools");
+    SHIRAZ_REQUIRE(arr.type == JsonValue::Type::kArray,
+                   "scenario: 'pools' must be an array");
+    std::vector<reliability::HeterogeneousPoolsRegime::Pool> pools;
+    for (std::size_t i = 0; i < arr.array.size(); ++i) {
+      const JsonValue& p = arr.at(i);
+      check_keys(p, "pool entry", {"shape", "mtbf_hours"});
+      pools.push_back({positive(p, "shape"), hours_field(p, "mtbf_hours")});
+    }
+    SHIRAZ_REQUIRE(pools.size() >= 2,
+                   "scenario: 'pools' needs at least two entries");
+    return pools;
+  }
+  if (kind == "drifting-weibull") {
+    check_keys(params, "drifting-weibull params",
+               {"beta_start", "beta_end", "mtbf_start_hours", "mtbf_end_hours",
+                "ramp_hours"});
+    reliability::DriftingWeibullRegime::Config c;
+    c.beta_start = positive(params, "beta_start");
+    c.beta_end = positive(params, "beta_end");
+    c.mtbf_start = hours_field(params, "mtbf_start_hours");
+    c.mtbf_end = hours_field(params, "mtbf_end_hours");
+    c.ramp = hours_field(params, "ramp_hours");
+    return c;
+  }
+  throw InvalidArgument("scenario: unknown kind '" + kind + "'");
+}
+
+}  // namespace
+
+reliability::FailureRegimePtr Scenario::make_regime() const {
+  struct Maker {
+    reliability::FailureRegimePtr operator()(const WeibullSpec& s) const {
+      return std::make_unique<reliability::RenewalRegime>(
+          std::make_unique<reliability::Weibull>(
+              reliability::Weibull::from_mtbf(s.shape, s.mtbf)));
+    }
+    reliability::FailureRegimePtr operator()(const BathtubSpec& s) const {
+      return std::make_unique<reliability::RenewalRegime>(
+          std::make_unique<reliability::BathtubWeibull>(
+              s.infant_shape, s.infant_scale, s.wear_shape, s.wear_scale));
+    }
+    reliability::FailureRegimePtr operator()(
+        const reliability::MarkovBurstRegime::Config& c) const {
+      return std::make_unique<reliability::MarkovBurstRegime>(c);
+    }
+    reliability::FailureRegimePtr operator()(
+        const reliability::ClusterOutageRegime::Config& c) const {
+      return std::make_unique<reliability::ClusterOutageRegime>(c);
+    }
+    reliability::FailureRegimePtr operator()(
+        const std::vector<reliability::HeterogeneousPoolsRegime::Pool>& p) const {
+      return std::make_unique<reliability::HeterogeneousPoolsRegime>(p);
+    }
+    reliability::FailureRegimePtr operator()(
+        const reliability::DriftingWeibullRegime::Config& c) const {
+      return std::make_unique<reliability::DriftingWeibullRegime>(c);
+    }
+  };
+  return std::visit(Maker{}, spec);
+}
+
+Scenario parse(const std::string& json_text) {
+  const JsonValue doc = parse_json(json_text);
+  check_keys(doc, "scenario document",
+             {"schema", "id", "title", "description", "kind", "horizon_hours",
+              "nominal_mtbf_hours", "params"});
+  const std::string schema = text(doc, "schema");
+  SHIRAZ_REQUIRE(schema == kSchema, "scenario: unsupported schema '" + schema +
+                                        "' (expected " + kSchema + ")");
+  Scenario s;
+  s.id = text(doc, "id");
+  check_id(s.id);
+  s.title = text(doc, "title");
+  s.description = text(doc, "description");
+  s.kind = text(doc, "kind");
+  s.horizon = hours_field(doc, "horizon_hours");
+  s.nominal_mtbf = hours_field(doc, "nominal_mtbf_hours");
+  s.spec = parse_spec(s.kind, doc.at("params"));
+  // Constructing the regime validates the cross-field constraints the
+  // per-field checks above can't see (burst < calm, spread < primary, ...).
+  (void)s.make_regime();
+  return s;
+}
+
+Scenario load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SHIRAZ_REQUIRE(in.good(), "scenario: cannot read '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    Scenario s = parse(buf.str());
+    s.source_path = path;
+    return s;
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(path + ": " + e.what());
+  }
+}
+
+std::vector<Scenario> load_dir(const std::string& dir) {
+  SHIRAZ_REQUIRE(fs::is_directory(dir),
+                 "scenario: '" + dir + "' is not a directory");
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".json") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  SHIRAZ_REQUIRE(!paths.empty(), "scenario: no *.json files in '" + dir + "'");
+  std::sort(paths.begin(), paths.end());
+  std::vector<Scenario> out;
+  out.reserve(paths.size());
+  for (const std::string& p : paths) out.push_back(load(p));
+  std::sort(out.begin(), out.end(),
+            [](const Scenario& a, const Scenario& b) { return a.id < b.id; });
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    SHIRAZ_REQUIRE(out[i - 1].id != out[i].id,
+                   "scenario: duplicate id '" + out[i].id + "' (" +
+                       out[i - 1].source_path + ", " + out[i].source_path + ")");
+  }
+  return out;
+}
+
+}  // namespace shiraz::scenario

@@ -1,0 +1,80 @@
+// Scenario catalog: versioned on-disk failure-regime descriptions.
+//
+// A scenario is one JSON document (`shiraz-scenario-v1`) naming a failure
+// regime and its parameters plus the campaign horizon and the nominal MTBF a
+// scheduler would assume when configuring itself (the catalog's whole point:
+// schedulers plan against the nominal renewal model while the regime throws
+// correlated failures at them). The shipped corpus lives in
+// testdata/scenarios/*.json; `shirazctl scenarios` lists/validates it and
+// bench/exp_scenario_matrix sweeps every (scheduler x scenario) cell through
+// the invariant auditor (DESIGN.md §8).
+//
+// Parsing is strict: unknown keys, missing keys, out-of-range values, wrong
+// schema versions and duplicate ids all throw InvalidArgument — a corpus
+// file either parses to exactly one well-formed regime or is rejected.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/units.h"
+#include "reliability/regimes.h"
+
+namespace shiraz::scenario {
+
+/// Schema tag every scenario document must carry.
+inline constexpr const char* kSchema = "shiraz-scenario-v1";
+
+/// Renewal Weibull — the control rows of the catalog.
+struct WeibullSpec {
+  double shape = 0.0;
+  Seconds mtbf = 0.0;
+};
+
+/// Additive-Weibull bathtub hazard (reliability::BathtubWeibull).
+struct BathtubSpec {
+  double infant_shape = 0.0;
+  Seconds infant_scale = 0.0;
+  double wear_shape = 0.0;
+  Seconds wear_scale = 0.0;
+};
+
+/// The regime parameters, typed at load time. The correlated kinds reuse the
+/// regime classes' own Config structs so a spec can never drift from what
+/// the regime accepts.
+using RegimeSpec =
+    std::variant<WeibullSpec, BathtubSpec, reliability::MarkovBurstRegime::Config,
+                 reliability::ClusterOutageRegime::Config,
+                 std::vector<reliability::HeterogeneousPoolsRegime::Pool>,
+                 reliability::DriftingWeibullRegime::Config>;
+
+/// One catalog entry.
+struct Scenario {
+  std::string id;           ///< lowercase [a-z0-9-], unique within a corpus
+  std::string title;        ///< one-line human label
+  std::string description;  ///< what the regime models and why it is here
+  std::string kind;         ///< "weibull", "markov-burst", ... (see parse())
+  Seconds horizon = 0.0;    ///< campaign length the scenario is meant to run
+  Seconds nominal_mtbf = 0.0;  ///< MTBF schedulers assume when planning
+  RegimeSpec spec;
+  std::string source_path;  ///< file it came from; empty when parsed inline
+
+  /// Instantiates the failure regime the spec describes.
+  reliability::FailureRegimePtr make_regime() const;
+};
+
+/// Parses one scenario document. Accepted kinds: "weibull", "bathtub",
+/// "markov-burst", "cluster-outage", "hetero-pools", "drifting-weibull".
+/// Throws InvalidArgument on any schema violation (unknown/missing keys,
+/// wrong schema tag, bad id charset, out-of-range parameters).
+Scenario parse(const std::string& json_text);
+
+/// Reads and parses one scenario file, recording its path.
+Scenario load(const std::string& path);
+
+/// Loads every *.json in `dir`, sorted by id; rejects duplicate ids and an
+/// empty or missing directory.
+std::vector<Scenario> load_dir(const std::string& dir);
+
+}  // namespace shiraz::scenario

@@ -1,5 +1,7 @@
 #include "sim/trace.h"
 
+#include "reliability/regimes.h"
+
 namespace shiraz::sim {
 
 FailureTrace::FailureTrace(std::vector<Seconds> gaps, Seconds horizon)
@@ -22,6 +24,12 @@ TraceStore::TraceStore(const Engine& engine, std::uint64_t seed, Seconds horizon
       dist_(engine.failure_distribution()),
       seed_(seed),
       horizon_(horizon) {
+  SHIRAZ_REQUIRE(horizon_ > 0.0, "trace horizon must be positive");
+}
+
+TraceStore::TraceStore(const reliability::FailureRegime& regime,
+                       std::uint64_t seed, Seconds horizon)
+    : regime_(regime.clone()), seed_(seed), horizon_(horizon) {
   SHIRAZ_REQUIRE(horizon_ > 0.0, "trace horizon must be positive");
 }
 
@@ -62,7 +70,9 @@ std::unique_ptr<FailureTrace> TraceStore::materialize(std::size_t rep) const {
   // The stream campaigns assign to repetition `rep` (see Engine::run_campaign).
   Rng rng = Rng(seed_).fork(rep);
   std::vector<Seconds> gaps;
-  if (dist_ != nullptr) {
+  if (regime_ != nullptr) {
+    regime_->sample_gaps(rng, horizon_, gaps);
+  } else if (dist_ != nullptr) {
     dist_->sample_gaps(rng, horizon_, gaps);
   } else {
     // Non-stationary sampler: feed it the same policy-independent failure

@@ -26,6 +26,10 @@
 #include "common/units.h"
 #include "sim/engine.h"
 
+namespace shiraz::reliability {
+class FailureRegime;
+}  // namespace shiraz::reliability
+
 namespace shiraz::sim {
 
 /// One repetition's inter-failure gaps, materialized up to a horizon. The
@@ -68,6 +72,15 @@ class TraceStore {
   /// that differ only in costs, or to pre-sample past the longest horizon).
   TraceStore(const Engine& engine, std::uint64_t seed, Seconds horizon);
 
+  /// Traces for a correlated failure regime (src/reliability/regimes.h):
+  /// repetition r materializes via `regime.sample_gaps(Rng(seed).fork(r))`,
+  /// the exact draw pass a regime sampler performs live, so replay stays
+  /// bit-identical for non-renewal processes too. This is the ONLY safe way
+  /// to run a stateful regime through a parallel campaign — the live
+  /// cursor adapter is serial-only (see FailureRegime::sampler).
+  TraceStore(const reliability::FailureRegime& regime, std::uint64_t seed,
+             Seconds horizon);
+
   std::uint64_t seed() const { return seed_; }
   Seconds horizon() const { return horizon_; }
 
@@ -88,6 +101,7 @@ class TraceStore {
 
   GapSampler sampler_;
   std::shared_ptr<const reliability::Distribution> dist_;
+  std::shared_ptr<const reliability::FailureRegime> regime_;
   std::uint64_t seed_;
   Seconds horizon_;
   mutable std::mutex mu_;

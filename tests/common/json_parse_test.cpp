@@ -1,0 +1,90 @@
+// common/json_parse.h — the read side of common/json.h. Round-tripping
+// writer output through the parser is the promoted contract (this parser
+// started life as the tests' support/mini_json.h); strict rejection of
+// malformed documents is what the scenario loader's validation rests on.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/json_parse.h"
+
+namespace shiraz {
+namespace {
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "shiraz-bench-v1");
+  w.kv("reps", std::uint64_t{64});
+  w.kv("wall_seconds", 1.25);
+  w.kv("ok", true);
+  w.key("metrics").begin_array();
+  w.begin_object();
+  w.kv("name", "useful_hours");
+  w.kv("mean", 644.3);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.at("schema").string, "shiraz-bench-v1");
+  EXPECT_EQ(doc.at("reps").number, 64.0);
+  EXPECT_EQ(doc.at("wall_seconds").number, 1.25);
+  EXPECT_TRUE(doc.at("ok").boolean);
+  ASSERT_EQ(doc.at("metrics").array.size(), 1u);
+  EXPECT_EQ(doc.at("metrics").at(0).at("name").string, "useful_hours");
+  EXPECT_EQ(doc.at("metrics").at(0).at("mean").number, 644.3);
+}
+
+TEST(JsonParse, RoundTripsEscapedStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("s", std::string("quote\" backslash\\ tab\t newline\n ctrl\x01"));
+  w.end_object();
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.at("s").string, "quote\" backslash\\ tab\t newline\n ctrl\x01");
+}
+
+TEST(JsonParse, ScalarsAndNull) {
+  EXPECT_EQ(parse_json("42").number, 42.0);
+  EXPECT_EQ(parse_json("-1.5e3").number, -1500.0);
+  EXPECT_EQ(parse_json("\"hi\"").string, "hi");
+  EXPECT_TRUE(parse_json("true").boolean);
+  EXPECT_FALSE(parse_json("false").boolean);
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("[]").array.empty());
+  EXPECT_TRUE(parse_json("{}").object.empty());
+}
+
+TEST(JsonParse, MalformedDocumentsThrowInvalidArgument) {
+  EXPECT_THROW(parse_json(""), InvalidArgument);
+  EXPECT_THROW(parse_json("{"), InvalidArgument);
+  EXPECT_THROW(parse_json("[1, 2"), InvalidArgument);
+  EXPECT_THROW(parse_json("{\"a\": }"), InvalidArgument);
+  EXPECT_THROW(parse_json("\"unterminated"), InvalidArgument);
+  EXPECT_THROW(parse_json("tru"), InvalidArgument);
+  EXPECT_THROW(parse_json("{} trailing"), InvalidArgument);
+}
+
+TEST(JsonParse, ErrorsNameTheByteOffset) {
+  try {
+    parse_json("{\"a\": 1} x");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, StrictAccessorsThrowOnMissing) {
+  const JsonValue doc = parse_json("{\"present\": [1]}");
+  EXPECT_TRUE(doc.has("present"));
+  EXPECT_FALSE(doc.has("absent"));
+  EXPECT_THROW(doc.at("absent"), InvalidArgument);
+  EXPECT_EQ(doc.at("present").at(0).number, 1.0);
+  EXPECT_THROW(doc.at("present").at(1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz

@@ -13,13 +13,11 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
-#include "../support/mini_json.h"
+#include "common/json_parse.h"
 
 namespace shiraz {
 namespace {
 
-using testing::JsonValue;
-using testing::parse_json;
 
 TEST(JsonWriter, EmptyContainers) {
   JsonWriter obj;

@@ -20,13 +20,11 @@
 #include "predict/policies.h"
 #include "reliability/weibull.h"
 #include "sim/engine.h"
-#include "../support/mini_json.h"
+#include "common/json_parse.h"
 
 namespace shiraz::obs {
 namespace {
 
-using testing::JsonValue;
-using testing::parse_json;
 
 constexpr std::uint64_t kSeed = 20180777;
 

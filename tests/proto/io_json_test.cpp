@@ -6,13 +6,13 @@
 
 #include "common/json.h"
 #include "proto/io_metrics.h"
-#include "../support/mini_json.h"
+#include "common/json_parse.h"
 
 namespace shiraz::proto {
 namespace {
 
-using shiraz::testing::JsonValue;
-using shiraz::testing::parse_json;
+using shiraz::JsonValue;
+using shiraz::parse_json;
 
 TEST(IoJson, CountersRoundTripExactly) {
   IoCounters c;

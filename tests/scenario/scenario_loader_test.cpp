@@ -1,0 +1,258 @@
+// Scenario corpus loader: the shipped testdata/scenarios catalog must load
+// to exactly the regimes it names (golden half), and every malformed
+// document must be rejected with InvalidArgument naming the offense
+// (rejection half) — the strictness bench/exp_scenario_matrix and
+// `shirazctl scenarios` rely on.
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "reliability/regimes.h"
+#include "scenario/scenario.h"
+
+namespace shiraz::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef SHIRAZ_TESTDATA_SCENARIOS
+#error "SHIRAZ_TESTDATA_SCENARIOS must point at testdata/scenarios"
+#endif
+
+// -------------------------------------------------------------- golden half
+
+TEST(ScenarioCorpus, LoadsEveryShippedScenarioSortedById) {
+  const std::vector<Scenario> all = load_dir(SHIRAZ_TESTDATA_SCENARIOS);
+  ASSERT_EQ(all.size(), 7u);
+  const std::vector<std::string> want = {
+      "baseline-weibull", "bathtub-wearout", "burst-storm", "cascade-groups",
+      "drifting-beta",    "hetero-pools",    "markov-burst"};
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].id, want[i]) << "corpus position " << i;
+    EXPECT_FALSE(all[i].title.empty());
+    EXPECT_FALSE(all[i].description.empty());
+    EXPECT_FALSE(all[i].source_path.empty());
+    EXPECT_GT(all[i].horizon, 0.0);
+    EXPECT_GT(all[i].nominal_mtbf, 0.0);
+  }
+}
+
+TEST(ScenarioCorpus, EveryShippedScenarioInstantiatesItsRegime) {
+  for (const Scenario& s : load_dir(SHIRAZ_TESTDATA_SCENARIOS)) {
+    const reliability::FailureRegimePtr regime = s.make_regime();
+    ASSERT_NE(regime, nullptr) << s.id;
+    EXPECT_GT(regime->mean_gap(), 0.0) << s.id;
+    // The nominal MTBF is a planning assumption, not the true mean — but the
+    // corpus keeps them within a factor of two so k* stays in a sane range.
+    EXPECT_GT(regime->mean_gap(), 0.5 * s.nominal_mtbf) << s.id;
+    EXPECT_LT(regime->mean_gap(), 2.0 * s.nominal_mtbf) << s.id;
+  }
+}
+
+TEST(ScenarioCorpus, BaselineWeibullParsesToItsTypedSpec) {
+  const Scenario s = load(std::string(SHIRAZ_TESTDATA_SCENARIOS) +
+                          "/baseline-weibull.json");
+  EXPECT_EQ(s.kind, "weibull");
+  ASSERT_TRUE(std::holds_alternative<WeibullSpec>(s.spec));
+  const WeibullSpec& w = std::get<WeibullSpec>(s.spec);
+  EXPECT_DOUBLE_EQ(w.shape, 0.7);
+  EXPECT_DOUBLE_EQ(w.mtbf, hours(24.0));
+  EXPECT_DOUBLE_EQ(s.horizon, hours(720.0));
+  EXPECT_DOUBLE_EQ(s.nominal_mtbf, hours(24.0));
+}
+
+TEST(ScenarioCorpus, MarkovBurstParsesToItsTypedSpec) {
+  const Scenario s =
+      load(std::string(SHIRAZ_TESTDATA_SCENARIOS) + "/markov-burst.json");
+  ASSERT_TRUE(
+      std::holds_alternative<reliability::MarkovBurstRegime::Config>(s.spec));
+  const auto& c = std::get<reliability::MarkovBurstRegime::Config>(s.spec);
+  EXPECT_DOUBLE_EQ(c.calm_mtbf, hours(36.0));
+  EXPECT_DOUBLE_EQ(c.burst_mtbf, hours(2.0));
+  EXPECT_DOUBLE_EQ(c.p_calm_to_burst, 0.08);
+  EXPECT_DOUBLE_EQ(c.p_burst_to_calm, 0.35);
+}
+
+TEST(ScenarioCorpus, HeteroPoolsParsesInDeclarationOrder) {
+  const Scenario s =
+      load(std::string(SHIRAZ_TESTDATA_SCENARIOS) + "/hetero-pools.json");
+  using Pools = std::vector<reliability::HeterogeneousPoolsRegime::Pool>;
+  ASSERT_TRUE(std::holds_alternative<Pools>(s.spec));
+  const Pools& pools = std::get<Pools>(s.spec);
+  ASSERT_EQ(pools.size(), 3u);
+  EXPECT_DOUBLE_EQ(pools[0].mtbf, hours(12.0));
+  EXPECT_DOUBLE_EQ(pools[1].mtbf, hours(36.0));
+  EXPECT_DOUBLE_EQ(pools[2].mtbf, hours(96.0));
+}
+
+// ----------------------------------------------------------- rejection half
+
+/// A valid document to mutate; mirrors baseline-weibull.json.
+std::string valid_doc() {
+  return R"({
+  "schema": "shiraz-scenario-v1",
+  "id": "test-scenario",
+  "title": "A test scenario",
+  "description": "Exercise the parser.",
+  "kind": "weibull",
+  "horizon_hours": 720,
+  "nominal_mtbf_hours": 24,
+  "params": {"shape": 0.7, "mtbf_hours": 24}
+})";
+}
+
+std::string replaced(const std::string& from, const std::string& to) {
+  std::string doc = valid_doc();
+  const std::size_t pos = doc.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  doc.replace(pos, from.size(), to);
+  return doc;
+}
+
+TEST(ScenarioParse, AcceptsTheReferenceDocument) {
+  const Scenario s = parse(valid_doc());
+  EXPECT_EQ(s.id, "test-scenario");
+  EXPECT_TRUE(s.source_path.empty());  // parsed inline, no file
+}
+
+TEST(ScenarioParse, RejectsWrongSchemaTag) {
+  EXPECT_THROW(parse(replaced("shiraz-scenario-v1", "shiraz-scenario-v2")),
+               InvalidArgument);
+}
+
+TEST(ScenarioParse, RejectsUnknownTopLevelKey) {
+  EXPECT_THROW(parse(replaced("\"kind\"", "\"kindd\"")), InvalidArgument);
+}
+
+TEST(ScenarioParse, RejectsUnknownParamKey) {
+  EXPECT_THROW(parse(replaced("\"shape\"", "\"shap\"")), InvalidArgument);
+}
+
+TEST(ScenarioParse, RejectsUnknownKind) {
+  EXPECT_THROW(parse(replaced("\"weibull\"", "\"lognormal\"")), InvalidArgument);
+}
+
+TEST(ScenarioParse, RejectsBadIdCharset) {
+  EXPECT_THROW(parse(replaced("test-scenario", "Test_Scenario")),
+               InvalidArgument);
+  EXPECT_THROW(parse(replaced("test-scenario", "-leading")), InvalidArgument);
+  EXPECT_THROW(parse(replaced("test-scenario", "trailing-")), InvalidArgument);
+}
+
+TEST(ScenarioParse, RejectsNonPositiveNumbers) {
+  EXPECT_THROW(parse(replaced("\"horizon_hours\": 720", "\"horizon_hours\": 0")),
+               InvalidArgument);
+  EXPECT_THROW(parse(replaced("\"shape\": 0.7", "\"shape\": -1")),
+               InvalidArgument);
+}
+
+TEST(ScenarioParse, RejectsEmptyStrings) {
+  EXPECT_THROW(parse(replaced("A test scenario", "")), InvalidArgument);
+}
+
+TEST(ScenarioParse, RejectsCrossFieldViolationsViaTheRegimeCtor) {
+  // Per-field checks pass (everything positive); the regime constructor is
+  // what knows a burst MTBF must undercut the calm MTBF.
+  const std::string doc = R"({
+  "schema": "shiraz-scenario-v1",
+  "id": "bad-burst",
+  "title": "Burst slower than calm",
+  "description": "Cross-field constraint violation.",
+  "kind": "markov-burst",
+  "horizon_hours": 720,
+  "nominal_mtbf_hours": 24,
+  "params": {
+    "calm_mtbf_hours": 10, "calm_shape": 0.7,
+    "burst_mtbf_hours": 20, "burst_shape": 1.0,
+    "p_calm_to_burst": 0.1, "p_burst_to_calm": 0.3
+  }
+})";
+  EXPECT_THROW(parse(doc), InvalidArgument);
+}
+
+TEST(ScenarioParse, RejectsSinglePool) {
+  const std::string doc = R"({
+  "schema": "shiraz-scenario-v1",
+  "id": "one-pool",
+  "title": "Single pool",
+  "description": "Degenerate pool set.",
+  "kind": "hetero-pools",
+  "horizon_hours": 720,
+  "nominal_mtbf_hours": 24,
+  "params": {"pools": [{"shape": 0.7, "mtbf_hours": 24}]}
+})";
+  EXPECT_THROW(parse(doc), InvalidArgument);
+}
+
+// ------------------------------------------------------------- file loading
+
+class TempCorpus : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("shiraz_scenarios_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string write(const std::string& name, const std::string& body) {
+    const fs::path p = dir_ / name;
+    std::ofstream out(p);
+    out << body;
+    return p.string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(TempCorpus, LoadErrorsNameTheOffendingFile) {
+  const std::string path = write("broken.json", "{ not json");
+  try {
+    load(path);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("broken.json"), std::string::npos);
+  }
+}
+
+TEST_F(TempCorpus, LoadDirRejectsDuplicateIds) {
+  write("a.json", valid_doc());
+  write("b.json", valid_doc());  // same id in a second file
+  try {
+    load_dir(dir_.string());
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate id"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test-scenario"), std::string::npos);
+  }
+}
+
+TEST_F(TempCorpus, LoadDirIgnoresNonJsonFiles) {
+  write("a.json", valid_doc());
+  write("README.md", "not a scenario");
+  const std::vector<Scenario> all = load_dir(dir_.string());
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].id, "test-scenario");
+}
+
+TEST_F(TempCorpus, LoadDirRejectsEmptyAndMissingDirectories) {
+  EXPECT_THROW(load_dir(dir_.string()), InvalidArgument);  // no *.json yet
+  EXPECT_THROW(load_dir((dir_ / "nope").string()), InvalidArgument);
+  const std::string file = write("a.json", valid_doc());
+  EXPECT_THROW(load_dir(file), InvalidArgument);  // a file, not a directory
+}
+
+TEST_F(TempCorpus, LoadRejectsMissingFile) {
+  EXPECT_THROW(load((dir_ / "absent.json").string()), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiraz::scenario

@@ -12,20 +12,20 @@
 
 #include <gtest/gtest.h>
 
-#include "../support/mini_json.h"
+#include "common/json_parse.h"
 
 namespace {
 
-using shiraz::testing::JsonValue;
-using shiraz::testing::parse_json;
+using shiraz::JsonValue;
+using shiraz::parse_json;
 
 struct CommandResult {
   int exit_code = -1;
   std::string output;  // stdout and stderr interleaved
 };
 
-CommandResult run_command(const std::string& args) {
-  const std::string cmd = std::string(SHIRAZCTL_PATH) + " " + args + " 2>&1";
+CommandResult run_binary(const std::string& binary, const std::string& args) {
+  const std::string cmd = binary + " " + args + " 2>&1";
   FILE* pipe = popen(cmd.c_str(), "r");
   EXPECT_NE(pipe, nullptr);
   CommandResult r;
@@ -37,6 +37,10 @@ CommandResult run_command(const std::string& args) {
   const int status = pclose(pipe);
   r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return r;
+}
+
+CommandResult run_command(const std::string& args) {
+  return run_binary(SHIRAZCTL_PATH, args);
 }
 
 TEST(ShirazctlCli, UnknownCommandExitsTwoWithUsage) {
@@ -55,7 +59,7 @@ TEST(ShirazctlCli, NoCommandExitsTwoWithUsage) {
 
 TEST(ShirazctlCli, UsageListsTheTraceSubcommand) {
   const CommandResult r = run_command("frobnicate");
-  EXPECT_NE(r.output.find("|trace>"), std::string::npos);
+  EXPECT_NE(r.output.find("|trace|"), std::string::npos);
   EXPECT_NE(r.output.find("trace: --out="), std::string::npos);
 }
 
@@ -99,6 +103,96 @@ TEST(ShirazctlCli, TraceWritesALoadablePerfettoFile) {
   EXPECT_TRUE(saw_rep1);
   fs::remove(out);
 }
+
+TEST(ShirazctlCli, UsageListsTheScenariosSubcommand) {
+  const CommandResult r = run_command("frobnicate");
+  EXPECT_NE(r.output.find("|scenarios>"), std::string::npos);
+  EXPECT_NE(r.output.find("scenarios: --dir="), std::string::npos);
+}
+
+TEST(ShirazctlCli, ScenariosListsTheShippedCorpus) {
+  const CommandResult r =
+      run_command("scenarios --dir=" SHIRAZ_TESTDATA_SCENARIOS);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  for (const char* id : {"baseline-weibull", "bathtub-wearout", "burst-storm",
+                         "cascade-groups", "drifting-beta", "hetero-pools",
+                         "markov-burst"}) {
+    EXPECT_NE(r.output.find(id), std::string::npos) << id;
+  }
+  EXPECT_NE(r.output.find("mean gap (h)"), std::string::npos);
+}
+
+TEST(ShirazctlCli, ScenariosValidateReportsEveryFile) {
+  const CommandResult r =
+      run_command("scenarios --validate --dir=" SHIRAZ_TESTDATA_SCENARIOS);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("OK baseline-weibull"), std::string::npos);
+  EXPECT_NE(r.output.find("7 scenarios valid (shiraz-scenario-v1)"),
+            std::string::npos);
+}
+
+TEST(ShirazctlCli, ScenariosDescribePrintsTheRegimeDetail) {
+  const CommandResult r = run_command(
+      "scenarios --describe=markov-burst --dir=" SHIRAZ_TESTDATA_SCENARIOS);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("markov-burst"), std::string::npos);
+  EXPECT_NE(r.output.find("long-run mean gap (h)"), std::string::npos);
+}
+
+TEST(ShirazctlCli, ScenariosUnknownIdExitsOne) {
+  const CommandResult r = run_command(
+      "scenarios --describe=no-such-id --dir=" SHIRAZ_TESTDATA_SCENARIOS);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("no scenario with id 'no-such-id'"),
+            std::string::npos);
+}
+
+TEST(ShirazctlCli, ScenariosBadDirExitsTwoWithUsage) {
+  const CommandResult r = run_command("scenarios --dir=/nonexistent-scenarios");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("does not exist"), std::string::npos);
+  EXPECT_NE(r.output.find("shirazctl <solve|"), std::string::npos);
+}
+
+#ifdef SCENARIO_MATRIX_PATH
+// Smoke the scenario-matrix bench end to end: a zero exit is a full
+// InvariantAuditor pass over every (scheduler x scenario) cell plus the
+// cross-worker bit-identity check, and --json must emit a valid
+// shiraz-bench-v1 document.
+TEST(ScenarioMatrixBench, MatrixRunsCleanAndEmitsBenchJson) {
+  namespace fs = std::filesystem;
+  const std::string out =
+      (fs::temp_directory_path() / "shirazctl_cli_scenario_matrix.json")
+          .string();
+  fs::remove(out);
+
+  const CommandResult r = run_binary(
+      SCENARIO_MATRIX_PATH, "--reps=2 --jobs=2 --dir=" SHIRAZ_TESTDATA_SCENARIOS
+                            " --json=" + out);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("All cells audited clean"), std::string::npos);
+
+  std::ifstream in(out);
+  ASSERT_TRUE(in.good()) << "bench json missing";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = parse_json(buf.str());
+  EXPECT_EQ(doc.at("schema").string, "shiraz-bench-v1");
+  EXPECT_EQ(doc.at("bench").string, "exp_scenario_matrix");
+  EXPECT_EQ(doc.at("reps").number, 2.0);
+  EXPECT_EQ(doc.at("config").at("scenarios").number, 7.0);
+
+  bool saw_all_ok = false;
+  for (const auto& m : doc.at("metrics").array) {
+    if (m->at("name").string == "matrix.all_ok") {
+      EXPECT_EQ(m->at("mean").number, 1.0);
+      saw_all_ok = true;
+    }
+  }
+  EXPECT_TRUE(saw_all_ok);
+  fs::remove(out);
+}
+#endif  // SCENARIO_MATRIX_PATH
 
 TEST(ShirazctlCli, PredictiveTracePassesItsOwnAudit) {
   namespace fs = std::filesystem;

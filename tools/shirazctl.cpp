@@ -8,6 +8,7 @@
 //   simulate  validate a switch point against the discrete-event simulator
 //   predict   drive a failure predictor over synthetic gaps, report its stats
 //   trace     run a traced campaign: ASCII timeline + Perfetto trace file
+//   scenarios list/validate/describe the failure-scenario catalog
 //
 // Examples:
 //   shirazctl solve --mtbf-hours=5 --delta-lw=18 --delta-hw=1800
@@ -17,7 +18,10 @@
 //   shirazctl simulate --mtbf-hours=5 --delta-lw=18 --delta-hw=1800 --k=26
 //   shirazctl predict --predictor=oracle --precision=0.9 --recall=0.8
 //   shirazctl trace --mtbf-hours=5 --t-total-hours=50 --out=trace.json
+//   shirazctl scenarios --dir=testdata/scenarios
+//   shirazctl scenarios --describe=markov-burst
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <string>
@@ -40,6 +44,7 @@
 #include "reliability/fitting.h"
 #include "reliability/trace.h"
 #include "reliability/weibull.h"
+#include "scenario/scenario.h"
 #include "sim/engine.h"
 #include "sim/optimizer.h"
 
@@ -318,10 +323,64 @@ int cmd_trace(const Flags& flags) {
   return 0;
 }
 
+void usage();
+
+int cmd_scenarios(const Flags& flags) {
+  const std::string dir = flags.get("dir", "testdata/scenarios");
+  if (!std::filesystem::is_directory(dir)) {
+    std::fprintf(stderr, "shirazctl: scenario directory '%s' does not exist\n",
+                 dir.c_str());
+    usage();
+    return 2;
+  }
+  // load_dir IS the validation: every file either parses to a well-formed
+  // regime or throws (caught in main -> exit 1 with the offending path).
+  const std::vector<scenario::Scenario> all = scenario::load_dir(dir);
+
+  const std::string describe = flags.get("describe", "");
+  if (!describe.empty()) {
+    for (const scenario::Scenario& s : all) {
+      if (s.id != describe) continue;
+      const auto regime = s.make_regime();
+      std::printf("%s — %s\n\n%s\n\n", s.id.c_str(), s.title.c_str(),
+                  s.description.c_str());
+      Table table({"field", "value"});
+      table.add_row({"source", s.source_path});
+      table.add_row({"kind", s.kind});
+      table.add_row({"regime", regime->name()});
+      table.add_row({"horizon (h)", fmt(as_hours(s.horizon), 0)});
+      table.add_row({"nominal MTBF (h)", fmt(as_hours(s.nominal_mtbf), 1)});
+      table.add_row({"long-run mean gap (h)", fmt(as_hours(regime->mean_gap()), 2)});
+      std::printf("%s", table.render().c_str());
+      return 0;
+    }
+    throw InvalidArgument("no scenario with id '" + describe + "' in " + dir);
+  }
+
+  if (flags.get_bool("validate", false)) {
+    for (const scenario::Scenario& s : all) {
+      std::printf("OK %-20s %s\n", s.id.c_str(), s.source_path.c_str());
+    }
+    std::printf("%zu scenario%s valid (%s)\n", all.size(),
+                all.size() == 1 ? "" : "s", scenario::kSchema);
+    return 0;
+  }
+
+  Table table({"id", "kind", "horizon (h)", "nominal MTBF (h)", "mean gap (h)",
+               "title"});
+  for (const scenario::Scenario& s : all) {
+    table.add_row({s.id, s.kind, fmt(as_hours(s.horizon), 0),
+                   fmt(as_hours(s.nominal_mtbf), 1),
+                   fmt(as_hours(s.make_regime()->mean_gap()), 2), s.title});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
 void usage() {
   std::fprintf(
       stderr,
-      "shirazctl <solve|stretch|pairs|fit|simulate|predict|trace> [--flags]\n"
+      "shirazctl <solve|stretch|pairs|fit|simulate|predict|trace|scenarios> [--flags]\n"
       "  common flags: --mtbf-hours=5 --beta=0.6 --epsilon=0.45 --t-total-hours=1000\n"
       "  solve/stretch/simulate: --delta-lw=18 --delta-hw=1800 [--k=] [--reps=]\n"
       "  stretch: --max-stretch=6 --floor=0.0\n"
@@ -330,7 +389,8 @@ void usage() {
       "  predict: --predictor=oracle|hazard --precision=0.8 --recall=0.8\n"
       "           --lead-minutes=10 --threshold=0.3 --gaps=2000 --seed=...\n"
       "  trace: --out=shiraz-trace.json --reps=1 --width=96 [--k=] [--predict\n"
-      "         --precision=0.9 --recall=0.8 --lead-minutes=10] --seed=7\n");
+      "         --precision=0.9 --recall=0.8 --lead-minutes=10] --seed=7\n"
+      "  scenarios: --dir=testdata/scenarios [--validate] [--describe=<id>]\n");
 }
 
 }  // namespace
@@ -350,6 +410,7 @@ int main(int argc, char** argv) {
     if (command == "simulate") return cmd_simulate(flags);
     if (command == "predict") return cmd_predict(flags);
     if (command == "trace") return cmd_trace(flags);
+    if (command == "scenarios") return cmd_scenarios(flags);
     std::fprintf(stderr, "shirazctl: unknown command '%s'\n", command.c_str());
     usage();
     return 2;
