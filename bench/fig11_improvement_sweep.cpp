@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   bench::banner("Figure 11 — improvement curves across MTBF and delta-factor",
                 "Model Delta-useful curves vs k; '*' marks the fair optimum.");
+  // Model-only bench: no Monte-Carlo repetitions, reps/seed are nominal.
+  bench::BenchJson json("fig11_improvement_sweep", bench::run_flags(flags, 1, 0));
 
   Table summary({"MTBF (h)", "delta-factor", "k*", "switch@ (h)", "dLW (h)",
                  "dHW (h)", "dTotal (h)"});
@@ -41,12 +43,16 @@ int main(int argc, char** argv) {
       }
       bench::print_table(curve, flags);
 
+      const std::string cell = "mtbf" + fmt(mtbf_hours, 0) + "h_factor" +
+                               fmt(factor, 0) + "x";
       if (sol.beneficial()) {
         summary.add_row({fmt(mtbf_hours, 0), fmt(factor, 0) + "x",
                          std::to_string(*sol.k),
                          fmt(as_hours(model.switch_time(lw, *sol.k)), 1),
                          fmt(as_hours(sol.delta_lw), 1), fmt(as_hours(sol.delta_hw), 1),
                          fmt(as_hours(sol.delta_total), 1)});
+        json.metric("k_star_" + cell, "k", static_cast<double>(*sol.k));
+        json.metric("delta_total_" + cell, "h", as_hours(sol.delta_total));
       } else {
         summary.add_row({fmt(mtbf_hours, 0), fmt(factor, 0) + "x", "inf", "-", "-",
                          "-", "-"});
@@ -62,5 +68,6 @@ int main(int argc, char** argv) {
               "with MTBF (6 -> 12 at factor 5). The switch time exceeds the "
               "MTBF (6.6h / 25.2h at factor 5) — a naive MTBF/2 switch is far "
               "too early.");
+  if (!json.write(flags)) return 1;
   return 0;
 }

@@ -1,0 +1,64 @@
+#include "core/solver_cache.h"
+
+#include "core/switch_solver.h"
+
+namespace shiraz::core {
+
+struct SolverCache::Entry {
+  std::once_flag once;
+  CachedSolution solution;
+};
+
+CachedSolution SolverCache::solve(const SolverCacheKey& key) const {
+  std::shared_ptr<Entry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = entries_.try_emplace(key);
+    if (inserted) {
+      it->second = std::make_shared<Entry>();
+      ++stats_.misses;
+    } else {
+      ++stats_.hits;
+    }
+    entry = it->second;
+  }
+  // The solve runs outside the map lock so distinct keys solve concurrently;
+  // call_once serializes same-key callers onto one computation. A throwing
+  // solve (invalid parameters) propagates to the caller and leaves the flag
+  // unset, so every caller of a bad key gets the exception.
+  std::call_once(entry->once, [&] {
+    ModelConfig mcfg;
+    mcfg.mtbf = key.mtbf;
+    mcfg.weibull_shape = key.weibull_shape;
+    mcfg.epsilon = key.epsilon;
+    mcfg.t_total = key.t_total;
+    mcfg.oci_formula = key.oci_formula;
+    const ShirazModel model(mcfg);
+    SolverOptions opts;
+    opts.keep_sweep = false;
+    const SwitchSolution sol =
+        solve_switch_point(model, AppSpec{"lw", key.delta_lw, 1},
+                           AppSpec{"hw", key.delta_hw, key.hw_stretch}, opts);
+    entry->solution =
+        CachedSolution{sol.k, sol.delta_lw, sol.delta_hw, sol.delta_total};
+  });
+  return entry->solution;
+}
+
+SolverCache::Stats SolverCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t SolverCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void SolverCache::clear() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace shiraz::core

@@ -3,13 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
 #include <numeric>
 #include <optional>
 #include <utility>
 
 #include "common/error.h"
-#include "core/switch_solver.h"
 
 namespace shiraz::sched {
 
@@ -19,12 +17,34 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 WorkloadManager::WorkloadManager(const reliability::Distribution& failure_dist,
                                  const ManagerConfig& config)
-    : failure_dist_(failure_dist.clone()), config_(config) {
+    : WorkloadManager(failure_dist, config,
+                      std::make_shared<core::SolverCache>()) {}
+
+WorkloadManager::WorkloadManager(const reliability::Distribution& failure_dist,
+                                 const ManagerConfig& config,
+                                 std::shared_ptr<const core::SolverCache> cache)
+    : failure_dist_(failure_dist.clone()), config_(config),
+      cache_(std::move(cache)) {
   SHIRAZ_REQUIRE(config.horizon > 0.0, "horizon must be positive");
   SHIRAZ_REQUIRE(config.nominal_mtbf > 0.0, "nominal MTBF must be positive");
   SHIRAZ_REQUIRE(config.hw_stretch >= 1, "stretch must be >= 1");
   SHIRAZ_REQUIRE(config.restart_cost >= 0.0, "restart cost must be >= 0");
   SHIRAZ_REQUIRE(config.fixed_pair_k >= 0, "fixed pair k must be >= 0");
+  SHIRAZ_REQUIRE(cache_ != nullptr, "solver cache must not be null");
+}
+
+core::SolverCacheKey WorkloadManager::cache_key(Seconds delta_lw,
+                                                Seconds delta_hw) const {
+  core::SolverCacheKey key;
+  key.mtbf = config_.nominal_mtbf;
+  key.weibull_shape = config_.weibull_shape;
+  key.epsilon = config_.epsilon;
+  key.t_total = config_.horizon;
+  key.oci_formula = config_.oci_formula;
+  key.delta_lw = delta_lw;
+  key.delta_hw = delta_hw;
+  key.hw_stretch = config_.hw_stretch;
+  return key;
 }
 
 CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
@@ -69,9 +89,6 @@ CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
   std::vector<std::size_t> active;  // at most two machine-sharing jobs
   active.reserve(2);
   std::optional<int> pair_k;  // Shiraz switch point; nullopt = alternate
-  // Memoized switch-point solves keyed by the pair's checkpoint costs: a
-  // fleet stream drawn from a small catalog revisits the same signatures.
-  std::map<std::pair<double, double>, std::optional<int>> k_cache;
   std::size_t gap_index = 0;
   // Checkpoints the pair's light member took in the current gap (the only
   // count the k-switch consults). Reset on failures and active-set changes.
@@ -100,30 +117,14 @@ CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
       pair_k = config_.fixed_pair_k;
       return;
     }
+    // The shared memo table: every distinct signature across this run, all
+    // repetitions, and any co-owner of the cache is solved exactly once.
     const std::size_t lw = light_of_pair();
     const std::size_t hw = heavy_of_pair();
-    const auto key =
-        std::make_pair(jobs[lw].checkpoint_cost, jobs[hw].checkpoint_cost);
-    const auto cached = k_cache.find(key);
-    if (cached != k_cache.end()) {
-      pair_k = cached->second;
-      return;
-    }
-    core::ModelConfig mcfg;
-    mcfg.mtbf = config_.nominal_mtbf;
-    mcfg.weibull_shape = config_.weibull_shape;
-    mcfg.epsilon = config_.epsilon;
-    mcfg.t_total = config_.horizon;
-    mcfg.oci_formula = config_.oci_formula;
-    const core::ShirazModel model(mcfg);
-    core::SolverOptions opts;
-    opts.keep_sweep = false;
-    const core::SwitchSolution sol = core::solve_switch_point(
-        model, core::AppSpec{jobs[lw].name, jobs[lw].checkpoint_cost, 1},
-        core::AppSpec{jobs[hw].name, jobs[hw].checkpoint_cost, config_.hw_stretch},
-        opts);
-    pair_k = sol.k;
-    k_cache[key] = pair_k;
+    pair_k = cache_
+                 ->solve(cache_key(jobs[lw].checkpoint_cost,
+                                   jobs[hw].checkpoint_cost))
+                 .k;
   };
 
   auto take = [&](std::size_t pos) {

@@ -9,9 +9,12 @@
 //    failure the lighter-checkpoint job runs for the model's fair k
 //    checkpoints, then the heavier one runs until the next failure. The
 //    switch point is re-solved whenever the pair changes (a job completes or
-//    a new one arrives into an idle slot) and memoized by the pair's
-//    checkpoint-cost signature, so a 10k-job stream drawn from a small
-//    catalog pays for each distinct (delta_LW, delta_HW) solve once.
+//    a new one arrives into an idle slot) and memoized in a shared
+//    core::SolverCache keyed by the full model signature, so a 10k-job
+//    stream drawn from a small catalog pays for each distinct
+//    (delta_LW, delta_HW) solve once — across repetitions, policies, and
+//    any other consumer (e.g. the `shirazctl serve` daemon) sharing the
+//    cache.
 //
 // Which two jobs share the machine is the queue's pairing decision
 // (ManagerConfig::slot_fill): FCFS reproduces the paper's random pairing —
@@ -28,12 +31,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "checkpoint/oci.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/analytical_model.h"
+#include "core/solver_cache.h"
 #include "reliability/distribution.h"
 #include "sched/batch_job.h"
 #include "sched/distribution.h"
@@ -90,8 +95,28 @@ struct CampaignRunOptions {
 
 class WorkloadManager {
  public:
+  /// With no explicit cache, the manager owns a private SolverCache — the
+  /// historical behavior, except the memo now persists across run() calls
+  /// and repetitions (bit-identical: cached solutions equal fresh solves).
   WorkloadManager(const reliability::Distribution& failure_dist,
                   const ManagerConfig& config);
+
+  /// Shares `cache` with other consumers (other managers, the serve
+  /// daemon): a signature any of them solved is a hit for all. The cache is
+  /// thread-safe, so parallel repetitions populate it concurrently.
+  WorkloadManager(const reliability::Distribution& failure_dist,
+                  const ManagerConfig& config,
+                  std::shared_ptr<const core::SolverCache> cache);
+
+  /// The cache this manager consults (never null).
+  const std::shared_ptr<const core::SolverCache>& solver_cache() const {
+    return cache_;
+  }
+
+  /// The cache key this manager's config produces for a checkpoint-cost
+  /// pair — the exact signature run() solves, exposed so callers (tests,
+  /// the serve daemon) can prime or inspect the shared cache.
+  core::SolverCacheKey cache_key(Seconds delta_lw, Seconds delta_hw) const;
 
   /// Runs one campaign over `jobs` (any submit-time order) under `policy`.
   CampaignStats run(const std::vector<BatchJobSpec>& jobs, Policy policy,
@@ -120,6 +145,7 @@ class WorkloadManager {
 
   reliability::DistributionPtr failure_dist_;
   ManagerConfig config_;
+  std::shared_ptr<const core::SolverCache> cache_;
 };
 
 }  // namespace shiraz::sched

@@ -1,0 +1,40 @@
+// A minimal blocking client for the shiraz-serve-v1 socket protocol.
+//
+// Used by `shirazctl query`, the load bench, and the real-binary tests.
+// One request() sends one line and blocks for one response line; requests
+// on a single Client are strictly ordered (the protocol answers in request
+// order per connection).
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+
+namespace shiraz::serve {
+
+class Client {
+ public:
+  /// Connects to a listening daemon; throws IoError on failure.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+
+  /// Sends one request line, returns the response line (no newline).
+  /// Throws IoError if the connection drops mid-exchange.
+  std::string request(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned response
+};
+
+/// Polls until the socket accepts a connection (the daemon is up) or the
+/// timeout expires. Returns true once connected.
+bool wait_for_server(const std::string& socket_path,
+                     Seconds timeout = 10.0);
+
+}  // namespace shiraz::serve

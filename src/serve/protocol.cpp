@@ -1,0 +1,229 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/json_parse.h"
+
+namespace shiraz::serve {
+
+namespace {
+
+/// Strict field extraction: every getter consumes its key; finish() rejects
+/// whatever the op did not consume, so unknown fields name themselves.
+class Fields {
+ public:
+  Fields(const JsonValue& doc, std::string op) : op_(std::move(op)) {
+    SHIRAZ_REQUIRE(doc.type == JsonValue::Type::kObject,
+                   "request must be a JSON object");
+    for (const auto& [key, value] : doc.object) fields_[key] = value.get();
+  }
+
+  bool take(const std::string& key) {
+    const auto it = fields_.find(key);
+    if (it == fields_.end()) return false;
+    value_ = it->second;
+    fields_.erase(it);
+    return true;
+  }
+
+  double number(const std::string& key, double def) {
+    if (!take(key)) return def;
+    return as_number(key);
+  }
+
+  double require_number(const std::string& key) {
+    SHIRAZ_REQUIRE(take(key), "op '" + op_ + "' requires field '" + key + "'");
+    return as_number(key);
+  }
+
+  std::string string(const std::string& key, const std::string& def) {
+    if (!take(key)) return def;
+    SHIRAZ_REQUIRE(value_->type == JsonValue::Type::kString,
+                   "field '" + key + "' must be a string");
+    return value_->string;
+  }
+
+  /// A non-negative integer-valued number (ids, reps, seeds, stretch).
+  std::uint64_t count(const std::string& key, std::uint64_t def) {
+    if (!take(key)) return def;
+    const double v = as_number(key);
+    SHIRAZ_REQUIRE(v >= 0.0 && std::floor(v) == v && v <= 9.007199254740992e15,
+                   "field '" + key + "' must be a non-negative integer");
+    return static_cast<std::uint64_t>(v);
+  }
+
+  void finish() const {
+    if (fields_.empty()) return;
+    throw InvalidArgument("unknown field '" + fields_.begin()->first +
+                          "' for op '" + op_ + "'");
+  }
+
+ private:
+  double as_number(const std::string& key) const {
+    SHIRAZ_REQUIRE(value_->type == JsonValue::Type::kNumber,
+                   "field '" + key + "' must be a number");
+    SHIRAZ_REQUIRE(std::isfinite(value_->number),
+                   "field '" + key + "' must be finite");
+    return value_->number;
+  }
+
+  std::string op_;
+  std::map<std::string, const JsonValue*> fields_;
+  const JsonValue* value_ = nullptr;
+};
+
+void require_positive(double v, const char* name) {
+  SHIRAZ_REQUIRE(v > 0.0, std::string(name) + " must be positive");
+}
+
+ModelParams model_params(Fields& f) {
+  ModelParams m;
+  m.mtbf_hours = f.number("mtbf_hours", m.mtbf_hours);
+  m.beta = f.number("beta", m.beta);
+  m.epsilon = f.number("epsilon", m.epsilon);
+  m.t_total_hours = f.number("t_total_hours", m.t_total_hours);
+  m.formula = formula_from_name(f.string("formula", formula_name(m.formula)));
+  require_positive(m.mtbf_hours, "mtbf_hours");
+  require_positive(m.beta, "beta");
+  SHIRAZ_REQUIRE(m.epsilon > 0.0 && m.epsilon <= 1.0,
+                 "epsilon must be in (0, 1]");
+  require_positive(m.t_total_hours, "t_total_hours");
+  return m;
+}
+
+SolveKRequest solve_fields(Fields& f) {
+  SolveKRequest r;
+  r.model = model_params(f);
+  r.delta_lw_s = f.require_number("delta_lw_s");
+  r.delta_hw_s = f.require_number("delta_hw_s");
+  require_positive(r.delta_lw_s, "delta_lw_s");
+  require_positive(r.delta_hw_s, "delta_hw_s");
+  SHIRAZ_REQUIRE(r.delta_lw_s <= r.delta_hw_s,
+                 "delta_lw_s must not exceed delta_hw_s");
+  const std::uint64_t stretch = f.count("stretch", 1);
+  SHIRAZ_REQUIRE(stretch >= 1 && stretch <= 64, "stretch must be in [1, 64]");
+  r.stretch = static_cast<unsigned>(stretch);
+  return r;
+}
+
+}  // namespace
+
+const char* formula_name(checkpoint::OciFormula formula) {
+  switch (formula) {
+    case checkpoint::OciFormula::kYoung: return "young";
+    case checkpoint::OciFormula::kDalyFirstOrder: return "daly";
+    case checkpoint::OciFormula::kDalyHigherOrder: return "daly-ho";
+  }
+  throw InvalidArgument("unhandled OciFormula");
+}
+
+checkpoint::OciFormula formula_from_name(const std::string& name) {
+  if (name == "young") return checkpoint::OciFormula::kYoung;
+  if (name == "daly") return checkpoint::OciFormula::kDalyFirstOrder;
+  if (name == "daly-ho") return checkpoint::OciFormula::kDalyHigherOrder;
+  throw InvalidArgument("unknown formula '" + name +
+                        "' (expected young, daly, or daly-ho)");
+}
+
+Request parse_request(const std::string& line) {
+  const JsonValue doc = parse_json(line);
+  SHIRAZ_REQUIRE(doc.type == JsonValue::Type::kObject,
+                 "request must be a JSON object");
+  SHIRAZ_REQUIRE(doc.has("op"), "request requires field 'op'");
+
+  Request request;
+  const std::string op = [&] {
+    const JsonValue& v = doc.at("op");
+    SHIRAZ_REQUIRE(v.type == JsonValue::Type::kString,
+                   "field 'op' must be a string");
+    return v.string;
+  }();
+
+  Fields f(doc, op);
+  f.take("op");  // consumed above
+  if (f.take("id")) {
+    const JsonValue& v = doc.at("id");
+    SHIRAZ_REQUIRE(v.type == JsonValue::Type::kNumber &&
+                       std::isfinite(v.number),
+                   "field 'id' must be a finite number");
+    request.id = v.number;
+  }
+
+  if (op == "solve_k") {
+    request.op = solve_fields(f);
+  } else if (op == "oci" || op == "checkpoint_now") {
+    const double mtbf_hours = f.number("mtbf_hours", 5.0);
+    require_positive(mtbf_hours, "mtbf_hours");
+    const auto formula = formula_from_name(f.string("formula", "young"));
+    const double delta_s = f.require_number("delta_s");
+    require_positive(delta_s, "delta_s");
+    if (op == "oci") {
+      request.op = OciRequest{mtbf_hours, formula, delta_s};
+    } else {
+      const double since = f.require_number("since_ckpt_s");
+      SHIRAZ_REQUIRE(since >= 0.0, "since_ckpt_s must be >= 0");
+      request.op = CheckpointNowRequest{mtbf_hours, formula, delta_s, since};
+    }
+  } else if (op == "pair_whatif") {
+    PairWhatifRequest r;
+    r.solve = solve_fields(f);
+    if (f.take("k")) {
+      // re-read strictly as a positive integer
+      const JsonValue& v = doc.at("k");
+      SHIRAZ_REQUIRE(v.type == JsonValue::Type::kNumber &&
+                         std::isfinite(v.number) &&
+                         std::floor(v.number) == v.number && v.number >= 1.0 &&
+                         v.number <= 1e6,
+                     "field 'k' must be an integer in [1, 1e6]");
+      r.k = static_cast<int>(v.number);
+    }
+    r.reps = f.count("reps", r.reps);
+    SHIRAZ_REQUIRE(r.reps >= 1, "reps must be >= 1");
+    r.seed = f.count("seed", r.seed);
+    request.op = r;
+  } else if (op == "stats") {
+    request.op = StatsRequest{};
+  } else if (op == "shutdown") {
+    request.op = ShutdownRequest{};
+  } else {
+    throw InvalidArgument(
+        "unknown op '" + op +
+        "' (expected solve_k, oci, checkpoint_now, pair_whatif, stats, or "
+        "shutdown)");
+  }
+  f.finish();
+  return request;
+}
+
+const char* op_name(const Request& request) {
+  struct Namer {
+    const char* operator()(const SolveKRequest&) const { return "solve_k"; }
+    const char* operator()(const OciRequest&) const { return "oci"; }
+    const char* operator()(const CheckpointNowRequest&) const {
+      return "checkpoint_now";
+    }
+    const char* operator()(const PairWhatifRequest&) const {
+      return "pair_whatif";
+    }
+    const char* operator()(const StatsRequest&) const { return "stats"; }
+    const char* operator()(const ShutdownRequest&) const { return "shutdown"; }
+  };
+  return std::visit(Namer{}, request.op);
+}
+
+std::string error_response(const std::string& message,
+                           std::optional<double> id) {
+  JsonWriter w(0);
+  w.begin_object();
+  w.kv("ok", false);
+  w.kv("error", message);
+  if (id) w.kv("id", *id);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace shiraz::serve

@@ -1,0 +1,107 @@
+// The shiraz-serve-v1 wire protocol: newline-delimited JSON requests.
+//
+// A client sends one JSON object per line; the daemon answers one JSON
+// object per line, in request order per connection. Parsing is strict in
+// the scenario-loader tradition (common/json_parse.h): unknown fields,
+// wrong types, and out-of-range values are rejected with a descriptive
+// error — never coerced or ignored — so a typo'd field name can't silently
+// query defaults.
+//
+// Operations:
+//   solve_k         fair switch point for a (delta_LW, delta_HW) pair
+//   oci             optimal checkpoint interval for one application
+//   checkpoint_now  "checkpoint now or not": is the running segment past
+//                   its OCI, and if not, how long until it is due
+//   pair_whatif     replay-backed simulation campaign for a pair (baseline
+//                   vs Shiraz at k), audited per repetition
+//   stats           cache hit/miss counters and per-op request counts
+//   shutdown        stop the daemon (administrative)
+//
+// Every response starts with "ok" (true/false); errors carry "error" and
+// echo the request "id" when one was given. Responses to solve_k, oci,
+// checkpoint_now, and pair_whatif are pure functions of the request (the
+// whatif seed is explicit), which is what lets the load bench compare
+// daemon bytes against direct library calls.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "checkpoint/oci.h"
+
+namespace shiraz::serve {
+
+/// Protocol identity, echoed by `stats` and documented in DESIGN.md §9.
+inline constexpr const char* kProtocol = "shiraz-serve-v1";
+
+/// Analytical-model parameters shared by solve_k and pair_whatif. Defaults
+/// are the paper's Section 4 working point.
+struct ModelParams {
+  double mtbf_hours = 5.0;
+  double beta = 0.6;
+  double epsilon = 0.45;
+  double t_total_hours = 1000.0;
+  checkpoint::OciFormula formula = checkpoint::OciFormula::kYoung;
+};
+
+struct SolveKRequest {
+  ModelParams model;
+  double delta_lw_s = 0.0;  ///< required on the wire
+  double delta_hw_s = 0.0;  ///< required on the wire
+  unsigned stretch = 1;     ///< heavy-weight OCI stretch (Shiraz+)
+};
+
+struct OciRequest {
+  double mtbf_hours = 5.0;
+  checkpoint::OciFormula formula = checkpoint::OciFormula::kYoung;
+  double delta_s = 0.0;  ///< required on the wire
+};
+
+struct CheckpointNowRequest {
+  double mtbf_hours = 5.0;
+  checkpoint::OciFormula formula = checkpoint::OciFormula::kYoung;
+  double delta_s = 0.0;       ///< required on the wire
+  double since_ckpt_s = 0.0;  ///< compute since the last checkpoint; required
+};
+
+struct PairWhatifRequest {
+  SolveKRequest solve;
+  /// Switch point to simulate; absent = solve the fair k first (error if no
+  /// beneficial k exists).
+  std::optional<int> k;
+  std::uint64_t reps = 8;
+  std::uint64_t seed = 1;
+};
+
+struct StatsRequest {};
+struct ShutdownRequest {};
+
+struct Request {
+  /// Echoed verbatim in the response when present.
+  std::optional<double> id;
+  std::variant<SolveKRequest, OciRequest, CheckpointNowRequest,
+               PairWhatifRequest, StatsRequest, ShutdownRequest>
+      op;
+};
+
+/// Parses one request line. Throws InvalidArgument on malformed JSON, an
+/// unknown op, a missing required field, an unknown field for the op, a
+/// wrong type, or an out-of-range value. The service catches and turns the
+/// message into an error response.
+Request parse_request(const std::string& line);
+
+/// The op name a Request parses from / renders to ("solve_k", ...).
+const char* op_name(const Request& request);
+
+/// Wire name of an OCI formula ("young", "daly", "daly-ho") and back.
+const char* formula_name(checkpoint::OciFormula formula);
+checkpoint::OciFormula formula_from_name(const std::string& name);
+
+/// Renders the canonical error response: {"ok":false,"error":...} plus the
+/// echoed id when present. Compact single-line form, no trailing newline.
+std::string error_response(const std::string& message,
+                           std::optional<double> id = std::nullopt);
+
+}  // namespace shiraz::serve

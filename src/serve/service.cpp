@@ -1,0 +1,324 @@
+#include "serve/service.h"
+
+#include <utility>
+#include <vector>
+
+#include <cmath>
+
+#include "checkpoint/oci.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "common/json_parse.h"
+#include "common/units.h"
+#include "core/switch_solver.h"
+#include "obs/audit_sim.h"
+#include "obs/event.h"
+#include "reliability/weibull.h"
+#include "sim/engine.h"
+#include "sim/scheduler.h"
+#include "sim/trace.h"
+
+namespace shiraz::serve {
+
+namespace {
+
+core::SolverCacheKey cache_key(const SolveKRequest& r) {
+  core::SolverCacheKey key;
+  key.mtbf = hours(r.model.mtbf_hours);
+  key.weibull_shape = r.model.beta;
+  key.epsilon = r.model.epsilon;
+  key.t_total = hours(r.model.t_total_hours);
+  key.oci_formula = r.model.formula;
+  key.delta_lw = r.delta_lw_s;
+  key.delta_hw = r.delta_hw_s;
+  key.hw_stretch = r.stretch;
+  return key;
+}
+
+/// Errors still echo the request id when one was given, even when the
+/// request itself failed to parse past the id (unknown op, bad field): a
+/// second, lenient look at the line recovers it.
+std::optional<double> best_effort_id(const std::string& line) {
+  try {
+    const JsonValue doc = parse_json(line);
+    if (doc.type == JsonValue::Type::kObject && doc.has("id")) {
+      const JsonValue& v = doc.at("id");
+      if (v.type == JsonValue::Type::kNumber && std::isfinite(v.number)) {
+        return v.number;
+      }
+    }
+  } catch (const std::exception&) {
+    // not JSON at all — no id to echo
+  }
+  return std::nullopt;
+}
+
+/// Response preamble shared by every success payload: fixed key order so
+/// identical requests render identical bytes everywhere.
+JsonWriter begin_response(const char* op, std::optional<double> id) {
+  JsonWriter w(0);
+  w.begin_object();
+  w.kv("ok", true);
+  w.kv("op", op);
+  if (id) w.kv("id", *id);
+  return w;
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config) : config_(std::move(config)) {
+  cache_ = config_.cache != nullptr
+               ? config_.cache
+               : std::make_shared<const core::SolverCache>();
+  SHIRAZ_REQUIRE(config_.max_whatif_reps >= 1,
+                 "max_whatif_reps must be >= 1");
+}
+
+Service::Result Service::handle_line(const std::string& line) {
+  std::optional<double> id;
+  bool counted = false;
+  try {
+    const Request request = parse_request(line);
+    id = request.id;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.requests;
+      struct Bump {
+        ServiceCounters& c;
+        void operator()(const SolveKRequest&) const { ++c.solve_k; }
+        void operator()(const OciRequest&) const { ++c.oci; }
+        void operator()(const CheckpointNowRequest&) const {
+          ++c.checkpoint_now;
+        }
+        void operator()(const PairWhatifRequest&) const { ++c.pair_whatif; }
+        void operator()(const StatsRequest&) const { ++c.stats; }
+        void operator()(const ShutdownRequest&) const { ++c.shutdown; }
+      };
+      std::visit(Bump{counters_}, request.op);
+    }
+    counted = true;
+    bool shutdown = false;
+    std::string response = dispatch(request, &shutdown);
+    return Result{std::move(response), shutdown};
+  } catch (const std::exception& e) {
+    if (!id) id = best_effort_id(line);
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!counted) ++counters_.requests;
+    ++counters_.errors;
+    return Result{error_response(e.what(), id), false};
+  }
+}
+
+std::string Service::dispatch(const Request& request, bool* shutdown) {
+  struct Visitor {
+    Service& service;
+    std::optional<double> id;
+    bool* shutdown;
+    std::string operator()(const SolveKRequest& r) const {
+      return service.do_solve_k(r, id);
+    }
+    std::string operator()(const OciRequest& r) const {
+      return service.do_oci(r, id);
+    }
+    std::string operator()(const CheckpointNowRequest& r) const {
+      return service.do_checkpoint_now(r, id);
+    }
+    std::string operator()(const PairWhatifRequest& r) const {
+      return service.do_pair_whatif(r, id);
+    }
+    std::string operator()(const StatsRequest&) const {
+      return service.do_stats(id);
+    }
+    std::string operator()(const ShutdownRequest&) const {
+      *shutdown = true;
+      JsonWriter w = begin_response("shutdown", id);
+      w.kv("stopping", true);
+      w.end_object();
+      return w.str();
+    }
+  };
+  return std::visit(Visitor{*this, request.id, shutdown}, request.op);
+}
+
+std::string Service::do_solve_k(const SolveKRequest& r,
+                                std::optional<double> id) {
+  const core::CachedSolution sol = cache_->solve(cache_key(r));
+  JsonWriter w = begin_response("solve_k", id);
+  w.key("k");
+  if (sol.k) w.value(*sol.k);
+  else w.value_null();
+  w.kv("beneficial", sol.beneficial());
+  if (sol.k) {
+    // switch-out wall-clock time: k light-weight segments (OCI + delta).
+    const Seconds segment = checkpoint::segment_length(
+        hours(r.model.mtbf_hours), r.delta_lw_s, r.model.formula);
+    w.kv("switch_time_h", as_hours(static_cast<double>(*sol.k) * segment));
+  }
+  w.kv("delta_lw_h", as_hours(sol.delta_lw));
+  w.kv("delta_hw_h", as_hours(sol.delta_hw));
+  w.kv("delta_total_h", as_hours(sol.delta_total));
+  w.end_object();
+  return w.str();
+}
+
+std::string Service::do_oci(const OciRequest& r, std::optional<double> id) {
+  const Seconds mtbf = hours(r.mtbf_hours);
+  JsonWriter w = begin_response("oci", id);
+  w.kv("formula", formula_name(r.formula));
+  w.kv("oci_s", checkpoint::optimal_interval(mtbf, r.delta_s, r.formula));
+  w.kv("segment_s", checkpoint::segment_length(mtbf, r.delta_s, r.formula));
+  w.kv("waste_fraction", checkpoint::expected_waste_fraction(mtbf, r.delta_s));
+  w.end_object();
+  return w.str();
+}
+
+std::string Service::do_checkpoint_now(const CheckpointNowRequest& r,
+                                       std::optional<double> id) {
+  const Seconds oci =
+      checkpoint::optimal_interval(hours(r.mtbf_hours), r.delta_s, r.formula);
+  const bool due = r.since_ckpt_s >= oci;
+  JsonWriter w = begin_response("checkpoint_now", id);
+  w.kv("checkpoint", due);
+  w.kv("oci_s", oci);
+  w.kv("due_in_s", due ? 0.0 : oci - r.since_ckpt_s);
+  w.end_object();
+  return w.str();
+}
+
+std::string Service::do_pair_whatif(const PairWhatifRequest& r,
+                                    std::optional<double> id) {
+  SHIRAZ_REQUIRE(r.reps <= config_.max_whatif_reps,
+                 "reps exceeds the daemon's max_whatif_reps limit (" +
+                     std::to_string(config_.max_whatif_reps) + ")");
+  const ModelParams& m = r.solve.model;
+  const Seconds mtbf = hours(m.mtbf_hours);
+
+  // The switch point: the caller's, or the fair k from the shared cache.
+  int k = 0;
+  double model_lw = 0.0;
+  double model_hw = 0.0;
+  if (r.k) {
+    k = *r.k;
+    core::ModelConfig mcfg;
+    mcfg.mtbf = mtbf;
+    mcfg.weibull_shape = m.beta;
+    mcfg.epsilon = m.epsilon;
+    mcfg.t_total = hours(m.t_total_hours);
+    mcfg.oci_formula = m.formula;
+    const core::ShirazModel model(mcfg);
+    const core::SwitchCandidate c = core::evaluate_switch_point(
+        model, core::AppSpec{"light", r.solve.delta_lw_s, 1},
+        core::AppSpec{"heavy", r.solve.delta_hw_s, r.solve.stretch}, k);
+    model_lw = c.delta_lw;
+    model_hw = c.delta_hw;
+  } else {
+    const core::CachedSolution sol = cache_->solve(cache_key(r.solve));
+    SHIRAZ_REQUIRE(sol.beneficial(),
+                   "no beneficial switch point for this pair; pass 'k'");
+    k = *sol.k;
+    model_lw = sol.delta_lw;
+    model_hw = sol.delta_hw;
+  }
+
+  // Replay-backed campaigns: sample each repetition's failure stream once
+  // (TraceStore), replay it under both policies (common random numbers).
+  sim::EngineConfig ecfg;
+  ecfg.t_total = hours(m.t_total_hours);
+  const sim::Engine engine(reliability::Weibull::from_mtbf(m.beta, mtbf), ecfg);
+  const sim::SimJob lwj =
+      sim::SimJob::at_oci("light", r.solve.delta_lw_s, mtbf, 1, m.formula);
+  const sim::SimJob hw_base =
+      sim::SimJob::at_oci("heavy", r.solve.delta_hw_s, mtbf, 1, m.formula);
+  const sim::SimJob hw_shiraz = sim::SimJob::at_oci(
+      "heavy", r.solve.delta_hw_s, mtbf, r.solve.stretch, m.formula);
+  const std::size_t reps = static_cast<std::size_t>(r.reps);
+  const sim::TraceStore traces(engine, r.seed);
+  sim::CampaignOptions copts;
+  copts.traces = &traces;
+  const sim::ShirazPairScheduler shiraz(k);
+  const sim::SimResult base = engine.run_many(
+      {lwj, hw_base}, sim::AlternateAtFailure{}, reps, r.seed, copts);
+  const sim::SimResult sz =
+      engine.run_many({lwj, hw_shiraz}, shiraz, reps, r.seed, copts);
+
+  // Request audit: re-replay every repetition through a traced engine and
+  // check the event stream against that repetition's own totals; forward
+  // the audited stream to the request-audit log. A failed audit throws
+  // (-> error response), so a divergence can never ship a silent answer.
+  obs::EventRecorder recorder;
+  sim::EngineConfig tcfg = ecfg;
+  tcfg.sink = &recorder;
+  const sim::Engine traced(reliability::Weibull::from_mtbf(m.beta, mtbf), tcfg);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    recorder.clear();
+    const sim::SimResult res =
+        traced.replay({lwj, hw_shiraz}, shiraz, traces.trace(rep));
+    obs::InvariantAuditor auditor;
+    for (const obs::Event& e : recorder.events()) auditor.on_event(e);
+    obs::verify_against(auditor, res);
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.audited_reps;
+    if (config_.audit_log != nullptr) {
+      for (obs::Event e : recorder.events()) {
+        e.rep = static_cast<std::uint32_t>(rep);
+        config_.audit_log->on_event(e);
+      }
+    }
+  }
+
+  JsonWriter w = begin_response("pair_whatif", id);
+  w.kv("k", k);
+  w.kv("reps", r.reps);
+  w.kv("seed", r.seed);
+  w.key("model").begin_object();
+  w.kv("delta_lw_h", as_hours(model_lw));
+  w.kv("delta_hw_h", as_hours(model_hw));
+  w.kv("delta_total_h", as_hours(model_lw + model_hw));
+  w.end_object();
+  // Same arithmetic as sim::simulate_switch_point's candidate: per-app
+  // diffs, then their sum — so the numbers compare bit-exactly.
+  const double sim_lw = sz.apps[0].useful - base.apps[0].useful;
+  const double sim_hw = sz.apps[1].useful - base.apps[1].useful;
+  w.key("sim").begin_object();
+  w.kv("delta_lw_h", as_hours(sim_lw));
+  w.kv("delta_hw_h", as_hours(sim_hw));
+  w.kv("delta_total_h", as_hours(sim_lw + sim_hw));
+  w.end_object();
+  w.kv("audited_reps", r.reps);
+  w.end_object();
+  return w.str();
+}
+
+std::string Service::do_stats(std::optional<double> id) {
+  const core::SolverCache::Stats cache_stats = cache_->stats();
+  const std::size_t entries = cache_->size();
+  const ServiceCounters c = counters();
+  JsonWriter w = begin_response("stats", id);
+  w.kv("protocol", kProtocol);
+  w.key("cache").begin_object();
+  w.kv("hits", cache_stats.hits);
+  w.kv("misses", cache_stats.misses);
+  w.kv("entries", static_cast<std::uint64_t>(entries));
+  w.kv("hit_ratio", cache_stats.hit_ratio());
+  w.end_object();
+  w.key("requests").begin_object();
+  w.kv("total", c.requests);
+  w.kv("errors", c.errors);
+  w.kv("solve_k", c.solve_k);
+  w.kv("oci", c.oci);
+  w.kv("checkpoint_now", c.checkpoint_now);
+  w.kv("pair_whatif", c.pair_whatif);
+  w.kv("stats", c.stats);
+  w.kv("shutdown", c.shutdown);
+  w.end_object();
+  w.kv("audited_reps", c.audited_reps);
+  w.end_object();
+  return w.str();
+}
+
+ServiceCounters Service::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace shiraz::serve

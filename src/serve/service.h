@@ -1,0 +1,100 @@
+// The serve request handler, independent of any transport.
+//
+// Service::handle_line maps one shiraz-serve-v1 request line to one response
+// line. The socket daemon (serve/server.h), the load bench, and the
+// in-process tests all call this same entry point, which is what makes
+// "daemon response == direct library call" a byte-for-byte checkable
+// contract: solve_k, oci, checkpoint_now, and pair_whatif responses are
+// pure functions of the request (pair_whatif's randomness is pinned by its
+// explicit seed), so two Service instances — whatever their cache or
+// counter state — render identical bytes for identical requests.
+//
+// Solves go through the shared core::SolverCache: hand the daemon the same
+// cache instance as a sched::WorkloadManager and a 10k-job campaign and a
+// live query hit the same memo table. pair_whatif runs replay-backed
+// campaigns through sim::TraceStore and re-replays every repetition through
+// obs::InvariantAuditor; the audited event stream is forwarded to the
+// configured EventSink — the request-audit log.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/solver_cache.h"
+#include "serve/protocol.h"
+
+namespace shiraz::obs {
+class EventSink;
+}  // namespace shiraz::obs
+
+namespace shiraz::serve {
+
+struct ServiceConfig {
+  /// Shared solver cache; null = the service owns a private one.
+  std::shared_ptr<const core::SolverCache> cache;
+  /// Upper bound on pair_whatif repetitions per request (DoS guard).
+  std::uint64_t max_whatif_reps = 256;
+  /// When non-null, every audited pair_whatif repetition's event stream is
+  /// forwarded here (rep-stamped, repetition order) — the request-audit
+  /// log. The sink is called under an internal mutex, so a plain recorder
+  /// is safe even with concurrent clients.
+  obs::EventSink* audit_log = nullptr;
+};
+
+/// Per-op request counters (exact; taken under the service mutex).
+struct ServiceCounters {
+  std::uint64_t requests = 0;  ///< total lines handled, errors included
+  std::uint64_t errors = 0;
+  std::uint64_t solve_k = 0;
+  std::uint64_t oci = 0;
+  std::uint64_t checkpoint_now = 0;
+  std::uint64_t pair_whatif = 0;
+  std::uint64_t stats = 0;
+  std::uint64_t shutdown = 0;
+  /// pair_whatif repetitions replayed through the InvariantAuditor.
+  std::uint64_t audited_reps = 0;
+};
+
+class Service {
+ public:
+  struct Result {
+    std::string response;  ///< one JSON line, no trailing newline
+    bool shutdown = false; ///< the request asked the daemon to stop
+  };
+
+  explicit Service(ServiceConfig config = {});
+
+  /// Handles one request line; never throws — malformed input becomes an
+  /// {"ok":false,...} response. Thread-safe: concurrent connections may
+  /// call this simultaneously.
+  Result handle_line(const std::string& line);
+
+  /// handle_line for callers that don't route shutdown (bench, tests).
+  std::string handle(const std::string& line) {
+    return handle_line(line).response;
+  }
+
+  const std::shared_ptr<const core::SolverCache>& cache() const {
+    return cache_;
+  }
+  ServiceCounters counters() const;
+
+ private:
+  std::string dispatch(const Request& request, bool* shutdown);
+  std::string do_solve_k(const SolveKRequest& r, std::optional<double> id);
+  std::string do_oci(const OciRequest& r, std::optional<double> id);
+  std::string do_checkpoint_now(const CheckpointNowRequest& r,
+                                std::optional<double> id);
+  std::string do_pair_whatif(const PairWhatifRequest& r,
+                             std::optional<double> id);
+  std::string do_stats(std::optional<double> id);
+
+  ServiceConfig config_;
+  std::shared_ptr<const core::SolverCache> cache_;
+  mutable std::mutex mu_;  ///< guards counters_ and the audit_log sink
+  ServiceCounters counters_;
+};
+
+}  // namespace shiraz::serve

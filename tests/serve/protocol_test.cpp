@@ -1,0 +1,160 @@
+// shiraz-serve-v1 request parsing: strict in the scenario-loader tradition.
+// Unknown ops, unknown fields, wrong types, and out-of-range values are all
+// rejected with a descriptive InvalidArgument — never coerced or ignored.
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace shiraz::serve {
+namespace {
+
+TEST(ServeProtocol, ParsesSolveKWithDefaults) {
+  const Request r =
+      parse_request(R"({"op":"solve_k","delta_lw_s":18,"delta_hw_s":1800})");
+  ASSERT_STREQ(op_name(r), "solve_k");
+  const auto& s = std::get<SolveKRequest>(r.op);
+  EXPECT_EQ(s.delta_lw_s, 18.0);
+  EXPECT_EQ(s.delta_hw_s, 1800.0);
+  EXPECT_EQ(s.model.mtbf_hours, 5.0);
+  EXPECT_EQ(s.model.beta, 0.6);
+  EXPECT_EQ(s.model.epsilon, 0.45);
+  EXPECT_EQ(s.model.t_total_hours, 1000.0);
+  EXPECT_EQ(s.model.formula, checkpoint::OciFormula::kYoung);
+  EXPECT_EQ(s.stretch, 1u);
+  EXPECT_FALSE(r.id.has_value());
+}
+
+TEST(ServeProtocol, ParsesAllModelOverridesAndId) {
+  const Request r = parse_request(
+      R"({"op":"solve_k","id":7,"mtbf_hours":20,"beta":0.7,"epsilon":0.3,)"
+      R"("t_total_hours":500,"formula":"daly","delta_lw_s":72,)"
+      R"("delta_hw_s":7200,"stretch":3})");
+  const auto& s = std::get<SolveKRequest>(r.op);
+  EXPECT_EQ(s.model.mtbf_hours, 20.0);
+  EXPECT_EQ(s.model.beta, 0.7);
+  EXPECT_EQ(s.model.epsilon, 0.3);
+  EXPECT_EQ(s.model.t_total_hours, 500.0);
+  EXPECT_EQ(s.model.formula, checkpoint::OciFormula::kDalyFirstOrder);
+  EXPECT_EQ(s.stretch, 3u);
+  ASSERT_TRUE(r.id.has_value());
+  EXPECT_EQ(*r.id, 7.0);
+}
+
+TEST(ServeProtocol, ParsesOciAndCheckpointNow) {
+  const Request oci = parse_request(R"({"op":"oci","delta_s":60})");
+  EXPECT_EQ(std::get<OciRequest>(oci.op).delta_s, 60.0);
+  EXPECT_EQ(std::get<OciRequest>(oci.op).mtbf_hours, 5.0);
+
+  const Request now = parse_request(
+      R"({"op":"checkpoint_now","mtbf_hours":20,"delta_s":60,"since_ckpt_s":0})");
+  const auto& c = std::get<CheckpointNowRequest>(now.op);
+  EXPECT_EQ(c.mtbf_hours, 20.0);
+  EXPECT_EQ(c.since_ckpt_s, 0.0);
+}
+
+TEST(ServeProtocol, ParsesPairWhatif) {
+  const Request r = parse_request(
+      R"({"op":"pair_whatif","delta_lw_s":18,"delta_hw_s":1800,"k":26,)"
+      R"("reps":16,"seed":9})");
+  const auto& p = std::get<PairWhatifRequest>(r.op);
+  ASSERT_TRUE(p.k.has_value());
+  EXPECT_EQ(*p.k, 26);
+  EXPECT_EQ(p.reps, 16u);
+  EXPECT_EQ(p.seed, 9u);
+
+  const Request d = parse_request(
+      R"({"op":"pair_whatif","delta_lw_s":18,"delta_hw_s":1800})");
+  const auto& pd = std::get<PairWhatifRequest>(d.op);
+  EXPECT_FALSE(pd.k.has_value());
+  EXPECT_EQ(pd.reps, 8u);
+  EXPECT_EQ(pd.seed, 1u);
+}
+
+TEST(ServeProtocol, ParsesStatsAndShutdown) {
+  EXPECT_NO_THROW(std::get<StatsRequest>(parse_request(R"({"op":"stats"})").op));
+  EXPECT_NO_THROW(
+      std::get<ShutdownRequest>(parse_request(R"({"op":"shutdown"})").op));
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests) {
+  // Not JSON / not an object / missing op / unknown op.
+  EXPECT_THROW(parse_request("not json"), Error);
+  EXPECT_THROW(parse_request("[1,2]"), InvalidArgument);
+  EXPECT_THROW(parse_request(R"({"delta_s":60})"), InvalidArgument);
+  EXPECT_THROW(parse_request(R"({"op":"frobnicate"})"), InvalidArgument);
+  // Unknown field for the op.
+  EXPECT_THROW(
+      parse_request(
+          R"({"op":"solve_k","delta_lw_s":18,"delta_hw_s":1800,"typo":1})"),
+      InvalidArgument);
+  EXPECT_THROW(parse_request(R"({"op":"stats","extra":true})"),
+               InvalidArgument);
+  // Wrong types.
+  EXPECT_THROW(
+      parse_request(R"({"op":"solve_k","delta_lw_s":"18","delta_hw_s":1800})"),
+      InvalidArgument);
+  EXPECT_THROW(parse_request(R"({"op":"oci","delta_s":60,"id":"seven"})"),
+               InvalidArgument);
+  // Missing required fields.
+  EXPECT_THROW(parse_request(R"({"op":"solve_k","delta_lw_s":18})"),
+               InvalidArgument);
+  EXPECT_THROW(parse_request(R"({"op":"checkpoint_now","delta_s":60})"),
+               InvalidArgument);
+}
+
+TEST(ServeProtocol, RejectsOutOfRangeValues) {
+  // Non-positive model parameters.
+  EXPECT_THROW(parse_request(R"({"op":"oci","delta_s":0})"), InvalidArgument);
+  EXPECT_THROW(parse_request(R"({"op":"oci","mtbf_hours":-5,"delta_s":60})"),
+               InvalidArgument);
+  EXPECT_THROW(
+      parse_request(
+          R"({"op":"solve_k","epsilon":1.5,"delta_lw_s":18,"delta_hw_s":1800})"),
+      InvalidArgument);
+  // LW checkpoint heavier than HW: the pair is inverted.
+  EXPECT_THROW(
+      parse_request(R"({"op":"solve_k","delta_lw_s":1800,"delta_hw_s":18})"),
+      InvalidArgument);
+  // Fractional / out-of-band integers.
+  EXPECT_THROW(
+      parse_request(
+          R"({"op":"pair_whatif","delta_lw_s":18,"delta_hw_s":1800,"k":2.5})"),
+      InvalidArgument);
+  EXPECT_THROW(
+      parse_request(
+          R"({"op":"pair_whatif","delta_lw_s":18,"delta_hw_s":1800,"k":0})"),
+      InvalidArgument);
+  EXPECT_THROW(
+      parse_request(
+          R"({"op":"pair_whatif","delta_lw_s":18,"delta_hw_s":1800,"reps":0})"),
+      InvalidArgument);
+  EXPECT_THROW(
+      parse_request(
+          R"({"op":"solve_k","delta_lw_s":18,"delta_hw_s":1800,"stretch":0})"),
+      InvalidArgument);
+  EXPECT_THROW(
+      parse_request(
+          R"({"op":"solve_k","delta_lw_s":18,"delta_hw_s":1800,"stretch":65})"),
+      InvalidArgument);
+  // Unknown formula name.
+  EXPECT_THROW(parse_request(R"({"op":"oci","formula":"weibull","delta_s":60})"),
+               InvalidArgument);
+}
+
+TEST(ServeProtocol, FormulaNamesRoundTrip) {
+  for (const auto f :
+       {checkpoint::OciFormula::kYoung, checkpoint::OciFormula::kDalyFirstOrder,
+        checkpoint::OciFormula::kDalyHigherOrder}) {
+    EXPECT_EQ(formula_from_name(formula_name(f)), f);
+  }
+}
+
+TEST(ServeProtocol, ErrorResponseEchoesId) {
+  EXPECT_EQ(error_response("boom"), R"({"ok":false,"error":"boom"})");
+  EXPECT_EQ(error_response("boom", 3.0), R"({"ok":false,"error":"boom","id":3})");
+}
+
+}  // namespace
+}  // namespace shiraz::serve

@@ -24,8 +24,11 @@ struct CommandResult {
   std::string output;  // stdout and stderr interleaved
 };
 
-CommandResult run_binary(const std::string& binary, const std::string& args) {
-  const std::string cmd = binary + " " + args + " 2>&1";
+/// Runs a shell snippet via popen (which already invokes `sh -c`), merging
+/// stderr into the captured output. Snippets may freely use single quotes —
+/// there is no extra quoting layer to fight.
+CommandResult run_script(const std::string& script) {
+  const std::string cmd = "{ " + script + " ; } 2>&1";
   FILE* pipe = popen(cmd.c_str(), "r");
   EXPECT_NE(pipe, nullptr);
   CommandResult r;
@@ -37,6 +40,10 @@ CommandResult run_binary(const std::string& binary, const std::string& args) {
   const int status = pclose(pipe);
   r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return r;
+}
+
+CommandResult run_binary(const std::string& binary, const std::string& args) {
+  return run_script(binary + " " + args);
 }
 
 CommandResult run_command(const std::string& args) {
@@ -106,7 +113,7 @@ TEST(ShirazctlCli, TraceWritesALoadablePerfettoFile) {
 
 TEST(ShirazctlCli, UsageListsTheScenariosSubcommand) {
   const CommandResult r = run_command("frobnicate");
-  EXPECT_NE(r.output.find("|scenarios>"), std::string::npos);
+  EXPECT_NE(r.output.find("|scenarios|"), std::string::npos);
   EXPECT_NE(r.output.find("scenarios: --dir="), std::string::npos);
 }
 
@@ -211,6 +218,81 @@ TEST(ShirazctlCli, PredictiveTracePassesItsOwnAudit) {
   buf << in.rdbuf();
   EXPECT_FALSE(parse_json(buf.str()).at("traceEvents").array.empty());
   fs::remove(out);
+}
+
+TEST(ShirazctlCli, UsageListsTheServeAndQuerySubcommands) {
+  const CommandResult r = run_command("frobnicate");
+  EXPECT_NE(r.output.find("|serve|query>"), std::string::npos);
+  EXPECT_NE(r.output.find("serve: --socket="), std::string::npos);
+  EXPECT_NE(r.output.find("query: --socket="), std::string::npos);
+}
+
+TEST(ShirazctlCli, ServeWithoutSocketExitsTwoWithUsage) {
+  const CommandResult r = run_command("serve");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("serve requires --socket=PATH"), std::string::npos);
+  EXPECT_NE(r.output.find("shirazctl <solve|"), std::string::npos)
+      << "usage must follow the error";
+}
+
+TEST(ShirazctlCli, ServeUnwritableSocketExitsTwoWithUsage) {
+  const CommandResult r =
+      run_command("serve --socket=/nonexistent-dir/shiraz.sock");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("bind"), std::string::npos);
+  EXPECT_NE(r.output.find("shirazctl <solve|"), std::string::npos);
+}
+
+TEST(ShirazctlCli, ServeBadThreadsExitsTwoWithUsage) {
+  const CommandResult r = run_command("serve --socket=/tmp/x.sock --threads=0");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--threads must be >= 1"), std::string::npos);
+}
+
+TEST(ShirazctlCli, QueryWithoutSocketExitsTwoWithUsage) {
+  const CommandResult r = run_command("query");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("query requires --socket=PATH"), std::string::npos);
+}
+
+TEST(ShirazctlCli, QueryWithoutDaemonExitsOne) {
+  const CommandResult r =
+      run_command("query --socket=/tmp/shiraz-no-daemon.sock --timeout-s=0.1"
+                  " < /dev/null");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("no daemon answering"), std::string::npos);
+}
+
+TEST(ShirazctlCli, ServeAnswersAScriptedQuerySession) {
+  namespace fs = std::filesystem;
+  const std::string sock =
+      (fs::temp_directory_path() / "shirazctl_cli_serve_test.sock").string();
+  fs::remove(sock);
+
+  // Boot the daemon in the background, drive a full session through
+  // `shirazctl query` (which polls until the socket accepts), and end with
+  // a shutdown op so the daemon exits on its own.
+  const std::string script =
+      std::string(SHIRAZCTL_PATH) + " serve --socket=" + sock +
+      " --threads=2 & SERVER=$!; "
+      "printf '%s\\n' "
+      "'{\"op\":\"solve_k\",\"id\":1,\"delta_lw_s\":18,\"delta_hw_s\":1800}' "
+      "'{\"op\":\"oci\",\"delta_s\":60}' "
+      "'{\"op\":\"stats\"}' "
+      "'{\"op\":\"shutdown\"}' "
+      "| " + std::string(SHIRAZCTL_PATH) + " query --socket=" + sock +
+      "; CLIENT=$?; wait $SERVER; exit $((CLIENT + $?))";
+  const CommandResult r = run_script(script);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"op\":\"solve_k\",\"id\":1,\"k\":26"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"op\":\"oci\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"protocol\":\"shiraz-serve-v1\""),
+            std::string::npos);
+  EXPECT_NE(r.output.find("\"stopping\":true"), std::string::npos);
+  EXPECT_NE(r.output.find("shutdown complete"), std::string::npos);
+  EXPECT_FALSE(fs::exists(sock)) << "daemon must remove its socket on exit";
 }
 
 }  // namespace

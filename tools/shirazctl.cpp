@@ -9,6 +9,8 @@
 //   predict   drive a failure predictor over synthetic gaps, report its stats
 //   trace     run a traced campaign: ASCII timeline + Perfetto trace file
 //   scenarios list/validate/describe the failure-scenario catalog
+//   serve     run the query daemon on a Unix-domain socket (shiraz-serve-v1)
+//   query     drive a running daemon: stdin request lines -> stdout responses
 //
 // Examples:
 //   shirazctl solve --mtbf-hours=5 --delta-lw=18 --delta-hw=1800
@@ -20,8 +22,12 @@
 //   shirazctl trace --mtbf-hours=5 --t-total-hours=50 --out=trace.json
 //   shirazctl scenarios --dir=testdata/scenarios
 //   shirazctl scenarios --describe=markov-burst
+//   shirazctl serve --socket=/tmp/shiraz.sock --threads=4
+//   echo '{"op":"solve_k","delta_lw_s":18,"delta_hw_s":1800}' | \
+//       shirazctl query --socket=/tmp/shiraz.sock
 #include <cstdio>
 #include <filesystem>
+#include <iostream>
 #include <memory>
 #include <optional>
 #include <string>
@@ -45,6 +51,8 @@
 #include "reliability/trace.h"
 #include "reliability/weibull.h"
 #include "scenario/scenario.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "sim/engine.h"
 #include "sim/optimizer.h"
 
@@ -377,10 +385,70 @@ int cmd_scenarios(const Flags& flags) {
   return 0;
 }
 
+int cmd_serve(const Flags& flags) {
+  const std::string socket = flags.get("socket", "");
+  if (socket.empty()) {
+    std::fprintf(stderr, "shirazctl: serve requires --socket=PATH\n");
+    usage();
+    return 2;
+  }
+  const std::int64_t threads = flags.get_int("threads", 4);
+  if (threads < 1) {
+    std::fprintf(stderr, "shirazctl: --threads must be >= 1 (got %lld)\n",
+                 static_cast<long long>(threads));
+    usage();
+    return 2;
+  }
+  serve::ServerConfig cfg;
+  cfg.socket_path = socket;
+  cfg.threads = static_cast<std::size_t>(threads);
+  cfg.service.max_whatif_reps = flags.get_count("max-whatif-reps", 256);
+  try {
+    serve::Server server(std::move(cfg));
+    std::printf("shirazctl serve: listening on %s (%lld worker thread%s, %s)\n",
+                socket.c_str(), static_cast<long long>(threads),
+                threads == 1 ? "" : "s", serve::kProtocol);
+    std::fflush(stdout);
+    server.serve();  // returns when a shutdown request arrives
+  } catch (const IoError& e) {
+    // An unbindable socket (missing or unwritable directory, path too long)
+    // is an operator mistake, not a runtime fault: usage + exit 2.
+    std::fprintf(stderr, "shirazctl: %s\n", e.what());
+    usage();
+    return 2;
+  }
+  std::printf("shirazctl serve: shutdown complete\n");
+  return 0;
+}
+
+int cmd_query(const Flags& flags) {
+  const std::string socket = flags.get("socket", "");
+  if (socket.empty()) {
+    std::fprintf(stderr, "shirazctl: query requires --socket=PATH\n");
+    usage();
+    return 2;
+  }
+  if (!serve::wait_for_server(socket, flags.get_double("timeout-s", 10.0))) {
+    std::fprintf(stderr, "shirazctl: no daemon answering on %s\n",
+                 socket.c_str());
+    return 1;
+  }
+  serve::Client client(socket);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::printf("%s\n", client.request(line).c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(
       stderr,
-      "shirazctl <solve|stretch|pairs|fit|simulate|predict|trace|scenarios> [--flags]\n"
+      "shirazctl "
+      "<solve|stretch|pairs|fit|simulate|predict|trace|scenarios|serve|query> "
+      "[--flags]\n"
       "  common flags: --mtbf-hours=5 --beta=0.6 --epsilon=0.45 --t-total-hours=1000\n"
       "  solve/stretch/simulate: --delta-lw=18 --delta-hw=1800 [--k=] [--reps=]\n"
       "  stretch: --max-stretch=6 --floor=0.0\n"
@@ -390,7 +458,9 @@ void usage() {
       "           --lead-minutes=10 --threshold=0.3 --gaps=2000 --seed=...\n"
       "  trace: --out=shiraz-trace.json --reps=1 --width=96 [--k=] [--predict\n"
       "         --precision=0.9 --recall=0.8 --lead-minutes=10] --seed=7\n"
-      "  scenarios: --dir=testdata/scenarios [--validate] [--describe=<id>]\n");
+      "  scenarios: --dir=testdata/scenarios [--validate] [--describe=<id>]\n"
+      "  serve: --socket=PATH [--threads=4] [--max-whatif-reps=256]\n"
+      "  query: --socket=PATH [--timeout-s=10]  (request lines on stdin)\n");
 }
 
 }  // namespace
@@ -411,6 +481,8 @@ int main(int argc, char** argv) {
     if (command == "predict") return cmd_predict(flags);
     if (command == "trace") return cmd_trace(flags);
     if (command == "scenarios") return cmd_scenarios(flags);
+    if (command == "serve") return cmd_serve(flags);
+    if (command == "query") return cmd_query(flags);
     std::fprintf(stderr, "shirazctl: unknown command '%s'\n", command.c_str());
     usage();
     return 2;
