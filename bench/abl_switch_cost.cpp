@@ -50,6 +50,10 @@ int main(int argc, char** argv) {
       reliability::Weibull::from_mtbf(0.6, hours(mtbf_hours));
   bench::BenchCampaigns campaigns(workers, reps);
   std::optional<sim::TraceStore> traces;
+  bench::BenchJson json("abl_switch_cost", run);
+  json.config("mtbf_hours", mtbf_hours);
+  json.config("horizon_hours", 1000);
+  json.config("model_k", k);
 
   Table table({"switch cost (s)", "switches", "shiraz useful (h, +-95CI)",
                "shiraz gain (h)", "gain retained vs free"});
@@ -70,6 +74,14 @@ int main(int argc, char** argv) {
                    bench::fmt_hours_ci(szs.total_useful, 1),
                    fmt(as_hours(gain), 1),
                    free_gain > 0.0 ? fmt_percent(gain / free_gain - 1.0) : "-"});
+    const std::string tag = "_cost" + fmt(cost, 0) + "s";
+    json.metric("shiraz_useful" + tag, "hours", as_hours(szs.total_useful.mean),
+                as_hours(szs.total_useful.stddev),
+                as_hours(szs.total_useful.ci95));
+    json.metric("shiraz_gain" + tag, "hours", as_hours(gain));
+    if (free_gain > 0.0) {
+      json.metric("gain_retained" + tag, "fraction", gain / free_gain);
+    }
   }
   bench::print_table(table, flags);
   bench::note("\nTakeaway: only gaps that outlive the light phase incur a "
@@ -78,5 +90,5 @@ int main(int argc, char** argv) {
               "halves when a switch costs as much as a heavy checkpoint — "
               "supporting the paper's free-switch modeling for system-level "
               "checkpointing prototypes.");
-  return 0;
+  return json.write(flags) ? 0 : 1;
 }

@@ -1,33 +1,63 @@
-// Engine throughput micro-benchmark: what is the failure-trace replay cache
-// worth on the fig10-shaped switch-point sweep?
+// Engine throughput micro-benchmark: what are the failure-trace replay cache
+// and the flat replay kernel worth on the fig10-shaped switch-point sweep?
 //
 // The workload is the paper's working point (MTBF 5 h Weibull beta=0.6,
 // campaign 1000 h, pair delta 18 s / 1800 s at OCI) swept over the baseline
 // plus k in [20, 32] — one baseline campaign and 13 Shiraz campaigns over the
-// same `reps` failure streams. Three evaluation modes, all bit-identical
-// (checked here and enforced by tests/sim/trace_replay_test.cpp):
+// same `reps` failure streams. Four evaluation modes, all bit-identical
+// (checked here and enforced by tests/sim/trace_replay_test.cpp and
+// tests/sim/kernel_test.cpp):
 //
 //   sampled   every campaign re-samples its failure streams draw by draw
 //             (the historical path: per-draw dispatch, per-campaign pools)
 //   replayed  a sim::TraceStore samples each stream once (build time is
 //             charged to this mode) and every campaign replays plain arrays
-//   sweep     TraceStore + sim::replay_pair_sweep — the whole k range in one
-//             replayed pass sharing each gap's light-weight prefix
+//             through the event loop (flat_kernel off)
+//   sweep     TraceStore + sim::replay_pair_sweep on the event loop — the
+//             whole k range in one replayed pass sharing each gap's
+//             light-weight prefix
+//   kernel    TraceStore + the flat replay kernel (sim/kernel.h): baseline
+//             campaigns through sim::flat_replay, the k range through the
+//             kernel sweep — batched passes over the trace's prefix-sum
+//             arrays, no virtual dispatch in the inner loops
 //
 // Reported: wall seconds, campaigns/s (campaign = one policy x one rep run)
 // and effective gaps/s (failure draws the equivalent sampled campaigns
 // perform). `--json=FILE` dumps the numbers for CI trend tracking.
+//
+// `--check` turns the report into a gate: each mode is timed `--repeat`
+// times (best-of, so one scheduling hiccup cannot fail the build) and the
+// exit code is nonzero if any mode's output diverges bit-wise from the
+// sampled mode OR any committed speedup floor is missed. The floors are on
+// mode-vs-mode ratios of back-to-back runs of the same workload on the same
+// machine — load-insensitive, unlike absolute campaigns/s. CI runs this on
+// every push, so a change that slows the kernel below its floor fails the
+// build exactly like a correctness bug.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <vector>
 
 #include "bench_util.h"
 #include "reliability/weibull.h"
 #include "sim/optimizer.h"
+#include "sim/trace.h"
 
 using namespace shiraz;
 
 namespace {
+
+// Committed speedup floors enforced by --check, set below the observed
+// steady-state ratios (see DESIGN.md §10) so only a real regression — not
+// machine noise on the best-of-N timings — can cross them. Replay saves the
+// RNG draws but still walks the event loop, so its steady-state gain is
+// modest (~1.2x); its floor just pins "replay is never slower than
+// sampling". The sweep runs ~11x over sampled, and the kernel's floor is the
+// acceptance bar itself: the flat kernel must beat the event-loop sweep 3x.
+constexpr double kFloorReplayVsSampled = 1.05;
+constexpr double kFloorSweepVsSampled = 5.0;
+constexpr double kFloorKernelVsSweep = 3.0;
 
 struct SweepUsefulByK {
   double baseline_lw = 0.0;
@@ -69,82 +99,120 @@ int main(int argc, char** argv) {
   const auto& [reps, seed, workers] = run;
   const int k_lo = static_cast<int>(flags.get_int("k-lo", 20));
   const int k_hi = static_cast<int>(flags.get_int("k-hi", 32));
+  const bool check = flags.get_bool("check", false);
+  const std::size_t repeat = static_cast<std::size_t>(
+      flags.get_int("repeat", check ? 3 : 1));
   const std::string json_path = flags.get("json", "");
   SHIRAZ_REQUIRE(1 <= k_lo && k_lo <= k_hi, "need 1 <= k-lo <= k-hi");
+  SHIRAZ_REQUIRE(repeat >= 1, "need at least one timing repeat");
 
   const std::size_t n_k = static_cast<std::size_t>(k_hi - k_lo + 1);
   const std::size_t campaigns_per_sweep = (n_k + 1) * reps;
 
   bench::banner(
-      "Micro — engine throughput, sampled vs trace-replayed sweeps",
+      "Micro — engine throughput, sampled vs replayed vs flat-kernel sweeps",
       "fig10 working point: MTBF " + fmt(mtbf_hours, 0) +
           " h, campaign 1000 h, delta 18 s / 1800 s, baseline + k in [" +
           std::to_string(k_lo) + ", " + std::to_string(k_hi) + "], " +
-          run.describe());
+          run.describe() +
+          (check ? ", --check (best of " + std::to_string(repeat) + ")" : ""));
 
   const Seconds mtbf = hours(mtbf_hours);
+  // Two engines over the same failure process: `loop` pins the historical
+  // event loop (the sampled/replayed/sweep modes it has always measured);
+  // `fast` leaves the default flat-kernel dispatch on for the kernel mode.
   sim::EngineConfig ecfg;
   ecfg.t_total = hours(1000.0);
-  const sim::Engine engine(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
+  ecfg.flat_kernel = false;
+  const sim::Engine loop(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
+  ecfg.flat_kernel = true;
+  const sim::Engine fast(reliability::Weibull::from_mtbf(0.6, mtbf), ecfg);
   const sim::SimJob lw = sim::SimJob::at_oci("lw", 18.0, mtbf);
   const sim::SimJob hw = sim::SimJob::at_oci("hw", 1800.0, mtbf);
   const std::vector<sim::SimJob> jobs{lw, hw};
   const sim::AlternateAtFailure baseline;
 
   bench::BenchCampaigns campaigns(workers, reps);
-  std::vector<ModeResult> modes;
-
-  {  // -- sampled: the historical per-draw path, fresh pool per campaign.
-    ModeResult m{"sampled"};
-    const double t0 = now_secs();
-    const sim::SimResult base = engine.run_many(jobs, baseline, reps, seed, workers);
-    m.useful.baseline_lw = base.apps[0].useful;
-    m.useful.baseline_hw = base.apps[1].useful;
-    for (int k = k_lo; k <= k_hi; ++k) {
-      const sim::ShirazPairScheduler shiraz(k);
-      const sim::SimResult r = engine.run_many(jobs, shiraz, reps, seed, workers);
-      m.useful.by_k.push_back({r.apps[0].useful, r.apps[1].useful});
-    }
-    m.secs = now_secs() - t0;
-    modes.push_back(m);
-  }
-
   std::size_t gaps_per_rep_total = 0;
-  {  // -- replayed: sample once into a store (build time charged here),
-     //    then run the same campaigns as array walks on one shared pool.
-    ModeResult m{"replayed"};
-    const double t0 = now_secs();
-    const sim::TraceStore traces(engine, seed);
-    const sim::CampaignOptions copts = campaigns.replay(traces);
-    const sim::SimResult base = engine.run_many(jobs, baseline, reps, seed, copts);
-    m.useful.baseline_lw = base.apps[0].useful;
-    m.useful.baseline_hw = base.apps[1].useful;
+
+  // -- sampled: the historical per-draw path, fresh pool per campaign.
+  auto run_sampled = [&]() {
+    SweepUsefulByK u;
+    const sim::SimResult base = loop.run_many(jobs, baseline, reps, seed, workers);
+    u.baseline_lw = base.apps[0].useful;
+    u.baseline_hw = base.apps[1].useful;
     for (int k = k_lo; k <= k_hi; ++k) {
       const sim::ShirazPairScheduler shiraz(k);
-      const sim::SimResult r = engine.run_many(jobs, shiraz, reps, seed, copts);
-      m.useful.by_k.push_back({r.apps[0].useful, r.apps[1].useful});
+      const sim::SimResult r = loop.run_many(jobs, shiraz, reps, seed, workers);
+      u.by_k.push_back({r.apps[0].useful, r.apps[1].useful});
     }
-    m.secs = now_secs() - t0;
-    gaps_per_rep_total = traces.total_gaps();
-    modes.push_back(m);
-  }
+    return u;
+  };
 
-  {  // -- sweep: store + one replayed pass over the whole k range.
-    ModeResult m{"sweep"};
-    const double t0 = now_secs();
-    const sim::TraceStore traces(engine, seed);
+  // -- replayed: sample once into a store (build time charged here), then
+  //    run the same campaigns as event-loop array walks on one shared pool.
+  auto run_replayed = [&]() {
+    SweepUsefulByK u;
+    const sim::TraceStore traces(loop, seed);
     const sim::CampaignOptions copts = campaigns.replay(traces);
-    const sim::SimResult base = engine.run_many(jobs, baseline, reps, seed, copts);
-    m.useful.baseline_lw = base.apps[0].useful;
-    m.useful.baseline_hw = base.apps[1].useful;
-    m.useful.by_k = sim::replay_pair_sweep(engine, lw, hw, k_lo, k_hi, reps,
-                                           traces, workers, copts.pool);
-    m.secs = now_secs() - t0;
-    modes.push_back(m);
-  }
+    const sim::SimResult base = loop.run_many(jobs, baseline, reps, seed, copts);
+    u.baseline_lw = base.apps[0].useful;
+    u.baseline_hw = base.apps[1].useful;
+    for (int k = k_lo; k <= k_hi; ++k) {
+      const sim::ShirazPairScheduler shiraz(k);
+      const sim::SimResult r = loop.run_many(jobs, shiraz, reps, seed, copts);
+      u.by_k.push_back({r.apps[0].useful, r.apps[1].useful});
+    }
+    gaps_per_rep_total = traces.total_gaps();
+    return u;
+  };
 
-  // Every mode must produce the same bits — replay is an optimization, never
-  // an approximation.
+  // -- sweep: store + one event-loop replayed pass over the whole k range.
+  auto run_sweep = [&]() {
+    SweepUsefulByK u;
+    const sim::TraceStore traces(loop, seed);
+    const sim::CampaignOptions copts = campaigns.replay(traces);
+    const sim::SimResult base = loop.run_many(jobs, baseline, reps, seed, copts);
+    u.baseline_lw = base.apps[0].useful;
+    u.baseline_hw = base.apps[1].useful;
+    u.by_k = sim::replay_pair_sweep(loop, lw, hw, k_lo, k_hi, reps, traces,
+                                    workers, copts.pool);
+    return u;
+  };
+
+  // -- kernel: store + flat kernel for everything — the baseline campaigns
+  //    dispatch to sim::flat_replay, the k range to the kernel sweep.
+  auto run_kernel = [&]() {
+    SweepUsefulByK u;
+    const sim::TraceStore traces(fast, seed);
+    const sim::CampaignOptions copts = campaigns.replay(traces);
+    const sim::SimResult base = fast.run_many(jobs, baseline, reps, seed, copts);
+    u.baseline_lw = base.apps[0].useful;
+    u.baseline_hw = base.apps[1].useful;
+    u.by_k = sim::replay_pair_sweep(fast, lw, hw, k_lo, k_hi, reps, traces,
+                                    workers, copts.pool);
+    return u;
+  };
+
+  std::vector<ModeResult> modes;
+  auto time_mode = [&](const char* name, auto&& fn) {
+    ModeResult m{name};
+    m.secs = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < repeat; ++t) {
+      const double t0 = now_secs();
+      SweepUsefulByK u = fn();
+      m.secs = std::min(m.secs, now_secs() - t0);
+      m.useful = std::move(u);  // identical on every repeat
+    }
+    modes.push_back(std::move(m));
+  };
+  time_mode("sampled", run_sampled);
+  time_mode("replayed", run_replayed);
+  time_mode("sweep", run_sweep);
+  time_mode("kernel", run_kernel);
+
+  // Every mode must produce the same bits — replay and the kernel are
+  // optimizations, never approximations.
   bool bit_identical = true;
   for (std::size_t i = 1; i < modes.size(); ++i) {
     if (!identical(modes[i].useful, modes[0].useful)) {
@@ -167,14 +235,41 @@ int main(int argc, char** argv) {
 
   const double speedup_replay = modes[0].secs / modes[1].secs;
   const double speedup_sweep = modes[0].secs / modes[2].secs;
-  const double speedup_store = std::max(speedup_replay, speedup_sweep);
+  const double speedup_kernel = modes[0].secs / modes[3].secs;
+  const double speedup_kernel_vs_sweep = modes[2].secs / modes[3].secs;
+  const double speedup_store =
+      std::max({speedup_replay, speedup_sweep, speedup_kernel});
   std::printf("\n%zu campaigns (%zu policies x %zu reps), %zu gaps per "
               "repetition set; bit-identity across modes: %s.\n",
               campaigns_per_sweep, n_k + 1, reps, gaps_per_rep_total,
               bit_identical ? "OK" : "FAILED");
   bench::note("Replay removes the per-draw dispatch and RNG work; the sweep "
-              "evaluator additionally shares each gap's light-weight prefix "
-              "across the whole k range.");
+              "evaluator shares each gap's light-weight prefix across the "
+              "whole k range; the flat kernel additionally strips the "
+              "per-segment virtual dispatch and event bookkeeping into a "
+              "batched pass over the trace's prefix-sum arrays.");
+
+  // The --check gate: committed floors on mode-vs-mode ratios.
+  bool floors_ok = true;
+  if (check) {
+    struct Floor {
+      const char* name;
+      double value;
+      double floor;
+    };
+    const Floor floors[] = {
+        {"replayed_vs_sampled", speedup_replay, kFloorReplayVsSampled},
+        {"sweep_vs_sampled", speedup_sweep, kFloorSweepVsSampled},
+        {"kernel_vs_sweep", speedup_kernel_vs_sweep, kFloorKernelVsSweep},
+    };
+    std::printf("\nSpeedup floors (--check):\n");
+    for (const Floor& f : floors) {
+      const bool ok = f.value >= f.floor;
+      floors_ok = floors_ok && ok;
+      std::printf("  %-20s %6.2fx  (floor %.2fx)  %s\n", f.name, f.value,
+                  f.floor, ok ? "ok" : "REGRESSION");
+    }
+  }
 
   if (!json_path.empty()) {
     // Historical document shape (BENCH_engine.json predates the shared
@@ -193,6 +288,7 @@ int main(int argc, char** argv) {
     w.kv("reps", static_cast<std::uint64_t>(reps));
     w.kv("jobs", static_cast<std::uint64_t>(workers));
     w.kv("seed", seed);
+    w.kv("timing_repeats", static_cast<std::uint64_t>(repeat));
     w.end_object();
     w.kv("campaigns_per_sweep", static_cast<std::uint64_t>(campaigns_per_sweep));
     w.kv("gaps_per_rep_set", static_cast<std::uint64_t>(gaps_per_rep_total));
@@ -208,8 +304,17 @@ int main(int argc, char** argv) {
     w.end_array();
     w.kv("speedup_replay_vs_sampled", speedup_replay);
     w.kv("speedup_sweep_vs_sampled", speedup_sweep);
+    w.kv("speedup_kernel_vs_sampled", speedup_kernel);
+    w.kv("speedup_kernel_vs_sweep", speedup_kernel_vs_sweep);
     w.kv("speedup_store_vs_sampled", speedup_store);
     w.kv("bit_identical", bit_identical);
+    w.key("check").begin_object();
+    w.kv("enabled", check);
+    w.kv("floor_replayed_vs_sampled", kFloorReplayVsSampled);
+    w.kv("floor_sweep_vs_sampled", kFloorSweepVsSampled);
+    w.kv("floor_kernel_vs_sweep", kFloorKernelVsSweep);
+    w.kv("pass", bit_identical && floors_ok);
+    w.end_object();
     w.end_object();
 
     const std::string& doc = w.str();
@@ -227,5 +332,5 @@ int main(int argc, char** argv) {
     std::printf("Wrote %s.\n", json_path.c_str());
   }
 
-  return bit_identical ? 0 : 1;
+  return bit_identical && floors_ok ? 0 : 1;
 }

@@ -34,6 +34,11 @@ Seconds StretchedSchedule::next_interval(Seconds) const {
   return base_interval_ * static_cast<double>(factor_);
 }
 
+std::optional<Seconds> StretchedSchedule::period() const {
+  // The identical product next_interval computes, so hoisting is bit-exact.
+  return base_interval_ * static_cast<double>(factor_);
+}
+
 std::string StretchedSchedule::name() const {
   std::ostringstream os;
   os << "Stretched(" << base_interval_ << "s x" << factor_ << ")";

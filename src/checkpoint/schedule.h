@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/units.h"
@@ -22,6 +23,13 @@ class IntervalSchedule {
   /// Length of the next compute interval when `elapsed_since_restart` seconds
   /// have passed since the last failure (or job start).
   virtual Seconds next_interval(Seconds elapsed_since_restart) const = 0;
+
+  /// The constant interval when this schedule is periodic (the same value for
+  /// every elapsed time), else nullopt. A non-null period MUST equal every
+  /// next_interval() return bit for bit — consumers (sim::flat_replay, the
+  /// sweep hoists in sim/optimizer.cpp) substitute it for the virtual call
+  /// and rely on exact equality to stay bit-identical to the event loop.
+  virtual std::optional<Seconds> period() const { return std::nullopt; }
 
   virtual std::string name() const = 0;
   virtual std::unique_ptr<IntervalSchedule> clone() const = 0;
@@ -37,6 +45,7 @@ class EquidistantSchedule final : public IntervalSchedule {
 
   Seconds interval() const { return interval_; }
   Seconds next_interval(Seconds) const override { return interval_; }
+  std::optional<Seconds> period() const override { return interval_; }
   std::string name() const override;
   IntervalSchedulePtr clone() const override;
 
@@ -52,6 +61,7 @@ class StretchedSchedule final : public IntervalSchedule {
 
   unsigned factor() const { return factor_; }
   Seconds next_interval(Seconds) const override;
+  std::optional<Seconds> period() const override;
   std::string name() const override;
   IntervalSchedulePtr clone() const override;
 

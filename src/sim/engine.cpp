@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "obs/event.h"
+#include "sim/kernel.h"
 #include "sim/trace.h"
 
 namespace shiraz::sim {
@@ -67,6 +68,18 @@ SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& sch
     SHIRAZ_REQUIRE(job.schedule != nullptr, "job needs an interval schedule");
   }
 
+  // Closed-form-eligible replays take the flat kernel (sim/kernel.h): the
+  // same result, bit for bit, from a batched pass over the trace's
+  // structure-of-arrays buffers instead of the per-event walk below.
+  // Ineligible configurations — live runs, alarms, sinks, costs, aperiodic
+  // schedules, stateful policies — fall through to the event loop.
+  if (trace != nullptr && config_.flat_kernel) {
+    SimResult flat;
+    if (try_flat_replay(config_, jobs, scheduler, alarms, sink, *trace, &flat)) {
+      return flat;
+    }
+  }
+
   SimResult res;
   res.wall = config_.t_total;
   res.apps.resize(jobs.size());
@@ -95,14 +108,18 @@ SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& sch
   Seconds now = 0.0;
   Seconds gap_start = 0.0;
 
-  // Failure clock: live runs sample the next gap; replays walk a
-  // materialized trace with a cursor. Both reconstruct failure times with
-  // the same `now + gap` additions, so replay is bit-identical.
+  // Failure clock: live runs sample the next gap and add it to the clock;
+  // replays read the trace's cached prefix sums (FailureTrace::fail_time),
+  // which the trace built with the same sequential additions — at every
+  // failure the clock sits exactly on the previous failure time, so
+  // `at + gap` and the cached sum are the same double (bit-identity
+  // regression-tested in trace_replay_test).
   std::size_t trace_cursor = 0;
-  auto next_gap = [&](Seconds at) {
-    return trace != nullptr ? trace->gap(trace_cursor++) : gap_sampler_(rng, at);
+  auto next_fail_time = [&](Seconds at) {
+    return trace != nullptr ? trace->fail_time(trace_cursor++)
+                            : at + gap_sampler_(rng, at);
   };
-  Seconds next_fail = next_gap(0.0);
+  Seconds next_fail = next_fail_time(0.0);
 
   // Prediction state: the alarms of the currently armed gap (sorted, filtered
   // to [gap_start, min(next_fail, horizon))), a cursor over them, and at most
@@ -155,7 +172,7 @@ SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& sch
     emit(obs::EventKind::kFailure, now, 0.0, hit ? app_id(*hit) : obs::kNoApp);
     last_gap_length = now - gap_start;
     gap_start = now;
-    next_fail = now + next_gap(now);
+    next_fail = next_fail_time(now);
     std::fill(ckpts_gap.begin(), ckpts_gap.end(), 0);
     arm_alarms();
     decision = scheduler.on_gap_start(make_ctx(0, now));

@@ -50,6 +50,13 @@ struct EngineConfig {
   /// compare per would-be event. Single runs stream events as they happen;
   /// run_campaign buffers per repetition and merges in repetition order.
   obs::EventSink* sink = nullptr;
+  /// Dispatch trace replays of closed-form-eligible configurations (free
+  /// restarts/switches, periodic schedules, no alarms, no sink, a flat
+  /// phase-plan scheduler — see sim/kernel.h) to the flat replay kernel.
+  /// The kernel is bit-identical to the event loop (tests/sim/kernel_test),
+  /// so this is purely a speed knob; false forces the event loop everywhere
+  /// (benchmarking, differential testing).
+  bool flat_kernel = true;
 };
 
 /// Samples the next inter-failure gap given the RNG and the absolute time of

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "sim/kernel.h"
 #include "sim/trace.h"
 
 namespace shiraz::sim {
@@ -33,6 +34,12 @@ void sweep_one_rep(const SimJob& lw, const SimJob& hw, int k_lo, int k_hi,
                    Seconds horizon, const FailureTrace& trace,
                    std::vector<SweepUseful>& acc) {
   const std::size_t n = acc.size();
+  // Periodic schedules answer next_interval identically for every elapsed
+  // time (the period() contract: bit-equal to each virtual call), so the
+  // dispatch hoists out of the per-segment loops. Aperiodic schedules keep
+  // the per-segment call.
+  const std::optional<Seconds> lw_period = lw.schedule->period();
+  const std::optional<Seconds> hw_period = hw.schedule->period();
   // Completed light-weight segments of the current gap: interval lengths and
   // segment-end times, shared by every candidate that has not switched yet.
   std::vector<Seconds> seg_tau;
@@ -42,7 +49,7 @@ void sweep_one_rep(const SimJob& lw, const SimJob& hw, int k_lo, int k_hi,
 
   std::size_t cursor = 0;
   Seconds gap_start = 0.0;
-  Seconds next_fail = trace.gap(cursor++);
+  Seconds next_fail = trace.fail_time(cursor++);
   for (;;) {
     // Light-weight prefix: segments complete until the gap ends (failure or
     // horizon) or every candidate has switched (k_hi checkpoints). The
@@ -51,7 +58,8 @@ void sweep_one_rep(const SimJob& lw, const SimJob& hw, int k_lo, int k_hi,
     seg_end_at.clear();
     Seconds now = gap_start;
     while (static_cast<int>(seg_tau.size()) < k_hi) {
-      const Seconds tau = lw.schedule->next_interval(now - gap_start);
+      const Seconds tau =
+          lw_period ? *lw_period : lw.schedule->next_interval(now - gap_start);
       const Seconds seg_end = now + tau + lw.delta;
       if (horizon <= std::min(seg_end, next_fail)) break;
       if (next_fail < seg_end) break;
@@ -72,7 +80,8 @@ void sweep_one_rep(const SimJob& lw, const SimJob& hw, int k_lo, int k_hi,
       if (k > completed) continue;  // still light-weight when the gap ended
       Seconds t = seg_end_at[k - 1];
       for (;;) {
-        const Seconds tau = hw.schedule->next_interval(t - gap_start);
+        const Seconds tau =
+            hw_period ? *hw_period : hw.schedule->next_interval(t - gap_start);
         const Seconds seg_end = t + tau + hw.delta;
         if (horizon <= std::min(seg_end, next_fail)) break;
         if (next_fail < seg_end) break;
@@ -83,7 +92,7 @@ void sweep_one_rep(const SimJob& lw, const SimJob& hw, int k_lo, int k_hi,
 
     if (next_fail >= horizon) break;
     gap_start = next_fail;
-    next_fail = gap_start + trace.gap(cursor++);
+    next_fail = trace.fail_time(cursor++);
   }
 }
 
@@ -202,8 +211,21 @@ std::vector<SweepUseful> replay_pair_sweep(const Engine& engine, const SimJob& l
   const Seconds horizon = engine.config().t_total;
   const std::size_t n = static_cast<std::size_t>(k_hi - k_lo + 1);
   std::vector<std::vector<SweepUseful>> per_rep(reps, std::vector<SweepUseful>(n));
+  // Periodic pairs take the flat kernel's sweep (hoisted intervals, cached
+  // failure prefix sums — sim/kernel.h) unless the engine opted out of the
+  // kernel; both paths perform identical accumulator additions, so the
+  // output is the same bits either way.
+  const std::optional<Seconds> lw_period = lw.schedule->period();
+  const std::optional<Seconds> hw_period = hw.schedule->period();
+  const bool flat =
+      engine.config().flat_kernel && lw_period.has_value() && hw_period.has_value();
   auto one_rep = [&](std::size_t r) {
-    sweep_one_rep(lw, hw, k_lo, k_hi, horizon, traces.trace(r), per_rep[r]);
+    if (flat) {
+      flat_pair_sweep_rep(*lw_period, lw.delta, *hw_period, hw.delta, k_lo,
+                          horizon, traces.trace(r), per_rep[r]);
+    } else {
+      sweep_one_rep(lw, hw, k_lo, k_hi, horizon, traces.trace(r), per_rep[r]);
+    }
   };
   if ((workers <= 1 && pool == nullptr) || reps == 1) {
     for (std::size_t r = 0; r < reps; ++r) one_rep(r);

@@ -189,6 +189,7 @@ class MultiSwitchScheduler final : public Scheduler {
   /// ks has one entry per app except the last (which always runs to failure).
   explicit MultiSwitchScheduler(std::vector<int> ks);
 
+  const std::vector<int>& ks() const { return ks_; }
   Decision on_gap_start(const SchedContext& ctx) const override;
   Decision on_checkpoint(const SchedContext& ctx) const override;
   std::string name() const override { return "MultiSwitch"; }
@@ -212,6 +213,7 @@ class PairRotationScheduler final : public Scheduler {
   /// marks a pair that falls back to baseline alternation.
   explicit PairRotationScheduler(std::vector<std::optional<int>> ks);
 
+  const std::vector<std::optional<int>>& ks() const { return ks_; }
   Decision on_gap_start(const SchedContext& ctx) const override;
   Decision on_checkpoint(const SchedContext& ctx) const override;
   std::string name() const override { return "PairRotation"; }

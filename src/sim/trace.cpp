@@ -8,12 +8,23 @@ FailureTrace::FailureTrace(std::vector<Seconds> gaps, Seconds horizon)
     : gaps_(std::move(gaps)), horizon_(horizon) {
   SHIRAZ_REQUIRE(horizon_ > 0.0, "trace horizon must be positive");
   SHIRAZ_REQUIRE(!gaps_.empty(), "trace needs at least one gap");
+  // Prefix-sum the failure times with the same sequential additions a live
+  // run performs (its clock sits on fail_{i-1} exactly when it adds gap_i),
+  // so fail_time(i) replays bit-identically to the engine's `now + gap`.
+  fail_times_.resize(gaps_.size());
+  Seconds t = 0.0;
+  for (std::size_t i = 0; i < gaps_.size(); ++i) {
+    t += gaps_[i];
+    fail_times_[i] = t;
+  }
   // The gaps must be exactly the draws a live run consumes: the running sum
   // crosses the horizon at the last gap and not before.
-  Seconds t = 0.0;
-  for (std::size_t i = 0; i + 1 < gaps_.size(); ++i) t += gaps_[i];
-  SHIRAZ_REQUIRE(t < horizon_, "trace has draws past the horizon");
-  SHIRAZ_REQUIRE(t + gaps_.back() >= horizon_, "trace stops short of the horizon");
+  if (gaps_.size() >= 2) {
+    SHIRAZ_REQUIRE(fail_times_[gaps_.size() - 2] < horizon_,
+                   "trace has draws past the horizon");
+  }
+  SHIRAZ_REQUIRE(fail_times_.back() >= horizon_,
+                 "trace stops short of the horizon");
 }
 
 TraceStore::TraceStore(const Engine& engine, std::uint64_t seed)

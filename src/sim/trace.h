@@ -35,6 +35,14 @@ namespace shiraz::sim {
 /// One repetition's inter-failure gaps, materialized up to a horizon. The
 /// last gap is the first whose running sum crosses the horizon — exactly the
 /// draws a live Engine::run consumes, no more and no fewer.
+///
+/// Alongside the gaps, the constructor caches the absolute failure times as
+/// prefix sums computed with the same sequential additions a live run
+/// performs (`fail_i = fail_{i-1} + gap_i`, starting from 0): at every
+/// failure the engine's clock sits exactly on the previous failure time, so
+/// `now + gap` and the cached prefix sum are the same double. Consumers
+/// (engine replay, the sweep/kernel paths) read fail_time() instead of
+/// re-deriving running sums per campaign.
 class FailureTrace {
  public:
   FailureTrace(std::vector<Seconds> gaps, Seconds horizon);
@@ -45,11 +53,27 @@ class FailureTrace {
     return gaps_[i];
   }
 
+  /// Absolute time of the i-th failure (prefix sum of gaps [0, i]) —
+  /// bit-identical to the `now + gap` reconstruction a live run performs.
+  Seconds fail_time(std::size_t i) const {
+    SHIRAZ_REQUIRE(i < fail_times_.size(),
+                   "failure trace exhausted before the horizon");
+    return fail_times_[i];
+  }
+
+  /// Structure-of-arrays views for batched consumers (sim/kernel.cpp). The
+  /// invariants hold: fail_times().back() >= horizon() and every earlier
+  /// entry is < horizon(), so a replay that only advances while the next
+  /// failure precedes the horizon never runs off the end.
+  const std::vector<Seconds>& gaps() const { return gaps_; }
+  const std::vector<Seconds>& fail_times() const { return fail_times_; }
+
   std::size_t size() const { return gaps_.size(); }
   Seconds horizon() const { return horizon_; }
 
  private:
   std::vector<Seconds> gaps_;
+  std::vector<Seconds> fail_times_;
   Seconds horizon_;
 };
 

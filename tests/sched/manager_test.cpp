@@ -526,6 +526,53 @@ TEST(WorkloadManager, RejectsBadConfigKnobs) {
   ManagerConfig negative_k;
   negative_k.fixed_pair_k = -1;
   EXPECT_THROW(WorkloadManager(calm(), negative_k), InvalidArgument);
+  ManagerConfig zero_sim_max_k;
+  zero_sim_max_k.sim_solve_max_k = 0;
+  EXPECT_THROW(WorkloadManager(calm(), zero_sim_max_k), InvalidArgument);
+}
+
+TEST(WorkloadManager, SimSolveRunsPairsAndStaysWorkerInvariant) {
+  // Sim-backed switch-point solves (flat replay kernel under the hood) must
+  // produce a working pairing campaign whose outputs are bit-identical for
+  // every worker count — the memoized solve is deterministic and draws from
+  // its own seed, never from the campaign's failure stream.
+  ManagerConfig cfg = exa_config();
+  cfg.horizon = hours(2000.0);
+  cfg.sim_solve_reps = 8;
+  const WorkloadManager mgr(exa_failures(), cfg);
+  const std::vector<BatchJobSpec> jobs = mixed_pair(hours(50.0));
+
+  const CampaignStats serial =
+      mgr.run_many(jobs, Policy::kShirazPairing, 4, 77, {.workers = 1});
+  const CampaignStats wide =
+      mgr.run_many(jobs, Policy::kShirazPairing, 4, 77, {.workers = 4});
+  EXPECT_EQ(serial.total_useful(), wide.total_useful());
+  EXPECT_EQ(serial.makespan, wide.makespan);
+  EXPECT_EQ(serial.failures, wide.failures);
+  for (std::size_t i = 0; i < serial.jobs.size(); ++i) {
+    EXPECT_EQ(serial.jobs[i].useful, wide.jobs[i].useful) << "job " << i;
+    EXPECT_EQ(serial.jobs[i].checkpoints, wide.jobs[i].checkpoints);
+  }
+  EXPECT_GT(serial.total_useful(), 0.0);
+  // The analytical cache was bypassed: no signature ever hit it.
+  EXPECT_EQ(mgr.solver_cache()->stats().lookups(), 0u);
+}
+
+TEST(WorkloadManager, FixedPairKTakesPrecedenceOverSimSolve) {
+  ManagerConfig cfg = exa_config();
+  cfg.horizon = hours(2000.0);
+  cfg.sim_solve_reps = 8;
+  cfg.fixed_pair_k = 7;
+  ManagerConfig fixed_only = cfg;
+  fixed_only.sim_solve_reps = 0;
+  const WorkloadManager with_sim(exa_failures(), cfg);
+  const WorkloadManager without_sim(exa_failures(), fixed_only);
+  const std::vector<BatchJobSpec> jobs = mixed_pair(hours(50.0));
+  const CampaignStats a = with_sim.run_many(jobs, Policy::kShirazPairing, 3, 11);
+  const CampaignStats b =
+      without_sim.run_many(jobs, Policy::kShirazPairing, 3, 11);
+  EXPECT_EQ(a.total_useful(), b.total_useful());
+  EXPECT_EQ(a.makespan, b.makespan);
 }
 
 }  // namespace
