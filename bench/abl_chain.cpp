@@ -23,6 +23,10 @@ int main(int argc, char** argv) {
   const bench::RunFlags run = bench::run_flags(flags, 128, 20183636);
   const auto& [reps, seed, workers] = run;
   const double mtbf_hours = flags.get_double("mtbf", 5.0);
+  bench::BenchJson json("abl_chain", run);
+  json.config("mtbf_hours", mtbf_hours);
+  json.config("horizon_hours", 1000.0);
+  json.config("deltas_s", "10/300/1800");
 
   bench::banner("Ablation — 3-app within-gap chain vs pair rotation",
                 "Apps: delta 10 s / 300 s / 1800 s; MTBF " + fmt(mtbf_hours, 0) +
@@ -95,5 +99,21 @@ int main(int argc, char** argv) {
   bench::note("Takeaway: chains extend Shiraz's within-gap idea beyond pairs; "
               "gains remain positive for every member, bounded by the same "
               "hazard-decay budget each gap offers.");
-  return 0;
+  json.metric("baseline_total_useful", "h", as_hours(base_s.total_useful.mean),
+              as_hours(base_s.total_useful.stddev),
+              as_hours(base_s.total_useful.ci95));
+  json.metric("chain_total_useful", "h", as_hours(chained_s.total_useful.mean),
+              as_hours(chained_s.total_useful.stddev),
+              as_hours(chained_s.total_useful.ci95));
+  json.metric("chain_total_gain", "h",
+              as_hours(chained.total_useful() - base.total_useful()));
+  json.metric("chain_light_gain", "h",
+              as_hours(chained.apps[0].useful - base.apps[0].useful));
+  json.metric("chain_mid_gain", "h",
+              as_hours(chained.apps[1].useful - base.apps[1].useful));
+  json.metric("chain_heavy_gain", "h",
+              as_hours(chained.apps[2].useful - base.apps[2].useful));
+  json.metric("pair_modeled_gain", "h",
+              pair.beneficial() ? as_hours(pair.delta_total) : 0.0);
+  return json.write(flags) ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 #include "core/solver_cache.h"
 
 #include "core/switch_solver.h"
+#include "obs/metrics.h"
 
 namespace shiraz::core {
 
@@ -9,6 +10,19 @@ struct SolverCache::Entry {
   CachedSolution solution;
 };
 
+SolverCache::SolverCache() : SolverCache(nullptr) {}
+
+SolverCache::SolverCache(std::shared_ptr<obs::MetricsRegistry> metrics)
+    : metrics_(metrics != nullptr ? std::move(metrics)
+                                  : std::make_shared<obs::MetricsRegistry>()) {
+  hits_ = &metrics_->counter("shiraz_solver_cache_hits_total",
+                             "switch-point solves served from the memo table");
+  misses_ = &metrics_->counter("shiraz_solver_cache_misses_total",
+                               "switch-point solves computed fresh");
+  entries_gauge_ = &metrics_->gauge("shiraz_solver_cache_entries",
+                                    "distinct signatures memoized");
+}
+
 CachedSolution SolverCache::solve(const SolverCacheKey& key) const {
   std::shared_ptr<Entry> entry;
   {
@@ -16,9 +30,10 @@ CachedSolution SolverCache::solve(const SolverCacheKey& key) const {
     auto [it, inserted] = entries_.try_emplace(key);
     if (inserted) {
       it->second = std::make_shared<Entry>();
-      ++stats_.misses;
+      misses_->add(1);
+      entries_gauge_->set(static_cast<double>(entries_.size()));
     } else {
-      ++stats_.hits;
+      hits_->add(1);
     }
     entry = it->second;
   }
@@ -46,8 +61,10 @@ CachedSolution SolverCache::solve(const SolverCacheKey& key) const {
 }
 
 SolverCache::Stats SolverCache::stats() const {
+  // The counters are only ever bumped under mu_ (see solve()), so holding it
+  // here keeps hits/misses mutually consistent — the historical contract.
   const std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  return Stats{hits_->value(), misses_->value()};
 }
 
 std::size_t SolverCache::size() const {
@@ -58,7 +75,9 @@ std::size_t SolverCache::size() const {
 void SolverCache::clear() const {
   const std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
-  stats_ = Stats{};
+  hits_->reset();
+  misses_->reset();
+  entries_gauge_->set(0.0);
 }
 
 }  // namespace shiraz::core

@@ -17,6 +17,13 @@
 // hammers this under TSan). Cached solutions are bit-identical to calling
 // core::solve_switch_point directly: the value is computed once by the
 // deterministic solver and only ever copied out.
+//
+// Accounting lives on an obs::MetricsRegistry (shiraz_solver_cache_*
+// counters plus an entries gauge) rather than bespoke members: pass a shared
+// registry to fold the cache into a process-wide snapshot (the serve daemon
+// does), or let the default constructor own a private one — either way the
+// Stats contract above is unchanged because the counters are bumped under
+// the same map lock the old members were.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +35,12 @@
 
 #include "checkpoint/oci.h"
 #include "common/units.h"
+
+namespace shiraz::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace shiraz::obs
 
 namespace shiraz::core {
 
@@ -68,6 +81,16 @@ struct CachedSolution {
 
 class SolverCache {
  public:
+  /// Owns a private MetricsRegistry — per-instance accounting, the
+  /// historical behavior.
+  SolverCache();
+
+  /// Counts into `metrics` (null falls back to a private registry). Sharing
+  /// one registry across caches merges their counters; stats() then reports
+  /// the merged totals, so keep one cache per shared registry when the
+  /// per-instance exactness contract matters.
+  explicit SolverCache(std::shared_ptr<obs::MetricsRegistry> metrics);
+
   /// Exact concurrency-safe counters: hits + misses == solve() calls and
   /// misses == distinct keys requested, under any thread interleaving.
   struct Stats {
@@ -93,12 +116,20 @@ class SolverCache {
   std::size_t size() const;
   void clear() const;
 
+  /// The registry this cache counts into (never null).
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+
  private:
   struct Entry;
 
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Gauge* entries_gauge_ = nullptr;
   mutable std::mutex mu_;
   mutable std::map<SolverCacheKey, std::shared_ptr<Entry>> entries_;
-  mutable Stats stats_;
 };
 
 }  // namespace shiraz::core

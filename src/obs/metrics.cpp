@@ -1,0 +1,276 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/json.h"
+
+namespace shiraz::obs {
+
+namespace {
+
+/// Shortest round-trip decimal form, matching JsonWriter's double rendering
+/// so the two expositions agree on every value.
+std::string format_double(double v) {
+  if (!std::isfinite(v)) {
+    if (std::isnan(v)) return "NaN";
+    return v > 0 ? "+Inf" : "-Inf";
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  SHIRAZ_REQUIRE(ec == std::errc(), "double formatting failed");
+  return std::string(buf, ptr);
+}
+
+const char* kind_label(MetricsSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricsSnapshot::Kind::kCounter: return "counter";
+    case MetricsSnapshot::Kind::kGauge: return "gauge";
+    case MetricsSnapshot::Kind::kHistogram: return "histogram";
+  }
+  throw InvalidArgument("unhandled metric kind");
+}
+
+}  // namespace
+
+std::size_t metric_shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+bool valid_metric_name(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin() + 1, name.end(), [&](char c) {
+    return head(c) || (c >= '0' && c <= '9');
+  });
+}
+
+Histogram::Histogram(std::vector<double> upper_edges)
+    : edges_(std::move(upper_edges)) {
+  SHIRAZ_REQUIRE(!edges_.empty(), "histogram needs at least one bucket edge");
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    SHIRAZ_REQUIRE(std::isfinite(edges_[i]), "histogram edges must be finite");
+    SHIRAZ_REQUIRE(i == 0 || edges_[i - 1] < edges_[i],
+                   "histogram edges must be strictly increasing");
+  }
+  for (Shard& s : shards_) {
+    s.buckets = std::vector<std::atomic<std::uint64_t>>(edges_.size() + 1);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  // First edge >= v is the bucket (le semantics); past the last edge lands
+  // in the +Inf overflow slot.
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+  const std::size_t bin = static_cast<std::size_t>(it - edges_.begin());
+  Shard& s = shards_[metric_shard_index()];
+  s.buckets[bin].fetch_add(1, std::memory_order_relaxed);
+  double cur = s.sum.load(std::memory_order_relaxed);
+  while (!s.sum.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    for (const auto& b : s.buckets) total += b.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  double total = 0.0;
+  for (const Shard& s : shards_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(edges_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+      out[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry::Slot& MetricsRegistry::slot(std::string_view name,
+                                             std::string_view help,
+                                             MetricsSnapshot::Kind kind) {
+  SHIRAZ_REQUIRE(valid_metric_name(name),
+                 "invalid metric name '" + std::string(name) +
+                     "' (expected [a-zA-Z_:][a-zA-Z0-9_:]*)");
+  const auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    Slot& s = slots_[std::string(name)];
+    s.help = std::string(help);
+    s.kind = kind;
+    return s;
+  }
+  SHIRAZ_REQUIRE(it->second.kind == kind,
+                 "metric '" + std::string(name) +
+                     "' already registered with a different type");
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = slot(name, help, MetricsSnapshot::Kind::kCounter);
+  if (s.counter == nullptr) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = slot(name, help, MetricsSnapshot::Kind::kGauge);
+  if (s.gauge == nullptr) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_edges,
+                                      std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = slot(name, help, MetricsSnapshot::Kind::kHistogram);
+  if (s.histogram == nullptr) {
+    s.histogram = std::make_unique<Histogram>(std::move(upper_edges));
+  } else {
+    SHIRAZ_REQUIRE(s.histogram->edges() == upper_edges,
+                   "histogram '" + std::string(name) +
+                       "' already registered with different edges");
+  }
+  return *s.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.entries.reserve(slots_.size());
+  for (const auto& [name, s] : slots_) {  // std::map: already name-sorted
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.help = s.help;
+    e.kind = s.kind;
+    switch (s.kind) {
+      case MetricsSnapshot::Kind::kCounter:
+        e.count = s.counter->value();
+        break;
+      case MetricsSnapshot::Kind::kGauge:
+        e.value = s.gauge->value();
+        break;
+      case MetricsSnapshot::Kind::kHistogram:
+        e.count = s.histogram->count();
+        e.value = s.histogram->sum();
+        e.edges = s.histogram->edges();
+        e.buckets = s.histogram->bucket_counts();
+        break;
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, s] : slots_) {
+    (void)name;
+    if (s.counter != nullptr) s.counter->reset();
+    if (s.gauge != nullptr) s.gauge->reset();
+    if (s.histogram != nullptr) s.histogram->reset();
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+void metrics_json(JsonWriter& w, const MetricsSnapshot& snap) {
+  w.begin_object();
+  w.kv("schema", kMetricsSchema);
+  w.key("metrics").begin_array();
+  for (const MetricsSnapshot::Entry& e : snap.entries) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("type", kind_label(e.kind));
+    if (!e.help.empty()) w.kv("help", e.help);
+    switch (e.kind) {
+      case MetricsSnapshot::Kind::kCounter:
+        w.kv("value", e.count);
+        break;
+      case MetricsSnapshot::Kind::kGauge:
+        w.kv("value", e.value);
+        break;
+      case MetricsSnapshot::Kind::kHistogram:
+        w.kv("count", e.count);
+        w.kv("sum", e.value);
+        w.key("edges").begin_array();
+        for (const double edge : e.edges) w.value(edge);
+        w.end_array();
+        w.key("buckets").begin_array();
+        for (const std::uint64_t b : e.buckets) w.value(b);
+        w.end_array();
+        break;
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string metrics_json(const MetricsSnapshot& snap) {
+  JsonWriter w(0);
+  metrics_json(w, snap);
+  return w.str();
+}
+
+std::string prometheus_render(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const MetricsSnapshot::Entry& e : snap.entries) {
+    if (!e.help.empty()) out += "# HELP " + e.name + " " + e.help + "\n";
+    out += "# TYPE " + e.name + " " + kind_label(e.kind) + "\n";
+    switch (e.kind) {
+      case MetricsSnapshot::Kind::kCounter:
+        out += e.name + " " + std::to_string(e.count) + "\n";
+        break;
+      case MetricsSnapshot::Kind::kGauge:
+        out += e.name + " " + format_double(e.value) + "\n";
+        break;
+      case MetricsSnapshot::Kind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < e.edges.size(); ++i) {
+          cumulative += e.buckets[i];
+          out += e.name + "_bucket{le=\"" + format_double(e.edges[i]) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        cumulative += e.buckets.back();
+        out += e.name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+               "\n";
+        out += e.name + "_sum " + format_double(e.value) + "\n";
+        out += e.name + "_count " + std::to_string(e.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace shiraz::obs

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 #include "sim/job.h"
 #include "sim/optimizer.h"
@@ -18,6 +19,32 @@ namespace shiraz::sched {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Resolved registry handles for one run(); null registry = all null.
+/// Counters are pure observers of decisions already taken — no campaign
+/// branch reads them — and u64 sums commute, so totals are worker-invariant.
+struct ManagerCounters {
+  obs::Counter* submitted = nullptr;
+  obs::Counter* completed = nullptr;
+  obs::Counter* solve_fixed = nullptr;
+  obs::Counter* solve_sim = nullptr;
+  obs::Counter* solve_analytical = nullptr;
+
+  explicit ManagerCounters(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    submitted = &registry->counter("shiraz_sched_jobs_submitted_total",
+                                   "jobs submitted across campaigns");
+    completed = &registry->counter("shiraz_sched_jobs_completed_total",
+                                   "jobs completed across campaigns");
+    solve_fixed = &registry->counter("shiraz_sched_solve_fixed_total",
+                                     "pair solves short-circuited by fixed_pair_k");
+    solve_sim = &registry->counter("shiraz_sched_solve_sim_total",
+                                   "pair solves routed through simulation");
+    solve_analytical = &registry->counter(
+        "shiraz_sched_solve_analytical_total",
+        "pair solves routed through the analytical cache");
+  }
+};
 }
 
 /// Memo for sim-backed switch-point solves: one entry per distinct
@@ -102,6 +129,9 @@ CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
     SHIRAZ_REQUIRE(job.submit_time >= 0.0, "negative submit time: " + job.name);
   }
 
+  const ManagerCounters counters(config_.metrics);
+  if (counters.submitted != nullptr) counters.submitted->add(jobs.size());
+
   CampaignStats stats;
   stats.horizon = config_.horizon;
   stats.jobs.resize(jobs.size());
@@ -160,6 +190,7 @@ CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
     }
     if (config_.fixed_pair_k > 0) {
       pair_k = config_.fixed_pair_k;
+      if (counters.solve_fixed != nullptr) counters.solve_fixed->add(1);
       return;
     }
     const std::size_t lw = light_of_pair();
@@ -168,6 +199,7 @@ CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
       // Simulation-backed solve on the flat replay kernel, memoized per
       // signature (see sim_solve_k).
       pair_k = sim_solve_k(jobs[lw].checkpoint_cost, jobs[hw].checkpoint_cost);
+      if (counters.solve_sim != nullptr) counters.solve_sim->add(1);
       return;
     }
     // The shared memo table: every distinct signature across this run, all
@@ -176,6 +208,7 @@ CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
                  ->solve(cache_key(jobs[lw].checkpoint_cost,
                                    jobs[hw].checkpoint_cost))
                  .k;
+    if (counters.solve_analytical != nullptr) counters.solve_analytical->add(1);
   };
 
   auto take = [&](std::size_t pos) {
@@ -340,14 +373,17 @@ CampaignStats WorkloadManager::run(const std::vector<BatchJobSpec>& jobs,
 
   stats.elapsed = std::min(now, config_.horizon);
   // Jobs cut off by the horizon stretch the makespan to the horizon.
+  std::uint64_t completed = 0;
   for (BatchJobRecord& rec : stats.jobs) {
     if (rec.started()) rec.started_reps = 1;
     if (rec.completed()) {
       rec.completed_reps = 1;
+      ++completed;
     } else {
       stats.makespan = config_.horizon;
     }
   }
+  if (counters.completed != nullptr) counters.completed->add(completed);
   return stats;
 }
 

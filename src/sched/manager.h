@@ -45,6 +45,10 @@
 #include "sched/distribution.h"
 #include "sched/stats.h"
 
+namespace shiraz::obs {
+class MetricsRegistry;
+}  // namespace shiraz::obs
+
 namespace shiraz::sched {
 
 enum class Policy { kBaselineAlternate, kShirazPairing };
@@ -99,6 +103,13 @@ struct ManagerConfig {
   /// bound is far larger, but each sim candidate costs real replays; the
   /// paper's fair points sit well inside 64 at these signatures).
   int sim_solve_max_k = 64;
+  /// When non-null, campaigns count into this registry (obs/metrics.h):
+  /// jobs submitted/completed per run and the solve route each pair-change
+  /// took (fixed / sim-backed / analytical cache). Pure observation — no
+  /// campaign decision reads a metric — so arming it never changes a
+  /// reported number; counters are commutative u64 sums, so totals are
+  /// CampaignRunOptions::workers-invariant.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Repetition-sharding knobs for run_many / run_distribution. Results are

@@ -52,6 +52,11 @@ Client::Client(Client&& other) noexcept
 }
 
 std::string Client::request(const std::string& line) {
+  return request(line, StreamHandler{});
+}
+
+std::string Client::request(const std::string& line,
+                            const StreamHandler& on_stream) {
   SHIRAZ_REQUIRE(fd_ >= 0, "request on a moved-from Client");
   std::string out = line;
   out.push_back('\n');
@@ -69,9 +74,14 @@ std::string Client::request(const std::string& line) {
   for (;;) {
     const std::size_t nl = buffer_.find('\n');
     if (nl != std::string::npos) {
-      std::string response = buffer_.substr(0, nl);
+      std::string received = buffer_.substr(0, nl);
       buffer_.erase(0, nl + 1);
-      return response;
+      // Stream frames precede the response (see serve/protocol.h).
+      if (received.rfind("{\"stream\":", 0) == 0) {
+        if (on_stream) on_stream(received);
+        continue;
+      }
+      return received;
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);

@@ -6,6 +6,7 @@
 // order per connection).
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "common/units.h"
@@ -26,6 +27,15 @@ class Client {
   /// Sends one request line, returns the response line (no newline).
   /// Throws IoError if the connection drops mid-exchange.
   std::string request(const std::string& line);
+
+  /// Receives subscribe stream lines (the `{"stream":...}` frames, no
+  /// newline), in arrival order, before request() returns the response.
+  using StreamHandler = std::function<void(const std::string&)>;
+
+  /// request() for streaming ops: every line prefixed `{"stream":` goes to
+  /// `on_stream`; the first other line is the response. Safe for
+  /// non-streaming ops too (they emit no stream lines).
+  std::string request(const std::string& line, const StreamHandler& on_stream);
 
  private:
   int fd_ = -1;

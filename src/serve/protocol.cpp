@@ -110,6 +110,25 @@ SolveKRequest solve_fields(Fields& f) {
   return r;
 }
 
+PairWhatifRequest whatif_fields(Fields& f, const JsonValue& doc) {
+  PairWhatifRequest r;
+  r.solve = solve_fields(f);
+  if (f.take("k")) {
+    // re-read strictly as a positive integer
+    const JsonValue& v = doc.at("k");
+    SHIRAZ_REQUIRE(v.type == JsonValue::Type::kNumber &&
+                       std::isfinite(v.number) &&
+                       std::floor(v.number) == v.number && v.number >= 1.0 &&
+                       v.number <= 1e6,
+                   "field 'k' must be an integer in [1, 1e6]");
+    r.k = static_cast<int>(v.number);
+  }
+  r.reps = f.count("reps", r.reps);
+  SHIRAZ_REQUIRE(r.reps >= 1, "reps must be >= 1");
+  r.seed = f.count("seed", r.seed);
+  return r;
+}
+
 }  // namespace
 
 const char* formula_name(checkpoint::OciFormula formula) {
@@ -169,31 +188,23 @@ Request parse_request(const std::string& line) {
       request.op = CheckpointNowRequest{mtbf_hours, formula, delta_s, since};
     }
   } else if (op == "pair_whatif") {
-    PairWhatifRequest r;
-    r.solve = solve_fields(f);
-    if (f.take("k")) {
-      // re-read strictly as a positive integer
-      const JsonValue& v = doc.at("k");
-      SHIRAZ_REQUIRE(v.type == JsonValue::Type::kNumber &&
-                         std::isfinite(v.number) &&
-                         std::floor(v.number) == v.number && v.number >= 1.0 &&
-                         v.number <= 1e6,
-                     "field 'k' must be an integer in [1, 1e6]");
-      r.k = static_cast<int>(v.number);
-    }
-    r.reps = f.count("reps", r.reps);
-    SHIRAZ_REQUIRE(r.reps >= 1, "reps must be >= 1");
-    r.seed = f.count("seed", r.seed);
-    request.op = r;
+    request.op = whatif_fields(f, doc);
+  } else if (op == "subscribe") {
+    request.op = SubscribeRequest{whatif_fields(f, doc)};
   } else if (op == "stats") {
     request.op = StatsRequest{};
+  } else if (op == "metrics") {
+    const std::string format = f.string("format", "json");
+    SHIRAZ_REQUIRE(format == "json" || format == "prometheus",
+                   "field 'format' must be \"json\" or \"prometheus\"");
+    request.op = MetricsRequest{format == "prometheus"};
   } else if (op == "shutdown") {
     request.op = ShutdownRequest{};
   } else {
     throw InvalidArgument(
         "unknown op '" + op +
-        "' (expected solve_k, oci, checkpoint_now, pair_whatif, stats, or "
-        "shutdown)");
+        "' (expected solve_k, oci, checkpoint_now, pair_whatif, subscribe, "
+        "stats, metrics, or shutdown)");
   }
   f.finish();
   return request;
@@ -209,7 +220,11 @@ const char* op_name(const Request& request) {
     const char* operator()(const PairWhatifRequest&) const {
       return "pair_whatif";
     }
+    const char* operator()(const SubscribeRequest&) const {
+      return "subscribe";
+    }
     const char* operator()(const StatsRequest&) const { return "stats"; }
+    const char* operator()(const MetricsRequest&) const { return "metrics"; }
     const char* operator()(const ShutdownRequest&) const { return "shutdown"; }
   };
   return std::visit(Namer{}, request.op);

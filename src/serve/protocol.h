@@ -14,14 +14,24 @@
 //                   its OCI, and if not, how long until it is due
 //   pair_whatif     replay-backed simulation campaign for a pair (baseline
 //                   vs Shiraz at k), audited per repetition
+//   subscribe       pair_whatif that additionally streams every audited
+//                   repetition's rep-stamped event lines to the client
+//                   before the final response (see DESIGN.md §11)
 //   stats           cache hit/miss counters and per-op request counts
+//   metrics         full shiraz-metrics-v1 registry snapshot, as embedded
+//                   JSON or Prometheus text ("format":"prometheus")
 //   shutdown        stop the daemon (administrative)
 //
 // Every response starts with "ok" (true/false); errors carry "error" and
 // echo the request "id" when one was given. Responses to solve_k, oci,
-// checkpoint_now, and pair_whatif are pure functions of the request (the
-// whatif seed is explicit), which is what lets the load bench compare
-// daemon bytes against direct library calls.
+// checkpoint_now, pair_whatif, and subscribe are pure functions of the
+// request (the whatif seed is explicit), which is what lets the load bench
+// compare daemon bytes against direct library calls. subscribe's stream
+// lines are pure too: they render the deterministic audited event stream,
+// so two daemons stream identical bytes for identical requests. Stream
+// lines are distinguished from the response by their leading
+// `{"stream":` prefix — a client reads lines until the first non-stream
+// line, which is the response.
 #pragma once
 
 #include <cstdint>
@@ -75,14 +85,30 @@ struct PairWhatifRequest {
   std::uint64_t seed = 1;
 };
 
+/// pair_whatif plus a live audit-event stream: the daemon writes one
+/// `{"stream":"event",...}` line per audited event (repetition order,
+/// rep-stamped) before the final response.
+struct SubscribeRequest {
+  PairWhatifRequest whatif;
+};
+
 struct StatsRequest {};
+
+/// Full metrics-registry snapshot (obs/metrics.h, shiraz-metrics-v1).
+struct MetricsRequest {
+  /// false = embedded JSON snapshot; true = Prometheus text exposition in
+  /// the response's "body" string (wire field "format": "json"/"prometheus").
+  bool prometheus = false;
+};
+
 struct ShutdownRequest {};
 
 struct Request {
   /// Echoed verbatim in the response when present.
   std::optional<double> id;
   std::variant<SolveKRequest, OciRequest, CheckpointNowRequest,
-               PairWhatifRequest, StatsRequest, ShutdownRequest>
+               PairWhatifRequest, SubscribeRequest, StatsRequest,
+               MetricsRequest, ShutdownRequest>
       op;
 };
 

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace shiraz::serve {
 
@@ -40,6 +41,8 @@ Server::Server(ServerConfig config) : config_(std::move(config)) {
   SHIRAZ_REQUIRE(!config_.socket_path.empty(), "socket_path must be set");
   SHIRAZ_REQUIRE(config_.threads >= 1, "threads must be >= 1");
   service_ = std::make_unique<Service>(config_.service);
+  connections_gauge_ = &service_->metrics()->gauge(
+      "shiraz_serve_active_connections", "live client connections");
 
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -129,11 +132,13 @@ void Server::request_stop() {
 void Server::track(int fd) {
   const std::lock_guard<std::mutex> lock(conn_mu_);
   conn_fds_.insert(fd);
+  connections_gauge_->add(1.0);
 }
 
 void Server::untrack(int fd) {
   const std::lock_guard<std::mutex> lock(conn_mu_);
   conn_fds_.erase(fd);
+  connections_gauge_->add(-1.0);
 }
 
 void Server::accept_loop() {
@@ -174,9 +179,18 @@ void Server::handle_connection(int fd) {
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      const Service::Result result = service_->handle_line(line);
+      // subscribe stream lines flow straight to the client as the request
+      // executes; a vanished peer just stops the stream (the response write
+      // below then fails the same way and closes the connection).
+      bool stream_ok = true;
+      const Service::StreamSink sink = [fd, &stream_ok](const std::string& s) {
+        if (!stream_ok) return;
+        const std::string framed = s + "\n";
+        stream_ok = write_all(fd, framed.data(), framed.size());
+      };
+      const Service::Result result = service_->handle_line(line, sink);
       const std::string out = result.response + "\n";
-      if (!write_all(fd, out.data(), out.size())) {
+      if (!stream_ok || !write_all(fd, out.data(), out.size())) {
         open = false;
         break;
       }

@@ -22,6 +22,10 @@
 #include "common/thread_pool.h"
 #include "serve/service.h"
 
+namespace shiraz::obs {
+class Gauge;
+}  // namespace shiraz::obs
+
 namespace shiraz::serve {
 
 struct ServerConfig {
@@ -68,6 +72,7 @@ class Server {
 
   ServerConfig config_;
   std::unique_ptr<Service> service_;
+  obs::Gauge* connections_gauge_ = nullptr;  ///< owned by the service registry
   std::unique_ptr<common::ThreadPool> pool_;
   int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};

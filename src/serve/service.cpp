@@ -1,5 +1,7 @@
 #include "serve/service.h"
 
+#include <chrono>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "core/switch_solver.h"
 #include "obs/audit_sim.h"
 #include "obs/event.h"
+#include "obs/metrics.h"
 #include "reliability/weibull.h"
 #include "sim/engine.h"
 #include "sim/scheduler.h"
@@ -64,56 +67,142 @@ JsonWriter begin_response(const char* op, std::optional<double> id) {
   return w;
 }
 
+/// One subscribe stream line for a rep-stamped audit event. Pure function
+/// of the event, so the stream is byte-identical across Service instances.
+std::string render_stream_event(const obs::Event& e) {
+  JsonWriter w(0);
+  w.begin_object();
+  w.kv("stream", "event");
+  w.kv("rep", static_cast<std::uint64_t>(e.rep));
+  w.kv("kind", obs::kind_name(e.kind));
+  w.kv("t_s", e.time);
+  w.kv("duration_s", e.duration);
+  w.kv("app", static_cast<std::int64_t>(e.app));
+  w.kv("value", e.value);
+  w.end_object();
+  return w.str();
+}
+
 }  // namespace
 
+/// Registry handles resolved once; references stay valid for the registry's
+/// lifetime (the service holds a shared_ptr to it).
+struct Service::Instruments {
+  obs::Counter& requests;
+  obs::Counter& errors;
+  obs::Counter& solve_k;
+  obs::Counter& oci;
+  obs::Counter& checkpoint_now;
+  obs::Counter& pair_whatif;
+  obs::Counter& subscribe;
+  obs::Counter& stats;
+  obs::Counter& metrics;
+  obs::Counter& shutdown;
+  obs::Counter& audited_reps;
+  obs::Histogram& latency;
+
+  explicit Instruments(obs::MetricsRegistry& reg)
+      : requests(reg.counter("shiraz_serve_requests_total",
+                             "request lines handled, errors included")),
+        errors(reg.counter("shiraz_serve_errors_total",
+                           "requests answered with an error response")),
+        solve_k(reg.counter("shiraz_serve_op_solve_k_total",
+                            "solve_k requests")),
+        oci(reg.counter("shiraz_serve_op_oci_total", "oci requests")),
+        checkpoint_now(reg.counter("shiraz_serve_op_checkpoint_now_total",
+                                   "checkpoint_now requests")),
+        pair_whatif(reg.counter("shiraz_serve_op_pair_whatif_total",
+                                "pair_whatif requests")),
+        subscribe(reg.counter("shiraz_serve_op_subscribe_total",
+                              "subscribe requests")),
+        stats(reg.counter("shiraz_serve_op_stats_total", "stats requests")),
+        metrics(reg.counter("shiraz_serve_op_metrics_total",
+                            "metrics requests")),
+        shutdown(reg.counter("shiraz_serve_op_shutdown_total",
+                             "shutdown requests")),
+        audited_reps(reg.counter(
+            "shiraz_serve_audited_reps_total",
+            "whatif repetitions replayed through the InvariantAuditor")),
+        latency(reg.histogram(
+            "shiraz_serve_request_latency_seconds",
+            {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0},
+            "wall time from request line to response line")) {}
+};
+
 Service::Service(ServiceConfig config) : config_(std::move(config)) {
+  // Registry resolution (see ServiceConfig::metrics): explicit > the shared
+  // cache's > private. A private cache then counts into the same registry,
+  // so the default daemon's snapshot includes the solver-cache counters.
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else if (config_.cache != nullptr) {
+    metrics_ = config_.cache->metrics();
+  } else {
+    metrics_ = std::make_shared<obs::MetricsRegistry>();
+  }
   cache_ = config_.cache != nullptr
                ? config_.cache
-               : std::make_shared<const core::SolverCache>();
+               : std::make_shared<const core::SolverCache>(metrics_);
+  ins_ = std::make_unique<const Instruments>(*metrics_);
   SHIRAZ_REQUIRE(config_.max_whatif_reps >= 1,
                  "max_whatif_reps must be >= 1");
 }
 
+Service::~Service() = default;
+
 Service::Result Service::handle_line(const std::string& line) {
+  return handle_line(line, StreamSink{});
+}
+
+Service::Result Service::handle_line(const std::string& line,
+                                     const StreamSink& stream) {
+  const auto start = std::chrono::steady_clock::now();
   std::optional<double> id;
   bool counted = false;
+  Result result;
   try {
     const Request request = parse_request(line);
     id = request.id;
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      ++counters_.requests;
-      struct Bump {
-        ServiceCounters& c;
-        void operator()(const SolveKRequest&) const { ++c.solve_k; }
-        void operator()(const OciRequest&) const { ++c.oci; }
-        void operator()(const CheckpointNowRequest&) const {
-          ++c.checkpoint_now;
-        }
-        void operator()(const PairWhatifRequest&) const { ++c.pair_whatif; }
-        void operator()(const StatsRequest&) const { ++c.stats; }
-        void operator()(const ShutdownRequest&) const { ++c.shutdown; }
-      };
-      std::visit(Bump{counters_}, request.op);
-    }
+    ins_->requests.add(1);
+    struct Bump {
+      const Instruments& ins;
+      void operator()(const SolveKRequest&) const { ins.solve_k.add(1); }
+      void operator()(const OciRequest&) const { ins.oci.add(1); }
+      void operator()(const CheckpointNowRequest&) const {
+        ins.checkpoint_now.add(1);
+      }
+      void operator()(const PairWhatifRequest&) const {
+        ins.pair_whatif.add(1);
+      }
+      void operator()(const SubscribeRequest&) const { ins.subscribe.add(1); }
+      void operator()(const StatsRequest&) const { ins.stats.add(1); }
+      void operator()(const MetricsRequest&) const { ins.metrics.add(1); }
+      void operator()(const ShutdownRequest&) const { ins.shutdown.add(1); }
+    };
+    std::visit(Bump{*ins_}, request.op);
     counted = true;
     bool shutdown = false;
-    std::string response = dispatch(request, &shutdown);
-    return Result{std::move(response), shutdown};
+    std::string response = dispatch(request, &shutdown, stream);
+    result = Result{std::move(response), shutdown};
   } catch (const std::exception& e) {
     if (!id) id = best_effort_id(line);
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (!counted) ++counters_.requests;
-    ++counters_.errors;
-    return Result{error_response(e.what(), id), false};
+    if (!counted) ins_->requests.add(1);
+    ins_->errors.add(1);
+    result = Result{error_response(e.what(), id), false};
   }
+  ins_->latency.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return result;
 }
 
-std::string Service::dispatch(const Request& request, bool* shutdown) {
+std::string Service::dispatch(const Request& request, bool* shutdown,
+                              const StreamSink& stream) {
   struct Visitor {
     Service& service;
     std::optional<double> id;
     bool* shutdown;
+    const StreamSink& stream;
     std::string operator()(const SolveKRequest& r) const {
       return service.do_solve_k(r, id);
     }
@@ -124,10 +213,17 @@ std::string Service::dispatch(const Request& request, bool* shutdown) {
       return service.do_checkpoint_now(r, id);
     }
     std::string operator()(const PairWhatifRequest& r) const {
-      return service.do_pair_whatif(r, id);
+      return service.do_whatif("pair_whatif", r, id, nullptr);
+    }
+    std::string operator()(const SubscribeRequest& r) const {
+      return service.do_whatif("subscribe", r.whatif, id,
+                               stream ? &stream : nullptr);
     }
     std::string operator()(const StatsRequest&) const {
       return service.do_stats(id);
+    }
+    std::string operator()(const MetricsRequest& r) const {
+      return service.do_metrics(r, id);
     }
     std::string operator()(const ShutdownRequest&) const {
       *shutdown = true;
@@ -137,7 +233,7 @@ std::string Service::dispatch(const Request& request, bool* shutdown) {
       return w.str();
     }
   };
-  return std::visit(Visitor{*this, request.id, shutdown}, request.op);
+  return std::visit(Visitor{*this, request.id, shutdown, stream}, request.op);
 }
 
 std::string Service::do_solve_k(const SolveKRequest& r,
@@ -185,8 +281,9 @@ std::string Service::do_checkpoint_now(const CheckpointNowRequest& r,
   return w.str();
 }
 
-std::string Service::do_pair_whatif(const PairWhatifRequest& r,
-                                    std::optional<double> id) {
+std::string Service::do_whatif(const char* op, const PairWhatifRequest& r,
+                               std::optional<double> id,
+                               const StreamSink* stream) {
   SHIRAZ_REQUIRE(r.reps <= config_.max_whatif_reps,
                  "reps exceeds the daemon's max_whatif_reps limit (" +
                      std::to_string(config_.max_whatif_reps) + ")");
@@ -222,8 +319,11 @@ std::string Service::do_pair_whatif(const PairWhatifRequest& r,
 
   // Replay-backed campaigns: sample each repetition's failure stream once
   // (TraceStore), replay it under both policies (common random numbers).
+  // The engines and the trace store count into the service registry —
+  // pure observation, so arming them never changes a response byte.
   sim::EngineConfig ecfg;
   ecfg.t_total = hours(m.t_total_hours);
+  ecfg.metrics = metrics_.get();
   const sim::Engine engine(reliability::Weibull::from_mtbf(m.beta, mtbf), ecfg);
   const sim::SimJob lwj =
       sim::SimJob::at_oci("light", r.solve.delta_lw_s, mtbf, 1, m.formula);
@@ -232,7 +332,8 @@ std::string Service::do_pair_whatif(const PairWhatifRequest& r,
   const sim::SimJob hw_shiraz = sim::SimJob::at_oci(
       "heavy", r.solve.delta_hw_s, mtbf, r.solve.stretch, m.formula);
   const std::size_t reps = static_cast<std::size_t>(r.reps);
-  const sim::TraceStore traces(engine, r.seed);
+  sim::TraceStore traces(engine, r.seed);
+  traces.set_metrics(metrics_.get());
   sim::CampaignOptions copts;
   copts.traces = &traces;
   const sim::ShirazPairScheduler shiraz(k);
@@ -243,8 +344,11 @@ std::string Service::do_pair_whatif(const PairWhatifRequest& r,
 
   // Request audit: re-replay every repetition through a traced engine and
   // check the event stream against that repetition's own totals; forward
-  // the audited stream to the request-audit log. A failed audit throws
-  // (-> error response), so a divergence can never ship a silent answer.
+  // the audited stream to the request-audit log and — for subscribe — to
+  // the client's stream, rep-stamped, in repetition order. A failed audit
+  // throws (-> error response), so a divergence can never ship a silent
+  // answer.
+  std::uint64_t events = 0;
   obs::EventRecorder recorder;
   sim::EngineConfig tcfg = ecfg;
   tcfg.sink = &recorder;
@@ -256,9 +360,18 @@ std::string Service::do_pair_whatif(const PairWhatifRequest& r,
     obs::InvariantAuditor auditor;
     for (const obs::Event& e : recorder.events()) auditor.on_event(e);
     obs::verify_against(auditor, res);
-    const std::lock_guard<std::mutex> lock(mu_);
-    ++counters_.audited_reps;
+    events += recorder.events().size();
+    // Stream outside any lock: the sink writes to this connection's socket
+    // and is only ever called from the thread handling this request.
+    if (stream != nullptr) {
+      for (obs::Event e : recorder.events()) {
+        e.rep = static_cast<std::uint32_t>(rep);
+        (*stream)(render_stream_event(e));
+      }
+    }
+    ins_->audited_reps.add(1);
     if (config_.audit_log != nullptr) {
+      const std::lock_guard<std::mutex> lock(mu_);
       for (obs::Event e : recorder.events()) {
         e.rep = static_cast<std::uint32_t>(rep);
         config_.audit_log->on_event(e);
@@ -266,7 +379,7 @@ std::string Service::do_pair_whatif(const PairWhatifRequest& r,
     }
   }
 
-  JsonWriter w = begin_response("pair_whatif", id);
+  JsonWriter w = begin_response(op, id);
   w.kv("k", k);
   w.kv("reps", r.reps);
   w.kv("seed", r.seed);
@@ -285,6 +398,9 @@ std::string Service::do_pair_whatif(const PairWhatifRequest& r,
   w.kv("delta_total_h", as_hours(sim_lw + sim_hw));
   w.end_object();
   w.kv("audited_reps", r.reps);
+  // The deterministic audit-event count (streamed or not) — subscribe
+  // clients can check they received exactly this many stream lines.
+  if (std::string_view(op) == "subscribe") w.kv("events", events);
   w.end_object();
   return w.str();
 }
@@ -308,17 +424,51 @@ std::string Service::do_stats(std::optional<double> id) {
   w.kv("oci", c.oci);
   w.kv("checkpoint_now", c.checkpoint_now);
   w.kv("pair_whatif", c.pair_whatif);
+  w.kv("subscribe", c.subscribe);
   w.kv("stats", c.stats);
+  w.kv("metrics", c.metrics);
   w.kv("shutdown", c.shutdown);
   w.end_object();
   w.kv("audited_reps", c.audited_reps);
+  // Full registry snapshot appended after the legacy fields, so historical
+  // consumers of the prefix keys keep parsing unchanged values.
+  w.key("metrics");
+  obs::metrics_json(w, metrics_->snapshot());
+  w.end_object();
+  return w.str();
+}
+
+std::string Service::do_metrics(const MetricsRequest& r,
+                                std::optional<double> id) {
+  const obs::MetricsSnapshot snap = metrics_->snapshot();
+  JsonWriter w = begin_response("metrics", id);
+  w.kv("schema", obs::kMetricsSchema);
+  if (r.prometheus) {
+    w.kv("format", "prometheus");
+    w.kv("body", obs::prometheus_render(snap));
+  } else {
+    w.kv("format", "json");
+    w.key("snapshot");
+    obs::metrics_json(w, snap);
+  }
   w.end_object();
   return w.str();
 }
 
 ServiceCounters Service::counters() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+  ServiceCounters c;
+  c.requests = ins_->requests.value();
+  c.errors = ins_->errors.value();
+  c.solve_k = ins_->solve_k.value();
+  c.oci = ins_->oci.value();
+  c.checkpoint_now = ins_->checkpoint_now.value();
+  c.pair_whatif = ins_->pair_whatif.value();
+  c.subscribe = ins_->subscribe.value();
+  c.stats = ins_->stats.value();
+  c.metrics = ins_->metrics.value();
+  c.shutdown = ins_->shutdown.value();
+  c.audited_reps = ins_->audited_reps.value();
+  return c;
 }
 
 }  // namespace shiraz::serve

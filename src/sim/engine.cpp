@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "common/thread_pool.h"
 #include "obs/event.h"
+#include "obs/metrics.h"
 #include "sim/kernel.h"
 #include "sim/trace.h"
 
@@ -23,6 +24,35 @@ void validate_config(const EngineConfig& config) {
 /// Sub-stream id for the prediction RNG: Rng::fork derives from the seed (not
 /// the generator state), so alarm draws never perturb the failure sequence.
 constexpr std::uint64_t kAlarmStream = 0x70726564696374ULL;  // "predict"
+
+/// Resolved handles for the engine's registry counters. Metrics are pure
+/// observers of finished results: every increment derives from a SimResult
+/// the run already produced, never the other way around, and campaigns apply
+/// them in repetition order — the event-stream merge contract.
+struct SimCounters {
+  obs::Counter* reps;
+  obs::Counter* kernel;
+  obs::Counter* event_loop;
+  obs::Counter* gaps;
+
+  explicit SimCounters(obs::MetricsRegistry& registry)
+      : reps(&registry.counter("shiraz_sim_reps_total",
+                               "simulator repetitions evaluated")),
+        kernel(&registry.counter("shiraz_sim_kernel_replays_total",
+                                 "repetitions dispatched to the flat kernel")),
+        event_loop(&registry.counter("shiraz_sim_event_loop_runs_total",
+                                     "repetitions run through the event loop")),
+        gaps(&registry.counter("shiraz_sim_gaps_total",
+                               "inter-failure gaps consumed")) {}
+
+  void note(const SimResult& res, bool used_kernel) {
+    reps->add(1);
+    (used_kernel ? kernel : event_loop)->add(1);
+    // Every run consumes one gap per failure plus the final draw that
+    // crosses the horizon.
+    gaps->add(static_cast<std::uint64_t>(res.failures) + 1);
+  }
+};
 }  // namespace
 
 Engine::Engine(const reliability::Distribution& failure_dist, const EngineConfig& config)
@@ -41,7 +71,11 @@ Engine::Engine(GapSampler sampler, const EngineConfig& config)
 
 SimResult Engine::run(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
                       Rng& rng, const AlarmSource* alarms) const {
-  return run_impl(jobs, scheduler, rng, nullptr, alarms, config_.sink);
+  const SimResult res = run_impl(jobs, scheduler, rng, nullptr, alarms, config_.sink);
+  if (config_.metrics != nullptr) {
+    SimCounters(*config_.metrics).note(res, /*used_kernel=*/false);
+  }
+  return res;
 }
 
 SimResult Engine::replay(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
@@ -56,17 +90,25 @@ SimResult Engine::replay(const std::vector<SimJob>& jobs, const Scheduler& sched
                          const AlarmSource* alarms) const {
   SHIRAZ_REQUIRE(trace.horizon() >= config_.t_total,
                  "trace horizon does not cover the engine horizon");
-  return run_impl(jobs, scheduler, rng, &trace, alarms, config_.sink);
+  bool used_kernel = false;
+  const SimResult res =
+      run_impl(jobs, scheduler, rng, &trace, alarms, config_.sink, &used_kernel);
+  if (config_.metrics != nullptr) {
+    SimCounters(*config_.metrics).note(res, used_kernel);
+  }
+  return res;
 }
 
 SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
                            Rng& rng, const FailureTrace* trace,
-                           const AlarmSource* alarms, obs::EventSink* sink) const {
+                           const AlarmSource* alarms, obs::EventSink* sink,
+                           bool* used_kernel) const {
   SHIRAZ_REQUIRE(!jobs.empty(), "need at least one job");
   for (const SimJob& job : jobs) {
     SHIRAZ_REQUIRE(job.delta > 0.0, "job checkpoint cost must be positive");
     SHIRAZ_REQUIRE(job.schedule != nullptr, "job needs an interval schedule");
   }
+  if (used_kernel != nullptr) *used_kernel = false;
 
   // Closed-form-eligible replays take the flat kernel (sim/kernel.h): the
   // same result, bit for bit, from a batched pass over the trace's
@@ -76,6 +118,7 @@ SimResult Engine::run_impl(const std::vector<SimJob>& jobs, const Scheduler& sch
   if (trace != nullptr && config_.flat_kernel) {
     SimResult flat;
     if (try_flat_replay(config_, jobs, scheduler, alarms, sink, *trace, &flat)) {
+      if (used_kernel != nullptr) *used_kernel = true;
       return flat;
     }
   }
@@ -385,6 +428,8 @@ CampaignSummary Engine::run_campaign(const std::vector<SimJob>& jobs,
   }
   const AlarmSource* alarms = opts.alarms;
   obs::EventSink* sink = opts.sink != nullptr ? opts.sink : config_.sink;
+  obs::MetricsRegistry* metrics =
+      opts.metrics != nullptr ? opts.metrics : config_.metrics;
   const Rng master(seed);
   std::vector<SimResult> results(reps);
   // Traced campaigns buffer per repetition: repetitions may run on any worker
@@ -393,13 +438,20 @@ CampaignSummary Engine::run_campaign(const std::vector<SimJob>& jobs,
   // the same buffers, so the delivered stream is identical for every worker
   // count.
   std::vector<obs::EventRecorder> recorders(sink != nullptr ? reps : 0);
+  // Metrics follow the same shape: each repetition notes its dispatch route
+  // privately and the increments apply in repetition order after the runs,
+  // so the registry's mutation order is worker-count-invariant too.
+  std::vector<std::uint8_t> kernel_reps(metrics != nullptr ? reps : 0, 0);
 
   auto run_rep = [&](std::size_t r, const Scheduler& policy,
                      const AlarmSource* source) {
     Rng rng = master.fork(r);
     const FailureTrace* trace = traces != nullptr ? &traces->trace(r) : nullptr;
+    bool used_kernel = false;
     results[r] = run_impl(jobs, policy, rng, trace, source,
-                          sink != nullptr ? &recorders[r] : nullptr);
+                          sink != nullptr ? &recorders[r] : nullptr,
+                          &used_kernel);
+    if (metrics != nullptr) kernel_reps[r] = used_kernel ? 1 : 0;
   };
   auto merge_events = [&] {
     if (sink == nullptr) return;
@@ -410,10 +462,18 @@ CampaignSummary Engine::run_campaign(const std::vector<SimJob>& jobs,
       }
     }
   };
+  auto merge_metrics = [&] {
+    if (metrics == nullptr) return;
+    SimCounters counters(*metrics);
+    for (std::size_t r = 0; r < reps; ++r) {
+      counters.note(results[r], kernel_reps[r] != 0);
+    }
+  };
 
   if ((opts.workers <= 1 && opts.pool == nullptr) || reps == 1) {
     for (std::size_t r = 0; r < reps; ++r) run_rep(r, scheduler, alarms);
     merge_events();
+    merge_metrics();
     return summarize_campaign(results);
   }
 
@@ -444,6 +504,7 @@ CampaignSummary Engine::run_campaign(const std::vector<SimJob>& jobs,
     run_rep(r, policy, source);
   });
   merge_events();
+  merge_metrics();
   return summarize_campaign(results);
 }
 

@@ -26,6 +26,7 @@ class ThreadPool;
 
 namespace shiraz::obs {
 class EventSink;
+class MetricsRegistry;
 }  // namespace shiraz::obs
 
 namespace shiraz::sim {
@@ -57,6 +58,15 @@ struct EngineConfig {
   /// so this is purely a speed knob; false forces the event loop everywhere
   /// (benchmarking, differential testing).
   bool flat_kernel = true;
+  /// When non-null, every run counts into this registry (obs/metrics.h):
+  /// repetitions evaluated, kernel-vs-event-loop dispatch, gaps consumed.
+  /// Metrics are pure observers with the same contract as `sink` — no RNG
+  /// access, no control-flow influence — so arming them is bit-identical to
+  /// an unarmed run (gated by bench/micro_metrics_overhead --check); a null
+  /// registry costs one pointer compare per repetition. Campaigns buffer the
+  /// per-repetition increments and apply them in repetition order, so the
+  /// registry's mutation order is worker-count-invariant too.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Samples the next inter-failure gap given the RNG and the absolute time of
@@ -85,6 +95,9 @@ struct CampaignOptions {
   /// Event::rep — after the runs, so the merged stream is identical for every
   /// worker count.
   obs::EventSink* sink = nullptr;
+  /// Campaign metrics registry (overrides EngineConfig::metrics). Same
+  /// purity and rep-order-merge contract as EngineConfig::metrics.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Engine {
@@ -174,9 +187,12 @@ class Engine {
   }
 
  private:
+  /// `used_kernel`, when non-null, reports whether the flat replay kernel
+  /// (rather than the event loop) produced the result — telemetry only.
   SimResult run_impl(const std::vector<SimJob>& jobs, const Scheduler& scheduler,
                      Rng& rng, const FailureTrace* trace,
-                     const AlarmSource* alarms, obs::EventSink* sink) const;
+                     const AlarmSource* alarms, obs::EventSink* sink,
+                     bool* used_kernel = nullptr) const;
 
   GapSampler gap_sampler_;
   std::shared_ptr<const reliability::Distribution> dist_;

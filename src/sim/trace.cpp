@@ -1,5 +1,6 @@
 #include "sim/trace.h"
 
+#include "obs/metrics.h"
 #include "reliability/regimes.h"
 
 namespace shiraz::sim {
@@ -44,18 +45,50 @@ TraceStore::TraceStore(const reliability::FailureRegime& regime,
   SHIRAZ_REQUIRE(horizon_ > 0.0, "trace horizon must be positive");
 }
 
+void TraceStore::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    traces_metric_ = gaps_metric_ = hits_metric_ = nullptr;
+    resident_metric_ = nullptr;
+    return;
+  }
+  traces_metric_ = &registry->counter("shiraz_trace_traces_materialized_total",
+                                      "failure traces materialized");
+  gaps_metric_ = &registry->counter("shiraz_trace_gaps_materialized_total",
+                                    "inter-failure gaps materialized");
+  hits_metric_ = &registry->counter("shiraz_trace_replay_hits_total",
+                                    "trace lookups served from the cache");
+  resident_metric_ = &registry->gauge("shiraz_trace_resident_bytes",
+                                      "bytes held by materialized traces");
+}
+
+void TraceStore::note_materialized(const FailureTrace& trace) const {
+  if (traces_metric_ == nullptr) return;
+  traces_metric_->add(1);
+  gaps_metric_->add(trace.size());
+  // Each trace holds its gaps plus the prefix-summed failure times.
+  resident_metric_->add(static_cast<double>(2 * sizeof(Seconds) * trace.size()));
+}
+
 void TraceStore::ensure(std::size_t reps) const {
   const std::lock_guard<std::mutex> lock(mu_);
   if (traces_.size() < reps) traces_.resize(reps);
   for (std::size_t r = 0; r < reps; ++r) {
-    if (!traces_[r]) traces_[r] = materialize(r);
+    if (!traces_[r]) {
+      traces_[r] = materialize(r);
+      note_materialized(*traces_[r]);
+    }
   }
 }
 
 const FailureTrace& TraceStore::trace(std::size_t rep) const {
   const std::lock_guard<std::mutex> lock(mu_);
   if (traces_.size() <= rep) traces_.resize(rep + 1);
-  if (!traces_[rep]) traces_[rep] = materialize(rep);
+  if (!traces_[rep]) {
+    traces_[rep] = materialize(rep);
+    note_materialized(*traces_[rep]);
+  } else if (hits_metric_ != nullptr) {
+    hits_metric_->add(1);
+  }
   return *traces_[rep];
 }
 

@@ -30,6 +30,12 @@ namespace shiraz::reliability {
 class FailureRegime;
 }  // namespace shiraz::reliability
 
+namespace shiraz::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace shiraz::obs
+
 namespace shiraz::sim {
 
 /// One repetition's inter-failure gaps, materialized up to a horizon. The
@@ -108,6 +114,14 @@ class TraceStore {
   std::uint64_t seed() const { return seed_; }
   Seconds horizon() const { return horizon_; }
 
+  /// Arms telemetry: subsequent materializations and lookups count into
+  /// `registry` (shiraz_trace_* counters plus a resident-bytes gauge).
+  /// Metrics are pure observers — they never change which traces exist or
+  /// what they contain — so arming them is bit-identical to an unarmed
+  /// store. Pass nullptr to disarm. Not thread-safe against concurrent
+  /// ensure()/trace() calls; arm before the campaigns start.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   /// Materializes repetitions [0, reps) that are not yet cached.
   void ensure(std::size_t reps) const;
 
@@ -122,6 +136,8 @@ class TraceStore {
 
  private:
   std::unique_ptr<FailureTrace> materialize(std::size_t rep) const;
+  /// Counts one freshly materialized trace (call with mu_ held).
+  void note_materialized(const FailureTrace& trace) const;
 
   GapSampler sampler_;
   std::shared_ptr<const reliability::Distribution> dist_;
@@ -130,6 +146,10 @@ class TraceStore {
   Seconds horizon_;
   mutable std::mutex mu_;
   mutable std::vector<std::unique_ptr<FailureTrace>> traces_;
+  obs::Counter* traces_metric_ = nullptr;   ///< traces materialized
+  obs::Counter* gaps_metric_ = nullptr;     ///< gaps materialized
+  obs::Counter* hits_metric_ = nullptr;     ///< trace() calls served cached
+  obs::Gauge* resident_metric_ = nullptr;   ///< bytes held by cached traces
 };
 
 }  // namespace shiraz::sim

@@ -8,11 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/units.h"
 #include "core/switch_solver.h"
+#include "obs/metrics.h"
 
 namespace shiraz::core {
 namespace {
@@ -97,6 +99,28 @@ TEST(SolverCacheTest, ClearResetsEntriesAndStats) {
   EXPECT_EQ(cache.stats().lookups(), 0u);
   cache.solve(key_for(18.0, 1800.0));
   EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(SolverCacheTest, SharedRegistryFoldsCountersIntoTheSnapshot) {
+  // A cache built on a shared registry publishes its accounting there —
+  // same exact Stats contract, but visible in a process-wide snapshot.
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+  SolverCache cache(registry);
+  EXPECT_EQ(cache.metrics().get(), registry.get());
+
+  cache.solve(key_for(18.0, 1800.0));  // miss
+  cache.solve(key_for(18.0, 1800.0));  // hit
+  EXPECT_EQ(registry->counter("shiraz_solver_cache_misses_total").value(), 1u);
+  EXPECT_EQ(registry->counter("shiraz_solver_cache_hits_total").value(), 1u);
+  EXPECT_EQ(registry->gauge("shiraz_solver_cache_entries").value(), 1.0);
+
+  const SolverCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+
+  cache.clear();
+  EXPECT_EQ(registry->counter("shiraz_solver_cache_misses_total").value(), 0u);
+  EXPECT_EQ(registry->gauge("shiraz_solver_cache_entries").value(), 0.0);
 }
 
 TEST(SolverCacheTest, NoBeneficialPairCachesEmptyK) {

@@ -1,0 +1,219 @@
+// MetricsRegistry contract (DESIGN.md §11): typed get-or-create metrics with
+// exact sharded counts, Prometheus-grammar name validation, deterministic
+// name-sorted snapshots, and two expositions (shiraz-metrics-v1 JSON and the
+// Prometheus text format) that are pure functions of the snapshot. The
+// 8-thread hammer pins down the exactness claim the sharding design makes:
+// unsigned sums are commutative, so concurrent add()s never lose counts.
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/json_parse.h"
+#include "obs/metrics.h"
+
+namespace shiraz::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterCountsExactly) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("shiraz_test_total", "a test counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsRegistry, GaugeSetAndDelta) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("shiraz_test_gauge");
+  g.set(3.5);
+  EXPECT_EQ(g.value(), 3.5);
+  g.add(-1.5);
+  EXPECT_EQ(g.value(), 2.0);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameInstance) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("shiraz_test_total", "help set on first call");
+  Counter& b = reg.counter("shiraz_test_total");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, TypeMismatchThrows) {
+  MetricsRegistry reg;
+  reg.counter("shiraz_test_total");
+  EXPECT_THROW(reg.gauge("shiraz_test_total"), InvalidArgument);
+  EXPECT_THROW(reg.histogram("shiraz_test_total", {1.0}), InvalidArgument);
+}
+
+TEST(MetricsRegistry, InvalidNameThrows) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter(""), InvalidArgument);
+  EXPECT_THROW(reg.counter("0starts_with_digit"), InvalidArgument);
+  EXPECT_THROW(reg.counter("has-dash"), InvalidArgument);
+  EXPECT_THROW(reg.counter("has space"), InvalidArgument);
+  EXPECT_TRUE(valid_metric_name("shiraz:ns_total"));
+  EXPECT_TRUE(valid_metric_name("_leading_underscore"));
+  EXPECT_FALSE(valid_metric_name("trailing!"));
+}
+
+TEST(MetricsRegistry, HistogramEdgeMismatchThrows) {
+  MetricsRegistry reg;
+  reg.histogram("shiraz_test_seconds", {0.1, 1.0});
+  EXPECT_NO_THROW(reg.histogram("shiraz_test_seconds", {0.1, 1.0}));
+  EXPECT_THROW(reg.histogram("shiraz_test_seconds", {0.1, 2.0}),
+               InvalidArgument);
+}
+
+TEST(MetricsRegistry, HistogramRejectsBadEdges) {
+  EXPECT_THROW(Histogram({}), InvalidArgument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), InvalidArgument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), InvalidArgument);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Histogram({1.0, inf}), InvalidArgument);
+}
+
+TEST(MetricsRegistry, HistogramBinEdgesAreLeInclusive) {
+  // Prometheus `le` semantics: an observation equal to an edge lands in that
+  // edge's bucket; strictly greater spills to the next (or +Inf) bucket.
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1.0
+  h.observe(1.0);    // == edge -> bucket 0
+  h.observe(1.0000000001);  // just past -> bucket 1
+  h.observe(10.0);   // == edge -> bucket 1
+  h.observe(100.0);  // == edge -> bucket 2
+  h.observe(100.5);  // overflow
+  EXPECT_EQ(h.count(), 6u);
+  const std::vector<std::uint64_t> want{2, 2, 1, 1};
+  EXPECT_EQ(h.bucket_counts(), want);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.0000000001 + 10.0 + 100.0 + 100.5, 1e-9);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSorted) {
+  MetricsRegistry reg;
+  reg.counter("zeta_total").add(1);
+  reg.gauge("alpha_gauge").set(2.0);
+  reg.histogram("mid_seconds", {1.0}).observe(0.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].name, "alpha_gauge");
+  EXPECT_EQ(snap.entries[1].name, "mid_seconds");
+  EXPECT_EQ(snap.entries[2].name, "zeta_total");
+  EXPECT_EQ(snap.entries[0].kind, MetricsSnapshot::Kind::kGauge);
+  EXPECT_EQ(snap.entries[1].kind, MetricsSnapshot::Kind::kHistogram);
+  EXPECT_EQ(snap.entries[2].kind, MetricsSnapshot::Kind::kCounter);
+  EXPECT_EQ(snap.entries[2].count, 1u);
+}
+
+TEST(MetricsRegistry, RegistryResetZeroesEverything) {
+  MetricsRegistry reg;
+  reg.counter("a_total").add(5);
+  reg.gauge("b_gauge").set(7.0);
+  reg.histogram("c_seconds", {1.0}).observe(0.5);
+  reg.reset();
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);  // registrations survive
+  EXPECT_EQ(snap.entries[0].count, 0u);
+  EXPECT_EQ(snap.entries[1].value, 0.0);
+  EXPECT_EQ(snap.entries[2].count, 0u);
+}
+
+TEST(MetricsRegistry, PrometheusGoldenOutput) {
+  MetricsRegistry reg;
+  reg.counter("shiraz_reqs_total", "requests served").add(42);
+  reg.gauge("shiraz_conns", "open connections").set(3.0);
+  Histogram& h = reg.histogram("shiraz_latency_seconds", {0.1, 1.0}, "latency");
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(0.5);
+  h.observe(2.0);
+  const std::string got = prometheus_render(reg.snapshot());
+  const std::string want =
+      "# HELP shiraz_conns open connections\n"
+      "# TYPE shiraz_conns gauge\n"
+      "shiraz_conns 3\n"
+      "# HELP shiraz_latency_seconds latency\n"
+      "# TYPE shiraz_latency_seconds histogram\n"
+      "shiraz_latency_seconds_bucket{le=\"0.1\"} 1\n"
+      "shiraz_latency_seconds_bucket{le=\"1\"} 3\n"
+      "shiraz_latency_seconds_bucket{le=\"+Inf\"} 4\n"
+      "shiraz_latency_seconds_sum 3.05\n"
+      "shiraz_latency_seconds_count 4\n"
+      "# HELP shiraz_reqs_total requests served\n"
+      "# TYPE shiraz_reqs_total counter\n"
+      "shiraz_reqs_total 42\n";
+  EXPECT_EQ(got, want);
+}
+
+TEST(MetricsRegistry, JsonExpositionRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("shiraz_reqs_total", "requests").add(9);
+  reg.gauge("shiraz_conns").set(1.5);
+  reg.histogram("shiraz_latency_seconds", {0.1, 1.0}).observe(0.5);
+  const std::string doc = metrics_json(reg.snapshot());
+
+  const JsonValue v = parse_json(doc);
+  EXPECT_EQ(v.at("schema").string, kMetricsSchema);
+  const auto& metrics = v.at("metrics").array;
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_EQ(metrics[0]->at("name").string, "shiraz_conns");
+  EXPECT_EQ(metrics[0]->at("type").string, "gauge");
+  EXPECT_EQ(metrics[0]->at("value").number, 1.5);
+  EXPECT_EQ(metrics[1]->at("name").string, "shiraz_latency_seconds");
+  EXPECT_EQ(metrics[1]->at("type").string, "histogram");
+  EXPECT_EQ(metrics[1]->at("count").number, 1.0);
+  ASSERT_EQ(metrics[1]->at("edges").array.size(), 2u);
+  ASSERT_EQ(metrics[1]->at("buckets").array.size(), 3u);
+  EXPECT_EQ(metrics[1]->at("buckets").array[1]->number, 1.0);
+  EXPECT_EQ(metrics[2]->at("name").string, "shiraz_reqs_total");
+  EXPECT_EQ(metrics[2]->at("type").string, "counter");
+  EXPECT_EQ(metrics[2]->at("value").number, 9.0);
+  EXPECT_EQ(metrics[2]->at("help").string, "requests");
+}
+
+// The sharding exactness claim under real contention: 8 threads hammering the
+// same counter and histogram must lose nothing — u64 shard sums commute.
+TEST(MetricsRegistry, ShardMergeHammer) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hammer_total");
+  Histogram& h = reg.histogram("hammer_seconds", {0.25, 0.5, 0.75});
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c, &h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        c.add();
+        // Cycle the four buckets deterministically per thread.
+        h.observe(0.125 + 0.25 * static_cast<double>((i + t) % 4));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  for (const std::uint64_t b : buckets) {
+    EXPECT_EQ(b, kThreads * kPerThread / 4);  // each residue class hit evenly
+  }
+}
+
+}  // namespace
+}  // namespace shiraz::obs

@@ -9,6 +9,7 @@
 
 #include "checkpoint/oci.h"
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "reliability/exponential.h"
 #include "reliability/weibull.h"
 
@@ -98,6 +99,36 @@ TEST(WorkloadManager, ArrivalsAreRespected) {
   const CampaignStats stats = mgr.run(jobs, Policy::kBaselineAlternate, rng);
   EXPECT_GE(stats.job("late").start_time, hours(500.0));
   EXPECT_GT(stats.idle, hours(400.0));  // machine idles between the jobs
+}
+
+TEST(WorkloadManager, MetricsCountJobsAndSolveRouteWithoutChangingResults) {
+  const WorkloadManager plain(exa_failures(), exa_config());
+  Rng rng_a(7);
+  const CampaignStats want =
+      plain.run(mixed_pair(hours(200.0)), Policy::kShirazPairing, rng_a);
+
+  obs::MetricsRegistry registry;
+  ManagerConfig armed = exa_config();
+  armed.metrics = &registry;
+  const WorkloadManager counted(exa_failures(), armed);
+  Rng rng_b(7);
+  const CampaignStats got =
+      counted.run(mixed_pair(hours(200.0)), Policy::kShirazPairing, rng_b);
+
+  // Pure observation: the campaign's numbers are untouched by the registry.
+  EXPECT_EQ(want.makespan, got.makespan);
+  EXPECT_EQ(want.total_useful(), got.total_useful());
+  EXPECT_EQ(want.total_io(), got.total_io());
+  EXPECT_EQ(want.failures, got.failures);
+
+  EXPECT_EQ(registry.counter("shiraz_sched_jobs_submitted_total").value(), 2u);
+  EXPECT_EQ(registry.counter("shiraz_sched_jobs_completed_total").value(),
+            got.completed_count());
+  // One pair signature, default config: the analytical SolverCache route,
+  // solved exactly once thanks to the memo.
+  EXPECT_EQ(registry.counter("shiraz_sched_solve_analytical_total").value(), 1u);
+  EXPECT_EQ(registry.counter("shiraz_sched_solve_fixed_total").value(), 0u);
+  EXPECT_EQ(registry.counter("shiraz_sched_solve_sim_total").value(), 0u);
 }
 
 TEST(WorkloadManager, FailuresCauseRollbacksAndLostWork) {

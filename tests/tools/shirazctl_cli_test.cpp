@@ -222,7 +222,7 @@ TEST(ShirazctlCli, PredictiveTracePassesItsOwnAudit) {
 
 TEST(ShirazctlCli, UsageListsTheServeAndQuerySubcommands) {
   const CommandResult r = run_command("frobnicate");
-  EXPECT_NE(r.output.find("|serve|query>"), std::string::npos);
+  EXPECT_NE(r.output.find("|serve|query|metrics>"), std::string::npos);
   EXPECT_NE(r.output.find("serve: --socket="), std::string::npos);
   EXPECT_NE(r.output.find("query: --socket="), std::string::npos);
 }
@@ -261,6 +261,97 @@ TEST(ShirazctlCli, QueryWithoutDaemonExitsOne) {
                   " < /dev/null");
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.output.find("no daemon answering"), std::string::npos);
+}
+
+TEST(ShirazctlCli, UsageListsTheMetricsSubcommand) {
+  const CommandResult r = run_command("frobnicate");
+  EXPECT_NE(r.output.find("metrics>"), std::string::npos);
+  EXPECT_NE(r.output.find("metrics: --socket="), std::string::npos);
+}
+
+TEST(ShirazctlCli, MetricsWithoutSocketExitsTwoWithUsage) {
+  const CommandResult r = run_command("metrics");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("metrics requires --socket=PATH"), std::string::npos);
+}
+
+TEST(ShirazctlCli, MetricsSnapshotsALiveDaemon) {
+  namespace fs = std::filesystem;
+  const std::string sock =
+      (fs::temp_directory_path() / "shirazctl_cli_metrics_test.sock").string();
+  fs::remove(sock);
+
+  // Boot the daemon, serve one solve over `query`, then snapshot the
+  // registry three ways (table, --prometheus, --json) before shutting down.
+  const std::string ctl = SHIRAZCTL_PATH;
+  const std::string script =
+      ctl + " serve --socket=" + sock + " --threads=2 & SERVER=$!; " +
+      "printf '%s\\n' '{\"op\":\"solve_k\",\"delta_lw_s\":18,\"delta_hw_s\":1800}' | " +
+      ctl + " query --socket=" + sock + " > /dev/null; " +
+      ctl + " metrics --socket=" + sock + "; " +
+      ctl + " metrics --socket=" + sock + " --prometheus; " +
+      ctl + " metrics --socket=" + sock + " --json; " +
+      "printf '%s\\n' '{\"op\":\"shutdown\"}' | " +
+      ctl + " query --socket=" + sock + " > /dev/null; wait $SERVER";
+  const CommandResult r = run_script(script);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  // Table mode names the per-op counter bumped by the session's own solve.
+  EXPECT_NE(r.output.find("shiraz_serve_op_solve_k_total"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("shiraz_solver_cache_misses_total"),
+            std::string::npos);
+  // Prometheus mode emits the text exposition.
+  EXPECT_NE(r.output.find("# TYPE shiraz_serve_requests_total counter"),
+            std::string::npos);
+  // Raw mode prints the shiraz-metrics-v1 response line.
+  EXPECT_NE(r.output.find("\"schema\":\"shiraz-metrics-v1\""),
+            std::string::npos);
+  EXPECT_FALSE(fs::exists(sock));
+}
+
+TEST(ShirazctlCli, QueryStreamsSubscribeFramesBeforeTheResponse) {
+  namespace fs = std::filesystem;
+  const std::string sock =
+      (fs::temp_directory_path() / "shirazctl_cli_subscribe_test.sock").string();
+  fs::remove(sock);
+
+  const std::string ctl = SHIRAZCTL_PATH;
+  const std::string script =
+      ctl + " serve --socket=" + sock + " --threads=2 & SERVER=$!; " +
+      "printf '%s\\n' "
+      "'{\"op\":\"subscribe\",\"delta_lw_s\":18,\"delta_hw_s\":1800,"
+      "\"k\":26,\"reps\":2,\"seed\":3}' "
+      "'{\"op\":\"shutdown\"}' | " +
+      ctl + " query --socket=" + sock + "; CLIENT=$?; wait $SERVER; "
+      "exit $((CLIENT + $?))";
+  const CommandResult r = run_script(script);
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("{\"stream\":\"event\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"op\":\"subscribe\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"events\":"), std::string::npos);
+}
+
+TEST(ShirazctlCli, QueryAfterShutdownExitsTwoWithDiagnostic) {
+  namespace fs = std::filesystem;
+  const std::string sock =
+      (fs::temp_directory_path() / "shirazctl_cli_shutdown_test.sock").string();
+  fs::remove(sock);
+
+  // A request after the shutdown op finds the connection closed: the client
+  // must say so and exit 2 — not die on an unexplained I/O error.
+  const std::string ctl = SHIRAZCTL_PATH;
+  const std::string script =
+      ctl + " serve --socket=" + sock + " --threads=2 & SERVER=$!; " +
+      "printf '%s\\n' '{\"op\":\"shutdown\"}' '{\"op\":\"stats\"}' | " +
+      ctl + " query --socket=" + sock + "; CLIENT=$?; wait $SERVER; "
+      "exit $CLIENT";
+  const CommandResult r = run_script(script);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("server is shutting down"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"stopping\":true"), std::string::npos)
+      << "the shutdown response itself must still print";
 }
 
 TEST(ShirazctlCli, ServeAnswersAScriptedQuerySession) {

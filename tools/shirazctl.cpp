@@ -11,6 +11,9 @@
 //   scenarios list/validate/describe the failure-scenario catalog
 //   serve     run the query daemon on a Unix-domain socket (shiraz-serve-v1)
 //   query     drive a running daemon: stdin request lines -> stdout responses
+//             (subscribe stream lines print as they arrive)
+//   metrics   snapshot a running daemon's metrics registry: aligned table,
+//             --json (raw shiraz-metrics-v1 line), or --prometheus text
 //
 // Examples:
 //   shirazctl solve --mtbf-hours=5 --delta-lw=18 --delta-hw=1800
@@ -35,6 +38,7 @@
 #include "apps/catalog.h"
 #include "common/cli.h"
 #include "common/error.h"
+#include "common/json_parse.h"
 #include "common/table.h"
 #include "core/pairing.h"
 #include "core/shiraz_plus.h"
@@ -437,9 +441,71 @@ int cmd_query(const Flags& flags) {
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
-    std::printf("%s\n", client.request(line).c_str());
+    try {
+      // Streaming form so a `subscribe` request prints its event lines as
+      // they arrive, before the final response.
+      const std::string response = client.request(
+          line, [](const std::string& s) { std::printf("%s\n", s.c_str()); });
+      std::printf("%s\n", response.c_str());
+    } catch (const IoError& e) {
+      // The daemon dropped the connection mid-exchange — the normal sight
+      // after a `shutdown` request answered on this same connection. Name
+      // the situation instead of surfacing a raw socket error.
+      std::fprintf(stderr,
+                   "shirazctl: server is shutting down — connection to %s "
+                   "closed before a response arrived (%s)\n",
+                   socket.c_str(), e.what());
+      return 2;
+    }
     std::fflush(stdout);
   }
+  return 0;
+}
+
+int cmd_metrics(const Flags& flags) {
+  const std::string socket = flags.get("socket", "");
+  if (socket.empty()) {
+    std::fprintf(stderr, "shirazctl: metrics requires --socket=PATH\n");
+    usage();
+    return 2;
+  }
+  if (!serve::wait_for_server(socket, flags.get_double("timeout-s", 10.0))) {
+    std::fprintf(stderr, "shirazctl: no daemon answering on %s\n",
+                 socket.c_str());
+    return 1;
+  }
+  serve::Client client(socket);
+  if (flags.get_bool("prometheus", false)) {
+    const JsonValue doc = parse_json(
+        client.request(R"({"op":"metrics","format":"prometheus"})"));
+    SHIRAZ_REQUIRE(doc.at("ok").boolean, "daemon refused the metrics request");
+    std::printf("%s", doc.at("body").string.c_str());
+    return 0;
+  }
+  if (flags.get_bool("json", false)) {
+    // The raw shiraz-metrics-v1 response line, for piping into jq and co.
+    std::printf("%s\n", client.request(R"({"op":"metrics"})").c_str());
+    return 0;
+  }
+  const JsonValue doc = parse_json(client.request(R"({"op":"metrics"})"));
+  SHIRAZ_REQUIRE(doc.at("ok").boolean, "daemon refused the metrics request");
+  const JsonValue& metrics = doc.at("snapshot").at("metrics");
+  Table table({"metric", "type", "value", "help"});
+  for (const JsonValuePtr& m : metrics.array) {
+    const std::string type = m->at("type").string;
+    std::string value;
+    if (type == "histogram") {
+      value = fmt(m->at("count").number, 0) + " obs, sum " +
+              fmt(m->at("sum").number, 6);
+    } else {
+      value = fmt(m->at("value").number, type == "counter" ? 0 : 6);
+    }
+    table.add_row({m->at("name").string, type, value,
+                   m->has("help") ? m->at("help").string : ""});
+  }
+  std::printf("%s (%zu metric%s)\n%s", doc.at("snapshot").at("schema").string.c_str(),
+              metrics.array.size(), metrics.array.size() == 1 ? "" : "s",
+              table.render().c_str());
   return 0;
 }
 
@@ -447,8 +513,8 @@ void usage() {
   std::fprintf(
       stderr,
       "shirazctl "
-      "<solve|stretch|pairs|fit|simulate|predict|trace|scenarios|serve|query> "
-      "[--flags]\n"
+      "<solve|stretch|pairs|fit|simulate|predict|trace|scenarios|serve|query|"
+      "metrics> [--flags]\n"
       "  common flags: --mtbf-hours=5 --beta=0.6 --epsilon=0.45 --t-total-hours=1000\n"
       "  solve/stretch/simulate: --delta-lw=18 --delta-hw=1800 [--k=] [--reps=]\n"
       "  stretch: --max-stretch=6 --floor=0.0\n"
@@ -460,7 +526,8 @@ void usage() {
       "         --precision=0.9 --recall=0.8 --lead-minutes=10] --seed=7\n"
       "  scenarios: --dir=testdata/scenarios [--validate] [--describe=<id>]\n"
       "  serve: --socket=PATH [--threads=4] [--max-whatif-reps=256]\n"
-      "  query: --socket=PATH [--timeout-s=10]  (request lines on stdin)\n");
+      "  query: --socket=PATH [--timeout-s=10]  (request lines on stdin)\n"
+      "  metrics: --socket=PATH [--timeout-s=10] [--json|--prometheus]\n");
 }
 
 }  // namespace
@@ -483,6 +550,7 @@ int main(int argc, char** argv) {
     if (command == "scenarios") return cmd_scenarios(flags);
     if (command == "serve") return cmd_serve(flags);
     if (command == "query") return cmd_query(flags);
+    if (command == "metrics") return cmd_metrics(flags);
     std::fprintf(stderr, "shirazctl: unknown command '%s'\n", command.c_str());
     usage();
     return 2;
